@@ -1,0 +1,98 @@
+"""Ablation — non-power-of-two tile sizes.
+
+One of the paper's stated advantages over both PolyMage's and Halide's
+tuners is that tile sizes are *not* restricted to powers of two (Sec. 2.4).
+This ablation takes every PolyMageDP schedule and rounds its tile sizes
+down to powers of two (what a pow2-restricted search could at best pick
+near the same operating point), then compares estimated run times.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import pytest
+
+from common import MAX_STATES, write_result
+from repro.fusion import Grouping, dp_group, inc_grouping
+from repro.fusion.grouping import GroupingStats
+from repro.model import XEON_HASWELL
+from repro.perfmodel import estimate_runtime
+from repro.pipelines import BENCHMARKS
+from repro.reporting import format_table
+
+ORDER = ["UM", "HC", "BG", "MI", "CP", "PB"]
+
+
+def _pow2_floor(v: int) -> int:
+    p = 1
+    while p * 2 <= v:
+        p *= 2
+    return p
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    out = {}
+    for ab in ORDER:
+        pipe = BENCHMARKS[ab].build()
+        if ab == "PB":
+            dp = inc_grouping(pipe, XEON_HASWELL, initial_limit=2, step=2,
+                              max_states=MAX_STATES)
+        else:
+            dp = dp_group(pipe, XEON_HASWELL, max_states=MAX_STATES)
+        rounded = Grouping(
+            pipeline=pipe,
+            groups=dp.groups,
+            tile_sizes=tuple(
+                tuple(t if t <= 4 else _pow2_floor(t) for t in tiles)
+                for tiles in dp.tile_sizes
+            ),
+            cost=0.0,
+            stats=GroupingStats(strategy="dp+pow2-tiles"),
+        )
+        t_model = estimate_runtime(pipe, dp, XEON_HASWELL, 16) * 1e3
+        t_pow2 = estimate_runtime(pipe, rounded, XEON_HASWELL, 16) * 1e3
+        nonpow2 = sum(
+            1 for tiles in dp.tile_sizes for t in tiles
+            if t > 4 and t & (t - 1)
+        )
+        out[ab] = (t_model, t_pow2, nonpow2)
+    return out
+
+
+def test_pow2_ablation_report(comparison):
+    rows = []
+    for ab in ORDER:
+        t_model, t_pow2, nonpow2 = comparison[ab]
+        rows.append([
+            BENCHMARKS[ab].name,
+            round(t_model, 2),
+            round(t_pow2, 2),
+            f"{t_pow2 / t_model:.3f}",
+            nonpow2,
+        ])
+    text = format_table(
+        "Ablation: model tile sizes vs power-of-two rounding (Xeon, 16 cores)",
+        ["benchmark", "model ms", "pow2 ms", "ratio", "#non-pow2 tiles"],
+        rows,
+        note="ratio > 1 means the pow2 restriction costs performance.",
+    )
+    print("\n" + text)
+    write_result("ablation_pow2.txt", text)
+
+
+def test_model_uses_non_pow2_tiles_somewhere(comparison):
+    assert any(nonpow2 > 0 for _, _, nonpow2 in comparison.values())
+
+
+def test_pow2_restriction_never_helps_much(comparison):
+    # Rounding can only shrink tiles; it should never be much faster.
+    for ab, (t_model, t_pow2, _) in comparison.items():
+        assert t_pow2 >= t_model * 0.9, ab
+
+
+def test_rounding_speed(benchmark, comparison):
+    pipe = BENCHMARKS["UM"].build()
+    dp = dp_group(pipe, XEON_HASWELL)
+    benchmark(lambda: estimate_runtime(pipe, dp, XEON_HASWELL, 16))

@@ -1,0 +1,89 @@
+"""Ablation — which cost criteria matter?
+
+The paper's cost function combines four weighted criteria (Sec. 4.1).
+This ablation zeroes each weight in turn, re-runs the DP on Harris Corner
+and Multiscale Interpolation, and prices the resulting schedule with the
+timing model: dropping the locality term (w1) or the overlap term (w3)
+should produce measurably worse schedules, demonstrating both criteria
+pull their weight.
+"""
+
+import dataclasses
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import pytest
+
+from common import write_result
+from repro.fusion import dp_group
+from repro.model import XEON_HASWELL, CostModel, CostWeights
+from repro.perfmodel import estimate_runtime
+from repro.pipelines import BENCHMARKS
+from repro.reporting import format_table
+
+ABLATIONS = ["full", "w1=0", "w2=0", "w3=0", "w4=0"]
+
+
+def _weights(name: str) -> CostWeights:
+    base = XEON_HASWELL.weights
+    kw = dict(w1=base.w1, w2=base.w2, w3=base.w3, w4=base.w4)
+    if name != "full":
+        kw[name.split("=")[0]] = 0.0
+    return CostWeights(**kw)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    out = {}
+    for ab in ("HC", "MI"):
+        pipe = BENCHMARKS[ab].build()
+        for name in ABLATIONS:
+            cm = CostModel(pipe, XEON_HASWELL, weights=_weights(name))
+            g = dp_group(pipe, XEON_HASWELL, cost_model=cm,
+                         max_states=1_200_000)
+            t = estimate_runtime(pipe, g, XEON_HASWELL, 16) * 1e3
+            out[(ab, name)] = (g.num_groups, t)
+    return out
+
+
+def test_ablation_report(ablation):
+    rows = []
+    for ab in ("HC", "MI"):
+        for name in ABLATIONS:
+            groups, t = ablation[(ab, name)]
+            rows.append([
+                BENCHMARKS[ab].name if name == "full" else "",
+                name, groups, round(t, 2),
+            ])
+    text = format_table(
+        "Ablation: DP schedules with individual cost criteria disabled",
+        ["benchmark", "weights", "groups", "est. ms (16 cores)"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("ablation_weights.txt", text)
+
+
+def test_full_model_is_never_worst(ablation):
+    for ab in ("HC", "MI"):
+        times = {n: ablation[(ab, n)][1] for n in ABLATIONS}
+        assert times["full"] < max(times.values()) or len(set(times.values())) == 1
+
+
+def test_dropping_locality_changes_or_degrades(ablation):
+    # Without w1 there is no reason to fuse at all; the schedule must
+    # change structure or get slower on at least one benchmark.
+    changed = False
+    for ab in ("HC", "MI"):
+        full_groups, full_t = ablation[(ab, "full")]
+        g0, t0 = ablation[(ab, "w1=0")]
+        if g0 != full_groups or t0 > full_t * 1.05:
+            changed = True
+    assert changed
+
+
+def test_ablated_dp_speed(benchmark):
+    pipe = BENCHMARKS["HC"].build()
+    cm = CostModel(pipe, XEON_HASWELL, weights=_weights("w3=0"))
+    benchmark(lambda: dp_group(pipe, XEON_HASWELL, cost_model=cm))

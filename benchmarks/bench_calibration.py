@@ -1,0 +1,88 @@
+"""Extension experiment — reproducing the paper's "empirical trial".
+
+Sec. 6.1: the weights "were set to fixed values for the entire evaluation
+after an empirical trial".  This bench runs that trial with
+:func:`repro.model.calibrate_weights` over reduced-size builds of three
+benchmarks, scoring candidates with the timing model, and checks that
+
+* the shipped preset weights score within a few percent of the best
+  candidate found by the grid (the presets are well-calibrated), and
+* extreme mis-calibrations (no locality term, overlap grossly
+  over-weighted) score measurably worse.
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import pytest
+
+from common import write_result
+from repro.model import XEON_HASWELL, CostModel, CostWeights, calibrate_weights
+from repro.pipelines import harris, interpolate, unsharp
+from repro.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    # Paper-size builds: the weights were calibrated at evaluation sizes,
+    # and tile/footprint trade-offs shift with the image size.
+    from repro.pipelines import bilateral
+
+    pipelines = [
+        unsharp.build(),
+        harris.build(),
+        bilateral.build(),
+    ]
+    base = XEON_HASWELL.weights
+    return calibrate_weights(
+        pipelines,
+        XEON_HASWELL,
+        w1_grid=(0.0, base.w1, 3 * base.w1),
+        w2_grid=(base.w2,),
+        w3_grid=(0.0, base.w3, 10 * base.w3),
+        w4_grid=(base.w4,),
+        max_states=400_000,
+    )
+
+
+def test_calibration_report(calibration):
+    rows = []
+    for weights, score in calibration.scores:
+        rows.append([
+            weights.w1, weights.w2, weights.w3, weights.w4,
+            round(score, 4),
+        ])
+    text = format_table(
+        "Empirical trial: weight candidates by geometric-mean slowdown",
+        ["w1", "w2", "w3", "w4", "gmean slowdown"],
+        rows,
+        note="1.0 = best schedule found for every pipeline.",
+    )
+    print("\n" + text)
+    write_result("calibration.txt", text)
+
+
+def test_shipped_weights_near_best(calibration):
+    base = XEON_HASWELL.weights
+    shipped = next(
+        score for weights, score in calibration.scores
+        if weights == CostWeights(base.w1, base.w2, base.w3, base.w4)
+    )
+    assert shipped <= calibration.scores[0][1] * 1.10
+
+
+def test_degenerate_weights_score_worse(calibration):
+    # w1 = 0 (no locality term) must not be the winner.
+    best = calibration.best
+    assert best.w1 > 0.0
+
+
+def test_calibration_speed(benchmark):
+    pipes = [unsharp.build(512, 384)]
+    benchmark(
+        lambda: calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(1.0,), w2_grid=(0.4,), w3_grid=(3.0,), w4_grid=(1.5,),
+        )
+    )

@@ -1,0 +1,141 @@
+"""Native validation — generated C++ measured on real hardware.
+
+The rest of the harness prices schedules with the analytic timing model.
+This bench closes the loop on actual silicon: it *generates*, *compiles*
+(g++ -O3 -fopenmp -march=native) and *times* PolyMage-style C++ for
+Unsharp Mask on the build machine, comparing
+
+1. the Table 5 tile configurations (128x256 vs the model's 5x256-class
+   choice), and
+2. the PolyMageDP schedule against the PolyMage-A (auto-tuned greedy)
+   schedule,
+
+each at the paper's image size.  This machine is neither of the paper's
+testbeds, so absolute times differ, but the paper's claims under test —
+the L1 tile beats the L2-spilling tile; the DP schedule is at least
+competitive with the tuned one — are checked on real hardware.
+
+Skipped when no g++ is available.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+import numpy as np
+import pytest
+
+from common import write_result
+from repro.codegen import generate_cpp, generate_main
+from repro.fusion import dp_group, manual_grouping, polymage_autotune
+from repro.model import XEON_HASWELL
+from repro.pipelines import unsharp
+from repro.reporting import format_table
+
+needs_gxx = pytest.mark.skipif(
+    shutil.which("g++") is None, reason="g++ not available"
+)
+
+REPEATS = 5
+
+
+def _native_ms(pipeline, grouping, tmpdir, tag) -> float:
+    code = generate_cpp(pipeline, grouping) + generate_main(
+        pipeline, repeats=REPEATS
+    )
+    src = os.path.join(tmpdir, f"{tag}.cpp")
+    exe = os.path.join(tmpdir, tag)
+    with open(src, "w") as fh:
+        fh.write(code)
+    subprocess.run(
+        ["g++", "-O3", "-fopenmp", "-march=native", "-o", exe, src],
+        check=True, capture_output=True,
+    )
+    rng = np.random.default_rng(0)
+    in_paths, out_paths = [], []
+    for img in pipeline.images:
+        path = os.path.join(tmpdir, f"{tag}_{img.name}.bin")
+        rng.random(pipeline.image_shape(img), dtype=np.float32).tofile(path)
+        in_paths.append(path)
+    for out in pipeline.outputs:
+        out_paths.append(os.path.join(tmpdir, f"{tag}_out_{out.name}.bin"))
+    result = subprocess.run(
+        [exe] + in_paths + out_paths, check=True, capture_output=True,
+        text=True,
+    )
+    return float(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def native(tmp_path_factory):
+    tmpdir = str(tmp_path_factory.mktemp("native"))
+    pipe = unsharp.build()  # paper size 4256x2832x3
+    fused = [["blurx", "blury", "sharpen", "masked"]]
+    times = {}
+    times["tile 128x256 (L2-spilling)"] = _native_ms(
+        pipe, manual_grouping(pipe, fused, [[3, 128, 256]]), tmpdir, "t128"
+    )
+    times["tile 16x256"] = _native_ms(
+        pipe, manual_grouping(pipe, fused, [[3, 16, 256]]), tmpdir, "t16"
+    )
+    dp = dp_group(pipe, XEON_HASWELL)
+    times[f"PolyMageDP ({list(dp.tile_sizes[0])})"] = _native_ms(
+        pipe, dp, tmpdir, "dp"
+    )
+    tuned = polymage_autotune(pipe, XEON_HASWELL).best
+    times[f"PolyMage-A ({list(tuned.tile_sizes[0])})"] = _native_ms(
+        pipe, tuned, tmpdir, "tuned"
+    )
+    return times
+
+
+@needs_gxx
+def test_native_report(native):
+    rows = [[name, round(ms, 2)] for name, ms in native.items()]
+    text = format_table(
+        "Native validation: generated C++ for Unsharp Mask on this machine "
+        f"(min of {REPEATS} runs, ms)",
+        ["configuration", "ms"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("native_validation.txt", text)
+
+
+@needs_gxx
+def test_model_tile_beats_l2_spilling_tile_on_real_hardware(native):
+    dp_time = min(ms for name, ms in native.items() if "PolyMageDP" in name)
+    big_tile = native["tile 128x256 (L2-spilling)"]
+    assert dp_time < big_tile * 1.05
+
+
+@needs_gxx
+def test_dp_competitive_with_autotuned_on_real_hardware(native):
+    dp_time = min(ms for name, ms in native.items() if "PolyMageDP" in name)
+    tuned = min(ms for name, ms in native.items() if "PolyMage-A" in name)
+    # "better than or competitive with an auto-tuned approach"
+    assert dp_time <= tuned * 1.25
+
+
+@needs_gxx
+def test_native_pipeline_speed(benchmark, tmp_path):
+    """Wall time of one generated-binary run at 1/4 the paper size."""
+    pipe = unsharp.build(1024, 768)
+    dp = dp_group(pipe, XEON_HASWELL)
+    code = generate_cpp(pipe, dp) + generate_main(pipe)
+    src = str(tmp_path / "um.cpp")
+    exe = str(tmp_path / "um")
+    with open(src, "w") as fh:
+        fh.write(code)
+    subprocess.run(["g++", "-O3", "-fopenmp", "-march=native", "-o", exe, src],
+                   check=True, capture_output=True)
+    rng = np.random.default_rng(0)
+    in_path = str(tmp_path / "img.bin")
+    rng.random(pipe.image_shape("img"), dtype=np.float32).tofile(in_path)
+    out_path = str(tmp_path / "out.bin")
+    benchmark(
+        lambda: subprocess.run([exe, in_path, out_path], check=True)
+    )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Denoise a synthetic image with the Bilateral Grid benchmark pipeline.
+
+A realistic end-to-end use of the library: build the bilateral-grid
+pipeline at a working size, schedule it with the DP model, run it on a
+noisy synthetic scene, and report the PSNR improvement — edge-preserving
+smoothing is what the bilateral filter is for, so the denoised image
+should be much closer to the clean scene than the noisy input while the
+edges survive.
+
+Run:  python examples/bilateral_denoise.py
+"""
+
+import numpy as np
+
+from repro import XEON_HASWELL, execute_grouping, schedule_pipeline
+from repro.pipelines import bilateral
+
+
+def make_scene(height: int, width: int, rng) -> np.ndarray:
+    """A piecewise-constant scene: rectangles of distinct intensities
+    (strong edges, flat interiors — the bilateral filter's home turf)."""
+    scene = np.full((height, width), 0.2, dtype=np.float32)
+    for _ in range(12):
+        x0, y0 = rng.integers(0, height - 20), rng.integers(0, width - 20)
+        h = int(rng.integers(16, height // 2))
+        w = int(rng.integers(16, width // 2))
+        scene[x0:x0 + h, y0:y0 + w] = rng.uniform(0.1, 0.9)
+    return scene
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    mse = float(np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2))
+    return 10.0 * np.log10(1.0 / mse) if mse else float("inf")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    height, width = 384, 512
+    pipeline = bilateral.build(width=width, height=height)
+
+    grouping = schedule_pipeline(pipeline, XEON_HASWELL, strategy="dp")
+    print(grouping.describe())
+
+    clean = make_scene(height, width, rng)
+    noisy = np.clip(
+        clean + rng.normal(0.0, 0.08, clean.shape).astype(np.float32),
+        0.0, 1.0,
+    ).astype(np.float32)
+    # the pipeline takes an RGB image; feed the grayscale scene on all
+    # channels (its intensity stage is a luminance combination).
+    img = np.stack([noisy, noisy, noisy]).astype(np.float32)
+
+    out = execute_grouping(pipeline, grouping, {"img": img}, nthreads=4)
+    filtered = out["filtered"]
+
+    print()
+    print(f"PSNR noisy    vs clean: {psnr(noisy, clean):6.2f} dB")
+    print(f"PSNR filtered vs clean: {psnr(filtered, clean):6.2f} dB")
+    gain = psnr(filtered, clean) - psnr(noisy, clean)
+    print(f"denoising gain:         {gain:+6.2f} dB")
+    assert gain > 2.0, "bilateral grid should clearly denoise this scene"
+
+    # Edge preservation: the strongest image gradients should survive.
+    gy_clean = np.abs(np.diff(clean, axis=1)).max()
+    gy_filt = np.abs(np.diff(filtered, axis=1)).max()
+    print(f"max |edge| clean {gy_clean:.2f} -> filtered {gy_filt:.2f}")
+    assert gy_filt > 0.3 * gy_clean, "edges should be preserved"
+    print("OK: denoised with edges preserved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Author a brand-new pipeline in the DSL and let the model schedule it.
+
+This example builds a small tone-mapping pipeline that is *not* one of the
+paper's benchmarks — demonstrating the workflow a downstream user would
+follow:
+
+1. write stages with ``Function``/``Case``/up-down-sampling accesses,
+2. call ``schedule_pipeline`` to get a fused, tiled schedule,
+3. execute it (in parallel) and inspect intermediate structure.
+
+The pipeline: luminance extraction, a two-level blur pyramid, detail
+extraction, and a compressed recombination — a miniature local
+tone-mapper with both downsampling and upsampling stages.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import numpy as np
+
+from repro import XEON_HASWELL, execute_grouping, execute_reference, schedule_pipeline
+from repro.dsl import (
+    Clamp,
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Pipeline,
+    Sqrt,
+    Variable,
+)
+
+
+def build_tonemap(rows: int, cols: int) -> Pipeline:
+    x, y = Variable(Int, "x"), Variable(Int, "y")
+    img = Image(Float, "img", [rows, cols])
+
+    luma = Function(([x, y], [Interval(Int, 0, rows - 1),
+                              Interval(Int, 0, cols - 1)]), Float, "luma")
+    luma.defn = [Clamp(img(x, y), 0.0, 1.0)]
+
+    # Downsample to a half-resolution base layer (x then y).
+    hx, hy = (rows - 2) // 2, (cols - 2) // 2
+    downx = Function(([x, y], [Interval(Int, 1, hx),
+                               Interval(Int, 0, cols - 1)]), Float, "downx")
+    downx.defn = [
+        (luma(2 * x - 1, y) + luma(2 * x, y) * 2.0 + luma(2 * x + 1, y)) * 0.25
+    ]
+    downy = Function(([x, y], [Interval(Int, 1, hx),
+                               Interval(Int, 1, hy)]), Float, "downy")
+    downy.defn = [
+        (downx(x, 2 * y - 1) + downx(x, 2 * y) * 2.0 + downx(x, 2 * y + 1)) * 0.25
+    ]
+
+    # Upsample the base back to full resolution.
+    ux_lo, ux_hi = 2, 2 * hx - 1
+    uy_lo, uy_hi = 2, 2 * hy - 1
+    upx = Function(([x, y], [Interval(Int, ux_lo, ux_hi),
+                             Interval(Int, 1, hy)]), Float, "upx")
+    upx.defn = [(downy(x // 2, y) + downy((x + 1) // 2, y)) * 0.5]
+    base = Function(([x, y], [Interval(Int, ux_lo, ux_hi),
+                              Interval(Int, uy_lo, uy_hi)]), Float, "base")
+    base.defn = [(upx(x, y // 2) + upx(x, (y + 1) // 2)) * 0.5]
+
+    # Detail = luma - base; recombine with compressed base.
+    detail = Function(([x, y], [Interval(Int, ux_lo, ux_hi),
+                                Interval(Int, uy_lo, uy_hi)]), Float, "detail")
+    detail.defn = [luma(x, y) - base(x, y)]
+
+    out = Function(([x, y], [Interval(Int, ux_lo, ux_hi),
+                             Interval(Int, uy_lo, uy_hi)]), Float, "tonemapped")
+    out.defn = [Clamp(Sqrt(Clamp(base(x, y), 0.0, 1.0)) + detail(x, y) * 1.5,
+                      0.0, 1.0)]
+
+    return Pipeline([out], {}, name="tonemap")
+
+
+def main() -> None:
+    rows, cols = 722, 1026
+    pipeline = build_tonemap(rows, cols)
+    print(f"pipeline: {pipeline.name}")
+    print(f"stages:   {[s.name for s in pipeline.stages]}")
+
+    grouping = schedule_pipeline(pipeline, XEON_HASWELL, strategy="dp")
+    print()
+    print(grouping.describe())
+
+    # The interesting part: per-stage scaling within the fused groups.
+    from repro.poly import compute_group_geometry
+
+    for group in grouping.groups:
+        if len(group) < 2:
+            continue
+        geom = compute_group_geometry(pipeline, group)
+        print("\nscaling within group:")
+        for s in geom.stages:
+            print(f"  {s.name:>12s}: scale {[str(f) for f in geom.scale[s]]}")
+
+    rng = np.random.default_rng(3)
+    inputs = {"img": rng.random((rows, cols), dtype=np.float32)}
+    ref = execute_reference(pipeline, inputs)
+    out = execute_grouping(pipeline, grouping, inputs, nthreads=4)
+    err = np.abs(ref["tonemapped"] - out["tonemapped"]).max()
+    print(f"\nmax |tiled - ref|: {err:.2e}")
+    assert err < 1e-5
+    print("OK: custom pipeline scheduled and executed correctly.")
+
+
+if __name__ == "__main__":
+    main()

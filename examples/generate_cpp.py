@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Generate PolyMage-style C++ for a scheduled pipeline.
+
+Schedules the paper's blur pipeline with the DP model and emits the fused,
+overlap-tiled C++ loop nest of Fig. 3: OpenMP-parallel tile-space loops,
+per-tile scratch buffers (folded by the storage optimizer), and the two
+blur stages executing back to back inside each trapezoid tile.
+
+If g++ is available the example also compiles and runs the generated code
+and checks it against the NumPy interpreter.
+
+Run:  python examples/generate_cpp.py [output.cpp]
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import XEON_HASWELL, execute_reference, schedule_pipeline
+from repro.codegen import generate_cpp, generate_main
+from repro.poly import compute_group_geometry
+from repro.runtime.storage import plan_storage
+
+
+def main() -> None:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+    from conftest import build_blur  # the Fig. 1 blur pipeline
+
+    pipeline = build_blur(rows=254, cols=382)
+    grouping = schedule_pipeline(pipeline, XEON_HASWELL, strategy="dp")
+    print(grouping.describe())
+
+    # The storage optimizer folds the group's scratch buffers.
+    geom = compute_group_geometry(pipeline, grouping.groups[0])
+    print()
+    print(plan_storage(pipeline, geom, grouping.tile_sizes[0]).describe())
+
+    code = generate_cpp(pipeline, grouping)
+    target = sys.argv[1] if len(sys.argv) > 1 else None
+    if target:
+        with open(target, "w") as fh:
+            fh.write(code + generate_main(pipeline))
+        print(f"\nwrote {target}")
+    else:
+        print("\n" + "\n".join(code.splitlines()[:60]))
+        print(f"... ({len(code.splitlines())} lines total)")
+
+    if shutil.which("g++") is None:
+        print("\n(g++ not found; skipping compile-and-compare)")
+        return
+
+    workdir = tempfile.mkdtemp(prefix="repro_cgen_")
+    src = os.path.join(workdir, "blur.cpp")
+    with open(src, "w") as fh:
+        fh.write(code + generate_main(pipeline))
+    exe = os.path.join(workdir, "blur")
+    subprocess.run(["g++", "-O2", "-fopenmp", "-o", exe, src], check=True)
+
+    rng = np.random.default_rng(0)
+    img = rng.random(pipeline.image_shape("img"), dtype=np.float32)
+    in_path = os.path.join(workdir, "img.bin")
+    out_path = os.path.join(workdir, "out.bin")
+    img.tofile(in_path)
+    subprocess.run([exe, in_path, out_path], check=True)
+
+    out_stage = pipeline.outputs[0]
+    got = np.fromfile(out_path, dtype=np.float32).reshape(
+        pipeline.domain_extents(out_stage)
+    )
+    ref = execute_reference(pipeline, {"img": img})[out_stage.name]
+    err = np.abs(got - ref).max()
+    print(f"\ncompiled output vs interpreter: max |diff| = {err:.2e}")
+    assert err < 1e-5
+    print("OK: generated C++ reproduces the interpreter bit-for-bit "
+          "(to float tolerance).")
+
+
+if __name__ == "__main__":
+    main()

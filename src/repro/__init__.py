@@ -1,0 +1,69 @@
+"""repro — a reproduction of "An Effective Fusion and Tile Size Model for
+Optimizing Image Processing Pipelines" (Jangda & Bondhugula, PPoPP 2018).
+
+The package provides:
+
+* :mod:`repro.dsl` — a PolyMage-style embedded DSL for image processing
+  pipelines,
+* :mod:`repro.poly` — the rectangular-domain analysis substrate
+  (alignment/scaling, dependence vectors, overlap, reuse, footprints),
+* :mod:`repro.model` — the paper's cost function and tile-size model
+  (Sec. 4) with machine descriptions for the evaluated systems,
+* :mod:`repro.fusion` — the DP grouping algorithm (Sec. 3), the bounded
+  incremental variant (Sec. 5), and every baseline the paper compares
+  against (PolyMage greedy + auto-tuning, Halide's auto-scheduler, manual
+  schedules),
+* :mod:`repro.runtime` — a NumPy interpreter executing groupings with
+  overlapped tiling (the correctness substrate),
+* :mod:`repro.perfmodel` — the analytic timing model and cache simulator
+  standing in for the paper's hardware testbeds,
+* :mod:`repro.pipelines` — the six benchmark applications of the paper's
+  evaluation.
+
+Quick start::
+
+    from repro import schedule_pipeline, XEON_HASWELL
+    from repro.pipelines import unsharp
+
+    pipe = unsharp.build(width=512, height=384)
+    grouping = schedule_pipeline(pipe, XEON_HASWELL, strategy="dp")
+    print(grouping.describe())
+"""
+
+from .dsl import Pipeline
+from .fusion import (
+    Grouping,
+    dp_group,
+    halide_auto_schedule,
+    inc_grouping,
+    manual_grouping,
+    polymage_autotune,
+    polymage_greedy,
+    schedule_pipeline,
+)
+from .model import AMD_OPTERON, XEON_HASWELL, CostModel, Machine, group_cost
+from .perfmodel import estimate_runtime
+from .runtime import execute_grouping, execute_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Pipeline",
+    "schedule_pipeline",
+    "dp_group",
+    "inc_grouping",
+    "polymage_greedy",
+    "polymage_autotune",
+    "halide_auto_schedule",
+    "manual_grouping",
+    "Grouping",
+    "Machine",
+    "XEON_HASWELL",
+    "AMD_OPTERON",
+    "CostModel",
+    "group_cost",
+    "estimate_runtime",
+    "execute_reference",
+    "execute_grouping",
+    "__version__",
+]

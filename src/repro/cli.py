@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The registered benchmarks with their paper configurations.
+``schedule <bench>``
+    Run a scheduling strategy on a benchmark and print (or save) the
+    grouping.
+``run <bench>``
+    Schedule and *execute* a benchmark (at a reduced scale by default)
+    with the overlapped-tiling interpreter, verifying against the
+    reference.
+``estimate <bench>``
+    Price all four paper configurations with the timing model.
+``codegen <bench>``
+    Emit PolyMage-style C++ for a scheduled benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+from .fusion import schedule_pipeline
+from .fusion.serialize import load_grouping, save_grouping
+from .model import AMD_OPTERON, XEON_HASWELL, Machine
+from .perfmodel import estimate_runtime
+from .pipelines import BENCHMARKS, get_benchmark
+from .reporting import format_table
+from .runtime import execute_grouping, execute_reference
+
+__all__ = ["main"]
+
+_MACHINES = {"xeon": XEON_HASWELL, "opteron": AMD_OPTERON}
+
+
+def _machine(name: str) -> Machine:
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise SystemExit(f"unknown machine {name!r}; choose from "
+                         f"{sorted(_MACHINES)}")
+
+
+def _build(abbrev: str, scale: float):
+    bench = get_benchmark(abbrev)
+    if scale >= 1.0:
+        return bench, bench.build()
+    kwargs = dict(bench.small_kwargs)
+    w, h = bench.image_size[0], bench.image_size[1]
+    kwargs["width"] = max(64, int(w * scale) // 16 * 16)
+    kwargs["height"] = max(64, int(h * scale) // 16 * 16)
+    return bench, bench.build(**kwargs)
+
+
+def _schedule(pipe, bench, machine, strategy, max_states):
+    if strategy == "h-manual":
+        return bench.h_manual(pipe)
+    kwargs = {}
+    if strategy == "dp-incremental" or (
+        strategy == "dp" and bench.abbrev == "PB"
+    ):
+        strategy = "dp-incremental"
+        kwargs = dict(initial_limit=2, step=2)
+    return schedule_pipeline(
+        pipe, machine, strategy=strategy, max_states=max_states, **kwargs
+    )
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for ab, b in BENCHMARKS.items():
+        rows.append([
+            ab, b.name, "x".join(map(str, b.image_size)), b.paper_stages,
+        ])
+    print(format_table(
+        "Registered benchmarks",
+        ["key", "name", "paper size", "stages"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    bench, pipe = _build(args.benchmark, args.scale)
+    machine = _machine(args.machine)
+    start = time.perf_counter()
+    grouping = _schedule(pipe, bench, machine, args.strategy, args.max_states)
+    elapsed = time.perf_counter() - start
+    print(grouping.describe())
+    print(f"scheduled in {elapsed:.2f}s "
+          f"({grouping.stats.enumerated} states enumerated)")
+    t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
+    print(f"estimated run time at {machine.num_cores} cores: {t * 1e3:.2f} ms")
+    if args.output:
+        save_grouping(grouping, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    bench, pipe = _build(args.benchmark, args.scale)
+    machine = _machine(args.machine)
+    if args.schedule:
+        grouping = load_grouping(pipe, args.schedule)
+    else:
+        grouping = _schedule(pipe, bench, machine, args.strategy,
+                             args.max_states)
+    print(grouping.describe())
+
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for img in pipe.images:
+        shape = pipe.image_shape(img)
+        if img.scalar_type.np_dtype.kind in "ui":
+            inputs[img.name] = rng.integers(0, 1024, shape).astype(
+                img.scalar_type.np_dtype
+            )
+        else:
+            inputs[img.name] = rng.random(shape, dtype=np.float32)
+
+    start = time.perf_counter()
+    out = execute_grouping(pipe, grouping, inputs, nthreads=args.threads)
+    elapsed = time.perf_counter() - start
+    print(f"executed in {elapsed:.2f}s on {args.threads} thread(s)")
+
+    if args.verify:
+        ref = execute_reference(pipe, inputs)
+        ok = all(
+            np.allclose(ref[k].astype(np.float64), out[k].astype(np.float64),
+                        atol=3e-2, rtol=1e-3)
+            for k in ref
+        )
+        print(f"verification against reference: {'OK' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    bench, pipe = _build(args.benchmark, 1.0)
+    machine = _machine(args.machine)
+    from .fusion import halide_auto_schedule, polymage_autotune
+
+    rows = []
+    configs = [
+        ("H-manual", bench.h_manual(pipe), "halide"),
+        ("H-auto", halide_auto_schedule(pipe, machine), "halide"),
+        ("PolyMage-A", polymage_autotune(pipe, machine).best, "polymage"),
+        ("PolyMageDP",
+         _schedule(pipe, bench, machine, "dp", args.max_states), "polymage"),
+    ]
+    for name, grouping, codegen in configs:
+        t1 = estimate_runtime(pipe, grouping, machine, 1, codegen=codegen)
+        tn = estimate_runtime(pipe, grouping, machine, machine.num_cores,
+                              codegen=codegen)
+        rows.append([name, grouping.num_groups,
+                     round(t1 * 1e3, 2), round(tn * 1e3, 2)])
+    print(format_table(
+        f"{bench.name} on {machine.name}",
+        ["configuration", "groups", "1 core (ms)",
+         f"{machine.num_cores} cores (ms)"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_graph(args) -> int:
+    from .reporting import pipeline_to_dot
+
+    bench, pipe = _build(args.benchmark, args.scale)
+    machine = _machine(args.machine)
+    grouping = None
+    if args.strategy != "none":
+        grouping = _schedule(pipe, bench, machine, args.strategy,
+                             args.max_states)
+    dot = pipeline_to_dot(pipe, grouping)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(dot)
+        print(f"wrote {args.output} (render with: dot -Tpdf {args.output})")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from .codegen import generate_cpp, generate_main
+
+    bench, pipe = _build(args.benchmark, args.scale)
+    machine = _machine(args.machine)
+    grouping = _schedule(pipe, bench, machine, args.strategy, args.max_states)
+    code = generate_cpp(pipe, grouping)
+    if args.with_main:
+        code += generate_main(pipe)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(code)
+        print(f"wrote {len(code.splitlines())} lines to {args.output}")
+    else:
+        print(code)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fusion and tile-size model for image processing "
+                    "pipelines (PPoPP 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmarks")
+
+    def common(p, with_strategy=True):
+        p.add_argument("benchmark", choices=sorted(BENCHMARKS),
+                       help="benchmark key (see `list`)")
+        p.add_argument("--machine", default="xeon",
+                       choices=sorted(_MACHINES))
+        p.add_argument("--max-states", type=int, default=1_200_000)
+        if with_strategy:
+            p.add_argument(
+                "--strategy", default="dp",
+                choices=["dp", "dp-incremental", "greedy", "polymage-auto",
+                         "halide-auto", "h-manual"],
+            )
+
+    p = sub.add_parser("schedule", help="schedule a benchmark")
+    common(p)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="image-size fraction of the paper configuration")
+    p.add_argument("-o", "--output", help="write the schedule as JSON")
+
+    p = sub.add_parser("run", help="schedule and execute a benchmark")
+    common(p)
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--schedule", help="load a saved schedule instead")
+    p.add_argument("--verify", action="store_true",
+                   help="compare against the reference interpreter")
+
+    p = sub.add_parser("estimate",
+                       help="price the four paper configurations")
+    common(p, with_strategy=False)
+
+    p = sub.add_parser("codegen", help="emit C++ for a schedule")
+    common(p)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output")
+    p.add_argument("--with-main", action="store_true",
+                   help="append a file-I/O main() harness")
+
+    p = sub.add_parser("graph", help="emit a Graphviz DAG of a benchmark")
+    p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    p.add_argument("--machine", default="xeon", choices=sorted(_MACHINES))
+    p.add_argument("--max-states", type=int, default=1_200_000)
+    p.add_argument(
+        "--strategy", default="dp",
+        choices=["none", "dp", "dp-incremental", "greedy", "polymage-auto",
+                 "halide-auto", "h-manual"],
+        help="cluster nodes by this strategy's grouping ('none' for the "
+             "bare DAG)",
+    )
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output")
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "schedule": cmd_schedule,
+    "run": cmd_run,
+    "estimate": cmd_estimate,
+    "codegen": cmd_codegen,
+    "graph": cmd_graph,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

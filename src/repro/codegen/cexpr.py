@@ -1,0 +1,221 @@
+"""Expression and condition printing for the C++ code generator.
+
+The generated code evaluates arithmetic in ``double`` (with results cast
+to the stage's element type on store), which matches the NumPy
+interpreter's promotion semantics closely enough for bit-level agreement
+on integer pipelines and float tolerance agreement on float pipelines:
+
+* ``//`` becomes a floor-division helper (C++ ``/`` truncates),
+* ``%`` becomes a positive-modulo helper (NumPy's convention),
+* ``Cast(Int, e)`` truncates toward zero, like ``ndarray.astype``,
+* access indices are clamped into the producer's stored region, exactly
+  as :meth:`repro.runtime.buffers.Buffer.gather` clips.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..dsl.entities import Condition, Parameter, Variable
+from ..dsl.expr import (
+    Access,
+    BinOp,
+    Cast,
+    Const,
+    Expr,
+    MathCall,
+    Select,
+    UnaryOp,
+)
+from ..dsl.types import ScalarType
+
+__all__ = ["CBuffer", "ExprPrinter", "ctype_of", "RUNTIME_HELPERS"]
+
+#: Helper functions emitted once per translation unit.
+RUNTIME_HELPERS = """\
+static inline long r_floordiv(long a, long b) {
+    long q = a / b, r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+static inline long r_mod(long a, long b) {
+    long r = a % b;
+    return r < 0 ? r + (b < 0 ? -b : b) : r;
+}
+static inline long r_clamp(long v, long lo, long hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+static inline long r_max(long a, long b) { return a > b ? a : b; }
+static inline long r_min(long a, long b) { return a < b ? a : b; }
+"""
+
+_CTYPE = {
+    "Int": "int",
+    "Short": "short",
+    "Char": "signed char",
+    "UChar": "unsigned char",
+    "UInt": "unsigned int",
+    "UShort": "unsigned short",
+    "Long": "long long",
+    "ULong": "unsigned long long",
+    "Float": "float",
+    "Double": "double",
+}
+
+
+def ctype_of(scalar_type: ScalarType) -> str:
+    """C type name for a DSL scalar type."""
+    return _CTYPE[scalar_type.name]
+
+
+class CBuffer:
+    """How one producer is addressed in generated code.
+
+    ``name`` is the C identifier of the array/pointer; ``origin`` the
+    coordinate of element 0 per dimension (may be C expressions for
+    per-tile scratch); ``extents`` the allocated extent per dimension
+    (ints or C expressions).  Indexing clamps into the allocation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        origin: Sequence[object],
+        extents: Sequence[object],
+    ):
+        if len(origin) != len(extents):
+            raise ValueError("origin/extents rank mismatch")
+        self.name = name
+        self.origin = [str(o) for o in origin]
+        self.extents = [str(e) for e in extents]
+
+    def index_expr(self, indices: Sequence[str]) -> str:
+        """Row-major flattened index with per-dimension clamping."""
+        if len(indices) != len(self.origin):
+            raise ValueError(
+                f"buffer {self.name}: {len(self.origin)}-d, "
+                f"got {len(indices)} indices"
+            )
+        terms: List[str] = []
+        for d, idx in enumerate(indices):
+            rel = f"r_clamp((long)({idx}) - (long)({self.origin[d]}), 0, (long)({self.extents[d]}) - 1)"
+            stride = "".join(
+                f" * (long)({self.extents[k]})"
+                for k in range(d + 1, len(self.extents))
+            )
+            terms.append(f"{rel}{stride}" if stride else rel)
+        return " + ".join(terms)
+
+    def load(self, indices: Sequence[str]) -> str:
+        return f"{self.name}[{self.index_expr(indices)}]"
+
+
+_MATH_FN = {
+    "min": "fmin",
+    "max": "fmax",
+    "sqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "abs": "fabs",
+    "pow": "pow",
+    "floor": "floor",
+}
+
+_CMP = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!="}
+
+
+class ExprPrinter:
+    """Prints DSL expressions as C++ ``double``-valued expressions.
+
+    ``buffers`` maps producer names to :class:`CBuffer`; ``env`` maps
+    parameter names to concrete values; loop variables print as their own
+    names (declared ``long`` by the loop emitter).
+    """
+
+    def __init__(self, buffers: Mapping[str, CBuffer], env: Mapping[str, int]):
+        self.buffers = buffers
+        self.env = env
+
+    # -- double-valued expressions ----------------------------------------
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            if isinstance(e.value, int):
+                return f"(double){e.value}"
+            return repr(float(e.value))
+        if isinstance(e, Parameter):
+            return f"(double){self.env[e.name]}"
+        if isinstance(e, Variable):
+            return f"(double){e.name}"
+        if isinstance(e, UnaryOp):
+            return f"(-({self.expr(e.operand)}))"
+        if isinstance(e, BinOp):
+            if e.op == "//":
+                return (
+                    f"(double)r_floordiv({self.int_expr(e.lhs)}, "
+                    f"{self.int_expr(e.rhs)})"
+                )
+            if e.op == "%":
+                return (
+                    f"(double)r_mod({self.int_expr(e.lhs)}, "
+                    f"{self.int_expr(e.rhs)})"
+                )
+            return f"({self.expr(e.lhs)} {e.op} {self.expr(e.rhs)})"
+        if isinstance(e, MathCall):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{_MATH_FN[e.fn]}({args})"
+        if isinstance(e, Select):
+            return (
+                f"({self.cond(e.condition)} ? {self.expr(e.true_expr)} "
+                f": {self.expr(e.false_expr)})"
+            )
+        if isinstance(e, Cast):
+            return f"(double)(long)({self.expr(e.operand)})"
+        if isinstance(e, Access):
+            indices = [self.int_expr(i) for i in e.indices]
+            buf = self.buffers.get(e.producer.name)
+            if buf is None:
+                raise KeyError(f"no C buffer for {e.producer.name!r}")
+            return f"(double){buf.load(indices)}"
+        raise TypeError(f"cannot print {type(e).__name__}")
+
+    # -- integer-valued expressions (indices, mod/floordiv operands) -----
+    def int_expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            if not isinstance(e.value, int):
+                raise TypeError(f"non-integer constant {e.value!r} in index")
+            return f"{e.value}L"
+        if isinstance(e, Parameter):
+            return f"{self.env[e.name]}L"
+        if isinstance(e, Variable):
+            return e.name
+        if isinstance(e, UnaryOp):
+            return f"(-({self.int_expr(e.operand)}))"
+        if isinstance(e, BinOp):
+            if e.op == "//":
+                return (
+                    f"r_floordiv({self.int_expr(e.lhs)}, {self.int_expr(e.rhs)})"
+                )
+            if e.op == "%":
+                return f"r_mod({self.int_expr(e.lhs)}, {self.int_expr(e.rhs)})"
+            if e.op == "/":
+                raise TypeError("true division in an integer context")
+            return f"({self.int_expr(e.lhs)} {e.op} {self.int_expr(e.rhs)})"
+        if isinstance(e, MathCall):
+            if e.fn == "min":
+                return (f"r_min({self.int_expr(e.args[0])}, "
+                        f"{self.int_expr(e.args[1])})")
+            if e.fn == "max":
+                return (f"r_max({self.int_expr(e.args[0])}, "
+                        f"{self.int_expr(e.args[1])})")
+            # e.g. Clamp of a data-dependent index: evaluate in double,
+            # truncate.
+            return f"(long)({self.expr(e)})"
+        if isinstance(e, (Select, Cast, Access)):
+            return f"(long)({self.expr(e)})"
+        raise TypeError(f"cannot print {type(e).__name__} as an index")
+
+    # -- conditions --------------------------------------------------------
+    def cond(self, c: Condition) -> str:
+        if c.kind == "cmp":
+            return f"({self.expr(c.lhs)} {_CMP[c.op]} {self.expr(c.rhs)})"
+        joiner = " && " if c.kind == "and" else " || "
+        return "(" + joiner.join(self.cond(s) for s in c.sub) + ")"

@@ -1,0 +1,112 @@
+"""PolyMage-style embedded DSL for image processing pipelines.
+
+Quick tour (the blur pipeline from Fig. 1 of the paper):
+
+.. code-block:: python
+
+    from repro.dsl import *
+
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    x, y, c = Variable(Int, "x"), Variable(Int, "y"), Variable(Int, "c")
+    img = Image(Float, "img", [3, R + 2, C + 2])
+
+    cr = Interval(Int, 0, 2)
+    xrow, xcol = Interval(Int, 1, R), Interval(Int, 0, C + 1)
+    yrow, ycol = Interval(Int, 1, R), Interval(Int, 1, C)
+
+    blurx = Function(([c, x, y], [cr, xrow, xcol]), Float, "blurx")
+    blurx.defn = [(img(c, x - 1, y) + img(c, x, y) + img(c, x + 1, y)) * (1.0 / 3)]
+
+    blury = Function(([c, x, y], [cr, yrow, ycol]), Float, "blury")
+    blury.defn = [(blurx(c, x, y - 1) + blurx(c, x, y) + blurx(c, x, y + 1)) * (1.0 / 3)]
+
+    pipe = Pipeline([blury], {R: 2046, C: 2046}, name="blur")
+"""
+
+from .entities import Case, Condition, Interval, Parameter, Variable
+from .expr import (
+    Abs,
+    Access,
+    BinOp,
+    Cast,
+    Clamp,
+    Const,
+    Exp,
+    Expr,
+    Floor,
+    Log,
+    MathCall,
+    Max,
+    Min,
+    Pow,
+    Select,
+    Sqrt,
+    UnaryOp,
+    collect_accesses,
+    count_ops,
+)
+from .function import Function, Op, Reduce, Reduction
+from .image import Image
+from .pipeline import Pipeline
+from .types import (
+    Char,
+    Double,
+    Float,
+    Int,
+    Long,
+    ScalarType,
+    Short,
+    UChar,
+    UInt,
+    ULong,
+    UShort,
+)
+
+__all__ = [
+    # entities
+    "Parameter",
+    "Variable",
+    "Interval",
+    "Condition",
+    "Case",
+    # expressions
+    "Expr",
+    "Const",
+    "BinOp",
+    "UnaryOp",
+    "MathCall",
+    "Select",
+    "Cast",
+    "Access",
+    "Min",
+    "Max",
+    "Sqrt",
+    "Exp",
+    "Log",
+    "Abs",
+    "Pow",
+    "Floor",
+    "Clamp",
+    "collect_accesses",
+    "count_ops",
+    # stages
+    "Function",
+    "Reduction",
+    "Reduce",
+    "Op",
+    # images & pipeline
+    "Image",
+    "Pipeline",
+    # types
+    "ScalarType",
+    "Int",
+    "Short",
+    "Char",
+    "UChar",
+    "UInt",
+    "UShort",
+    "Long",
+    "ULong",
+    "Float",
+    "Double",
+]

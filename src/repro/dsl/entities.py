@@ -1,0 +1,222 @@
+"""Core DSL entities: ``Parameter``, ``Variable``, ``Interval``,
+``Condition`` and ``Case``.
+
+These mirror the constructs in PolyMage's embedded DSL (Fig. 1 of the
+paper):
+
+.. code-block:: python
+
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    x, y = Variable(Int, "x"), Variable(Int, "y")
+    row = Interval(Int, 1, R)
+    cond = Condition(x, '>=', 1) & Condition(x, '<=', R)
+    f.defn = [Case(cond, ...)]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from .expr import BinOp, Const, Expr, MathCall, UnaryOp, walk, wrap
+from .types import ScalarType
+
+__all__ = [
+    "Parameter",
+    "Variable",
+    "Interval",
+    "Condition",
+    "Case",
+    "evaluate_scalar",
+]
+
+
+class Parameter(Expr):
+    """A pipeline parameter such as the number of image rows.
+
+    Parameters are symbolic at specification time and bound to concrete
+    integer values when the :class:`~repro.dsl.pipeline.Pipeline` is built
+    (PolyMage similarly specialises generated code to parameter estimates).
+    """
+
+    __slots__ = ("scalar_type", "name")
+
+    def __init__(self, scalar_type: ScalarType, name: str):
+        self.scalar_type = scalar_type
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name})"
+
+
+class Variable(Expr):
+    """A loop/domain dimension variable of a stage."""
+
+    __slots__ = ("scalar_type", "name")
+
+    def __init__(self, scalar_type: ScalarType, name: str):
+        self.scalar_type = scalar_type
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name})"
+
+
+class Interval:
+    """An inclusive integer interval ``[lower, upper]``.
+
+    Bounds may be expressions in parameters (e.g. ``Interval(Int, 1, R)``);
+    they are resolved to concrete integers at pipeline-build time by
+    :func:`evaluate_scalar`.
+    """
+
+    __slots__ = ("scalar_type", "lower", "upper")
+
+    def __init__(self, scalar_type: ScalarType, lower, upper):
+        self.scalar_type = scalar_type
+        self.lower = wrap(lower)
+        self.upper = wrap(upper)
+
+    def resolve(self, env: Dict[str, int]) -> Tuple[int, int]:
+        """Concrete ``(lower, upper)`` under the parameter binding ``env``."""
+        lo = evaluate_scalar(self.lower, env)
+        hi = evaluate_scalar(self.upper, env)
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        return int(lo), int(hi)
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lower!r}, {self.upper!r})"
+
+
+_CMP: Dict[str, Callable] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Condition:
+    """A predicate over domain points.
+
+    Leaf conditions compare two expressions (``Condition(x, '>=', 1)``);
+    compound conditions are built with ``&`` and ``|``.  Conditions guard
+    :class:`Case` branches and :class:`~repro.dsl.expr.Select` expressions.
+    """
+
+    __slots__ = ("kind", "lhs", "op", "rhs", "sub")
+
+    def __init__(self, lhs, op: Optional[str] = None, rhs=None, *, _kind="cmp", _sub=()):
+        if _kind == "cmp":
+            if op not in _CMP:
+                raise ValueError(f"unknown comparison operator {op!r}")
+            self.kind = "cmp"
+            self.lhs = wrap(lhs)
+            self.op = op
+            self.rhs = wrap(rhs)
+            self.sub: Tuple["Condition", ...] = ()
+        else:
+            self.kind = _kind  # 'and' | 'or'
+            self.lhs = None
+            self.op = None
+            self.rhs = None
+            self.sub = tuple(_sub)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(None, _kind="and", _sub=(self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Condition(None, _kind="or", _sub=(self, other))
+
+    def exprs(self) -> List[Expr]:
+        """Every value expression referenced anywhere in this condition."""
+        if self.kind == "cmp":
+            return [self.lhs, self.rhs]
+        out: List[Expr] = []
+        for s in self.sub:
+            out.extend(s.exprs())
+        return out
+
+    def evaluate(self, eval_expr: Callable[[Expr], object]):
+        """Evaluate to a (possibly vectorised) boolean using ``eval_expr``
+        to evaluate leaf value expressions."""
+        if self.kind == "cmp":
+            return _CMP[self.op](eval_expr(self.lhs), eval_expr(self.rhs))
+        if self.kind == "and":
+            acc = self.sub[0].evaluate(eval_expr)
+            for s in self.sub[1:]:
+                acc = acc & s.evaluate(eval_expr)
+            return acc
+        acc = self.sub[0].evaluate(eval_expr)
+        for s in self.sub[1:]:
+            acc = acc | s.evaluate(eval_expr)
+        return acc
+
+    def __repr__(self) -> str:
+        if self.kind == "cmp":
+            return f"({self.lhs!r} {self.op} {self.rhs!r})"
+        joiner = " & " if self.kind == "and" else " | "
+        return "(" + joiner.join(map(repr, self.sub)) + ")"
+
+
+class Case:
+    """One guarded branch of a stage definition.
+
+    A stage's ``defn`` is a list whose entries are either bare expressions
+    (unconditional) or ``Case(condition, expr)`` branches evaluated in
+    order; points matching no branch default to zero, as in PolyMage.
+    """
+
+    __slots__ = ("condition", "expression")
+
+    def __init__(self, condition: Condition, expression):
+        if not isinstance(condition, Condition):
+            raise TypeError("Case expects a Condition as its first argument")
+        self.condition = condition
+        self.expression = wrap(expression)
+
+    def __repr__(self) -> str:
+        return f"Case({self.condition!r}, {self.expression!r})"
+
+
+def evaluate_scalar(expr: Expr, env: Dict[str, int]) -> Union[int, float]:
+    """Evaluate a parameter-only expression to a concrete number.
+
+    ``env`` maps parameter names to values.  Raises ``KeyError`` for unbound
+    parameters and ``TypeError`` if the expression references a loop
+    :class:`Variable` (domain bounds must not depend on loop variables).
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Parameter):
+        return env[expr.name]
+    if isinstance(expr, Variable):
+        raise TypeError(f"domain bound depends on loop variable {expr.name!r}")
+    if isinstance(expr, UnaryOp):
+        return -evaluate_scalar(expr.operand, env)
+    if isinstance(expr, BinOp):
+        a = evaluate_scalar(expr.lhs, env)
+        b = evaluate_scalar(expr.rhs, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "/":
+            return a / b
+        if expr.op == "//":
+            return a // b
+        if expr.op == "%":
+            return a % b
+    if isinstance(expr, MathCall):
+        import numpy as _np
+
+        from .expr import _MATH_EVAL
+
+        args = [evaluate_scalar(a, env) for a in expr.args]
+        result = _MATH_EVAL[expr.fn](*args)
+        return result.item() if isinstance(result, _np.generic) else result
+    raise TypeError(f"cannot evaluate {type(expr).__name__} as a scalar")

@@ -1,0 +1,371 @@
+"""Expression AST for the PolyMage-style DSL.
+
+Stage definitions in the DSL are ordinary Python expressions built from
+variables, parameters, constants and *accesses* (calls on ``Image`` or
+``Function`` objects).  Operator overloading on :class:`Expr` assembles an
+abstract syntax tree that is later
+
+* analysed by :mod:`repro.poly` (affine access extraction, dependence
+  vectors, reuse), and
+* interpreted by :mod:`repro.runtime.executor` over NumPy index grids.
+
+The AST is deliberately small: binary/unary arithmetic, math intrinsics,
+``Select`` (conditional expression), ``Cast`` and accesses.  That is the set
+of constructs the paper's six benchmarks require.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Expr",
+    "Const",
+    "BinOp",
+    "UnaryOp",
+    "MathCall",
+    "Select",
+    "Cast",
+    "Access",
+    "wrap",
+    "walk",
+    "collect_accesses",
+    "count_ops",
+    "Min",
+    "Max",
+    "Sqrt",
+    "Exp",
+    "Log",
+    "Abs",
+    "Pow",
+    "Floor",
+    "Clamp",
+]
+
+
+class Expr:
+    """Base class for all DSL expressions.
+
+    Supports the usual arithmetic operators.  Comparisons deliberately do
+    *not* build expressions; conditions are expressed with
+    :class:`repro.dsl.entities.Condition` as in PolyMage, which keeps the
+    separation between point-wise value expressions and domain predicates.
+    """
+
+    __slots__ = ()
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other) -> "Expr":
+        return BinOp("+", self, wrap(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinOp("+", wrap(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("-", self, wrap(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinOp("-", wrap(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinOp("*", self, wrap(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return BinOp("*", wrap(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return BinOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return BinOp("/", wrap(other), self)
+
+    def __floordiv__(self, other) -> "Expr":
+        return BinOp("//", self, wrap(other))
+
+    def __rfloordiv__(self, other) -> "Expr":
+        return BinOp("//", wrap(other), self)
+
+    def __mod__(self, other) -> "Expr":
+        return BinOp("%", self, wrap(other))
+
+    def __rmod__(self, other) -> "Expr":
+        return BinOp("%", wrap(other), self)
+
+    def __neg__(self) -> "Expr":
+        return UnaryOp("-", self)
+
+    def __pow__(self, other) -> "Expr":
+        return MathCall("pow", (self, wrap(other)))
+
+    # Conditions (&, |, comparisons) live on entities.Condition.
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Child expressions, for generic traversal."""
+        return ()
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if not isinstance(value, (int, float)):
+            raise TypeError(f"Const expects int or float, got {type(value).__name__}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_BINOP_EVAL: Dict[str, Callable] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+}
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation.
+
+    ``//`` is integer (floor) division — the DSL idiom for *downsampling*
+    accesses such as ``f(x // 2, y // 2)``.
+    """
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in _BINOP_EVAL:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class UnaryOp(Expr):
+    """Unary negation."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        if op != "-":
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+_MATH_EVAL: Dict[str, Callable] = {
+    "min": np.minimum,
+    "max": np.maximum,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "abs": np.abs,
+    "pow": np.power,
+    "floor": np.floor,
+}
+
+# Relative arithmetic cost of each intrinsic, in units of one add/mul.  Used
+# by the cost/performance models to weigh stages with transcendental math
+# (e.g. the ``exp`` in bilateral filtering) more heavily.
+MATH_OP_COST: Dict[str, int] = {
+    "min": 1,
+    "max": 1,
+    "sqrt": 4,
+    "exp": 10,
+    "log": 10,
+    "pow": 12,
+    "abs": 1,
+    "floor": 1,
+}
+
+
+class MathCall(Expr):
+    """A math intrinsic applied to one or more argument expressions."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: str, args: Sequence[Expr]):
+        if fn not in _MATH_EVAL:
+            raise ValueError(f"unknown math intrinsic {fn!r}")
+        self.fn = fn
+        self.args = tuple(wrap(a) for a in args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"{self.fn}({', '.join(map(repr, self.args))})"
+
+
+class Select(Expr):
+    """``condition ? true_expr : false_expr`` as a point-wise expression.
+
+    The condition is a :class:`repro.dsl.entities.Condition`; it is stored
+    here without a type check to avoid a circular import (entities imports
+    expr).
+    """
+
+    __slots__ = ("condition", "true_expr", "false_expr")
+
+    def __init__(self, condition, true_expr, false_expr):
+        self.condition = condition
+        self.true_expr = wrap(true_expr)
+        self.false_expr = wrap(false_expr)
+
+    def children(self) -> Tuple[Expr, ...]:
+        # Condition sub-expressions are surfaced via condition.exprs() by
+        # walkers that need them; children() covers the value operands.
+        return (self.true_expr, self.false_expr)
+
+    def __repr__(self) -> str:
+        return f"Select({self.condition!r}, {self.true_expr!r}, {self.false_expr!r})"
+
+
+class Cast(Expr):
+    """An explicit conversion to a different scalar type."""
+
+    __slots__ = ("scalar_type", "operand")
+
+    def __init__(self, scalar_type, operand):
+        self.scalar_type = scalar_type
+        self.operand = wrap(operand)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"Cast({self.scalar_type!r}, {self.operand!r})"
+
+
+class Access(Expr):
+    """A read of a producer (``Image`` or ``Function``) at index expressions.
+
+    Created by calling the producer: ``blurx(c, x, y - 1)``.
+    """
+
+    __slots__ = ("producer", "indices")
+
+    def __init__(self, producer, indices: Sequence[Expr]):
+        self.producer = producer
+        self.indices = tuple(wrap(i) for i in indices)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+    def __repr__(self) -> str:
+        return f"{self.producer.name}({', '.join(map(repr, self.indices))})"
+
+
+def wrap(value) -> Expr:
+    """Coerce a Python number into a :class:`Const`; pass Exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {type(value).__name__} in a DSL expression")
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression (pre-order).
+
+    ``Select`` nodes additionally yield the expressions referenced by their
+    condition so that analyses see every access/variable in the tree.
+    """
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+        if isinstance(node, Select):
+            stack.extend(node.condition.exprs())
+
+
+def collect_accesses(expr: Expr) -> List[Access]:
+    """All :class:`Access` nodes in ``expr`` (document order not guaranteed)."""
+    return [node for node in walk(expr) if isinstance(node, Access)]
+
+
+def count_ops(expr: Expr) -> int:
+    """Estimate the arithmetic work of evaluating ``expr`` at one point.
+
+    Adds/multiplies/divides count 1 each; math intrinsics use
+    :data:`MATH_OP_COST`; an access counts 1 (address arithmetic).  This is
+    the per-point operation count the performance model multiplies by the
+    computed tile volume.
+    """
+    total = 0
+    for node in walk(expr):
+        if isinstance(node, (BinOp, UnaryOp)):
+            total += 1
+        elif isinstance(node, MathCall):
+            total += MATH_OP_COST[node.fn]
+        elif isinstance(node, (Access, Select)):
+            total += 1
+    return total
+
+
+# -- convenience intrinsic constructors ---------------------------------
+
+
+def Min(a, b) -> MathCall:
+    """Point-wise minimum of two expressions."""
+    return MathCall("min", (wrap(a), wrap(b)))
+
+
+def Max(a, b) -> MathCall:
+    """Point-wise maximum of two expressions."""
+    return MathCall("max", (wrap(a), wrap(b)))
+
+
+def Sqrt(a) -> MathCall:
+    """Point-wise square root."""
+    return MathCall("sqrt", (wrap(a),))
+
+
+def Exp(a) -> MathCall:
+    """Point-wise exponential."""
+    return MathCall("exp", (wrap(a),))
+
+
+def Log(a) -> MathCall:
+    """Point-wise natural logarithm."""
+    return MathCall("log", (wrap(a),))
+
+
+def Abs(a) -> MathCall:
+    """Point-wise absolute value."""
+    return MathCall("abs", (wrap(a),))
+
+
+def Pow(a, b) -> MathCall:
+    """Point-wise power ``a ** b``."""
+    return MathCall("pow", (wrap(a), wrap(b)))
+
+
+def Floor(a) -> MathCall:
+    """Point-wise floor."""
+    return MathCall("floor", (wrap(a),))
+
+
+def Clamp(value, lo, hi) -> MathCall:
+    """Clamp ``value`` into ``[lo, hi]`` — ``min(max(value, lo), hi)``."""
+    return Min(Max(wrap(value), wrap(lo)), wrap(hi))

@@ -1,0 +1,209 @@
+"""Pipeline stages: ``Function`` and ``Reduction``.
+
+A ``Function`` maps a multi-dimensional integer domain to values — one
+stage (one loop nest) of the image processing pipeline.  A ``Reduction``
+additionally iterates a reduction domain and accumulates into its output
+domain (e.g. the grid-construction histogram of Bilateral Grid).
+
+PolyMage does not fuse reductions with other stages (Sec. 6.2 of the paper:
+"PolyMage-A and PolyMageDP do not yet group or optimize reductions in any
+way") — the analysis layer reports non-constant dependences for them, which
+makes the cost function return infinity for any group containing a reduction
+alongside other stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .entities import Case, Interval, Variable
+from .expr import Access, Expr, wrap
+from .types import ScalarType
+
+__all__ = ["Function", "Reduction", "Reduce", "Op"]
+
+DefnEntry = Union[Expr, Case]
+
+
+class Function:
+    """One stage of an image processing pipeline.
+
+    Parameters
+    ----------
+    varDom:
+        A pair ``(variables, intervals)`` — the domain dimensions in loop
+        order (outermost first) and their inclusive ranges, mirroring
+        PolyMage's ``Function(([c, x, y], [cr, xrow, xcol]), ...)``.
+    scalar_type:
+        Element type of the stage's output.
+    name:
+        Unique stage name within the pipeline.
+
+    The body is assigned via the ``defn`` property as a list of expressions
+    and/or :class:`~repro.dsl.entities.Case` branches.
+    """
+
+    is_reduction = False
+
+    def __init__(
+        self,
+        varDom: Tuple[Sequence[Variable], Sequence[Interval]],
+        scalar_type: ScalarType,
+        name: str,
+    ):
+        variables, intervals = varDom
+        if len(variables) != len(intervals):
+            raise ValueError(
+                f"stage {name!r}: {len(variables)} variables but "
+                f"{len(intervals)} intervals"
+            )
+        if not variables:
+            raise ValueError(f"stage {name!r} needs at least one dimension")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage {name!r}: duplicate variable names {names}")
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.intervals: Tuple[Interval, ...] = tuple(intervals)
+        self.scalar_type = scalar_type
+        self.name = name
+        self._defn: List[DefnEntry] = []
+
+    # -- body ----------------------------------------------------------
+    @property
+    def defn(self) -> List[DefnEntry]:
+        """The stage body: a list of expressions / ``Case`` branches."""
+        return self._defn
+
+    @defn.setter
+    def defn(self, entries: Sequence[DefnEntry]) -> None:
+        if isinstance(entries, (Expr, Case)):
+            entries = [entries]
+        checked: List[DefnEntry] = []
+        for e in entries:
+            if isinstance(e, Case):
+                checked.append(e)
+            else:
+                checked.append(wrap(e))
+        if not checked:
+            raise ValueError(f"stage {self.name!r}: empty definition")
+        self._defn = checked
+
+    @property
+    def ndim(self) -> int:
+        return len(self.variables)
+
+    def __call__(self, *indices) -> Access:
+        if len(indices) != self.ndim:
+            raise ValueError(
+                f"stage {self.name!r} is {self.ndim}-dimensional, "
+                f"got {len(indices)} indices"
+            )
+        return Access(self, indices)
+
+    def body_expressions(self) -> List[Expr]:
+        """All value expressions of the body (Case branches unwrapped)."""
+        out: List[Expr] = []
+        for entry in self._defn:
+            if isinstance(entry, Case):
+                out.append(entry.expression)
+                out.extend(entry.condition.exprs())
+            else:
+                out.append(entry)
+        return out
+
+    def resolve_domain(self, env: Dict[str, int]) -> Tuple[Tuple[int, int], ...]:
+        """Concrete inclusive ``(lo, hi)`` per dimension under ``env``."""
+        return tuple(iv.resolve(env) for iv in self.intervals)
+
+    def __repr__(self) -> str:
+        return f"Function({self.name})"
+
+
+class Op:
+    """Reduction operators."""
+
+    Sum = "sum"
+    Max = "max"
+    Min = "min"
+
+
+class Reduce:
+    """One accumulation rule of a :class:`Reduction`.
+
+    ``Reduce((i0, i1, ...), value, Op.Sum)`` accumulates ``value`` into the
+    reduction output at indices ``(i0, i1, ...)``; both the indices and the
+    value are expressions over the reduction variables (and may read other
+    stages — that is what makes histogram-style reductions data-dependent).
+    """
+
+    __slots__ = ("indices", "value", "op")
+
+    def __init__(self, indices: Sequence[Expr], value, op: str = Op.Sum):
+        if op not in (Op.Sum, Op.Max, Op.Min):
+            raise ValueError(f"unknown reduction op {op!r}")
+        self.indices = tuple(wrap(i) for i in indices)
+        self.value = wrap(value)
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"Reduce({list(self.indices)!r}, {self.value!r}, {self.op})"
+
+
+class Reduction(Function):
+    """A reduction stage.
+
+    The output domain is given by ``varDom`` as for a plain ``Function``;
+    the reduction domain (the points iterated while accumulating) is given
+    by ``redDom``.  The body (``defn``) is a list of :class:`Reduce` rules.
+    """
+
+    is_reduction = True
+
+    def __init__(
+        self,
+        varDom: Tuple[Sequence[Variable], Sequence[Interval]],
+        redDom: Tuple[Sequence[Variable], Sequence[Interval]],
+        scalar_type: ScalarType,
+        name: str,
+        default: float = 0.0,
+    ):
+        super().__init__(varDom, scalar_type, name)
+        red_vars, red_ivs = redDom
+        if len(red_vars) != len(red_ivs):
+            raise ValueError(
+                f"reduction {name!r}: {len(red_vars)} reduction variables "
+                f"but {len(red_ivs)} intervals"
+            )
+        self.reduction_variables: Tuple[Variable, ...] = tuple(red_vars)
+        self.reduction_intervals: Tuple[Interval, ...] = tuple(red_ivs)
+        self.default = default
+
+    @Function.defn.setter
+    def defn(self, entries) -> None:  # type: ignore[override]
+        if isinstance(entries, Reduce):
+            entries = [entries]
+        for e in entries:
+            if not isinstance(e, Reduce):
+                raise TypeError(
+                    f"reduction {self.name!r}: defn entries must be Reduce, "
+                    f"got {type(e).__name__}"
+                )
+        if not entries:
+            raise ValueError(f"reduction {self.name!r}: empty definition")
+        self._defn = list(entries)
+
+    def body_expressions(self) -> List[Expr]:
+        out: List[Expr] = []
+        for rule in self._defn:
+            out.append(rule.value)
+            out.extend(rule.indices)
+        return out
+
+    def resolve_reduction_domain(
+        self, env: Dict[str, int]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Concrete reduction-domain bounds under ``env``."""
+        return tuple(iv.resolve(env) for iv in self.reduction_intervals)
+
+    def __repr__(self) -> str:
+        return f"Reduction({self.name})"

@@ -1,0 +1,52 @@
+"""Input image declarations."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .entities import evaluate_scalar
+from .expr import Access, Expr, wrap
+from .types import ScalarType
+
+__all__ = ["Image"]
+
+
+class Image:
+    """An input to the pipeline: ``Image(Float, "img", [3, R + 2, C + 2])``.
+
+    Calling an image with index expressions produces an
+    :class:`~repro.dsl.expr.Access` node, exactly like calling a
+    :class:`~repro.dsl.function.Function`.  Image extents may be expressions
+    in pipeline parameters; :meth:`resolve_shape` concretises them.
+
+    Unlike functions, image dimensions are zero-based: dimension ``d`` spans
+    ``[0, extent_d - 1]``.
+    """
+
+    __slots__ = ("scalar_type", "name", "extents")
+
+    def __init__(self, scalar_type: ScalarType, name: str, extents: Sequence):
+        if not extents:
+            raise ValueError("an Image needs at least one dimension")
+        self.scalar_type = scalar_type
+        self.name = name
+        self.extents = tuple(wrap(e) for e in extents)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    def __call__(self, *indices: Expr) -> Access:
+        if len(indices) != self.ndim:
+            raise ValueError(
+                f"image {self.name!r} is {self.ndim}-dimensional, "
+                f"got {len(indices)} indices"
+            )
+        return Access(self, indices)
+
+    def resolve_shape(self, env: Dict[str, int]) -> Tuple[int, ...]:
+        """Concrete shape under the parameter binding ``env``."""
+        return tuple(int(evaluate_scalar(e, env)) for e in self.extents)
+
+    def __repr__(self) -> str:
+        return f"Image({self.name}, {list(self.extents)!r})"

@@ -1,0 +1,196 @@
+"""Pipeline construction: closing over stage definitions into a DAG.
+
+``Pipeline`` is the object every other subsystem consumes.  It
+
+* discovers all stages reachable from the declared outputs (by walking
+  ``defn`` expressions for :class:`~repro.dsl.expr.Access` nodes),
+* binds parameter estimates and resolves every stage domain and image shape
+  to concrete integers, and
+* records the stage DAG (producer → consumer edges) that the fusion
+  algorithms group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .entities import Parameter
+from .expr import Access, Expr, collect_accesses
+from .function import Function
+from .image import Image
+
+__all__ = ["Pipeline"]
+
+ParamKey = Union[Parameter, str]
+
+
+class Pipeline:
+    """A fully-resolved image processing pipeline.
+
+    Parameters
+    ----------
+    functions:
+        The live-out (output) stages of the pipeline.
+    parameter_estimates:
+        Mapping from :class:`Parameter` (or its name) to a concrete value.
+        PolyMage similarly requires parameter estimates to drive its
+        grouping and code generation.
+    name:
+        Pipeline name used in reports.
+
+    Attributes
+    ----------
+    stages:
+        All reachable stages, in topological order (producers first).
+    images:
+        All input images read by any stage.
+    outputs:
+        The live-out stages, in the order given.
+    env:
+        The concrete parameter binding (name → int).
+    """
+
+    def __init__(
+        self,
+        functions: Sequence[Function],
+        parameter_estimates: Optional[Mapping[ParamKey, int]] = None,
+        name: str = "pipeline",
+    ):
+        if not functions:
+            raise ValueError("a pipeline needs at least one output function")
+        self.name = name
+        self.outputs: Tuple[Function, ...] = tuple(functions)
+        self.env: Dict[str, int] = {}
+        for key, value in (parameter_estimates or {}).items():
+            pname = key.name if isinstance(key, Parameter) else key
+            self.env[pname] = int(value)
+
+        self._accesses: Dict[Function, List[Access]] = {}
+        self._producers: Dict[Function, List[Function]] = {}
+        self._consumers: Dict[Function, List[Function]] = {}
+        images: Dict[str, Image] = {}
+
+        # Discover all stages reachable (backwards) from the outputs.
+        seen: Dict[Function, bool] = {}
+        order: List[Function] = []
+
+        def visit(stage: Function) -> None:
+            state = seen.get(stage)
+            if state is False:
+                raise ValueError(
+                    f"cycle detected in pipeline through stage {stage.name!r}"
+                )
+            if state is True:
+                return
+            if not stage.defn:
+                raise ValueError(f"stage {stage.name!r} has no definition")
+            seen[stage] = False  # on path
+            accesses: List[Access] = []
+            for expr in stage.body_expressions():
+                accesses.extend(collect_accesses(expr))
+            self._accesses[stage] = accesses
+            prods: List[Function] = []
+            for acc in accesses:
+                producer = acc.producer
+                if isinstance(producer, Image):
+                    images.setdefault(producer.name, producer)
+                elif isinstance(producer, Function):
+                    if producer is not stage and producer not in prods:
+                        prods.append(producer)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(
+                        f"unexpected access target {type(producer).__name__}"
+                    )
+            for producer in prods:
+                visit(producer)
+            self._producers[stage] = prods
+            seen[stage] = True
+            order.append(stage)
+
+        for out in self.outputs:
+            visit(out)
+
+        names = [s.name for s in order]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate stage names in pipeline: {dupes}")
+
+        self.stages: Tuple[Function, ...] = tuple(order)
+        self.images: Tuple[Image, ...] = tuple(images.values())
+        for stage in self.stages:
+            self._consumers.setdefault(stage, [])
+        for stage in self.stages:
+            for producer in self._producers[stage]:
+                self._consumers[producer].append(stage)
+
+        # Resolve every domain now so malformed parameter bindings fail
+        # loudly at construction time, not mid-analysis.
+        self._domains: Dict[Function, Tuple[Tuple[int, int], ...]] = {
+            s: s.resolve_domain(self.env) for s in self.stages
+        }
+        self._image_shapes: Dict[str, Tuple[int, ...]] = {
+            img.name: img.resolve_shape(self.env) for img in self.images
+        }
+
+    # -- structure queries ----------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def producers(self, stage: Function) -> List[Function]:
+        """Stages whose output ``stage`` reads (excluding images)."""
+        return list(self._producers[stage])
+
+    def consumers(self, stage: Function) -> List[Function]:
+        """Stages that read ``stage``'s output."""
+        return list(self._consumers[stage])
+
+    def accesses(self, stage: Function) -> List[Access]:
+        """Every access node appearing in ``stage``'s body."""
+        return list(self._accesses[stage])
+
+    def accesses_to(self, stage: Function, producer) -> List[Access]:
+        """Accesses in ``stage``'s body that read ``producer``."""
+        return [a for a in self._accesses[stage] if a.producer is producer]
+
+    def domain(self, stage: Function) -> Tuple[Tuple[int, int], ...]:
+        """Concrete inclusive ``(lo, hi)`` bounds per dimension."""
+        return self._domains[stage]
+
+    def domain_extents(self, stage: Function) -> Tuple[int, ...]:
+        """Concrete extent per dimension."""
+        return tuple(hi - lo + 1 for lo, hi in self._domains[stage])
+
+    def domain_size(self, stage: Function) -> int:
+        """Total number of domain points of ``stage``."""
+        size = 1
+        for lo, hi in self._domains[stage]:
+            size *= hi - lo + 1
+        return size
+
+    def image_shape(self, image: Union[Image, str]) -> Tuple[int, ...]:
+        name = image.name if isinstance(image, Image) else image
+        return self._image_shapes[name]
+
+    def is_output(self, stage: Function) -> bool:
+        return stage in self.outputs
+
+    def stage_by_name(self, name: str) -> Function:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r} in pipeline {self.name!r}")
+
+    def edges(self) -> List[Tuple[Function, Function]]:
+        """All producer → consumer edges."""
+        out = []
+        for stage in self.stages:
+            for consumer in self._consumers[stage]:
+                out.append((stage, consumer))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Pipeline({self.name!r}, stages={len(self.stages)}, "
+            f"outputs={[o.name for o in self.outputs]})"
+        )

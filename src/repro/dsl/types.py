@@ -1,0 +1,69 @@
+"""Scalar element types for the DSL.
+
+PolyMage declares every :class:`~repro.dsl.function.Function`, ``Image`` and
+``Parameter`` with a scalar type (``Int``, ``Float``, ...).  We mirror that
+with lightweight type descriptors that carry a NumPy dtype (used by the
+runtime interpreter) and a size in bytes (used by the cost model to compute
+memory footprints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ScalarType",
+    "Int",
+    "Short",
+    "Char",
+    "UChar",
+    "UInt",
+    "UShort",
+    "Long",
+    "ULong",
+    "Float",
+    "Double",
+]
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A scalar element type.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name used in ``repr`` output and error messages.
+    np_dtype:
+        The NumPy dtype the runtime interpreter materialises buffers with.
+    size:
+        Size of one element in bytes; feeds footprint computations in the
+        cost model (Algorithm 2 of the paper).
+    is_integer:
+        Whether the type is an integer type.  Integer-heavy stages matter to
+        the performance model: the paper observed that compiler
+        auto-vectorization on the AMD Opteron failed for integer-dominated
+        pipelines (Sec. 6.2).
+    """
+
+    name: str
+    np_dtype: np.dtype
+    size: int
+    is_integer: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+Int = ScalarType("Int", np.dtype(np.int32), 4, True)
+Short = ScalarType("Short", np.dtype(np.int16), 2, True)
+Char = ScalarType("Char", np.dtype(np.int8), 1, True)
+UChar = ScalarType("UChar", np.dtype(np.uint8), 1, True)
+UInt = ScalarType("UInt", np.dtype(np.uint32), 4, True)
+UShort = ScalarType("UShort", np.dtype(np.uint16), 2, True)
+Long = ScalarType("Long", np.dtype(np.int64), 8, True)
+ULong = ScalarType("ULong", np.dtype(np.uint64), 8, True)
+Float = ScalarType("Float", np.dtype(np.float32), 4, False)
+Double = ScalarType("Double", np.dtype(np.float64), 8, False)

@@ -1,0 +1,51 @@
+"""Fusion strategies: the paper's DP model and every baseline it is
+evaluated against."""
+
+from .api import schedule_pipeline
+from .autotune import AutotuneResult, AutotuneTrial, polymage_autotune
+from .bounded import dp_group_bounded, inc_grouping
+from .dp import DPGrouper, GroupingBudgetExceeded, dp_group
+from .greedy import polymage_greedy, uniform_tile_sizes
+from .grouping import Grouping, GroupingStats, manual_grouping
+from .halide import halide_auto_schedule, halide_group_cost
+from .native_tune import (
+    NativeTrial,
+    NativeTuneResult,
+    have_compiler,
+    measure_native,
+    native_autotune,
+)
+from .serialize import (
+    grouping_from_dict,
+    grouping_to_dict,
+    load_grouping,
+    save_grouping,
+)
+
+__all__ = [
+    "native_autotune",
+    "measure_native",
+    "have_compiler",
+    "NativeTrial",
+    "NativeTuneResult",
+    "grouping_to_dict",
+    "grouping_from_dict",
+    "save_grouping",
+    "load_grouping",
+    "schedule_pipeline",
+    "dp_group",
+    "dp_group_bounded",
+    "inc_grouping",
+    "DPGrouper",
+    "GroupingBudgetExceeded",
+    "polymage_greedy",
+    "uniform_tile_sizes",
+    "polymage_autotune",
+    "AutotuneResult",
+    "AutotuneTrial",
+    "halide_auto_schedule",
+    "halide_group_cost",
+    "Grouping",
+    "GroupingStats",
+    "manual_grouping",
+]

@@ -1,0 +1,91 @@
+"""One-call scheduling entry point.
+
+:func:`schedule_pipeline` dispatches to every strategy this repository
+implements:
+
+========================  ====================================================
+strategy                  meaning
+========================  ====================================================
+``"dp"``                  the paper's PolyMageDP (unbounded DP, Sec. 3)
+``"dp-bounded"``          one bounded DP pass (``group_limit`` required)
+``"dp-incremental"``      Algorithm 3 (bounded passes with collapsing)
+``"greedy"``              PolyMage's greedy heuristic at fixed parameters
+``"polymage-auto"``       PolyMage-A: greedy + auto-tuning (Sec. 6.1)
+``"halide-auto"``         H-auto: Halide's greedy auto-scheduler (Sec. 2.3)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dsl.pipeline import Pipeline
+from ..model.cost import CostModel
+from ..model.machine import Machine
+from .autotune import polymage_autotune
+from .bounded import dp_group_bounded, inc_grouping
+from .dp import dp_group
+from .greedy import polymage_greedy
+from .grouping import Grouping
+from .halide import halide_auto_schedule
+
+__all__ = ["schedule_pipeline"]
+
+_STRATEGIES = (
+    "dp",
+    "dp-bounded",
+    "dp-incremental",
+    "greedy",
+    "polymage-auto",
+    "halide-auto",
+)
+
+
+def schedule_pipeline(
+    pipeline: Pipeline,
+    machine: Machine,
+    strategy: str = "dp",
+    *,
+    group_limit: Optional[int] = None,
+    initial_limit: int = 8,
+    step: int = 4,
+    tile_size: int = 64,
+    overlap_tolerance: float = 0.4,
+    nthreads: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+    max_states: Optional[int] = None,
+) -> Grouping:
+    """Schedule ``pipeline`` for ``machine`` with the chosen strategy.
+
+    See the module docstring for the strategy catalogue; keyword arguments
+    not relevant to the chosen strategy are ignored.
+    """
+    if strategy == "dp":
+        return dp_group(
+            pipeline, machine, cost_model=cost_model,
+            group_limit=group_limit, max_states=max_states,
+        )
+    if strategy == "dp-bounded":
+        if group_limit is None:
+            raise ValueError("dp-bounded requires group_limit")
+        return dp_group_bounded(
+            pipeline, machine, group_limit,
+            cost_model=cost_model, max_states=max_states,
+        )
+    if strategy == "dp-incremental":
+        return inc_grouping(
+            pipeline, machine, initial_limit=initial_limit, step=step,
+            cost_model=cost_model, max_states=max_states,
+        )
+    if strategy == "greedy":
+        return polymage_greedy(
+            pipeline, machine, tile_size=tile_size,
+            overlap_tolerance=overlap_tolerance,
+        )
+    if strategy == "polymage-auto":
+        return polymage_autotune(pipeline, machine, nthreads=nthreads).best
+    if strategy == "halide-auto":
+        return halide_auto_schedule(pipeline, machine)
+    raise ValueError(
+        f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+    )

@@ -1,0 +1,355 @@
+"""Dynamic-programming grouping (Sec. 3, Fig. 5, Algorithm 1).
+
+The DP state is a set of *current* groups ``G = {H1, ..., Hn}`` (disjoint
+subsets of the stage DAG) plus the set of nodes already placed in finalized
+groups.  ``F(G)`` is the minimum total cost of the remainder of the DAG
+under the constraint that the groups of ``G`` may only grow by absorbing
+their successors (Case I) or be finalized as-is (Case II, after which the
+search restarts from every partition of their successor set).  Memoizing
+``F`` over states makes the search evaluate *every* valid grouping while
+visiting each state once: for a linear pipeline of ``n`` stages all
+``2^(n-1)`` groupings are covered in ``n (n + 1) / 2`` states — the paper's
+``O(n^2)`` bound, and exactly the "groupings enumerated" counts of its
+Table 2 (e.g. 10 states for the 4-stage Unsharp Mask).
+
+Validity (Sec. 3.2): a merge of successor ``s`` into group ``H`` is
+rejected when another successor ``t`` of ``H`` reaches ``s`` (the
+resulting condensation would have the cycle ``H → t ⇝ s ∈ H``); seed
+blocks produced by ``PARTITIONS`` are filtered by the analogous check; and
+the cost function charges infinity for groups that are not connected
+subgraphs (Eq. 1) or whose dependences cannot be made constant.
+
+Node granularity is a parameter: the bounded incremental driver
+(:mod:`repro.fusion.bounded`) re-runs the DP over *collapsed* graphs whose
+nodes each stand for a set of original stages, so this module works with a
+per-node stage-set mapping throughout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..dsl.function import Function
+from ..dsl.pipeline import Pipeline
+from ..graph.dag import StageGraph, iter_bits
+from ..graph.partition import mask_partitions
+from ..model.cost import CostModel
+from ..model.machine import Machine
+from .grouping import Grouping, GroupingStats
+
+__all__ = ["DPGrouper", "DPResult", "GroupingBudgetExceeded", "dp_group"]
+
+INF = float("inf")
+
+
+class GroupingBudgetExceeded(RuntimeError):
+    """Raised when the DP exceeds its state budget — the signal to fall
+    back to the bounded incremental variant (Sec. 5)."""
+
+
+class DPResult(NamedTuple):
+    cost: float
+    groups: Tuple[int, ...]  # final group bitmasks
+
+
+class DPGrouper:
+    """The DP search over one (possibly collapsed) stage graph.
+
+    Parameters
+    ----------
+    graph:
+        The DAG to group.
+    cost_fn:
+        ``mask -> float``: the cost of finalizing the node set ``mask`` as
+        one group; must return ``inf`` for invalid groups.
+    sizes:
+        Underlying stage count per node (all 1 unless the graph is a
+        collapsed one); the group limit bounds the *stage* count.
+    group_limit:
+        Maximum stages per group (``l`` of Sec. 5); ``None`` = unbounded.
+    max_states:
+        Optional safety budget on evaluated states.
+    """
+
+    def __init__(
+        self,
+        graph: StageGraph,
+        cost_fn: Callable[[int], float],
+        sizes: Optional[Sequence[int]] = None,
+        group_limit: Optional[int] = None,
+        max_states: Optional[int] = None,
+        viable_fn: Optional[Callable[[int], bool]] = None,
+    ):
+        self.graph = graph
+        self.cost_fn = cost_fn
+        self.sizes = list(sizes) if sizes is not None else [1] * graph.num_nodes
+        if len(self.sizes) != graph.num_nodes:
+            raise ValueError("sizes must have one entry per graph node")
+        self.group_limit = group_limit
+        self.max_states = max_states
+        # viable_fn(mask) -> False means the node set can NEVER be part of
+        # a finite-cost group, nor can any superset (monotone failures:
+        # reductions, data-dependent intra-edges, scaling conflicts).  Such
+        # merges are pruned immediately, which is what keeps wide DAGs
+        # (Camera Pipeline, Pyramid Blend) tractable.
+        self.viable_fn = viable_fn
+        self._memo: Dict[Tuple[FrozenSet[int], int], DPResult] = {}
+        self._cost_cache: Dict[int, float] = {}
+        self._viable_cache: Dict[int, bool] = {}
+        self._succ_cache: Dict[int, int] = {}
+        self._reach_cache: Dict[int, int] = {}
+        self._part_cache: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        self.states_evaluated = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _mask_size(self, mask: int) -> int:
+        return sum(self.sizes[i] for i in iter_bits(mask))
+
+    def _group_cost(self, mask: int) -> float:
+        cost = self._cost_cache.get(mask)
+        if cost is None:
+            cost = self.cost_fn(mask)
+            self._cost_cache[mask] = cost
+        return cost
+
+    def _viable(self, mask: int) -> bool:
+        if self.viable_fn is None or mask & (mask - 1) == 0:
+            return True
+        hit = self._viable_cache.get(mask)
+        if hit is None:
+            hit = self.viable_fn(mask)
+            self._viable_cache[mask] = hit
+        return hit
+
+    def _block_valid(self, block: int) -> bool:
+        """A seed block is invalid when a path leaves it and re-enters —
+        finalizing it as a group would give a cyclic condensation."""
+        if block & (block - 1) == 0:  # single node
+            return True
+        g = self.graph
+        for u in iter_bits(block):
+            for t in iter_bits(g.succ[u] & ~block):
+                if g.reach[t] & block:
+                    return False
+        return True
+
+    def _partitions(self, mask: int) -> Tuple[Tuple[int, ...], ...]:
+        """Valid partitions of ``mask`` into seed blocks (cached)."""
+        hit = self._part_cache.get(mask)
+        if hit is not None:
+            return hit
+        limit = self.group_limit
+        out = []
+        for part in mask_partitions(mask):
+            ok = True
+            for block in part:
+                if limit is not None and self._mask_size(block) > limit:
+                    ok = False
+                    break
+                if not self._block_valid(block):
+                    ok = False
+                    break
+                if not self._viable(block):
+                    ok = False
+                    break
+            if ok:
+                out.append(part)
+        result = tuple(out)
+        self._part_cache[mask] = result
+        return result
+
+    def _succ(self, mask: int) -> int:
+        """Raw successor set of a group mask (cached)."""
+        hit = self._succ_cache.get(mask)
+        if hit is None:
+            hit = self.graph.successors_of_set(mask)
+            self._succ_cache[mask] = hit
+        return hit
+
+    # -- the recurrence ------------------------------------------------------
+    def _solve(self, groups: FrozenSet[int], done: int) -> DPResult:
+        # The subproblem's value depends on the finalized set only through
+        # the finalized *descendants* of the current frontier (they are the
+        # successors that must stay excluded); normalising the key this way
+        # collapses states that differ only in finalization history, which
+        # is what keeps the paper's Table 2 state counts small.
+        frontier = 0
+        for h in groups:
+            frontier |= h
+        reach = self._reach_cache.get(frontier)
+        if reach is None:
+            reach = self.graph.reachable_from_set(frontier)
+            self._reach_cache[frontier] = reach
+        key = (groups, done & reach)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        self.states_evaluated += 1
+        if self.max_states is not None and self.states_evaluated > self.max_states:
+            raise GroupingBudgetExceeded(
+                f"DP grouping exceeded {self.max_states} states; "
+                f"use a group limit (bounded incremental grouping)"
+            )
+
+        g = self.graph
+        placed = done
+        for h in groups:
+            placed |= h
+        # Ready-wavefront discipline: a successor may be merged or seeded
+        # only once ALL its predecessors are placed (in finalized or
+        # current groups).  Every node becomes ready exactly when its last
+        # predecessor's group exists, and is then a successor of that
+        # group, so nothing is ever lost; meanwhile the frontier stays
+        # narrow, which is what makes the paper's Table 2 state counts as
+        # small as they are (e.g. 741 for the 49-stage Multiscale
+        # Interpolation).
+        succ_of: Dict[int, int] = {}
+        for h in groups:
+            s = self._succ(h) & ~placed
+            ready = 0
+            for j in iter_bits(s):
+                if g.pred[j] & ~placed == 0:
+                    ready |= 1 << j
+            succ_of[h] = ready
+        all_succ = 0
+        for s in succ_of.values():
+            all_succ |= s
+
+        if all_succ == 0:
+            total = 0.0
+            for h in groups:
+                c = self._group_cost(h)
+                if c == INF:
+                    total = INF
+                    break
+                total += c
+            result = DPResult(total, tuple(groups))
+            self._memo[key] = result
+            return result
+
+        best_cost = INF
+        best_groups: Tuple[int, ...] = ()
+
+        # Case I: grow some group by one of its successors.
+        limit = self.group_limit
+        for h in groups:
+            raw_succ = self._succ(h)
+            for sj in iter_bits(succ_of[h]):
+                if limit is not None and self._mask_size(h) + self.sizes[sj] > limit:
+                    continue
+                sj_bit = 1 << sj
+                # Cycle check: another successor t of H reaching sj means
+                # the merge closes a cycle H -> t ~> sj (Algorithm 1,
+                # lines 9-13).
+                is_cycle = False
+                for t in iter_bits(raw_succ & ~sj_bit):
+                    if g.reach[t] & sj_bit:
+                        is_cycle = True
+                        break
+                if is_cycle:
+                    continue
+                if not self._viable(h | sj_bit):
+                    continue
+                new_groups = (groups - {h}) | {h | sj_bit}
+                sub = self._solve(frozenset(new_groups), done)
+                if sub.cost < best_cost:
+                    best_cost, best_groups = sub.cost, sub.groups
+
+        # Case II: finalize the current groups and restart from every
+        # partition of their successors.
+        base = 0.0
+        finalized: List[int] = []
+        for h in groups:
+            c = self._group_cost(h)
+            if c == INF:
+                base = INF
+                break
+            base += c
+            finalized.append(h)
+        if base < INF:
+            new_done = placed
+            for part in self._partitions(all_succ):
+                sub = self._solve(frozenset(part), new_done)
+                if base + sub.cost < best_cost:
+                    best_cost = base + sub.cost
+                    best_groups = tuple(finalized) + sub.groups
+
+        result = DPResult(best_cost, best_groups)
+        self._memo[key] = result
+        return result
+
+    def solve(self) -> DPResult:
+        """Run the DP from the pipeline's source stages.
+
+        Conceptually a dummy source vertex with zero cost feeds every real
+        source (Sec. 3.1); finalizing it immediately yields the search over
+        all partitions of the source set.
+        """
+        sources = self.graph.sources()
+        best = DPResult(INF, ())
+        for part in self._partitions(sources):
+            sub = self._solve(frozenset(part), 0)
+            if sub.cost < best.cost:
+                best = sub
+        return best
+
+
+def dp_group(
+    pipeline: Pipeline,
+    machine: Machine,
+    cost_model: Optional[CostModel] = None,
+    group_limit: Optional[int] = None,
+    max_states: Optional[int] = None,
+) -> Grouping:
+    """Find the optimal grouping (per the cost model) of ``pipeline`` for
+    ``machine`` — the paper's PolyMageDP with ``l = inf`` (or a single
+    bounded pass when ``group_limit`` is given)."""
+    graph = StageGraph.from_pipeline(pipeline)
+    stages = pipeline.stages
+    cm = cost_model or CostModel(pipeline, machine)
+
+    def cost_fn(mask: int) -> float:
+        if not graph.is_connected(mask):
+            return INF
+        return cm.cost(stages[i] for i in iter_bits(mask)).cost
+
+    from ..poly.alignscale import compute_group_geometry
+
+    def viable_fn(mask: int) -> bool:
+        members = [stages[i] for i in iter_bits(mask)]
+        return compute_group_geometry(pipeline, members) is not None
+
+    start = time.perf_counter()
+    grouper = DPGrouper(
+        graph, cost_fn, group_limit=group_limit, max_states=max_states,
+        viable_fn=viable_fn,
+    )
+    result = grouper.solve()
+    elapsed = time.perf_counter() - start
+    if result.cost == INF:
+        raise RuntimeError(
+            f"no valid grouping found for pipeline {pipeline.name!r}"
+        )
+
+    groups = []
+    tiles = []
+    for mask in result.groups:
+        members = frozenset(stages[i] for i in iter_bits(mask))
+        groups.append(members)
+        tiles.append(cm.cost(members).tile_sizes)
+    order = graph.condensation_topo_order(result.groups)
+    stats = GroupingStats(
+        strategy="dp" if group_limit is None else f"dp(l={group_limit})",
+        enumerated=grouper.states_evaluated,
+        cost_evaluations=cm.evaluations,
+        time_seconds=elapsed,
+        group_limit=group_limit,
+    )
+    return Grouping(
+        pipeline=pipeline,
+        groups=tuple(groups[i] for i in order),
+        tile_sizes=tuple(tiles[i] for i in order),
+        cost=result.cost,
+        stats=stats,
+    )

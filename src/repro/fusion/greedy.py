@@ -1,0 +1,149 @@
+"""PolyMage's original greedy fusion heuristic (Sec. 2.2).
+
+Starting from singleton groups, the heuristic repeatedly merges a group
+into its *single* child (successor) group — the single-child condition
+guarantees no cycle can form — provided that
+
+1. the dependences between the two groups can be made constant by scaling
+   and alignment, and
+2. the redundant (overlap) computation of the merged group, as a fraction
+   of its tile volume at the given uniform tile size, stays below the
+   *overlap tolerance*.
+
+Candidate groups are visited in decreasing order of their size estimates.
+The tile size and the tolerance are exactly the two knobs PolyMage's
+auto-tuner sweeps (:mod:`repro.fusion.autotune`), and the same tile size is
+used for every group — one of the limitations the paper's model removes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..dsl.function import Function
+from ..dsl.pipeline import Pipeline
+from ..model.machine import Machine
+from ..poly.alignscale import GroupGeometry, compute_group_geometry
+from ..poly.overlap import overlap_size, tile_volume
+from .grouping import Grouping, GroupingStats
+
+__all__ = ["polymage_greedy", "uniform_tile_sizes"]
+
+StageSet = FrozenSet[Function]
+
+
+def uniform_tile_sizes(geom: GroupGeometry, tile_size: int) -> Tuple[int, ...]:
+    """PolyMage's uniform tiling: the last two dimensions get the tuned
+    ``tile_size``; outer dimensions (e.g. a 3-wide colour dimension) stay
+    untiled (tile = full extent)."""
+    extents = geom.grid_extents
+    ndim = geom.ndim
+    tiled = {ndim - 1, ndim - 2} if ndim >= 2 else {ndim - 1}
+    return tuple(
+        min(extents[g], tile_size) if g in tiled else extents[g]
+        for g in range(ndim)
+    )
+
+
+def polymage_greedy(
+    pipeline: Pipeline,
+    machine: Machine,
+    tile_size: int = 64,
+    overlap_tolerance: float = 0.4,
+) -> Grouping:
+    """Run the greedy heuristic with one (tile size, tolerance) setting."""
+    if tile_size < 1:
+        raise ValueError("tile_size must be positive")
+    if overlap_tolerance < 0:
+        raise ValueError("overlap_tolerance must be non-negative")
+
+    groups: List[StageSet] = [frozenset({s}) for s in pipeline.stages]
+    merges = 0
+    evaluated = 0
+
+    def child_groups(g: StageSet) -> List[int]:
+        kids = set()
+        for s in g:
+            for c in pipeline.consumers(s):
+                if c not in g:
+                    kids.add(_owner(groups, c))
+        return sorted(kids)
+
+    while True:
+        merged = False
+        # Candidates: groups with exactly one child group, largest first.
+        sized = sorted(
+            range(len(groups)),
+            key=lambda i: sum(pipeline.domain_size(s) for s in groups[i]),
+            reverse=True,
+        )
+        for gi in sized:
+            kids = child_groups(groups[gi])
+            if len(kids) != 1:
+                continue
+            candidate = groups[gi] | groups[kids[0]]
+            evaluated += 1
+            geom = compute_group_geometry(pipeline, candidate)
+            if geom is None:
+                continue  # dependences cannot be made constant
+            tiles = uniform_tile_sizes(geom, tile_size)
+            vol = tile_volume(geom, tiles)
+            frac = overlap_size(geom, tiles) / vol if vol else float("inf")
+            if frac >= overlap_tolerance:
+                continue
+            ki = kids[0]
+            keep = [
+                g for j, g in enumerate(groups) if j not in (gi, ki)
+            ]
+            groups = keep + [candidate]
+            merges += 1
+            merged = True
+            break
+        if not merged:
+            break
+
+    # Order groups topologically and attach the uniform tile sizes.
+    from ..graph.dag import StageGraph, mask_of
+
+    graph = StageGraph.from_pipeline(pipeline)
+    index = {s: i for i, s in enumerate(pipeline.stages)}
+    masks = [mask_of(index[s] for s in g) for g in groups]
+    order = graph.condensation_topo_order(masks)
+
+    ordered: List[StageSet] = []
+    tiles_out: List[Tuple[int, ...]] = []
+    for i in order:
+        g = groups[i]
+        geom = compute_group_geometry(pipeline, g)
+        if geom is None:
+            # A singleton reduction has no geometry requirement; tile on
+            # its own output domain.
+            stage = next(iter(g))
+            extents = pipeline.domain_extents(stage)
+            tiles_out.append(
+                tuple(min(e, tile_size) for e in extents)
+            )
+        else:
+            tiles_out.append(uniform_tile_sizes(geom, tile_size))
+        ordered.append(g)
+
+    stats = GroupingStats(
+        strategy=f"polymage-greedy(T={tile_size},tol={overlap_tolerance})",
+        enumerated=evaluated,
+        cost_evaluations=evaluated,
+        extra={"merges": float(merges)},
+    )
+    return Grouping(
+        pipeline=pipeline,
+        groups=tuple(ordered),
+        tile_sizes=tuple(tiles_out),
+        cost=0.0,
+        stats=stats,
+    )
+
+
+def _owner(groups: List[StageSet], stage: Function) -> int:
+    for i, g in enumerate(groups):
+        if stage in g:
+            return i
+    raise KeyError(stage.name)

@@ -1,0 +1,144 @@
+"""Grouping value types shared by every fusion strategy.
+
+A *grouping* partitions the pipeline's stages into disjoint groups; each
+group is fused (its tile-space loops merged, intermediates kept in per-tile
+scratch buffers) and overlap-tiled with its own tile sizes.  Every strategy
+— the paper's DP model, PolyMage's greedy heuristic, the auto-tuner,
+Halide's auto-scheduler, and manual schedules — produces a
+:class:`Grouping`, which the runtime executes and the performance model
+prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..dsl.function import Function
+from ..dsl.pipeline import Pipeline
+from ..graph.dag import StageGraph, mask_of
+
+__all__ = ["Grouping", "GroupingStats", "manual_grouping"]
+
+Group = FrozenSet[Function]
+
+
+@dataclass
+class GroupingStats:
+    """Bookkeeping about how a grouping was found (Table 2 columns)."""
+
+    strategy: str = ""
+    enumerated: int = 0  # groupings (DP states) enumerated
+    cost_evaluations: int = 0  # distinct groups priced by the cost model
+    time_seconds: float = 0.0
+    group_limit: Optional[int] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """A partition of a pipeline's stages into fused groups with tile
+    sizes.
+
+    Attributes
+    ----------
+    pipeline:
+        The pipeline being scheduled.
+    groups:
+        Disjoint stage sets covering every pipeline stage, in topological
+        order of the condensed group DAG.
+    tile_sizes:
+        Per group (parallel to ``groups``), the tile size per group
+        dimension of that group's common grid.
+    cost:
+        The scheduling objective value (meaning depends on the strategy:
+        model cost for the DP, estimated milliseconds for the tuners).
+    stats:
+        Search statistics.
+    """
+
+    pipeline: Pipeline
+    groups: Tuple[Group, ...]
+    tile_sizes: Tuple[Tuple[int, ...], ...]
+    cost: float
+    stats: GroupingStats = field(default_factory=GroupingStats)
+
+    def __post_init__(self):
+        if len(self.groups) != len(self.tile_sizes):
+            raise ValueError("one tile-size tuple per group is required")
+        covered: set = set()
+        for g in self.groups:
+            if not g:
+                raise ValueError("empty group")
+            if covered & g:
+                raise ValueError("groups overlap")
+            covered |= g
+        if covered != set(self.pipeline.stages):
+            missing = {s.name for s in self.pipeline.stages} - {
+                s.name for s in covered
+            }
+            raise ValueError(f"grouping does not cover stages: {sorted(missing)}")
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, stage: Function) -> int:
+        for i, g in enumerate(self.groups):
+            if stage in g:
+                return i
+        raise KeyError(stage.name)
+
+    def group_names(self) -> List[List[str]]:
+        """Stage names per group, stages in pipeline topological order."""
+        order = {s: i for i, s in enumerate(self.pipeline.stages)}
+        return [
+            [s.name for s in sorted(g, key=order.__getitem__)]
+            for g in self.groups
+        ]
+
+    def is_valid(self) -> bool:
+        """Groups are connected and the condensed graph is acyclic."""
+        graph = StageGraph.from_pipeline(self.pipeline)
+        index = {s: i for i, s in enumerate(self.pipeline.stages)}
+        masks = [mask_of(index[s] for s in g) for g in self.groups]
+        return all(graph.is_connected(m) for m in masks) and (
+            graph.condensation_is_acyclic(masks)
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line description."""
+        lines = [f"Grouping of {self.pipeline.name!r} ({self.stats.strategy}):"]
+        for names, tiles in zip(self.group_names(), self.tile_sizes):
+            lines.append(f"  {{{', '.join(names)}}}  tiles={list(tiles)}")
+        lines.append(f"  cost = {self.cost:.6g}")
+        return "\n".join(lines)
+
+
+def manual_grouping(
+    pipeline: Pipeline,
+    group_specs: Sequence[Sequence[str]],
+    tile_specs: Sequence[Sequence[int]],
+    cost: float = 0.0,
+    strategy: str = "manual",
+) -> Grouping:
+    """Build a grouping from stage-name lists and explicit tile sizes —
+    how the H-manual expert schedules are expressed."""
+    if len(group_specs) != len(tile_specs):
+        raise ValueError("one tile-size list per group is required")
+    groups: List[Group] = []
+    for spec in group_specs:
+        groups.append(frozenset(pipeline.stage_by_name(n) for n in spec))
+    # Order groups topologically so execution can follow list order.
+    graph = StageGraph.from_pipeline(pipeline)
+    index = {s: i for i, s in enumerate(pipeline.stages)}
+    masks = [mask_of(index[s] for s in g) for g in groups]
+    order = graph.condensation_topo_order(masks)
+    return Grouping(
+        pipeline=pipeline,
+        groups=tuple(groups[i] for i in order),
+        tile_sizes=tuple(tuple(tile_specs[i]) for i in order),
+        cost=cost,
+        stats=GroupingStats(strategy=strategy),
+    )

@@ -1,0 +1,86 @@
+"""Schedule serialization: save and reload groupings as JSON.
+
+The DP search on a large pipeline takes seconds; production use wants to
+schedule once and reuse.  A serialized grouping records the stage
+partition, per-group tile sizes, the objective value and the search
+statistics; loading validates it against the pipeline (stage names must
+match exactly), so a schedule cannot silently be applied to a different
+program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from ..dsl.pipeline import Pipeline
+from .grouping import Grouping, GroupingStats, manual_grouping
+
+__all__ = ["grouping_to_dict", "grouping_from_dict", "save_grouping",
+           "load_grouping"]
+
+_FORMAT_VERSION = 1
+
+
+def grouping_to_dict(grouping: Grouping) -> Dict:
+    """A JSON-serializable description of ``grouping``."""
+    return {
+        "format": _FORMAT_VERSION,
+        "pipeline": grouping.pipeline.name,
+        "num_stages": grouping.pipeline.num_stages,
+        "groups": grouping.group_names(),
+        "tile_sizes": [list(t) for t in grouping.tile_sizes],
+        "cost": grouping.cost,
+        "stats": {
+            "strategy": grouping.stats.strategy,
+            "enumerated": grouping.stats.enumerated,
+            "cost_evaluations": grouping.stats.cost_evaluations,
+            "time_seconds": grouping.stats.time_seconds,
+            "group_limit": grouping.stats.group_limit,
+        },
+    }
+
+
+def grouping_from_dict(pipeline: Pipeline, data: Dict) -> Grouping:
+    """Rebuild a grouping against ``pipeline``; validates stage coverage."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schedule format {data.get('format')!r}"
+        )
+    if data.get("pipeline") != pipeline.name:
+        raise ValueError(
+            f"schedule was made for pipeline {data.get('pipeline')!r}, "
+            f"not {pipeline.name!r}"
+        )
+    if data.get("num_stages") != pipeline.num_stages:
+        raise ValueError(
+            f"schedule expects {data.get('num_stages')} stages, pipeline "
+            f"has {pipeline.num_stages} (different build parameters?)"
+        )
+    grouping = manual_grouping(
+        pipeline,
+        data["groups"],
+        data["tile_sizes"],
+        cost=float(data.get("cost", 0.0)),
+        strategy=data.get("stats", {}).get("strategy", "loaded"),
+    )
+    stats = data.get("stats", {})
+    grouping.stats.enumerated = int(stats.get("enumerated", 0))
+    grouping.stats.cost_evaluations = int(stats.get("cost_evaluations", 0))
+    grouping.stats.time_seconds = float(stats.get("time_seconds", 0.0))
+    grouping.stats.group_limit = stats.get("group_limit")
+    return grouping
+
+
+def save_grouping(grouping: Grouping, path: str) -> None:
+    """Write ``grouping`` to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(grouping_to_dict(grouping), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_grouping(pipeline: Pipeline, path: str) -> Grouping:
+    """Load a grouping from ``path`` and validate it against ``pipeline``."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return grouping_from_dict(pipeline, data)

@@ -1,0 +1,14 @@
+"""DAG machinery: bitmask node sets, reachability, set partitions."""
+
+from .dag import StageGraph, bits, iter_bits, mask_of
+from .partition import bell_number, mask_partitions, set_partitions
+
+__all__ = [
+    "StageGraph",
+    "bits",
+    "iter_bits",
+    "mask_of",
+    "set_partitions",
+    "mask_partitions",
+    "bell_number",
+]

@@ -1,0 +1,264 @@
+"""Bitmask-based DAG machinery for grouping algorithms.
+
+The fusion algorithms operate on the pipeline's stage DAG.  To make the
+dynamic-programming search (Sec. 3 of the paper) fast in Python, we map
+stages to integer ids and represent every node set — groups, successor
+sets, reachability sets — as a Python integer bitmask.  Set operations
+become single integer ops and memo-table keys become hashable for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["StageGraph", "bits", "iter_bits", "mask_of"]
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Bitmask with the given bit positions set."""
+    m = 0
+    for i in indices:
+        m |= 1 << i
+    return m
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits(mask: int) -> List[int]:
+    """The set bit positions of ``mask`` as a list."""
+    return list(iter_bits(mask))
+
+
+class StageGraph:
+    """A DAG over integer node ids with precomputed reachability.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; ids are ``0 .. num_nodes - 1``.
+    edges:
+        ``(producer, consumer)`` pairs.
+    labels:
+        Optional per-node labels (stage names) for reporting.
+
+    The graph must be acyclic; construction raises ``ValueError`` otherwise.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Sequence[Tuple[int, int]],
+        labels: Optional[Sequence[str]] = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("graph needs at least one node")
+        self.num_nodes = num_nodes
+        self.labels: Tuple[str, ...] = tuple(
+            labels if labels is not None else (str(i) for i in range(num_nodes))
+        )
+        if len(self.labels) != num_nodes:
+            raise ValueError("labels length must match num_nodes")
+        self.succ: List[int] = [0] * num_nodes
+        self.pred: List[int] = [0] * num_nodes
+        for u, v in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            if u == v:
+                raise ValueError(f"self-loop on node {u}")
+            self.succ[u] |= 1 << v
+            self.pred[v] |= 1 << u
+
+        self.topo_order: Tuple[int, ...] = tuple(self._toposort())
+        # reach[i]: nodes reachable from i by one or more edges (i excluded).
+        self.reach: List[int] = [0] * num_nodes
+        for u in reversed(self.topo_order):
+            r = self.succ[u]
+            for v in iter_bits(self.succ[u]):
+                r |= self.reach[v]
+            self.reach[u] = r
+        # Undirected adjacency, for connectivity checks.
+        self.adj: List[int] = [
+            self.succ[i] | self.pred[i] for i in range(num_nodes)
+        ]
+        self.all_mask = (1 << num_nodes) - 1
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "StageGraph":
+        """Build the stage graph of a :class:`repro.dsl.Pipeline`.
+
+        Node ids follow the pipeline's topological stage order, so id order
+        is itself a valid topological order.
+        """
+        stages = pipeline.stages
+        index = {s: i for i, s in enumerate(stages)}
+        edges = [(index[p], index[c]) for p, c in pipeline.edges()]
+        return cls(len(stages), edges, labels=[s.name for s in stages])
+
+    # -- basic queries ---------------------------------------------------
+    def _toposort(self) -> List[int]:
+        indeg = [bin(self.pred[i]).count("1") for i in range(self.num_nodes)]
+        ready = [i for i in range(self.num_nodes) if indeg[i] == 0]
+        order: List[int] = []
+        while ready:
+            u = ready.pop()
+            order.append(u)
+            for v in iter_bits(self.succ[u]):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != self.num_nodes:
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def sources(self) -> int:
+        """Bitmask of nodes with no predecessors."""
+        return mask_of(i for i in range(self.num_nodes) if self.pred[i] == 0)
+
+    def sinks(self) -> int:
+        """Bitmask of nodes with no successors."""
+        return mask_of(i for i in range(self.num_nodes) if self.succ[i] == 0)
+
+    def successors_of_set(self, node_set: int) -> int:
+        """Union of successors of nodes in ``node_set``, minus the set itself."""
+        s = 0
+        for i in iter_bits(node_set):
+            s |= self.succ[i]
+        return s & ~node_set
+
+    def predecessors_of_set(self, node_set: int) -> int:
+        """Union of predecessors of nodes in ``node_set``, minus the set."""
+        p = 0
+        for i in iter_bits(node_set):
+            p |= self.pred[i]
+        return p & ~node_set
+
+    def is_reachable(self, src: int, dst: int) -> bool:
+        """True if ``dst`` is reachable from ``src`` via one or more edges."""
+        return bool(self.reach[src] >> dst & 1)
+
+    def reachable_from_set(self, node_set: int) -> int:
+        """Nodes reachable from any node in ``node_set`` (set excluded)."""
+        r = 0
+        for i in iter_bits(node_set):
+            r |= self.reach[i]
+        return r & ~node_set
+
+    def is_connected(self, node_set: int) -> bool:
+        """Whether ``node_set`` induces a connected subgraph (edges taken
+        as undirected), the condition groups must satisfy (Eq. 1)."""
+        if node_set == 0:
+            return False
+        start = node_set & -node_set
+        frontier = start
+        visited = 0
+        while frontier:
+            visited |= frontier
+            nxt = 0
+            for i in iter_bits(frontier):
+                nxt |= self.adj[i]
+            frontier = nxt & node_set & ~visited
+        return visited == node_set
+
+    def max_successor_count(self) -> int:
+        """``max |SUCC(G)|`` over single-node groups, the quantity Table 2
+        of the paper reports as ``max(|succ(G)|)``."""
+        return max(bin(self.succ[i]).count("1") for i in range(self.num_nodes))
+
+    # -- grouping-level checks --------------------------------------------
+    def condensation_is_acyclic(self, groups: Sequence[int]) -> bool:
+        """Whether contracting each group-mask to a single vertex leaves the
+        graph acyclic — the global validity condition of Sec. 3.2."""
+        owner: Dict[int, int] = {}
+        for gi, gmask in enumerate(groups):
+            for node in iter_bits(gmask):
+                if node in owner:
+                    return False  # overlapping groups are invalid outright
+                owner[node] = gi
+        n = len(groups)
+        gsucc: List[set] = [set() for _ in range(n)]
+        for u in range(self.num_nodes):
+            gu = owner.get(u)
+            if gu is None:
+                continue
+            for v in iter_bits(self.succ[u]):
+                gv = owner.get(v)
+                if gv is not None and gv != gu:
+                    gsucc[gu].add(gv)
+        # Kahn's algorithm on the condensation.
+        indeg = [0] * n
+        for u in range(n):
+            for v in gsucc[u]:
+                indeg[v] += 1
+        ready = [i for i in range(n) if indeg[i] == 0]
+        seen = 0
+        while ready:
+            u = ready.pop()
+            seen += 1
+            for v in gsucc[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        return seen == n
+
+    def condensation_topo_order(self, groups: Sequence[int]) -> List[int]:
+        """Indices of ``groups`` in a topological order of the condensed
+        (group-level) graph.  Raises ``ValueError`` if the condensation is
+        cyclic or groups overlap."""
+        owner: Dict[int, int] = {}
+        for gi, gmask in enumerate(groups):
+            for node in iter_bits(gmask):
+                if node in owner:
+                    raise ValueError("groups overlap")
+                owner[node] = gi
+        n = len(groups)
+        gsucc: List[set] = [set() for _ in range(n)]
+        for u in range(self.num_nodes):
+            gu = owner.get(u)
+            if gu is None:
+                continue
+            for v in iter_bits(self.succ[u]):
+                gv = owner.get(v)
+                if gv is not None and gv != gu:
+                    gsucc[gu].add(gv)
+        indeg = [0] * n
+        for u in range(n):
+            for v in gsucc[u]:
+                indeg[v] += 1
+        # Deterministic tie-break: lowest contained node id first.
+        ready = sorted(
+            (i for i in range(n) if indeg[i] == 0),
+            key=lambda i: min(iter_bits(groups[i])) if groups[i] else -1,
+            reverse=True,
+        )
+        order: List[int] = []
+        while ready:
+            u = ready.pop()
+            order.append(u)
+            changed = False
+            for v in gsucc[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+                    changed = True
+            if changed:
+                ready.sort(
+                    key=lambda i: min(iter_bits(groups[i])) if groups[i] else -1,
+                    reverse=True,
+                )
+        if len(order) != n:
+            raise ValueError("condensation is cyclic")
+        return order
+
+    def label_set(self, mask: int) -> List[str]:
+        """Labels of the nodes in ``mask`` (for reports and tests)."""
+        return [self.labels[i] for i in iter_bits(mask)]
+
+    def __repr__(self) -> str:
+        nedges = sum(bin(s).count("1") for s in self.succ)
+        return f"StageGraph(nodes={self.num_nodes}, edges={nedges})"

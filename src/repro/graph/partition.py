@@ -1,0 +1,69 @@
+"""Set-partition enumeration — the ``PARTITIONS`` routine of the DP
+recurrence (Fig. 5 of the paper).
+
+When the DP finalizes the current groups, it restarts from *every* way of
+partitioning the set of successor nodes into new seed groups.  Successor
+sets are small in practice (``max |succ(G)|`` is at most 5 across the
+paper's benchmarks — Table 2), so full Bell-number enumeration is cheap:
+Bell(5) = 52.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from .dag import iter_bits
+
+__all__ = ["set_partitions", "mask_partitions", "bell_number"]
+
+
+def set_partitions(items: Sequence) -> Iterator[List[List]]:
+    """Yield every partition of ``items`` into non-empty blocks.
+
+    The number of partitions of an ``n``-element set is the Bell number
+    ``B(n)``.  Order of blocks and order within blocks is not significant;
+    each partition is yielded exactly once (first item always in the first
+    block).
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+
+    first, rest = items[0], items[1:]
+    for sub in set_partitions(rest):
+        # put `first` into each existing block ...
+        for i in range(len(sub)):
+            yield sub[:i] + [[first] + sub[i]] + sub[i + 1 :]
+        # ... or into a block of its own.
+        yield [[first]] + sub
+
+
+def mask_partitions(mask: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every partition of the bitmask ``mask`` as tuples of block
+    bitmasks.
+
+    This is the representation the DP consumes directly: each block becomes
+    a new seed group.  ``mask == 0`` yields the single empty partition.
+    """
+    items = list(iter_bits(mask))
+    for part in set_partitions(items):
+        yield tuple(sum(1 << i for i in block) for block in part)
+
+
+def bell_number(n: int) -> int:
+    """The Bell number B(n) — number of partitions of an n-element set.
+
+    Used by tests and by the compile-time estimator in the bounded
+    incremental grouping driver.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    # Bell triangle.
+    row = [1]
+    for _ in range(n):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[0]

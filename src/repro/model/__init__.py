@@ -1,0 +1,23 @@
+"""The fusion-cum-tile-size cost model (Sec. 4 of the paper)."""
+
+from .calibrate import CalibrationResult, calibrate_weights
+from .cost import INFINITE_COST, CostModel, GroupCost, group_cost
+from .machine import AMD_OPTERON, XEON_HASWELL, HalideParams, Machine
+from .tilesize import compute_tile_sizes
+from .weights import PAPER_TABLE1, CostWeights
+
+__all__ = [
+    "calibrate_weights",
+    "CalibrationResult",
+    "CostModel",
+    "GroupCost",
+    "group_cost",
+    "INFINITE_COST",
+    "Machine",
+    "HalideParams",
+    "XEON_HASWELL",
+    "AMD_OPTERON",
+    "compute_tile_sizes",
+    "CostWeights",
+    "PAPER_TABLE1",
+]

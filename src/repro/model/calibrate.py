@@ -1,0 +1,122 @@
+"""Weight calibration — the paper's "empirical trial", reproducible.
+
+Table 1's weights "were set to fixed values for the entire evaluation
+after an empirical trial" (Sec. 6.1).  This module makes that trial a
+tool: grid-search the four weights, running the DP on a set of pipelines
+under each candidate and scoring the resulting schedules with the timing
+model (or any user oracle, e.g. :func:`repro.fusion.measure_native` for
+real hardware).  The score of a candidate is the geometric-mean slowdown
+of its schedules relative to the best schedule any candidate found for
+each pipeline, so one pipeline cannot dominate the others.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.pipeline import Pipeline
+from ..fusion.bounded import inc_grouping
+from ..fusion.dp import GroupingBudgetExceeded, dp_group
+from ..fusion.grouping import Grouping
+from .cost import CostModel
+from .machine import Machine
+from .weights import CostWeights
+
+__all__ = ["CalibrationResult", "calibrate_weights"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration sweep."""
+
+    best: CostWeights
+    #: (weights, geometric-mean relative slowdown) per candidate, sorted
+    scores: Tuple[Tuple[CostWeights, float], ...]
+    #: per (candidate index, pipeline name): estimated seconds
+    times: Dict[Tuple[int, str], float]
+
+
+def _default_oracle(machine: Machine):
+    from ..perfmodel.timing import estimate_runtime
+
+    def oracle(pipeline: Pipeline, grouping: Grouping) -> float:
+        return estimate_runtime(pipeline, grouping, machine,
+                                machine.num_cores)
+
+    return oracle
+
+
+def calibrate_weights(
+    pipelines: Sequence[Pipeline],
+    machine: Machine,
+    w1_grid: Sequence[float] = (0.3, 1.0, 3.0),
+    w2_grid: Sequence[float] = (0.0, 0.4, 2.0),
+    w3_grid: Sequence[float] = (1.0, 3.0, 10.0),
+    w4_grid: Sequence[float] = (0.0, 1.5),
+    oracle: Optional[Callable[[Pipeline, Grouping], float]] = None,
+    max_states: int = 300_000,
+) -> CalibrationResult:
+    """Grid-search the cost weights against an execution-time oracle.
+
+    Candidates that fail to schedule a pipeline within the state budget
+    are discarded.  Returns the best weights plus the full score table.
+    """
+    if not pipelines:
+        raise ValueError("need at least one pipeline to calibrate on")
+    oracle = oracle or _default_oracle(machine)
+
+    candidates = [
+        CostWeights(w1=w1, w2=w2, w3=w3, w4=w4)
+        for w1, w2, w3, w4 in itertools.product(
+            w1_grid, w2_grid, w3_grid, w4_grid
+        )
+    ]
+
+    times: Dict[Tuple[int, str], float] = {}
+    valid = [True] * len(candidates)
+    for ci, weights in enumerate(candidates):
+        for pipe in pipelines:
+            cm = CostModel(pipe, machine, weights=weights)
+            try:
+                try:
+                    g = dp_group(pipe, machine, cost_model=cm,
+                                 max_states=max_states)
+                except GroupingBudgetExceeded:
+                    g = inc_grouping(pipe, machine, initial_limit=2, step=2,
+                                     cost_model=cm, max_states=max_states)
+                times[(ci, pipe.name)] = oracle(pipe, g)
+            except Exception:
+                valid[ci] = False
+                break
+
+    # best time per pipeline over all candidates
+    best_time: Dict[str, float] = {}
+    for (ci, name), t in times.items():
+        if valid[ci]:
+            best_time[name] = min(best_time.get(name, float("inf")), t)
+
+    scored: List[Tuple[CostWeights, float]] = []
+    for ci, weights in enumerate(candidates):
+        if not valid[ci]:
+            continue
+        ratios = []
+        ok = True
+        for pipe in pipelines:
+            t = times.get((ci, pipe.name))
+            if t is None:
+                ok = False
+                break
+            ratios.append(t / best_time[pipe.name])
+        if not ok:
+            continue
+        gmean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        scored.append((weights, gmean))
+    if not scored:
+        raise RuntimeError("no weight candidate scheduled every pipeline")
+    scored.sort(key=lambda pair: pair[1])
+    return CalibrationResult(
+        best=scored[0][0], scores=tuple(scored), times=times
+    )

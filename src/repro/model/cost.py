@@ -1,0 +1,240 @@
+"""The concrete cost function (Sec. 4, Algorithm 2).
+
+``COST(H)`` evaluates a candidate group ``H`` together with the best tile
+sizes it determines for it:
+
+1. If the group's dependences cannot be made constant by scaling/alignment
+   (reductions with company, data-dependent intra-group accesses,
+   inconsistent scales), the cost is infinite — the grouping is invalid.
+2. Otherwise tile sizes are computed for an L1-sized footprint; if that
+   forces more redundant (overlap) computation than useful computation,
+   the L2 size is used instead (``COSTFORCACHESIZE`` twice).
+3. The cost combines four criteria: locality (live-in + live-out bytes per
+   computed point), parallelism (idle-core fraction of the last tile
+   wave — the "cleanup tiles" term), redundant computation (overlap as a
+   fraction of tile volume), and the relative difference between fused
+   dimension extents.
+
+Each criterion is a per-point quantity; the group cost is their weighted
+sum times the group's total compute volume, so that summing costs over the
+groups of a grouping — the DP objective of Sec. 3.1 — weighs every group
+by the work it represents.  (See :mod:`repro.model.weights` for why the
+paper's literal formula needs this normalisation.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..dsl.function import Function
+from ..dsl.pipeline import Pipeline
+from ..poly.alignscale import GroupGeometry, compute_group_geometry
+from ..poly.footprint import (
+    intermediate_buffers_size,
+    livein_tile_size,
+    liveout_tile_size,
+    liveouts_size,
+)
+from ..poly.overlap import overlap_size, tile_volume
+from ..poly.reuse import dimensional_reuse
+from .machine import Machine
+from .tilesize import compute_tile_sizes
+from .weights import CostWeights
+
+__all__ = ["GroupCost", "CostModel", "group_cost"]
+
+INFINITE_COST = float("inf")
+
+
+@dataclass(frozen=True)
+class GroupCost:
+    """Result of evaluating one group.
+
+    ``cost`` is infinite for invalid groups, in which case ``tile_sizes``
+    is empty and ``geom`` is ``None``.  ``details`` records the individual
+    criteria for reports and tests.
+    """
+
+    cost: float
+    tile_sizes: Tuple[int, ...]
+    geom: Optional[GroupGeometry]
+    cache_level: str = ""
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def valid(self) -> bool:
+        return math.isfinite(self.cost)
+
+
+def _num_tiles(geom: GroupGeometry, tile_sizes: Sequence[int]) -> int:
+    n = 1
+    for extent, t in zip(geom.grid_extents, tile_sizes):
+        n *= -(-extent // t)
+    return n
+
+
+def _dim_size_deviation(geom: GroupGeometry) -> float:
+    """Mean relative deviation of fused dimension extents across stages
+    (``dimSizeStandardDeviation``): 0 when every stage spans the same
+    scaled extent along every dimension."""
+    per_dim = []
+    for g in range(geom.ndim):
+        extents = []
+        for s in geom.stages:
+            for j, gd in enumerate(geom.align[s]):
+                if gd == g:
+                    lo, hi = geom._scaled_bounds_cache[s][j]
+                    extents.append(hi - lo + 1)
+        if len(extents) < 2:
+            continue
+        mean = sum(extents) / len(extents)
+        var = sum((e - mean) ** 2 for e in extents) / len(extents)
+        per_dim.append(math.sqrt(var) / mean if mean else 0.0)
+    return sum(per_dim) / len(per_dim) if per_dim else 0.0
+
+
+def _cost_for_cache_size(
+    pipeline: Pipeline,
+    geom: GroupGeometry,
+    machine: Machine,
+    cache_size: int,
+    ncores: int,
+    weights: CostWeights,
+) -> Tuple[float, Tuple[int, ...], float, Dict[str, float]]:
+    """``COSTFORCACHESIZE``: cost and tile sizes for one cache level."""
+    liveout_total = liveouts_size(pipeline, geom)
+    total_footprint = intermediate_buffers_size(pipeline, geom) + liveout_total
+    tile_footprint = min(total_footprint / ncores, float(cache_size))
+    tile_footprint = max(tile_footprint, float(machine.cache_line))
+
+    dim_reuse = dimensional_reuse(pipeline, geom)
+    tile_sizes = compute_tile_sizes(
+        geom, tile_footprint, machine.innermost_tile_size, dim_reuse
+    )
+
+    livein_t = livein_tile_size(pipeline, geom, tile_sizes)
+    liveout_t = liveout_tile_size(pipeline, geom, tile_sizes)
+    comp_vol = tile_volume(geom, tile_sizes)
+    n_tiles = _num_tiles(geom, tile_sizes)
+    ovl = overlap_size(geom, tile_sizes)
+
+    # Actual resident working set of the chosen tiles: the largest single
+    # stage tile (the producer-pass-to-consumer-pass reuse distance).
+    # Innermost-size pinning and dimension clamping can push this past the
+    # cache budget the tiles were derived from — especially in groups with
+    # non-unit scales — so re-check it and charge the spill traffic.
+    from ..poly.overlap import stage_tile_extents
+
+    resident = 0.0
+    for s in geom.stages:
+        vol = 1.0
+        for e in stage_tile_extents(geom, tile_sizes, s):
+            vol *= e
+        resident = max(
+            resident, vol * float(geom.stage_density(s)) * s.scalar_type.size
+        )
+    spill = 2.0 * max(0.0, resident - machine.l2_cache)
+
+    bytes_per_point = (livein_t + liveout_t + spill) / comp_vol
+    relative_overlap = ovl / comp_vol
+    # Load-imbalance overhead of distributing n_tiles over the cores in
+    # waves: the fraction of extra wall-clock the cleanup wave costs
+    # (= ncores - 1 when a single tile serialises the machine).
+    waves = -(-n_tiles // ncores)
+    idle_fraction = (waves * ncores - n_tiles) / n_tiles
+    idle_fraction = min(idle_fraction, float(ncores - 1))
+    dim_diff = _dim_size_deviation(geom)
+
+    total_points = sum(pipeline.domain_size(s) for s in geom.stages)
+    per_point = (
+        weights.w1 * bytes_per_point
+        + weights.w2 * idle_fraction
+        + weights.w3 * relative_overlap
+        + weights.w4 * dim_diff
+    )
+    cost = per_point * total_points
+    details = {
+        "bytes_per_point": bytes_per_point,
+        "idle_fraction": idle_fraction,
+        "relative_overlap": relative_overlap,
+        "dim_diff": dim_diff,
+        "n_tiles": float(n_tiles),
+        "tile_footprint": tile_footprint,
+        "comp_vol": comp_vol,
+        "overlap": ovl,
+        "livein_tile": livein_t,
+        "liveout_tile": liveout_t,
+        "resident": resident,
+    }
+    return cost, tile_sizes, ovl, details
+
+
+def group_cost(
+    pipeline: Pipeline,
+    members: Iterable[Function],
+    machine: Machine,
+    ncores: Optional[int] = None,
+    weights: Optional[CostWeights] = None,
+) -> GroupCost:
+    """``COST(H)`` — Algorithm 2's top-level entry.
+
+    Evaluates the L1 footprint first and falls back to L2 when the L1 tile
+    would spend more than half its computation on overlap (the paper's
+    "overlap size exceeds the tile volume" condition).
+    """
+    ncores = ncores or machine.num_cores
+    weights = weights or machine.weights
+    geom = compute_group_geometry(pipeline, members)
+    if geom is None:
+        return GroupCost(cost=INFINITE_COST, tile_sizes=(), geom=None)
+
+    cost, tiles, ovl, details = _cost_for_cache_size(
+        pipeline, geom, machine, machine.l1_cache, ncores, weights
+    )
+    level = "L1"
+    comp_vol = details["comp_vol"]
+    # Fall back to L2 sizing when the L1 tiles spend more than half their
+    # computation on overlap, or when the resident set cannot actually
+    # fit in L1 (the innermost pin overrode the budget).
+    if ovl > comp_vol - ovl or details["resident"] > machine.l1_cache:
+        cost, tiles, ovl, details = _cost_for_cache_size(
+            pipeline, geom, machine, machine.l2_cache, ncores, weights
+        )
+        level = "L2"
+    return GroupCost(
+        cost=cost, tile_sizes=tiles, geom=geom, cache_level=level, details=details
+    )
+
+
+class CostModel:
+    """Memoising wrapper around :func:`group_cost` for one
+    (pipeline, machine) pair — the DP evaluates the same group inside many
+    different states, so caching by member set is essential."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        machine: Machine,
+        ncores: Optional[int] = None,
+        weights: Optional[CostWeights] = None,
+    ):
+        self.pipeline = pipeline
+        self.machine = machine
+        self.ncores = ncores or machine.num_cores
+        self.weights = weights or machine.weights
+        self._cache: Dict[FrozenSet[Function], GroupCost] = {}
+        self.evaluations = 0  # distinct groups costed (for Table 2 stats)
+
+    def cost(self, members: Iterable[Function]) -> GroupCost:
+        key = frozenset(members)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.evaluations += 1
+        result = group_cost(
+            self.pipeline, key, self.machine, self.ncores, self.weights
+        )
+        self._cache[key] = result
+        return result

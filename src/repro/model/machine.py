@@ -1,0 +1,177 @@
+"""Machine descriptions for the cost and performance models.
+
+Two presets reproduce the paper's evaluation systems (Sec. 6.1):
+
+* :data:`XEON_HASWELL` — dual-socket 8-core Intel Xeon E5-2630 v3,
+  2.40 GHz, 32 KB L1 / 256 KB L2 per core, 20 MB shared L3, DDR4-2400,
+  AVX2; code compiled with icpc (auto-vectorization generally succeeds).
+* :data:`AMD_OPTERON` — 16-core AMD Opteron 6386 SE, 1.4 GHz, 16 KB L1,
+  2 MB L2 shared per 2 cores (1 MB effective per core), 12 MB L3 per
+  8 cores, DDR3-800; code compiled with g++, whose auto-vectorization
+  failed for the integer-heavy/data-dependent benchmarks (Sec. 6.2) —
+  captured by :meth:`Machine.polymage_vec_efficiency`.
+
+The per-machine ``INNERMOSTTILESIZE`` of Algorithm 2 (256 on the Xeon, 128
+on the Opteron) and the cost weights of Table 1 live here too, as do the
+Halide auto-scheduler parameters the paper configured
+(``VECTOR_WIDTH = 16``, ``PARALLELISM_THRESHOLD = 16``, ``CACHE_SIZE``,
+``LOAD_COST = 40``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .weights import CostWeights
+
+__all__ = ["Machine", "HalideParams", "XEON_HASWELL", "AMD_OPTERON"]
+
+
+@dataclass(frozen=True)
+class HalideParams:
+    """Parameters of Halide's auto-scheduler as set in Sec. 6.1."""
+
+    vector_width: int
+    parallelism_threshold: int
+    cache_size: int
+    load_cost: float
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A shared-memory multicore machine model.
+
+    Cache sizes are per core for L1/L2 (matching how the paper's cost
+    function consumes them) and total for L3.  Bandwidths are rough
+    steady-state figures; the timing model only relies on their relative
+    magnitudes (compute vs. memory balance), not their absolute accuracy.
+    """
+
+    name: str
+    num_cores: int
+    frequency_ghz: float
+    l1_cache: int
+    l2_cache: int
+    l3_cache: int
+    cache_line: int
+    l1_assoc: int
+    l2_assoc: int
+    vector_lanes_f32: int
+    #: scalar arithmetic ops retired per cycle per core
+    scalar_ops_per_cycle: float
+    #: efficiency of vectorised loops relative to the ideal lane speedup
+    vector_efficiency: float
+    #: aggregate DRAM bandwidth, bytes/s
+    dram_bandwidth: float
+    #: bandwidth one core can draw, bytes/s
+    core_bandwidth: float
+    #: L3 bandwidth (aggregate), bytes/s
+    l3_bandwidth: float
+    #: per-core L1 bandwidth, bytes/s (scratch traffic of L1-resident tiles)
+    l1_bandwidth_core: float
+    #: per-core L2 bandwidth, bytes/s (scratch traffic of L2-resident tiles)
+    l2_bandwidth_core: float
+    #: Algorithm 2's INNERMOSTTILESIZE for this machine
+    innermost_tile_size: int
+    weights: CostWeights
+    halide: HalideParams
+    #: whether the backend compiler auto-vectorizes integer-heavy or
+    #: data-dependent loops (icpc on Haswell: yes; g++ 4.8 on Opteron: no)
+    autovec_integer: bool
+    #: whether the backend compiler auto-vectorizes at all for generated
+    #: stencil code (g++ failed entirely for Pyramid Blend, Sec. 6.2)
+    autovec_float: bool
+
+    # -- vectorization behaviour ------------------------------------------
+    def vector_speedup(self) -> float:
+        """Ideal-case speedup of a vectorised f32 loop over scalar."""
+        return max(1.0, self.vector_lanes_f32 * self.vector_efficiency)
+
+    def polymage_vec_efficiency(self, *, integer_heavy: bool,
+                                data_dependent: bool) -> float:
+        """Vector speedup achieved by *compiler auto-vectorization* of
+        PolyMage-generated C++ for a stage with the given traits."""
+        if data_dependent:
+            return 1.0  # gathers/LUTs defeat auto-vectorization everywhere
+        if integer_heavy and not self.autovec_integer:
+            return 1.0
+        if not self.autovec_float:
+            return 1.0
+        return self.vector_speedup()
+
+    def halide_vec_efficiency(self, *, integer_heavy: bool,
+                              data_dependent: bool) -> float:
+        """Vector speedup of Halide-generated code (explicit intrinsics —
+        not at the mercy of auto-vectorization, Sec. 6.2)."""
+        if data_dependent:
+            return 1.5  # partial vectorization around the gather
+        return self.vector_speedup()
+
+    def ops_per_second(self, vec_speedup: float) -> float:
+        """Arithmetic throughput of one core given a vector speedup."""
+        return self.frequency_ghz * 1e9 * self.scalar_ops_per_cycle * vec_speedup
+
+
+KB = 1024
+MB = 1024 * KB
+GB_S = 1e9
+
+XEON_HASWELL = Machine(
+    name="Intel Xeon E5-2630 v3 (Haswell)",
+    num_cores=16,
+    frequency_ghz=2.4,
+    l1_cache=32 * KB,
+    l2_cache=256 * KB,
+    l3_cache=20 * MB,
+    cache_line=64,
+    l1_assoc=8,
+    l2_assoc=8,
+    vector_lanes_f32=8,
+    scalar_ops_per_cycle=2.0,
+    vector_efficiency=0.5,
+    dram_bandwidth=60 * GB_S,
+    core_bandwidth=12 * GB_S,
+    l3_bandwidth=180 * GB_S,
+    l1_bandwidth_core=100 * GB_S,
+    l2_bandwidth_core=25 * GB_S,
+    innermost_tile_size=256,
+    weights=CostWeights(w1=1.0, w2=0.4, w3=3.0, w4=1.5),
+    halide=HalideParams(
+        vector_width=16,
+        parallelism_threshold=16,
+        cache_size=256 * KB,
+        load_cost=40.0,
+    ),
+    autovec_integer=True,
+    autovec_float=True,
+)
+
+AMD_OPTERON = Machine(
+    name="AMD Opteron 6386 SE",
+    num_cores=16,
+    frequency_ghz=1.4,
+    l1_cache=16 * KB,
+    l2_cache=1 * MB,  # 2 MB shared between two cores
+    l3_cache=12 * MB,
+    cache_line=64,
+    l1_assoc=4,
+    l2_assoc=16,
+    vector_lanes_f32=8,
+    scalar_ops_per_cycle=2.0,
+    vector_efficiency=0.35,
+    dram_bandwidth=12 * GB_S,
+    core_bandwidth=4 * GB_S,
+    l3_bandwidth=60 * GB_S,
+    l1_bandwidth_core=40 * GB_S,
+    l2_bandwidth_core=10 * GB_S,
+    innermost_tile_size=128,
+    weights=CostWeights(w1=0.3, w2=0.4, w3=3.0, w4=2.0),
+    halide=HalideParams(
+        vector_width=16,
+        parallelism_threshold=16,
+        cache_size=1 * MB,
+        load_cost=40.0,
+    ),
+    autovec_integer=False,
+    autovec_float=True,
+)

@@ -1,0 +1,117 @@
+"""Tile size determination (``COMPUTETILESIZES``, Algorithm 2 lines 30-45).
+
+Given a tile memory budget (the L1 or L2 slice available to one core), the
+algorithm:
+
+1. fixes the innermost dimension's tile size to
+   ``min(dim_size, INNERMOSTTILESIZE)`` so prefetching and vectorization
+   stay effective (Sec. 4.2),
+2. distributes the remaining volume across the outer dimensions in
+   proportion to their reuse scores: a dimension with twice the reuse gets
+   a tile twice as long.
+
+Solving ``tau^(m-1) * prod(gamma_i) = tileVol / tau_last`` for the base
+size ``tau`` (where ``gamma_i`` is dimension *i*'s reuse relative to the
+maximum) is exactly the closed form the paper derives.  Crucially the
+resulting sizes are **not** restricted to powers of two — one of the
+paper's headline differences from PolyMage's and Halide's tuners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..poly.alignscale import GroupGeometry
+from ..poly.footprint import buffer_count
+
+__all__ = ["compute_tile_sizes", "UNTILED_EXTENT", "MIN_OUTER_TILE"]
+
+#: Dimensions at most this long are left untiled (tile = full extent).
+UNTILED_EXTENT = 8
+#: Minimum tile size assigned to a tiled outer dimension.
+MIN_OUTER_TILE = 4
+
+
+#: Buffers that must be cache-resident *simultaneously* during a tile's
+#: execution.  Stages run one after another inside a tile (Fig. 3), so at
+#: any moment only a producer scratch tile and the consumer tile being
+#: written are live — the reuse distance is two buffers, not one per group
+#: member.  With this divisor the model reproduces the paper's observed
+#: L1 tile choice for Unsharp Mask (5 x 256, Table 5) exactly.
+RESIDENT_BUFFERS = 2
+
+
+def _scaled_unit_bytes(geom: GroupGeometry) -> float:
+    """Bytes one unit of the *scaled* grid costs in the dominant buffer.
+
+    A stage scaled by 1/2 per dimension packs 4 actual points into each
+    scaled grid cell, so its buffer consumes ``density * elem`` bytes per
+    scaled unit.  Tile sizes live in scaled space; budgeting with the
+    densest stage keeps the physical footprint within the cache budget —
+    without this, a group fusing many pyramid levels would count one byte
+    per scaled cell that actually holds thousands of fine-level points.
+    """
+    return max(
+        float(geom.stage_density(s)) * s.scalar_type.size for s in geom.stages
+    )
+
+
+def compute_tile_sizes(
+    geom: GroupGeometry,
+    tile_footprint: float,
+    innermost_tile_size: int,
+    dim_reuse: Sequence[float],
+) -> Tuple[int, ...]:
+    """Tile sizes for a group given a byte budget per tile.
+
+    Parameters
+    ----------
+    geom:
+        The group's geometry (supplies dimensionality, grid extents, and
+        the number of buffers resident during a tile).
+    tile_footprint:
+        Bytes of cache available to the tile (``tileFootprint``).
+    innermost_tile_size:
+        The machine's ``INNERMOSTTILESIZE`` (256 Xeon / 128 Opteron).
+    dim_reuse:
+        Per-dimension reuse scores from
+        :func:`repro.poly.reuse.dimensional_reuse`.
+
+    Returns a tile size per group dimension, each at least 1 and at most
+    the dimension's extent.
+    """
+    ndims = geom.ndim
+    if len(dim_reuse) != ndims:
+        raise ValueError(f"expected {ndims} reuse scores, got {len(dim_reuse)}")
+    if tile_footprint <= 0:
+        raise ValueError("tile_footprint must be positive")
+
+    dim_sizes = geom.grid_extents
+    # Budget in scaled grid units per resident buffer.
+    buffers = min(RESIDENT_BUFFERS, buffer_count(geom))
+    tile_vol = tile_footprint / (buffers * _scaled_unit_bytes(geom))
+    tile_vol = max(tile_vol, 1.0)
+
+    if ndims == 1:
+        size = int(min(dim_sizes[0], max(innermost_tile_size, tile_vol)))
+        return (max(1, size),)
+
+    tile_sizes = [0] * ndims
+    tile_sizes[-1] = max(1, min(dim_sizes[-1], innermost_tile_size))
+
+    tau = tile_vol / tile_sizes[-1]
+    outer_reuse = dim_reuse[: ndims - 1]
+    max_reuse = max(outer_reuse)
+    for r in outer_reuse:
+        tau /= r / max_reuse
+    tau = tau ** (1.0 / (ndims - 1))
+
+    for i in range(ndims - 1):
+        if dim_sizes[i] <= UNTILED_EXTENT:
+            # Short dimensions (e.g. a 3-wide colour dimension) are left
+            # untiled — splitting them only creates cleanup tiles.
+            tile_sizes[i] = dim_sizes[i]
+            continue
+        size = int(round(tau * dim_reuse[i] / max_reuse))
+        tile_sizes[i] = max(MIN_OUTER_TILE, min(dim_sizes[i], size))
+    return tuple(tile_sizes)

@@ -1,0 +1,17 @@
+"""The paper's six benchmark applications, written in the DSL."""
+
+from . import bilateral, campipe, harris, interpolate, pyramid, unsharp
+from .registry import BENCHMARKS, Benchmark, build_scaled, get_benchmark
+
+__all__ = [
+    "unsharp",
+    "harris",
+    "bilateral",
+    "interpolate",
+    "campipe",
+    "pyramid",
+    "Benchmark",
+    "BENCHMARKS",
+    "get_benchmark",
+    "build_scaled",
+]

@@ -1,0 +1,158 @@
+"""Bilateral Grid — 7 stages, 1536x2560 (paper Table 2).
+
+The fast bilateral-filter approximation of Chen et al.: scatter the image
+into a coarse (intensity x space) grid with a histogram-style *reduction*,
+blur the grid along all three grid axes, then slice the result back at
+each pixel with data-dependent interpolation::
+
+    img -> intensity -> grid(Reduction) -> blurz -> blurx -> blury
+                 \\                                             |
+                  \\------------------> slice <-----------------/
+                                          |
+                                      filtered
+
+PolyMage does not fuse reductions, so ``grid`` is always its own group and
+the data-dependent ``slice`` access keeps the blur chain separate from the
+slicing — exactly why the paper's Table 3/4 show H-manual/H-auto (which
+*can* fuse the histogram via ``compute_at``) winning this benchmark.
+"""
+
+from __future__ import annotations
+
+from ..dsl import (
+    Case,
+    Cast,
+    Clamp,
+    Condition,
+    Float,
+    Function,
+    Image,
+    Int,
+    Min,
+    Op,
+    Pipeline,
+    Reduce,
+    Reduction,
+)
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import iv, var
+
+__all__ = ["build", "h_manual", "GRID_SIGMA_S", "GRID_BINS"]
+
+DEFAULT_WIDTH = 2560
+DEFAULT_HEIGHT = 1536
+
+#: spatial sampling rate of the grid
+GRID_SIGMA_S = 8
+#: number of intensity bins
+GRID_BINS = 16
+
+
+def build(width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT) -> Pipeline:
+    """Build the bilateral grid pipeline at the given image size."""
+    if width < 4 * GRID_SIGMA_S or height < 4 * GRID_SIGMA_S:
+        raise ValueError("image too small for the grid sampling rate")
+    R, C = height, width
+    s, nz = GRID_SIGMA_S, GRID_BINS
+    gx_hi = R // s + 2
+    gy_hi = C // s + 2
+
+    x, y = var("x"), var("y")
+    ch, z, gx, gy = var("ch"), var("z"), var("gx"), var("gy")
+    rx, ry = var("rx"), var("ry")
+    img = Image(Float, "img", [3, R, C])
+
+    intensity = Function(([x, y], [iv(0, R - 1), iv(0, C - 1)]), Float, "intensity")
+    intensity.defn = [
+        img(0, x, y) * 0.299 + img(1, x, y) * 0.587 + img(2, x, y) * 0.114
+    ]
+
+    # Channel 0 accumulates intensity mass, channel 1 the homogeneous
+    # weight (count); both bins are data-dependent in the pixel value.
+    grid = Reduction(
+        ([ch, z, gx, gy], [iv(0, 1), iv(0, nz + 1), iv(0, gx_hi), iv(0, gy_hi)]),
+        ([rx, ry], [iv(0, R - 1), iv(0, C - 1)]),
+        Float,
+        "grid",
+    )
+    zbin = Cast(Int, Clamp(intensity(rx, ry) * float(nz), 0.0, float(nz - 1)))
+    grid.defn = [
+        Reduce((0, zbin + 1, rx // s + 1, ry // s + 1), intensity(rx, ry), Op.Sum),
+        Reduce((1, zbin + 1, rx // s + 1, ry // s + 1), 1.0, Op.Sum),
+    ]
+
+    blur_dom = [iv(0, 1), iv(1, nz), iv(1, gx_hi - 1), iv(1, gy_hi - 1)]
+
+    blurz = Function(([ch, z, gx, gy], list(blur_dom)), Float, "blurz")
+    blurz.defn = [
+        grid(ch, z - 1, gx, gy) + grid(ch, z, gx, gy) * 2.0 + grid(ch, z + 1, gx, gy)
+    ]
+    blurx = Function(([ch, z, gx, gy], list(blur_dom)), Float, "blurx")
+    blurx.defn = [
+        blurz(ch, z, gx - 1, gy) + blurz(ch, z, gx, gy) * 2.0
+        + blurz(ch, z, gx + 1, gy)
+    ]
+    blury = Function(([ch, z, gx, gy], list(blur_dom)), Float, "blury")
+    blury.defn = [
+        blurx(ch, z, gx, gy - 1) + blurx(ch, z, gx, gy) * 2.0
+        + blurx(ch, z, gx, gy + 1)
+    ]
+
+    # Slice: look the blurred grid up at each pixel's (intensity, x, y)
+    # cell, linearly interpolating along z.  Data-dependent accesses.
+    zv = Clamp(intensity(x, y) * float(nz), 0.0, float(nz - 1))
+    zi = Cast(Int, zv)
+    zfrac = zv - zi
+    cx = Clamp((x + s) // s, 1, gx_hi - 1)
+    cy = Clamp((y + s) // s, 1, gy_hi - 1)
+    znext = Min(zi + 2, nz)
+
+    slice_ = Function(([x, y], [iv(0, R - 1), iv(0, C - 1)]), Float, "slice")
+    slice_.defn = [
+        blury(0, zi + 1, cx, cy) * (1.0 - zfrac)
+        + blury(0, znext, cx, cy) * zfrac
+    ]
+
+    # Normalise by the interpolated homogeneous weight (channel 1).
+    filtered = Function(([x, y], [iv(0, R - 1), iv(0, C - 1)]), Float, "filtered")
+    weight = (
+        blury(1, zi + 1, cx, cy) * (1.0 - zfrac)
+        + blury(1, znext, cx, cy) * zfrac
+    )
+    filtered.defn = [
+        Case(Condition(weight, ">", 1e-6), slice_(x, y) / weight),
+        intensity(x, y),
+    ]
+
+    return Pipeline([filtered], {}, name="bilateral_grid")
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The Halide-repository expert schedule: the histogram is fused with
+    the z-blur (computed per grid tile via ``compute_at``), the remaining
+    blurs run at root, and slicing is tiled and vectorised."""
+    R, C = pipeline.domain_extents(pipeline.stage_by_name("filtered"))
+    nz, gxe, gye = (
+        GRID_BINS,
+        pipeline.domain_extents(pipeline.stage_by_name("blurz"))[2],
+        pipeline.domain_extents(pipeline.stage_by_name("blurz"))[3],
+    )
+    gtile = [2, nz, min(16, gxe), min(64, gye)]
+    return manual_grouping(
+        pipeline,
+        [
+            ["intensity"],
+            ["grid", "blurz"],
+            ["blurx"],
+            ["blury"],
+            ["slice", "filtered"],
+        ],
+        [
+            [min(128, R), min(256, C)],
+            gtile,
+            gtile,
+            gtile,
+            [min(64, R), min(256, C)],
+        ],
+        strategy="h-manual",
+    )

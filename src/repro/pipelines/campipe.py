@@ -1,0 +1,351 @@
+"""Camera Pipeline — 32 stages, 2592x1968 raw input (paper Table 2).
+
+The FCam/PolyMage ``campipe``: raw Bayer-mosaic sensor data is processed
+into a colour image through black-level subtraction, lens-shading
+correction, hot-pixel suppression, deinterleaving, white balance,
+demosaicing, colour correction, a tone curve applied via data-dependent
+LUT lookups, sharpening, and a YUV chroma-denoise tail.
+
+Following PolyMage's own representation (the one the paper evaluated),
+multi-channel values are *packed*: the four Bayer planes live behind a
+plane index in one stage and RGB lives behind a channel index, with
+``Case``/``Select`` on the leading dimension.  Channel-mixing stages
+(colour correction, YUV conversion) read specific channels — constant
+leading indices that cannot be made constant dependences — so they are
+natural fusion barriers, keeping the stage DAG a near-chain with short
+width-3 bursts.  (Halide's per-channel representation of the same
+pipeline is far wider; the paper's Table 2 state counts reflect the
+narrow PolyMage form.)
+
+Stage chain (32 stages)::
+
+    raw -> black -> lens -> defective -> shifted -> denoisedx -> denoisedy
+        -> deinterleaved(4 planes) -> wb | {g_gr, g_gb} -> g_avg
+        -> {r_full, g_full, b_full} -> rgb | corrected -> curved(curve LUT)
+        -> sharpx -> sharpy -> luma -> tone | yuv -> cdx -> cdy
+        | recombined -> saturation -> contrast -> gamma_adj -> dither -> out
+
+Most stages compute in 16/32-bit integers with parity-selected and
+LUT-indexed accesses: the traits behind the paper's observation that g++
+auto-vectorization fails for this benchmark on the Opteron while Halide's
+intrinsics do not (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from ..dsl import (
+    Case,
+    Cast,
+    Clamp,
+    Condition,
+    Float,
+    Function,
+    Image,
+    Int,
+    Max,
+    Min,
+    Pipeline,
+    Pow,
+    Select,
+    UShort,
+)
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import check_stage_count, iv, var
+
+__all__ = ["build", "h_manual"]
+
+DEFAULT_WIDTH = 2592
+DEFAULT_HEIGHT = 1968
+
+_LUT_SIZE = 1024
+#: fixed-point colour correction matrix (x256)
+_MATRIX = (
+    (440, -150, -34),
+    (-66, 380, -58),
+    (-10, -190, 456),
+)
+
+
+def build(width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT) -> Pipeline:
+    """Build the camera pipeline at the given raw-sensor size."""
+    if width < 64 or height < 64:
+        raise ValueError("raw frame too small")
+    R, C = height, width
+    x, y, c, p, i = var("x"), var("y"), var("c"), var("p"), var("i")
+    raw = Image(UShort, "raw", [R + 8, C + 8])
+
+    black = Function(([x, y], [iv(0, R + 7), iv(0, C + 7)]), UShort, "black")
+    black.defn = [Max(raw(x, y), 64) - 64]
+
+    # Lens shading: radially-ish increasing gain approximated separably.
+    lens = Function(([x, y], [iv(0, R + 7), iv(0, C + 7)]), UShort, "lens")
+    lens.defn = [
+        Min(black(x, y) + black(x, y) // 16, 65535)
+    ]
+
+    defective = Function(([x, y], [iv(1, R + 6), iv(1, C + 6)]), UShort, "defective")
+    defective.defn = [
+        Min(lens(x, y), Max(lens(x - 1, y), lens(x + 1, y)) * 2)
+    ]
+
+    shifted = Function(([x, y], [iv(2, R + 5), iv(2, C + 5)]), UShort, "shifted")
+    shifted.defn = [defective(x, y) // 2 + 16]
+
+    # Hot-pixel suppression, separable clamp passes.
+    denoisedx = Function(([x, y], [iv(4, R + 3), iv(2, C + 5)]), UShort, "denoisedx")
+    denoisedx.defn = [
+        Min(
+            Max(shifted(x, y), Min(shifted(x - 2, y), shifted(x + 2, y))),
+            Max(shifted(x - 2, y), shifted(x + 2, y)),
+        )
+    ]
+    denoisedy = Function(([x, y], [iv(4, R + 3), iv(4, C + 3)]), UShort, "denoisedy")
+    denoisedy.defn = [
+        Min(
+            Max(denoisedx(x, y), Min(denoisedx(x, y - 2), denoisedx(x, y + 2))),
+            Max(denoisedx(x, y - 2), denoisedx(x, y + 2)),
+        )
+    ]
+
+    # Deinterleave the Bayer mosaic into four half-resolution planes kept
+    # behind a plane index p: 0 = Gr, 1 = R, 2 = B, 3 = Gb.  Downstream
+    # constant-plane reads make this a fusion barrier, as in PolyMage's
+    # own campipe.
+    hx, hy = (R + 2) // 2 - 2, (C + 2) // 2 - 2
+    half = [iv(2, hx), iv(2, hy)]
+    deint = Function(([p, x, y], [iv(0, 3)] + list(half)), UShort, "deinterleaved")
+    deint.defn = [
+        Case(Condition(p, "==", 0), denoisedy(2 * x, 2 * y)),
+        Case(Condition(p, "==", 1), denoisedy(2 * x, 2 * y + 1)),
+        Case(Condition(p, "==", 2), denoisedy(2 * x + 1, 2 * y)),
+        denoisedy(2 * x + 1, 2 * y + 1),
+    ]
+
+    # White balance: per-plane fixed-point gains (affine in p — fuses with
+    # the deinterleave).
+    wb = Function(([p, x, y], [iv(0, 3)] + list(half)), UShort, "wb")
+    gain = Select(
+        Condition(p, "==", 0),
+        430,
+        Select(Condition(p, "==", 1), 256, Select(Condition(p, "==", 2), 380, 430)),
+    )
+    wb.defn = [Min(deint(p, x, y) * gain // 256, 65535)]
+
+    # Green interpolation at red and blue sites (constant-plane reads of
+    # wb: barrier between wb and the demosaic proper).
+    demo = [iv(3, hx - 1), iv(3, hy - 1)]
+    g_gr = Function(([x, y], list(demo)), UShort, "g_gr")
+    g_gr.defn = [
+        (wb(0, x, y) * 2 + wb(3, x, y) + wb(3, x - 1, y)) // 4
+    ]
+    g_gb = Function(([x, y], list(demo)), UShort, "g_gb")
+    g_gb.defn = [
+        (wb(3, x, y) * 2 + wb(0, x, y) + wb(0, x + 1, y)) // 4
+    ]
+    g_avg = Function(([x, y], list(demo)), UShort, "g_avg")
+    g_avg.defn = [(g_gr(x, y) + g_gb(x, y)) // 2]
+
+    # Full-resolution channel reconstruction with Bayer-parity cases.
+    flo_x, fhi_x = 8, 2 * (hx - 1) - 2
+    flo_y, fhi_y = 8, 2 * (hy - 1) - 2
+    full = [iv(flo_x, fhi_x), iv(flo_y, fhi_y)]
+    even_x = Condition(x % 2, "==", 0)
+    even_y = Condition(y % 2, "==", 0)
+
+    r_full = Function(([x, y], list(full)), UShort, "r_full")
+    r_full.defn = [
+        Case(even_y, (wb(1, x // 2, y // 2 - 1) + wb(1, x // 2, y // 2)) // 2),
+        Case(even_x, wb(1, x // 2, y // 2)),
+        (
+            wb(1, x // 2, y // 2) + wb(1, x // 2 + 1, y // 2)
+            + g_avg(x // 2, y // 2) * 2
+        ) // 4,
+    ]
+    b_full = Function(([x, y], list(full)), UShort, "b_full")
+    b_full.defn = [
+        Case(even_x & even_y,
+             (wb(2, x // 2 - 1, y // 2) + wb(2, x // 2, y // 2)) // 2),
+        Case(even_y, wb(2, x // 2, y // 2)),
+        (
+            wb(2, x // 2, y // 2) + wb(2, x // 2, y // 2 + 1)
+            + g_avg(x // 2, y // 2) * 2
+        ) // 4,
+    ]
+    g_full = Function(([x, y], list(full)), UShort, "g_full")
+    g_full.defn = [
+        Case(even_x & even_y, wb(0, x // 2, y // 2)),
+        Case(even_x, g_gr(x // 2, y // 2)),
+        Case(even_y, g_gb(x // 2, y // 2)),
+        wb(3, x // 2, y // 2),
+    ]
+
+    # Pack the three channels (joins the width-3 burst).
+    rgb = Function(([c, x, y], [iv(0, 2)] + list(full)), UShort, "rgb")
+    rgb.defn = [
+        Select(
+            Condition(c, "==", 0),
+            r_full(x, y),
+            Select(Condition(c, "==", 1), g_full(x, y), b_full(x, y)),
+        )
+    ]
+
+    # Colour correction mixes channels: constant-channel reads of rgb —
+    # barrier.
+    corrected = Function(([c, x, y], [iv(0, 2)] + list(full)), Int, "corrected")
+
+    def matrow(k):
+        row = _MATRIX[k]
+        return (
+            Cast(Int, rgb(0, x, y)) * row[0]
+            + Cast(Int, rgb(1, x, y)) * row[1]
+            + Cast(Int, rgb(2, x, y)) * row[2]
+        ) // 256
+
+    corrected.defn = [
+        Clamp(
+            Select(
+                Condition(c, "==", 0),
+                matrow(0),
+                Select(Condition(c, "==", 1), matrow(1), matrow(2)),
+            ),
+            0,
+            _LUT_SIZE - 1,
+        )
+    ]
+
+    # Gamma/tone curve as a LUT stage, applied with data-dependent reads.
+    curve = Function(([i], [iv(0, _LUT_SIZE - 1)]), Float, "curve")
+    curve.defn = [Pow((i + 1) * (1.0 / _LUT_SIZE), 0.45)]
+
+    curved = Function(([c, x, y], [iv(0, 2)] + list(full)), Float, "curved")
+    curved.defn = [curve(corrected(c, x, y))]
+
+    # Separable unsharp sharpening (channel-affine: fuses with curved).
+    shx = [iv(flo_x + 1, fhi_x - 1), iv(flo_y, fhi_y)]
+    shy = [iv(flo_x + 1, fhi_x - 1), iv(flo_y + 1, fhi_y - 1)]
+    sharpx = Function(([c, x, y], [iv(0, 2)] + list(shx)), Float, "sharpx")
+    sharpx.defn = [
+        curved(c, x, y) * 1.5 - (curved(c, x - 1, y) + curved(c, x + 1, y)) * 0.25
+    ]
+    sharpy = Function(([c, x, y], [iv(0, 2)] + list(shy)), Float, "sharpy")
+    sharpy.defn = [
+        Clamp(
+            sharpx(c, x, y) * 1.5
+            - (sharpx(c, x, y - 1) + sharpx(c, x, y + 1)) * 0.25,
+            0.0,
+            1.0,
+        )
+    ]
+
+    # Local tone adjustment driven by a luminance estimate.
+    luma = Function(([x, y], list(shy)), Float, "luma")
+    luma.defn = [
+        sharpy(0, x, y) * 0.299 + sharpy(1, x, y) * 0.587 + sharpy(2, x, y) * 0.114
+    ]
+    lb = [iv(flo_x + 2, fhi_x - 2), iv(flo_y + 2, fhi_y - 2)]
+    luma_blur = Function(([x, y], list(lb)), Float, "luma_blur")
+    luma_blur.defn = [
+        (luma(x - 1, y) + luma(x + 1, y) + luma(x, y - 1) + luma(x, y + 1)
+         + luma(x, y) * 4.0) * 0.125
+    ]
+    tone = Function(([c, x, y], [iv(0, 2)] + list(lb)), Float, "tone")
+    tone.defn = [
+        Clamp(sharpy(c, x, y) * (luma_blur(x, y) * 0.3 + 0.85), 0.0, 1.0)
+    ]
+
+    # YUV conversion (channel-mixing barrier), chroma denoise, recombine.
+    yuv = Function(([c, x, y], [iv(0, 2)] + list(shy)), Float, "yuv")
+    yuv.defn = [
+        Select(
+            Condition(c, "==", 0),
+            tone(0, x, y) * 0.299 + tone(1, x, y) * 0.587 + tone(2, x, y) * 0.114,
+            Select(
+                Condition(c, "==", 1),
+                tone(2, x, y) * 0.5 - tone(0, x, y) * 0.169 - tone(1, x, y) * 0.331,
+                tone(0, x, y) * 0.5 - tone(1, x, y) * 0.419 - tone(2, x, y) * 0.081,
+            ),
+        )
+    ]
+    cd = [iv(flo_x + 2, fhi_x - 2), iv(flo_y + 2, fhi_y - 2)]
+    cdx = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "cdx")
+    cdx.defn = [
+        Case(Condition(c, "==", 0), yuv(c, x, y)),
+        (yuv(c, x - 1, y) + yuv(c, x, y) * 2.0 + yuv(c, x + 1, y)) * 0.25,
+    ]
+    cdy = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "cdy")
+    cdy.defn = [
+        Case(Condition(c, "==", 0), cdx(c, x, y)),
+        (cdx(c, x, y - 1) + cdx(c, x, y) * 2.0 + cdx(c, x, y + 1)) * 0.25,
+    ]
+
+    recombined = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "recombined")
+    recombined.defn = [
+        Select(
+            Condition(c, "==", 0),
+            cdy(0, x, y) + cdy(2, x, y) * 1.402,
+            Select(
+                Condition(c, "==", 1),
+                cdy(0, x, y) - cdy(1, x, y) * 0.344 - cdy(2, x, y) * 0.714,
+                cdy(0, x, y) + cdy(1, x, y) * 1.772,
+            ),
+        )
+    ]
+
+    saturation = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "saturation")
+    saturation.defn = [recombined(c, x, y) * 1.1 - 0.05]
+
+    contrast = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "contrast")
+    contrast.defn = [(saturation(c, x, y) - 0.5) * 1.2 + 0.5]
+
+    gamma_adj = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "gamma_adj")
+    gamma_adj.defn = [Sqrt_safe(contrast(c, x, y))]
+
+    dither = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "dither")
+    dither.defn = [
+        gamma_adj(c, x, y) + ((x * 7 + y * 3) % 16) * (1.0 / 4096) - (8.0 / 4096)
+    ]
+
+    out = Function(([c, x, y], [iv(0, 2)] + list(cd)), Float, "out")
+    out.defn = [Clamp(dither(c, x, y), 0.0, 1.0)]
+
+    pipe = Pipeline([out], {}, name="camera_pipeline")
+    check_stage_count(pipe, 32)
+    return pipe
+
+
+def Sqrt_safe(e):
+    """sqrt of a value clamped to be non-negative."""
+    from ..dsl import Max as _Max, Sqrt as _Sqrt
+
+    return _Sqrt(_Max(e, 0.0))
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The Halide-repository expert schedule: the whole frame is processed
+    in tiles with demosaic/correction stages computed per tile and heavy
+    inlining — the aggressive fusion that makes H-manual the fastest CP
+    configuration in the paper's Table 3."""
+    e = pipeline.domain_extents(pipeline.stage_by_name("out"))
+    half = pipeline.domain_extents(pipeline.stage_by_name("g_gr"))
+    fullext = pipeline.domain_extents(pipeline.stage_by_name("rgb"))
+    front = ["black", "lens", "defective", "shifted", "denoisedx",
+             "denoisedy", "deinterleaved", "wb"]
+    demosaic = ["g_gr", "g_gb", "g_avg", "r_full", "g_full", "b_full", "rgb"]
+    mid = ["corrected", "curved", "sharpx", "sharpy"]
+    tonemap = ["luma", "luma_blur", "tone"]
+    chroma = ["yuv", "cdx", "cdy"]
+    tail = ["recombined", "saturation", "contrast", "gamma_adj", "dither", "out"]
+    return manual_grouping(
+        pipeline,
+        [front, demosaic, ["curve"], mid, tonemap, chroma, tail],
+        [
+            [4, min(32, half[0]), min(128, half[1])],
+            [3, min(32, fullext[1]), min(128, fullext[2])],
+            [pipeline.domain_extents(pipeline.stage_by_name("curve"))[0]],
+            [3, min(32, fullext[1]), min(256, fullext[2])],
+            [3, min(32, fullext[1]), min(256, fullext[2])],
+            [3, min(32, e[1]), min(256, e[2])],
+            [3, min(32, e[1]), min(256, e[2])],
+        ],
+        strategy="h-manual",
+    )

@@ -1,0 +1,58 @@
+"""Shared helpers for the benchmark pipeline builders.
+
+Every benchmark module exposes::
+
+    build(width=..., height=..., **kwargs) -> Pipeline
+    h_manual(pipeline) -> Grouping      # the expert Halide-repo schedule
+
+Paper image sizes (Table 2) are the builders' defaults; tests pass small
+sizes.  Builders construct concrete ``Interval`` bounds from the given
+sizes directly — pyramidal pipelines need arithmetic on extents at every
+level, which is clearer with plain integers than with symbolic parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..dsl import Case, Condition, Float, Function, Int, Interval, Variable
+
+__all__ = ["var", "iv", "point_stage", "border_cond", "check_stage_count"]
+
+
+def var(name: str) -> Variable:
+    """Shorthand for an ``Int`` loop variable."""
+    return Variable(Int, name)
+
+
+def iv(lo: int, hi: int) -> Interval:
+    """Shorthand for an ``Int`` interval."""
+    return Interval(Int, lo, hi)
+
+
+def border_cond(x: Variable, y: Variable, xlo: int, xhi: int,
+                ylo: int, yhi: int) -> Condition:
+    """The rectangular interior condition used to guard stencil reads."""
+    return (
+        Condition(x, ">=", xlo)
+        & Condition(x, "<=", xhi)
+        & Condition(y, ">=", ylo)
+        & Condition(y, "<=", yhi)
+    )
+
+
+def point_stage(name, variables, intervals, scalar_type, expression):
+    """Declare a stage with an unconditional point-wise definition."""
+    f = Function((list(variables), list(intervals)), scalar_type, name)
+    f.defn = [expression]
+    return f
+
+
+def check_stage_count(pipeline, expected: int) -> None:
+    """Assert the builder produced the stage count the paper reports
+    (Table 2) — guards against silent drift when editing builders."""
+    if pipeline.num_stages != expected:
+        raise AssertionError(
+            f"{pipeline.name}: built {pipeline.num_stages} stages, "
+            f"expected {expected}"
+        )

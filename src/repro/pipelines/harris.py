@@ -1,0 +1,120 @@
+"""Harris Corner Detection — 11 stages, 4256x2832 (paper Table 2).
+
+Combines point-wise operations and stencils::
+
+    img --> gray --> Ix ----> Ixx --> Sxx --\\
+                 \\-> Iy --\\-> Ixy --> Sxy ---+--> harris --> corners
+                           \\> Iyy --> Syy --/
+
+Stage count: gray, Ix, Iy, Ixx, Ixy, Iyy, Sxx, Sxy, Syy, harris,
+corners = 11.  ``max |succ(G)|`` is 2 (``gray`` feeds Ix and Iy; Ix feeds
+Ixx and Ixy; ...), matching the paper.
+"""
+
+from __future__ import annotations
+
+from ..dsl import Case, Condition, Float, Function, Image, Pipeline
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import iv, var
+
+__all__ = ["build", "h_manual"]
+
+DEFAULT_WIDTH = 4256
+DEFAULT_HEIGHT = 2832
+
+_K = 0.04
+_THRESHOLD = 0.02
+
+
+def build(width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT) -> Pipeline:
+    """Build Harris corner detection at the given image size (grayscale
+    output domain; the RGB input carries a 2-pixel apron)."""
+    if width < 16 or height < 16:
+        raise ValueError("image too small for the 3x3 stencil chain")
+    R, C = height, width
+    x, y = var("x"), var("y")
+    img = Image(Float, "img", [3, R + 4, C + 4])
+
+    gray = Function(([x, y], [iv(0, R + 3), iv(0, C + 3)]), Float, "gray")
+    gray.defn = [
+        img(0, x, y) * 0.299 + img(1, x, y) * 0.587 + img(2, x, y) * 0.114
+    ]
+
+    # Sobel-like derivatives (3x3 stencils on gray).
+    Ix = Function(([x, y], [iv(1, R + 2), iv(1, C + 2)]), Float, "Ix")
+    Ix.defn = [
+        (
+            gray(x - 1, y + 1) - gray(x - 1, y - 1)
+            + (gray(x, y + 1) - gray(x, y - 1)) * 2.0
+            + gray(x + 1, y + 1) - gray(x + 1, y - 1)
+        )
+        * (1.0 / 12)
+    ]
+    Iy = Function(([x, y], [iv(1, R + 2), iv(1, C + 2)]), Float, "Iy")
+    Iy.defn = [
+        (
+            gray(x + 1, y - 1) - gray(x - 1, y - 1)
+            + (gray(x + 1, y) - gray(x - 1, y)) * 2.0
+            + gray(x + 1, y + 1) - gray(x - 1, y + 1)
+        )
+        * (1.0 / 12)
+    ]
+
+    prods = iv(1, R + 2), iv(1, C + 2)
+    Ixx = Function(([x, y], list(prods)), Float, "Ixx")
+    Ixx.defn = [Ix(x, y) * Ix(x, y)]
+    Iyy = Function(([x, y], list(prods)), Float, "Iyy")
+    Iyy.defn = [Iy(x, y) * Iy(x, y)]
+    Ixy = Function(([x, y], list(prods)), Float, "Ixy")
+    Ixy.defn = [Ix(x, y) * Iy(x, y)]
+
+    def box(name, src):
+        f = Function(([x, y], [iv(2, R + 1), iv(2, C + 1)]), Float, name)
+        f.defn = [
+            src(x - 1, y - 1) + src(x - 1, y) + src(x - 1, y + 1)
+            + src(x, y - 1) + src(x, y) + src(x, y + 1)
+            + src(x + 1, y - 1) + src(x + 1, y) + src(x + 1, y + 1)
+        ]
+        return f
+
+    Sxx = box("Sxx", Ixx)
+    Syy = box("Syy", Iyy)
+    Sxy = box("Sxy", Ixy)
+
+    harris = Function(([x, y], [iv(2, R + 1), iv(2, C + 1)]), Float, "harris")
+    det = Sxx(x, y) * Syy(x, y) - Sxy(x, y) * Sxy(x, y)
+    trace = Sxx(x, y) + Syy(x, y)
+    harris.defn = [det - trace * trace * _K]
+
+    corners = Function(([x, y], [iv(2, R + 1), iv(2, C + 1)]), Float, "corners")
+    corners.defn = [
+        Case(Condition(harris(x, y), ">", _THRESHOLD), harris(x, y)),
+        0.0,
+    ]
+
+    return Pipeline([corners], {}, name="harris_corner")
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The Halide-repository expert schedule: gray and the derivative
+    images are computed at root (full buffers), only the second half of
+    the pipeline is tiled and fused — the schedule the paper's Table 3
+    shows losing badly to fully-fused groupings on large images."""
+    extents = pipeline.domain_extents(pipeline.stage_by_name("corners"))
+    tile = [min(64, extents[0]), min(256, extents[1])]
+    return manual_grouping(
+        pipeline,
+        [
+            ["gray"],
+            ["Ix"],
+            ["Iy"],
+            ["Ixx", "Iyy", "Ixy", "Sxx", "Syy", "Sxy", "harris", "corners"],
+        ],
+        [
+            [min(128, extents[0]), min(256, extents[1])],
+            [min(128, extents[0]), min(256, extents[1])],
+            [min(128, extents[0]), min(256, extents[1])],
+            tile,
+        ],
+        strategy="h-manual",
+    )

@@ -1,0 +1,170 @@
+"""Multiscale Interpolation — 49 stages, 1536x2560x3, 10 pyramid levels
+(paper Table 2).
+
+The Halide/PolyMage ``interpolate`` app: alpha-weighted image values are
+pushed down an image pyramid with separable downsampling, then pulled back
+up with bilinear upsampling, interpolating the missing (alpha = 0) pixels
+at progressively finer scales::
+
+    clamped -> d0 -> dx1 -> dy1 -> ... -> dx9 -> dy9
+                \\                            |
+                 interp0 <- ux0/uy0 <- ... <- interp8 <- ux8/uy8
+                    |
+               normalize -> output
+
+Stage count with L levels: 2 (clamped, d0) + 2(L-1) down + 3(L-1) up
++ 2 (normalize, output) = 5L - 1 = 49 for L = 10.
+
+The paper reports ``max |succ(G)| = 2`` for this pipeline: every pyramid
+level's result feeds the next coarser level and one interpolation stage.
+
+Reproduction note: Halide's interpolate weights the upsampled contribution
+by the alpha channel ``d_l(3, x, y)``; a constant channel index on an
+intra-group edge cannot be made a constant dependence (neither PolyMage
+nor our analysis can scale it), so we use a fixed interpolation weight.
+The DAG shape, access patterns, and per-level extents are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..dsl import Clamp, Float, Function, Image, Pipeline
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import check_stage_count, iv, var
+
+__all__ = ["build", "h_manual", "DEFAULT_LEVELS"]
+
+DEFAULT_WIDTH = 2560
+DEFAULT_HEIGHT = 1536
+DEFAULT_LEVELS = 10
+
+
+def _down_bounds(lo: int, hi: int) -> Tuple[int, int]:
+    """Domain of a level reading its parent at ``2x - 1 .. 2x + 1``."""
+    return (lo + 1 + 1) // 2, (hi - 1) // 2
+
+
+def build(
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    levels: int = DEFAULT_LEVELS,
+) -> Pipeline:
+    """Build the multiscale interpolation pipeline.
+
+    ``levels`` is the pyramid depth (10 in the paper); smaller images need
+    fewer levels — the builder checks that the coarsest level is non-empty.
+    """
+    if levels < 2:
+        raise ValueError("need at least two pyramid levels")
+    R, C = height, width
+    c, x, y = var("c"), var("x"), var("y")
+    img = Image(Float, "img", [4, R, C])
+    cr = iv(0, 3)
+
+    # Per-level x/y bounds of the downsampling pyramid.
+    xb: List[Tuple[int, int]] = [(0, R - 1)]
+    yb: List[Tuple[int, int]] = [(0, C - 1)]
+    for l in range(1, levels):
+        xb.append(_down_bounds(*xb[l - 1]))
+        yb.append(_down_bounds(*yb[l - 1]))
+        if xb[l][0] >= xb[l][1] or yb[l][0] >= yb[l][1]:
+            raise ValueError(
+                f"image {width}x{height} too small for {levels} levels"
+            )
+
+    clamped = Function(([c, x, y], [cr, iv(*xb[0]), iv(*yb[0])]), Float, "clamped")
+    clamped.defn = [Clamp(img(c, x, y), 0.0, 1.0)]
+
+    # d0: alpha-premultiplied base level.
+    d0 = Function(([c, x, y], [cr, iv(*xb[0]), iv(*yb[0])]), Float, "d0")
+    d0.defn = [clamped(c, x, y) * clamped(3, x, y) * 0.5 + clamped(c, x, y) * 0.5]
+
+    # Downsampling chain: dx_l halves x, dy_l halves y.
+    down: List[Function] = [d0]
+    for l in range(1, levels):
+        prev = down[l - 1]
+        dx = Function(
+            ([c, x, y], [cr, iv(*xb[l]), iv(*yb[l - 1])]), Float, f"dx{l}"
+        )
+        dx.defn = [
+            (prev(c, 2 * x - 1, y) + prev(c, 2 * x, y) * 2.0
+             + prev(c, 2 * x + 1, y)) * 0.25
+        ]
+        dy = Function(([c, x, y], [cr, iv(*xb[l]), iv(*yb[l])]), Float, f"dy{l}")
+        dy.defn = [
+            (dx(c, x, 2 * y - 1) + dx(c, x, 2 * y) * 2.0
+             + dx(c, x, 2 * y + 1)) * 0.25
+        ]
+        down.append(dy)
+
+    # Upsampling / interpolation chain.  interp bounds shrink so that the
+    # bilinear reads of the next-coarser interp stay in its domain.
+    ib: List[Tuple[Tuple[int, int], Tuple[int, int]]] = [None] * levels  # type: ignore
+    ib[levels - 1] = (xb[levels - 1], yb[levels - 1])
+    for l in range(levels - 2, -1, -1):
+        (pxlo, pxhi), (pylo, pyhi) = ib[l + 1]
+        lo_x = max(xb[l][0], 2 * pxlo)
+        hi_x = min(xb[l][1], 2 * pxhi - 1)
+        lo_y = max(yb[l][0], 2 * pylo)
+        hi_y = min(yb[l][1], 2 * pyhi - 1)
+        if lo_x >= hi_x or lo_y >= hi_y:
+            raise ValueError(
+                f"image {width}x{height} too small for {levels} levels"
+            )
+        ib[l] = ((lo_x, hi_x), (lo_y, hi_y))
+
+    interp: List[Function] = [None] * levels  # type: ignore
+    interp[levels - 1] = down[levels - 1]
+    for l in range(levels - 2, -1, -1):
+        (ixb, iyb) = ib[l]
+        (pxb, pyb) = ib[l + 1]
+        src = interp[l + 1]
+        ux = Function(([c, x, y], [cr, iv(*ixb), iv(*pyb)]), Float, f"ux{l}")
+        ux.defn = [
+            (src(c, x // 2, y) + src(c, (x + 1) // 2, y)) * 0.5
+        ]
+        uy = Function(([c, x, y], [cr, iv(*ixb), iv(*iyb)]), Float, f"uy{l}")
+        uy.defn = [
+            (ux(c, x, y // 2) + ux(c, x, (y + 1) // 2)) * 0.5
+        ]
+        ip = Function(([c, x, y], [cr, iv(*ixb), iv(*iyb)]), Float, f"interp{l}")
+        ip.defn = [down[l](c, x, y) + uy(c, x, y) * 0.5]
+        interp[l] = ip
+
+    (fxb, fyb) = ib[0]
+    normalize = Function(([c, x, y], [cr, iv(*fxb), iv(*fyb)]), Float, "normalize")
+    normalize.defn = [interp[0](c, x, y) * (2.0 / 1.5)]
+
+    output = Function(([c, x, y], [cr, iv(*fxb), iv(*fyb)]), Float, "output")
+    output.defn = [Clamp(normalize(c, x, y), 0.0, 1.0)]
+
+    pipe = Pipeline([output], {}, name="multiscale_interp")
+    if levels == DEFAULT_LEVELS:
+        check_stage_count(pipe, 49)
+    return pipe
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The Halide-repository expert schedule: every pyramid level computed
+    at root (separate groups of the separable pairs), the final levels
+    fused and tiled — good locality at the coarse levels is irrelevant, so
+    the schedule's fusion is conservative."""
+    groups: List[List[str]] = [["clamped", "d0"]]
+    names = {s.name for s in pipeline.stages}
+    l = 1
+    while f"dx{l}" in names:
+        groups.append([f"dx{l}", f"dy{l}"])
+        l += 1
+    l = 0
+    while f"ux{l}" in names:
+        groups.append([f"ux{l}", f"uy{l}", f"interp{l}"])
+        l += 1
+    groups.append(["normalize", "output"])
+
+    tiles = []
+    for g in groups:
+        stage = pipeline.stage_by_name(g[-1])
+        e = pipeline.domain_extents(stage)
+        tiles.append([e[0], min(64, e[1]), min(256, e[2])])
+    return manual_grouping(pipeline, groups, tiles, strategy="h-manual")

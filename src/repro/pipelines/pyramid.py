@@ -1,0 +1,221 @@
+"""Pyramid Blending — 44 stages, 3840x2160x3, 4 pyramid levels
+(paper Table 2).
+
+Blend two images under a mask by blending their Laplacian pyramids level
+by level and collapsing the result.  Following PolyMage's packed
+representation, the two input images travel *together* through one
+pyramid behind a leading image index ``i`` (``P_l(i, c, x, y)``); the
+blend stages read ``i = 0`` and ``i = 1`` explicitly — constant leading
+indices that act as fusion barriers, just like channel mixing in the
+camera pipeline.  The mask runs through its own 2-D pyramid::
+
+    imgA/imgB -> pack -> pregain -> (GxP_l, P_l) x3        (4-D pyramid)
+    mask -> maskclamp -> maskblur -> (GxM_l, M_l) x3 -> W_l per level
+    lap_l = P_l - up(P_{l+1})     (upPx/upPy/lap, separable upsampling)
+    blend_l = lap_l[0]*W_l + lap_l[1]*(1-W_l)   (barrier on i)
+    out_3 = blend_3;  out_l = blend_l + up(out_{l+1})  (upOx/upOy/out)
+    -> brighten -> clamped
+
+Stage count with L = 4 levels: 2 + 2 + 4(L-1) + L + 3(L-1) + L
++ 3(L-1) + 2 = 44.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..dsl import Clamp, Float, Function, Image, Pipeline, Select, Condition
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import check_stage_count, iv, var
+
+__all__ = ["build", "h_manual", "DEFAULT_LEVELS"]
+
+DEFAULT_WIDTH = 3840
+DEFAULT_HEIGHT = 2160
+DEFAULT_LEVELS = 4
+
+
+def _down_bounds(lo: int, hi: int) -> Tuple[int, int]:
+    return (lo + 2) // 2, (hi - 1) // 2
+
+
+def build(
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    levels: int = DEFAULT_LEVELS,
+) -> Pipeline:
+    """Build the pyramid blending pipeline (two images + mask inputs)."""
+    if levels < 2:
+        raise ValueError("need at least two pyramid levels")
+    R, C = height, width
+    i, c, x, y = var("i"), var("c"), var("x"), var("y")
+    imgA = Image(Float, "imgA", [3, R, C])
+    imgB = Image(Float, "imgB", [3, R, C])
+    mask = Image(Float, "mask", [R, C])
+    ir, cr = iv(0, 1), iv(0, 2)
+
+    xb: List[Tuple[int, int]] = [(0, R - 1)]
+    yb: List[Tuple[int, int]] = [(0, C - 1)]
+    for l in range(1, levels):
+        xb.append(_down_bounds(*xb[l - 1]))
+        yb.append(_down_bounds(*yb[l - 1]))
+        if xb[l][0] >= xb[l][1] or yb[l][0] >= yb[l][1]:
+            raise ValueError(
+                f"image {width}x{height} too small for {levels} levels"
+            )
+
+    # Pack both input images behind the leading index i.
+    pack = Function(([i, c, x, y], [ir, cr, iv(*xb[0]), iv(*yb[0])]), Float, "pack")
+    pack.defn = [
+        Select(Condition(i, "==", 0), imgA(c, x, y), imgB(c, x, y))
+    ]
+    pregain = Function(([i, c, x, y], [ir, cr, iv(*xb[0]), iv(*yb[0])]), Float,
+                       "pregain")
+    pregain.defn = [Clamp(pack(i, c, x, y), 0.0, 1.0)]
+
+    maskclamp = Function(([x, y], [iv(*xb[0]), iv(*yb[0])]), Float, "maskclamp")
+    maskclamp.defn = [Clamp(mask(x, y), 0.0, 1.0)]
+    mb = [iv(xb[0][0] + 1, xb[0][1] - 1), iv(yb[0][0] + 1, yb[0][1] - 1)]
+    maskblur = Function(([x, y], list(mb)), Float, "maskblur")
+    maskblur.defn = [
+        (maskclamp(x - 1, y) + maskclamp(x + 1, y) + maskclamp(x, y - 1)
+         + maskclamp(x, y + 1) + maskclamp(x, y) * 4.0) * 0.125
+    ]
+
+    # Gaussian pyramids (separable 1-2-1 downsampling).
+    P: List[Function] = [pregain]
+    M: List[Function] = [maskblur]
+    for l in range(1, levels):
+        prev = P[l - 1]
+        gx = Function(([i, c, x, y], [ir, cr, iv(*xb[l]), iv(*yb[l - 1])]),
+                      Float, f"GxP{l}")
+        gx.defn = [
+            (prev(i, c, 2 * x - 1, y) + prev(i, c, 2 * x, y) * 2.0
+             + prev(i, c, 2 * x + 1, y)) * 0.25
+        ]
+        pl = Function(([i, c, x, y], [ir, cr, iv(*xb[l]), iv(*yb[l])]),
+                      Float, f"P{l}")
+        pl.defn = [
+            (gx(i, c, x, 2 * y - 1) + gx(i, c, x, 2 * y) * 2.0
+             + gx(i, c, x, 2 * y + 1)) * 0.25
+        ]
+        P.append(pl)
+
+        mprev = M[l - 1]
+        mgx = Function(([x, y], [iv(*xb[l]), iv(*yb[l - 1])]), Float, f"GxM{l}")
+        mgx.defn = [
+            (mprev(2 * x - 1, y) + mprev(2 * x, y) * 2.0
+             + mprev(2 * x + 1, y)) * 0.25
+        ]
+        ml = Function(([x, y], [iv(*xb[l]), iv(*yb[l])]), Float, f"M{l}")
+        ml.defn = [
+            (mgx(x, 2 * y - 1) + mgx(x, 2 * y) * 2.0 + mgx(x, 2 * y + 1)) * 0.25
+        ]
+        M.append(ml)
+
+    # Per-level blend weights.
+    W: List[Function] = []
+    for l in range(levels):
+        wl = Function(([x, y], [iv(*xb[l]), iv(*yb[l])]), Float, f"W{l}")
+        wl.defn = [Clamp(M[l](x, y) * 1.1 - 0.05, 0.0, 1.0)]
+        W.append(wl)
+
+    # Laplacian bounds: level l needs bilinear reads of level l+1.
+    lb: List[Tuple[Tuple[int, int], Tuple[int, int]]] = [None] * levels  # type: ignore
+    lb[levels - 1] = (xb[levels - 1], yb[levels - 1])
+    for l in range(levels - 2, -1, -1):
+        (pxlo, pxhi), (pylo, pyhi) = lb[l + 1]
+        lb[l] = (
+            (max(xb[l][0], 2 * pxlo), min(xb[l][1], 2 * pxhi - 1)),
+            (max(yb[l][0], 2 * pylo), min(yb[l][1], 2 * pyhi - 1)),
+        )
+        if lb[l][0][0] >= lb[l][0][1] or lb[l][1][0] >= lb[l][1][1]:
+            raise ValueError(
+                f"image {width}x{height} too small for {levels} levels"
+            )
+
+    # Laplacian levels (separable bilinear upsampling of the pyramid).
+    lap: List[Function] = [None] * levels  # type: ignore
+    for l in range(levels - 2, -1, -1):
+        (bxl, byl) = lb[l]
+        (pxl, pyl) = lb[l + 1]
+        upx = Function(([i, c, x, y], [ir, cr, iv(*bxl), iv(*pyl)]), Float,
+                       f"upPx{l}")
+        upx.defn = [
+            (P[l + 1](i, c, x // 2, y) + P[l + 1](i, c, (x + 1) // 2, y)) * 0.5
+        ]
+        upy = Function(([i, c, x, y], [ir, cr, iv(*bxl), iv(*byl)]), Float,
+                       f"upPy{l}")
+        upy.defn = [
+            (upx(i, c, x, y // 2) + upx(i, c, x, (y + 1) // 2)) * 0.5
+        ]
+        la = Function(([i, c, x, y], [ir, cr, iv(*bxl), iv(*byl)]), Float,
+                      f"lap{l}")
+        la.defn = [P[l](i, c, x, y) - upy(i, c, x, y)]
+        lap[l] = la
+
+    # Blend each level (reads i = 0 and i = 1: barrier on the pyramid).
+    blend: List[Function] = [None] * levels  # type: ignore
+    top = levels - 1
+    btop = Function(([c, x, y], [cr, iv(*lb[top][0]), iv(*lb[top][1])]), Float,
+                    f"blend{top}")
+    btop.defn = [
+        P[top](0, c, x, y) * W[top](x, y)
+        + P[top](1, c, x, y) * (1.0 - W[top](x, y))
+    ]
+    blend[top] = btop
+    for l in range(levels - 2, -1, -1):
+        bl = Function(([c, x, y], [cr, iv(*lb[l][0]), iv(*lb[l][1])]), Float,
+                      f"blend{l}")
+        bl.defn = [
+            lap[l](0, c, x, y) * W[l](x, y)
+            + lap[l](1, c, x, y) * (1.0 - W[l](x, y))
+        ]
+        blend[l] = bl
+
+    # Collapse the blended pyramid (separable upsampling).
+    out: List[Function] = [None] * levels  # type: ignore
+    out[top] = blend[top]
+    for l in range(levels - 2, -1, -1):
+        (bxl, byl) = lb[l]
+        (pxl, pyl) = lb[l + 1]
+        ux = Function(([c, x, y], [cr, iv(*bxl), iv(*pyl)]), Float, f"upOx{l}")
+        ux.defn = [
+            (out[l + 1](c, x // 2, y) + out[l + 1](c, (x + 1) // 2, y)) * 0.5
+        ]
+        uy = Function(([c, x, y], [cr, iv(*bxl), iv(*byl)]), Float, f"upOy{l}")
+        uy.defn = [(ux(c, x, y // 2) + ux(c, x, (y + 1) // 2)) * 0.5]
+        ol = Function(([c, x, y], [cr, iv(*bxl), iv(*byl)]), Float, f"out{l}")
+        ol.defn = [blend[l](c, x, y) + uy(c, x, y)]
+        out[l] = ol
+
+    brighten = Function(([c, x, y], [cr, iv(*lb[0][0]), iv(*lb[0][1])]), Float,
+                        "brighten")
+    brighten.defn = [out[0](c, x, y) * 1.02]
+    clamped = Function(([c, x, y], [cr, iv(*lb[0][0]), iv(*lb[0][1])]), Float,
+                       "clamped")
+    clamped.defn = [Clamp(brighten(c, x, y), 0.0, 1.0)]
+
+    pipe = Pipeline([clamped], {}, name="pyramid_blend")
+    if levels == DEFAULT_LEVELS:
+        check_stage_count(pipe, 44)
+    return pipe
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The expert schedule in the Halide repository computes nearly every
+    pyramid stage at root with only per-stage parallelism — the paper's
+    Table 3/4 show it trailing every fused configuration (5.33x slower
+    than PolyMageDP on the Opteron)."""
+    groups = []
+    tiles = []
+    for s in pipeline.stages:
+        groups.append([s.name])
+        e = pipeline.domain_extents(s)
+        if len(e) == 4:
+            tiles.append([e[0], e[1], min(64, e[2]), min(256, e[3])])
+        elif len(e) == 3:
+            tiles.append([e[0], min(64, e[1]), min(256, e[2])])
+        else:
+            tiles.append([min(64, e[0]), min(256, e[1])])
+    return manual_grouping(pipeline, groups, tiles, strategy="h-manual")

@@ -1,0 +1,214 @@
+"""Benchmark registry: the paper's six applications with their Table 2/3/4
+reference numbers.
+
+Each entry couples a builder (paper-sized by default, scalable for tests)
+with the published measurements so the benchmark harness can print
+paper-vs-measured tables without hard-coding them in every bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..dsl.pipeline import Pipeline
+from ..fusion.grouping import Grouping
+from . import bilateral, campipe, harris, interpolate, pyramid, unsharp
+
+__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark", "build_scaled"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One machine's row of Table 3/4: times in ms at 1 and 16 cores."""
+
+    h_manual: Tuple[float, float]
+    h_auto: Tuple[float, float]
+    polymage_a: Tuple[float, float]
+    polymage_dp: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered benchmark application."""
+
+    name: str
+    abbrev: str
+    build: Callable[..., Pipeline]
+    h_manual: Callable[[Pipeline], Grouping]
+    #: paper image size (width, height[, channels]) — Table 2
+    image_size: Tuple[int, ...]
+    #: Table 2 reference columns
+    paper_stages: int
+    paper_max_succ: int
+    paper_groupings: Dict[str, int]  # group limit ("inf", "32", ...) -> count
+    paper_time_s: Dict[str, float]
+    #: Table 3 (Xeon) and Table 4 (Opteron) rows
+    paper_xeon: PaperRow
+    paper_opteron: PaperRow
+    #: benchmarks where the paper found g++ failed to vectorize the
+    #: PolyMage-generated code on the Opteron (Sec. 6.2)
+    opteron_novec: bool = False
+    #: kwargs for a reduced-size build used in integration tests
+    small_kwargs: Dict[str, int] = field(default_factory=dict)
+
+
+BENCHMARKS: Dict[str, Benchmark] = {}
+
+
+def _register(b: Benchmark) -> None:
+    BENCHMARKS[b.abbrev] = b
+
+
+_register(Benchmark(
+    name="Unsharp Mask",
+    abbrev="UM",
+    build=unsharp.build,
+    h_manual=unsharp.h_manual,
+    image_size=(4256, 2832, 3),
+    paper_stages=4,
+    paper_max_succ=2,
+    paper_groupings={"inf": 10},
+    paper_time_s={"inf": 0.05},
+    paper_xeon=PaperRow(
+        h_manual=(159, 20.4), h_auto=(76.4, 17.1),
+        polymage_a=(105, 19.7), polymage_dp=(89.3, 8.83),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(270, 74.7), h_auto=(135, 60.04),
+        polymage_a=(298, 83.87), polymage_dp=(260, 32.31),
+    ),
+    small_kwargs={"width": 256, "height": 192},
+))
+
+_register(Benchmark(
+    name="Harris Corner",
+    abbrev="HC",
+    build=harris.build,
+    h_manual=harris.h_manual,
+    image_size=(4256, 2832),
+    paper_stages=11,
+    paper_max_succ=2,
+    paper_groupings={"inf": 104},
+    paper_time_s={"inf": 0.15},
+    paper_xeon=PaperRow(
+        h_manual=(257, 33.0), h_auto=(111, 10.7),
+        polymage_a=(94.5, 19.8), polymage_dp=(82.0, 6.40),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(432, 57.8), h_auto=(142, 46.68),
+        polymage_a=(266, 87.80), polymage_dp=(194, 20.32),
+    ),
+    small_kwargs={"width": 256, "height": 192},
+))
+
+_register(Benchmark(
+    name="Bilateral Grid",
+    abbrev="BG",
+    build=bilateral.build,
+    h_manual=bilateral.h_manual,
+    image_size=(2560, 1536),
+    paper_stages=7,
+    paper_max_succ=1,
+    paper_groupings={"inf": 16},
+    paper_time_s={"inf": 0.02},
+    paper_xeon=PaperRow(
+        h_manual=(66.1, 6.47), h_auto=(78.3, 6.13),
+        polymage_a=(84.9, 7.66), polymage_dp=(78.0, 7.50),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(167, 17.1), h_auto=(121, 13.16),
+        polymage_a=(491, 47.31), polymage_dp=(480, 46.12),
+    ),
+    opteron_novec=True,
+    small_kwargs={"width": 256, "height": 192},
+))
+
+_register(Benchmark(
+    name="Multiscale Interp.",
+    abbrev="MI",
+    build=interpolate.build,
+    h_manual=interpolate.h_manual,
+    image_size=(2560, 1536, 3),
+    paper_stages=49,
+    paper_max_succ=2,
+    paper_groupings={"inf": 741},
+    paper_time_s={"inf": 3.00},
+    paper_xeon=PaperRow(
+        h_manual=(108, 35.3), h_auto=(141, 18.3),
+        polymage_a=(101, 14.2), polymage_dp=(95.4, 13.2),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(266, 153), h_auto=(157, 37.91),
+        polymage_a=(245, 58.11), polymage_dp=(234, 51.40),
+    ),
+    opteron_novec=True,
+    small_kwargs={"width": 256, "height": 192, "levels": 4},
+))
+
+_register(Benchmark(
+    name="Camera Pipeline",
+    abbrev="CP",
+    build=campipe.build,
+    h_manual=campipe.h_manual,
+    image_size=(2592, 1968),
+    paper_stages=32,
+    paper_max_succ=5,
+    paper_groupings={"inf": 12227, "32": 12227, "16": 3825, "8": 1631},
+    paper_time_s={"inf": 13.7, "32": 13.7, "16": 5.10, "8": 1.0},
+    paper_xeon=PaperRow(
+        h_manual=(34.2, 3.60), h_auto=(36.8, 5.10),
+        polymage_a=(52.7, 4.40), polymage_dp=(51.4, 4.25),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(39.0, 5.80), h_auto=(58.0, 14.31),
+        polymage_a=(190, 19.20), polymage_dp=(210, 21.30),
+    ),
+    opteron_novec=True,
+    small_kwargs={"width": 256, "height": 192},
+))
+
+_register(Benchmark(
+    name="Pyramid Blend",
+    abbrev="PB",
+    build=pyramid.build,
+    h_manual=pyramid.h_manual,
+    image_size=(3840, 2160, 3),
+    paper_stages=44,
+    paper_max_succ=3,
+    paper_groupings={"inf": 27108, "32": 26952, "16": 7809, "8": 923},
+    paper_time_s={"inf": 25.7, "32": 25.0, "16": 10.3, "8": 0.3},
+    paper_xeon=PaperRow(
+        h_manual=(195, 67.5), h_auto=(175, 33.7),
+        polymage_a=(196, 20.2), polymage_dp=(191, 19.9),
+    ),
+    paper_opteron=PaperRow(
+        h_manual=(443, 366), h_auto=(234, 169.1),
+        polymage_a=(325, 73.44), polymage_dp=(343, 68.70),
+    ),
+    opteron_novec=True,
+    small_kwargs={"width": 256, "height": 192, "levels": 3},
+))
+
+
+def get_benchmark(abbrev: str) -> Benchmark:
+    """Look a benchmark up by its Table 2 abbreviation (UM, HC, ...)."""
+    try:
+        return BENCHMARKS[abbrev]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbrev!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def build_scaled(abbrev: str, scale: float = 1.0) -> Pipeline:
+    """Build a benchmark at a fraction of its paper image size (tests and
+    quick experiments); ``scale=1`` builds the paper configuration."""
+    b = get_benchmark(abbrev)
+    if scale == 1.0:
+        return b.build()
+    kwargs = dict(b.small_kwargs)
+    w, h = b.image_size[0], b.image_size[1]
+    kwargs["width"] = max(64, int(w * scale) // 16 * 16)
+    kwargs["height"] = max(64, int(h * scale) // 16 * 16)
+    return b.build(**kwargs)

@@ -1,0 +1,201 @@
+"""Synthetic pipeline generation — random DAGs of realistic stages.
+
+The paper's Fig. 4 argument is structural: greedy pairwise merging
+excludes most of the grouping space, and which groupings matter depends
+on the DAG's shape.  Randomly generated pipelines let the harness
+quantify that beyond the six fixed benchmarks (see
+``benchmarks/bench_random_pipelines.py``) and give users a quick source
+of schedulable test programs.
+
+Pipelines are built from a seeded RNG out of point-wise stages (cheap and
+math-heavy), 3/5-tap stencils in either dimension, separable
+downsampling, bilinear upsampling, and occasional same-resolution joins.
+Domains are tracked so every access stays in its producer's bounds at
+every resolution level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dsl import Exp, Float, Function, Image, Int, Interval, Pipeline, Sqrt, Variable
+
+__all__ = ["random_pipeline"]
+
+
+@dataclass
+class _Node:
+    stage: Function
+    level: int  # resolution level: extents ~ base / 2^level
+    bounds: Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+def _shrink(bounds, r):
+    (xlo, xhi), (ylo, yhi) = bounds
+    return ((xlo + r, xhi - r), (ylo + r, yhi - r))
+
+
+def random_pipeline(
+    num_stages: int = 12,
+    seed: int = 0,
+    size: int = 512,
+    branch_prob: float = 0.25,
+    join_prob: float = 0.2,
+    name: Optional[str] = None,
+) -> Pipeline:
+    """Generate a random, valid, schedulable 2-D pipeline.
+
+    ``num_stages`` is a target; the realised pipeline may differ by a few
+    stages because dangling branches are folded into the sink by join
+    stages.  Deterministic given ``seed``.
+    """
+    if num_stages < 2:
+        raise ValueError("need at least two stages")
+    if size < 128:
+        raise ValueError("size must be at least 128")
+    rnd = random.Random(seed)
+    x, y = Variable(Int, "x"), Variable(Int, "y")
+    img = Image(Float, "img", [size, size])
+
+    counter = [0]
+
+    def fresh(kind: str) -> str:
+        counter[0] += 1
+        return f"{kind}{counter[0]}"
+
+    def make(kind, node: _Node) -> Optional[_Node]:
+        src = node.stage
+        (xlo, xhi), (ylo, yhi) = node.bounds
+        if kind == "point":
+            f = Function(([x, y], [Interval(Int, xlo, xhi),
+                                   Interval(Int, ylo, yhi)]), Float,
+                         fresh("pw"))
+            f.defn = [src(x, y) * 0.9 + 0.01]
+            return _Node(f, node.level, node.bounds)
+        if kind == "math":
+            f = Function(([x, y], [Interval(Int, xlo, xhi),
+                                   Interval(Int, ylo, yhi)]), Float,
+                         fresh("mw"))
+            f.defn = [Sqrt(src(x, y) * src(x, y) + 0.25)]
+            return _Node(f, node.level, node.bounds)
+        if kind in ("sx", "sy"):
+            r = rnd.choice((1, 2))
+            nb = _shrink(node.bounds, r)
+            if nb[0][0] >= nb[0][1] or nb[1][0] >= nb[1][1]:
+                return None
+            f = Function(([x, y], [Interval(Int, *nb[0]),
+                                   Interval(Int, *nb[1])]), Float,
+                         fresh(kind))
+            if kind == "sx":
+                taps = [src(x + d, y) for d in range(-r, r + 1)]
+            else:
+                taps = [src(x, y + d) for d in range(-r, r + 1)]
+            acc = taps[0]
+            for t in taps[1:]:
+                acc = acc + t
+            f.defn = [acc * (1.0 / len(taps))]
+            return _Node(f, node.level, nb)
+        if kind == "down":
+            nxlo, nxhi = (xlo + 2) // 2, (xhi - 1) // 2
+            nylo, nyhi = (ylo + 2) // 2, (yhi - 1) // 2
+            if nxhi - nxlo < 8 or nyhi - nylo < 8:
+                return None
+            f = Function(([x, y], [Interval(Int, nxlo, nxhi),
+                                   Interval(Int, nylo, nyhi)]), Float,
+                         fresh("dn"))
+            f.defn = [
+                (src(2 * x - 1, y * 2) + src(2 * x, 2 * y) * 2.0
+                 + src(2 * x + 1, 2 * y)) * 0.25
+            ]
+            return _Node(f, node.level + 1, ((nxlo, nxhi), (nylo, nyhi)))
+        if kind == "up":
+            nxlo, nxhi = 2 * xlo, 2 * xhi - 1
+            nylo, nyhi = 2 * ylo, 2 * yhi - 1
+            f = Function(([x, y], [Interval(Int, nxlo, nxhi),
+                                   Interval(Int, nylo, nyhi)]), Float,
+                         fresh("up"))
+            f.defn = [
+                (src(x // 2, y // 2) + src((x + 1) // 2, (y + 1) // 2)) * 0.5
+            ]
+            return _Node(f, node.level - 1, ((nxlo, nxhi), (nylo, nyhi)))
+        raise AssertionError(kind)
+
+    # Root stage reads the image.
+    margin = 8
+    root = Function(
+        ([x, y], [Interval(Int, margin, size - margin - 1)] * 2), Float,
+        fresh("pw"),
+    )
+    root.defn = [img(x, y)]
+    frontier: List[_Node] = [
+        _Node(root, 0, ((margin, size - margin - 1),) * 2)
+    ]
+    made = 1
+
+    kinds = ("point", "math", "sx", "sy", "sx", "sy", "down", "up")
+    while made < num_stages - 1:
+        node = rnd.choice(frontier)
+        kind = rnd.choice(kinds)
+        if kind == "up" and node.level == 0:
+            continue  # never upsample beyond the base resolution
+        if kind == "down" and node.level >= 3:
+            continue
+        new = make(kind, node)
+        if new is None:
+            continue
+        made += 1
+        if rnd.random() < branch_prob:
+            frontier.append(new)  # keep the producer available too
+        else:
+            frontier[frontier.index(node)] = new
+        # Same-resolution joins keep the DAG from being a pure tree.
+        if len(frontier) > 1 and rnd.random() < join_prob:
+            peers = [n for n in frontier if n.level == new.level
+                     and n is not new]
+            if peers:
+                other = rnd.choice(peers)
+                (axl, axh), (ayl, ayh) = new.bounds
+                (bxl, bxh), (byl, byh) = other.bounds
+                jb = ((max(axl, bxl), min(axh, bxh)),
+                      (max(ayl, byl), min(ayh, byh)))
+                if jb[0][0] < jb[0][1] and jb[1][0] < jb[1][1]:
+                    f = Function(([x, y], [Interval(Int, *jb[0]),
+                                           Interval(Int, *jb[1])]), Float,
+                                 fresh("jn"))
+                    f.defn = [new.stage(x, y) * 0.5 + other.stage(x, y) * 0.5]
+                    joined = _Node(f, new.level, jb)
+                    frontier = [n for n in frontier
+                                if n is not new and n is not other]
+                    frontier.append(joined)
+                    made += 1
+
+    # Fold the frontier into a single sink, upsampling as needed so every
+    # branch is reachable from the output.
+    while len(frontier) > 1:
+        frontier.sort(key=lambda n: n.level)
+        a = frontier.pop()  # coarsest
+        if a.level > frontier[-1].level:
+            lifted = make("up", a)
+            frontier.append(lifted if lifted else a)
+            if lifted is None:
+                break
+            made += 1
+            continue
+        b = frontier.pop()
+        jb = ((max(a.bounds[0][0], b.bounds[0][0]),
+               min(a.bounds[0][1], b.bounds[0][1])),
+              (max(a.bounds[1][0], b.bounds[1][0]),
+               min(a.bounds[1][1], b.bounds[1][1])))
+        f = Function(([x, y], [Interval(Int, *jb[0]),
+                               Interval(Int, *jb[1])]), Float, fresh("jn"))
+        f.defn = [a.stage(x, y) * 0.5 + b.stage(x, y) * 0.5]
+        frontier.append(_Node(f, a.level, jb))
+        made += 1
+
+    sink = frontier[0]
+    out = Function(([x, y], [Interval(Int, *sink.bounds[0]),
+                             Interval(Int, *sink.bounds[1])]), Float, "out")
+    out.defn = [sink.stage(x, y)]
+    return Pipeline([out], {}, name=name or f"synth{seed}")

@@ -1,0 +1,91 @@
+"""Unsharp Mask — 4 stages, 4256x2832x3 (paper Table 2).
+
+A classic sharpening pipeline: blur the image with two separable 5-tap
+Gaussian passes, then add back the high-frequency difference where it
+exceeds a threshold.
+
+DAG::
+
+    img -> blurx -> blury -> sharpen -> masked
+             |________________________|
+    (masked also re-reads img and blury)
+
+``max |succ(G)|`` is 2 (``blury`` feeds both ``sharpen`` and ``masked``),
+matching the paper.
+"""
+
+from __future__ import annotations
+
+from ..dsl import Case, Condition, Float, Function, Image, Pipeline
+from ..fusion.grouping import Grouping, manual_grouping
+from .common import border_cond, iv, var
+
+__all__ = ["build", "h_manual"]
+
+DEFAULT_WIDTH = 4256
+DEFAULT_HEIGHT = 2832
+
+#: 5-tap binomial kernel weights (1 4 6 4 1) / 16.
+_W = (1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16)
+_THRESHOLD = 0.01
+_WEIGHT = 3.0
+
+
+def build(width: int = DEFAULT_WIDTH, height: int = DEFAULT_HEIGHT) -> Pipeline:
+    """Build the Unsharp Mask pipeline at the given image size.
+
+    The input image carries a 2-pixel apron on each side, as in the
+    paper's blur example, so stencil reads never leave the data.
+    """
+    if width < 16 or height < 16:
+        raise ValueError("image too small for 5-tap stencils")
+    R, C = height, width
+    c, x, y = var("c"), var("x"), var("y")
+    img = Image(Float, "img", [3, R + 4, C + 4])
+
+    cr = iv(0, 2)
+    # blurx blurs along x; rows 2..R+1 of the padded image are the
+    # interior, columns keep the full apron for blury's use.
+    blurx = Function(([c, x, y], [cr, iv(2, R + 1), iv(0, C + 3)]), Float, "blurx")
+    blurx.defn = [
+        img(c, x - 2, y) * _W[0]
+        + img(c, x - 1, y) * _W[1]
+        + img(c, x, y) * _W[2]
+        + img(c, x + 1, y) * _W[3]
+        + img(c, x + 2, y) * _W[4]
+    ]
+
+    blury = Function(([c, x, y], [cr, iv(2, R + 1), iv(2, C + 1)]), Float, "blury")
+    blury.defn = [
+        blurx(c, x, y - 2) * _W[0]
+        + blurx(c, x, y - 1) * _W[1]
+        + blurx(c, x, y) * _W[2]
+        + blurx(c, x, y + 1) * _W[3]
+        + blurx(c, x, y + 2) * _W[4]
+    ]
+
+    sharpen = Function(([c, x, y], [cr, iv(2, R + 1), iv(2, C + 1)]), Float, "sharpen")
+    sharpen.defn = [img(c, x, y) * (1.0 + _WEIGHT) - blury(c, x, y) * _WEIGHT]
+
+    masked = Function(([c, x, y], [cr, iv(2, R + 1), iv(2, C + 1)]), Float, "masked")
+    diff = img(c, x, y) - blury(c, x, y)
+    masked.defn = [
+        Case(Condition(diff, "<", _THRESHOLD) & Condition(diff, ">", -_THRESHOLD),
+             img(c, x, y)),
+        sharpen(c, x, y),
+    ]
+
+    return Pipeline([masked], {}, name="unsharp_mask")
+
+
+def h_manual(pipeline: Pipeline) -> Grouping:
+    """The expert schedule shipped with the Halide repository: the whole
+    pipeline fused, tiled over rows with a wide vectorised inner extent."""
+    extents = pipeline.domain_extents(pipeline.stage_by_name("masked"))
+    tiles = [3, min(32, extents[1]), min(256, extents[2])]
+    return manual_grouping(
+        pipeline,
+        [["blurx", "blury", "sharpen", "masked"]],
+        [tiles],
+        strategy="h-manual",
+    )

@@ -1,0 +1,47 @@
+"""Polyhedral-lite analysis: affine accesses, alignment/scaling, dependence
+vectors, overlap volumes, reuse scores, and footprints.
+
+The paper's fusion model consumes rectangular domains and constant
+dependence vectors; this package computes those quantities exactly for the
+access patterns image processing pipelines use (stencils, point-wise
+operations, upsampling, downsampling), without a full polyhedral library.
+"""
+
+from .access import AccessSummary, DimIndex, linearize, summarize_access
+from .alignscale import EdgeAccess, GroupGeometry, compute_group_geometry
+from .dependence import (
+    constant_dependence_vectors,
+    dependence_vector_bounds,
+    max_dependence_radius,
+)
+from .footprint import (
+    buffer_count,
+    intermediate_buffers_size,
+    livein_tile_size,
+    liveout_tile_size,
+    liveouts_size,
+)
+from .overlap import overlap_size, stage_tile_extents, tile_volume
+from .reuse import dimensional_reuse
+
+__all__ = [
+    "AccessSummary",
+    "DimIndex",
+    "linearize",
+    "summarize_access",
+    "EdgeAccess",
+    "GroupGeometry",
+    "compute_group_geometry",
+    "constant_dependence_vectors",
+    "dependence_vector_bounds",
+    "max_dependence_radius",
+    "overlap_size",
+    "tile_volume",
+    "stage_tile_extents",
+    "dimensional_reuse",
+    "liveouts_size",
+    "intermediate_buffers_size",
+    "livein_tile_size",
+    "liveout_tile_size",
+    "buffer_count",
+]

@@ -1,0 +1,218 @@
+"""Affine access extraction.
+
+The fusion model needs, for every access ``f(e0, e1, ...)`` in a stage
+body, a per-dimension *affine summary*: which consumer loop variable drives
+the index and with what rational coefficient and offset.  The supported
+index forms cover the paper's benchmarks:
+
+* ``x + 3``, ``2 * x - 1``           — stencils / interleaving,
+* ``x // 2``, ``(x + 1) // 2``       — upsampling (reads of a coarser level),
+* ``2 * x``                          — downsampling (reads of a finer level),
+* ``7`` (constants)                  — broadcasts,
+* anything else (``img(x, y)`` used as an index, ``x + y``, products of
+  variables) — *data dependent / non-affine*, which the dependence analysis
+  reports as a non-constant dependence (and fusion across that edge is then
+  rejected by the cost function, line 2 of Algorithm 2).
+
+An affine index is summarised as ``floor((num * var + off) / den)`` with
+integer ``num > 0``, ``den >= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..dsl.entities import Parameter, Variable, evaluate_scalar
+from ..dsl.expr import Access, BinOp, Const, Expr, MathCall, Select, UnaryOp
+
+__all__ = ["DimIndex", "AccessSummary", "summarize_access", "linearize"]
+
+
+@dataclass(frozen=True)
+class DimIndex:
+    """Affine summary of one index dimension of an access.
+
+    ``index = floor((num * var + off) / den)``; ``var is None`` means the
+    index is the constant ``off // den``.  ``affine=False`` marks an index
+    the analysis cannot summarise (data-dependent or multi-variable); in
+    that case the numeric fields are meaningless.
+    """
+
+    var: Optional[str]
+    num: int
+    off: int
+    den: int
+    affine: bool = True
+
+    @property
+    def coeff(self) -> Fraction:
+        """The rational access coefficient ``num / den``."""
+        return Fraction(self.num, self.den)
+
+    def offset_bounds(self) -> Tuple[Fraction, Fraction]:
+        """Bounds of ``index - (num/den) * var`` as exact fractions.
+
+        ``floor((num*v + off)/den)`` lies in
+        ``[(num*v + off - den + 1)/den, (num*v + off)/den]``, so the
+        deviation from the exact rational point spans
+        ``[(off - den + 1)/den, off/den]``.
+        """
+        return (
+            Fraction(self.off - self.den + 1, self.den),
+            Fraction(self.off, self.den),
+        )
+
+    def __repr__(self) -> str:
+        if not self.affine:
+            return "DimIndex(non-affine)"
+        if self.var is None:
+            return f"DimIndex(const={self.off // self.den})"
+        body = f"{self.num}*{self.var}" if self.num != 1 else self.var
+        if self.off:
+            body += f" + {self.off}" if self.off > 0 else f" - {-self.off}"
+        if self.den != 1:
+            return f"DimIndex(({body}) // {self.den})"
+        return f"DimIndex({body})"
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """Affine summaries of every dimension of one access."""
+
+    producer_name: str
+    dims: Tuple[DimIndex, ...]
+
+    @property
+    def affine(self) -> bool:
+        return all(d.affine for d in self.dims)
+
+
+class _NonAffine(Exception):
+    """Internal: raised when an index expression is not affine."""
+
+
+def linearize(
+    expr: Expr, env: Dict[str, int]
+) -> Tuple[Dict[str, Fraction], Fraction, int]:
+    """Linearise an index expression.
+
+    Returns ``(coeffs, const, den)`` such that the expression equals
+    ``floor((sum_v coeffs[v]*den*v + const*den) / den)`` — i.e. coefficients
+    and constant are exact rationals and ``den`` records the coarsest floor
+    granularity applied (1 when no integer division occurred).
+
+    Raises ``_NonAffine`` for unsupported shapes.
+    """
+    if isinstance(expr, Const):
+        if not isinstance(expr.value, int):
+            raise _NonAffine("non-integer constant index")
+        return {}, Fraction(expr.value), 1
+    if isinstance(expr, Parameter):
+        return {}, Fraction(env[expr.name]), 1
+    if isinstance(expr, Variable):
+        return {expr.name: Fraction(1)}, Fraction(0), 1
+    if isinstance(expr, UnaryOp):
+        coeffs, const, den = linearize(expr.operand, env)
+        if den != 1:
+            raise _NonAffine("negation of a floored expression")
+        return {v: -c for v, c in coeffs.items()}, -const, 1
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            lc, lk, ld = linearize(expr.lhs, env)
+            rc, rk, rd = linearize(expr.rhs, env)
+            if ld != 1 and rd != 1:
+                raise _NonAffine("sum of two floored expressions")
+            sign = 1 if expr.op == "+" else -1
+            if sign == -1 and rd != 1:
+                raise _NonAffine("subtraction of a floored expression")
+            coeffs = dict(lc)
+            for v, c in rc.items():
+                coeffs[v] = coeffs.get(v, Fraction(0)) + sign * c
+            coeffs = {v: c for v, c in coeffs.items() if c != 0}
+            # Adding an integer constant to a floored expression commutes
+            # with the floor only when the constant is integral w.r.t. den.
+            den = max(ld, rd)
+            if den != 1:
+                # floor((a)/d) + k == floor((a + k*d)/d)
+                pure_const = rk if ld != 1 else lk
+                if pure_const.denominator != 1:
+                    raise _NonAffine("fractional constant with floor")
+            return coeffs, lk + sign * rk, den
+        if expr.op == "*":
+            lc, lk, ld = linearize(expr.lhs, env)
+            rc, rk, rd = linearize(expr.rhs, env)
+            if ld != 1 or rd != 1:
+                raise _NonAffine("product with a floored expression")
+            if lc and rc:
+                raise _NonAffine("product of two variables")
+            if rc:
+                lc, lk, rc, rk = rc, rk, lc, lk
+            # now rc is empty: multiply by the scalar rk
+            return {v: c * rk for v, c in lc.items()}, lk * rk, 1
+        if expr.op == "//":
+            lc, lk, ld = linearize(expr.lhs, env)
+            rc, rk, rd = linearize(expr.rhs, env)
+            if rc or rd != 1 or rk.denominator != 1 or rk <= 0:
+                raise _NonAffine("floor division by a non-constant")
+            divisor = int(rk)
+            if divisor == 1:
+                return lc, lk, ld
+            # floor(floor(e/d1)/d2) == floor(e/(d1*d2)) for positive d1, d2.
+            return (
+                {v: c / divisor for v, c in lc.items()},
+                lk / divisor,
+                ld * divisor,
+            )
+        raise _NonAffine(f"operator {expr.op!r} in index")
+    if isinstance(expr, (Access, MathCall, Select)):
+        raise _NonAffine("data-dependent index")
+    raise _NonAffine(f"unsupported index node {type(expr).__name__}")
+
+
+_NON_AFFINE = DimIndex(var=None, num=0, off=0, den=1, affine=False)
+
+
+def summarize_dim(expr: Expr, env: Dict[str, int]) -> DimIndex:
+    """Summarise one index dimension; never raises."""
+    try:
+        coeffs, const, den = linearize(expr, env)
+    except _NonAffine:
+        return _NON_AFFINE
+    if len(coeffs) > 1:
+        return _NON_AFFINE
+    if not coeffs:
+        value = const  # constant index: floor(const) with granularity den
+        num = 0
+        off_frac = value
+        var = None
+        coeff = Fraction(0)
+    else:
+        var, coeff = next(iter(coeffs.items()))
+        if coeff <= 0:
+            # Reversed (mirrored) accesses give non-constant dependences
+            # after scaling; report non-affine so fusion is rejected.
+            return _NON_AFFINE
+        off_frac = const
+    # Normalise to integer num/off over a common denominator `d`.
+    d = den
+    for f in ((coeff, off_frac) if var is not None else (off_frac,)):
+        d = d * f.denominator // _gcd(d, f.denominator)
+    if var is not None:
+        num = int(coeff * d)
+    off = int(off_frac * d)
+    return DimIndex(var=var, num=num, off=off, den=d, affine=True)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def summarize_access(access: Access, env: Dict[str, int]) -> AccessSummary:
+    """Summarise every dimension of ``access`` under parameter binding
+    ``env``."""
+    dims = tuple(summarize_dim(e, env) for e in access.indices)
+    return AccessSummary(producer_name=access.producer.name, dims=dims)

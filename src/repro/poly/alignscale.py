@@ -1,0 +1,345 @@
+"""Alignment and scaling of a fusion group (Sec. 2.2 of the paper).
+
+Before a set of stages can be fused and overlap-tiled, PolyMage *aligns*
+their loop dimensions (matches each dimension of every stage with a common
+group dimension) and *scales* them by per-dimension rational factors so
+that all intra-group dependences have constant distances.  Upsampling and
+downsampling accesses are exactly the cases that need non-unit scales: a
+stage reading ``f(2 * x)`` forces ``f`` to be scaled by 1/2 relative to the
+reader, and a stage reading ``f(x // 2)`` forces a scale of 2.
+
+:func:`compute_group_geometry` performs this analysis for a group and
+returns a :class:`GroupGeometry` (or ``None`` when no consistent
+alignment/scaling exists — in which case the cost function returns infinity
+and the grouping is rejected, line 2 of Algorithm 2).  The geometry also
+carries everything downstream passes need: the common scaled iteration
+grid, per-stage point densities, constant dependence offsets, and the
+per-stage overlap expansion radii used by overlapped tiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..dsl.function import Function, Reduction
+from ..dsl.pipeline import Pipeline
+from .access import AccessSummary, DimIndex, summarize_access
+
+__all__ = ["GroupGeometry", "EdgeAccess", "compute_group_geometry"]
+
+
+@dataclass(frozen=True)
+class EdgeAccess:
+    """One summarised access along an intra-group edge."""
+
+    producer: Function
+    consumer: Function
+    summary: AccessSummary
+
+
+@dataclass
+class GroupGeometry:
+    """Result of aligning and scaling a fusion group.
+
+    Attributes
+    ----------
+    stages:
+        Group members in pipeline topological order.
+    ndim:
+        Number of dimensions of the common (scaled) iteration grid.
+    align:
+        For each stage, a tuple mapping stage dimension → group dimension.
+    scale:
+        For each stage, the rational scaling factor per *stage* dimension.
+    grid_bounds:
+        Inclusive ``(lo, hi)`` integer bounds of the scaled grid per group
+        dimension (union over all member stages).
+    liveouts:
+        Stages whose output escapes the group (consumed outside it or a
+        pipeline output); these are written to full-sized buffers while the
+        rest live in per-tile scratch buffers.
+    edge_accesses:
+        All summarised intra-group accesses, for dependence/overlap passes.
+    """
+
+    stages: Tuple[Function, ...]
+    ndim: int
+    align: Dict[Function, Tuple[int, ...]]
+    scale: Dict[Function, Tuple[Fraction, ...]]
+    grid_bounds: Tuple[Tuple[int, int], ...]
+    liveouts: Tuple[Function, ...]
+    edge_accesses: Tuple[EdgeAccess, ...]
+    _radii: Optional[Dict[Function, Tuple[Tuple[int, int], ...]]] = field(
+        default=None, repr=False
+    )
+
+    # -- basic grid queries --------------------------------------------
+    @property
+    def grid_extents(self) -> Tuple[int, ...]:
+        return tuple(hi - lo + 1 for lo, hi in self.grid_bounds)
+
+    def stage_density(self, stage: Function) -> Fraction:
+        """Actual iteration points of ``stage`` per unit of scaled grid
+        volume (the product of 1/scale over its dimensions)."""
+        d = Fraction(1)
+        for s in self.scale[stage]:
+            d /= s
+        return d
+
+    def group_scale(self, stage: Function) -> Tuple[Fraction, ...]:
+        """Scale factors of ``stage`` indexed by *group* dimension (1 for
+        group dimensions the stage does not have)."""
+        out = [Fraction(1)] * self.ndim
+        for j, g in enumerate(self.align[stage]):
+            out[g] = self.scale[stage][j]
+        return tuple(out)
+
+    # -- dependence offsets ----------------------------------------------
+    def dependence_offsets(
+        self, edge: EdgeAccess
+    ) -> Tuple[Optional[Tuple[Fraction, Fraction]], ...]:
+        """Scaled dependence offset bounds per group dimension for one
+        access: the range of (scaled producer point − scaled consumer
+        point).  ``None`` for group dimensions the access does not
+        constrain (e.g. a dimension only the consumer has)."""
+        p, c = edge.producer, edge.consumer
+        p_scale = self.scale[p]
+        p_align = self.align[p]
+        out: List[Optional[Tuple[Fraction, Fraction]]] = [None] * self.ndim
+        for j, dim in enumerate(edge.summary.dims):
+            g = p_align[j]
+            sp = p_scale[j]
+            lo, hi = dim.offset_bounds()
+            out[g] = (sp * lo, sp * hi)
+        return tuple(out)
+
+    # -- overlap expansion radii ------------------------------------------
+    def expansion_radii(self) -> Dict[Function, Tuple[Tuple[int, int], ...]]:
+        """Per-stage ``(left, right)`` tile expansion per group dimension.
+
+        A live-out stage computes exactly the base tile; each producer must
+        compute everything its in-group consumers read, so radii accumulate
+        backwards through the group (the trapezoid of Fig. 2).  Cached.
+        """
+        if self._radii is not None:
+            return self._radii
+        radii: Dict[Function, List[List[int]]] = {
+            s: [[0, 0] for _ in range(self.ndim)] for s in self.stages
+        }
+        # Walk stages in reverse topological order (self.stages is topo).
+        consumers_edges: Dict[Function, List[EdgeAccess]] = {
+            s: [] for s in self.stages
+        }
+        for e in self.edge_accesses:
+            consumers_edges[e.producer].append(e)
+        for stage in reversed(self.stages):
+            for e in consumers_edges[stage]:
+                c_rad = radii[e.consumer]
+                offs = self.dependence_offsets(e)
+                for g in range(self.ndim):
+                    if offs[g] is None:
+                        continue
+                    lo, hi = offs[g]
+                    # Consumer region [t_lo - left_c, t_hi + right_c];
+                    # producer needs [.. + lo, .. + hi] in scaled space.
+                    left = c_rad[g][0] - lo
+                    right = c_rad[g][1] + hi
+                    s_rad = radii[stage]
+                    s_rad[g][0] = max(s_rad[g][0], int(math.ceil(left)))
+                    s_rad[g][1] = max(s_rad[g][1], int(math.ceil(right)))
+        self._radii = {
+            s: tuple((l, r) for l, r in radii[s]) for s in self.stages
+        }
+        return self._radii
+
+    def stage_grid_bounds(self, stage: Function) -> Tuple[Tuple[int, int], ...]:
+        """The stage's own scaled bounds, per group dimension (grid bounds
+        for dimensions the stage does not have)."""
+        out = list(self.grid_bounds)
+        # dimensions the stage has get its own scaled extent
+        for j, g in enumerate(self.align[stage]):
+            out[g] = self._scaled_bounds_cache[stage][j]
+        return tuple(out)
+
+    def __post_init__(self):
+        # Pre-compute each stage's scaled (lo, hi) per stage dimension.
+        self._scaled_bounds_cache: Dict[Function, Tuple[Tuple[int, int], ...]] = {}
+
+    def _set_scaled_bounds(
+        self, cache: Dict[Function, Tuple[Tuple[int, int], ...]]
+    ) -> None:
+        self._scaled_bounds_cache = cache
+
+
+def _liveouts(
+    pipeline: Pipeline, members: FrozenSet[Function]
+) -> Tuple[Function, ...]:
+    outs = []
+    for s in members:
+        if pipeline.is_output(s) or any(
+            c not in members for c in pipeline.consumers(s)
+        ):
+            outs.append(s)
+    return tuple(sorted(outs, key=lambda s: s.name))
+
+
+_GEOMETRY_CACHE: "weakref.WeakKeyDictionary" = None  # type: ignore[assignment]
+
+
+def compute_group_geometry(
+    pipeline: Pipeline, members: Iterable[Function]
+) -> Optional[GroupGeometry]:
+    """Align and scale the stages of a group.
+
+    Returns ``None`` when the group cannot be put on a common constant-
+    dependence grid: a reduction grouped with anything else, a data-
+    dependent or non-affine intra-group access, inconsistent scaling
+    requirements, or irreconcilable dimension alignment.
+
+    Results are memoised per (pipeline, member set): every fusion strategy
+    evaluates the same groups repeatedly.
+    """
+    global _GEOMETRY_CACHE
+    if _GEOMETRY_CACHE is None:
+        import weakref
+
+        _GEOMETRY_CACHE = weakref.WeakKeyDictionary()
+    member_set = frozenset(members)
+    per_pipe = _GEOMETRY_CACHE.get(pipeline)
+    if per_pipe is None:
+        per_pipe = {}
+        _GEOMETRY_CACHE[pipeline] = per_pipe
+    if member_set in per_pipe:
+        return per_pipe[member_set]
+    geom = _compute_group_geometry_uncached(pipeline, member_set)
+    per_pipe[member_set] = geom
+    return geom
+
+
+def _compute_group_geometry_uncached(
+    pipeline: Pipeline, member_set: FrozenSet[Function]
+) -> Optional[GroupGeometry]:
+    stages = tuple(s for s in pipeline.stages if s in member_set)
+    if not stages:
+        raise ValueError("empty group")
+    if len(stages) != len(member_set):
+        raise ValueError("group contains stages not in the pipeline")
+
+    if len(stages) > 1 and any(isinstance(s, Reduction) for s in stages):
+        # PolyMage does not fuse reductions (Sec. 6.2).
+        return None
+
+    ndim = max(s.ndim for s in stages)
+    liveouts = _liveouts(pipeline, member_set)
+    # Reference: a live-out with the most dimensions (ties: topologically
+    # last, i.e. closest to the pipeline output).
+    ref = max(liveouts, key=lambda s: (s.ndim, stages.index(s)))
+
+    # Summarise intra-group accesses once.
+    edge_accesses: List[EdgeAccess] = []
+    for consumer in stages:
+        for producer in pipeline.producers(consumer):
+            if producer not in member_set:
+                continue
+            for acc in pipeline.accesses_to(consumer, producer):
+                summary = summarize_access(acc, pipeline.env)
+                if not summary.affine:
+                    return None
+                edge_accesses.append(EdgeAccess(producer, consumer, summary))
+
+    var_dim = {s: {v.name: j for j, v in enumerate(s.variables)} for s in stages}
+
+    align: Dict[Function, List[Optional[int]]] = {
+        s: [None] * s.ndim for s in stages
+    }
+    scale: Dict[Function, List[Optional[Fraction]]] = {
+        s: [None] * s.ndim for s in stages
+    }
+    off = ndim - ref.ndim
+    for j in range(ref.ndim):
+        align[ref][j] = j + off
+        scale[ref][j] = Fraction(1)
+
+    # Fixpoint propagation of alignment/scaling constraints along edges.
+    changed = True
+    while changed:
+        changed = False
+        for e in edge_accesses:
+            p, c = e.producer, e.consumer
+            for j, dim in enumerate(e.summary.dims):
+                if dim.var is None:
+                    # Constant index on an intra-group edge: the dependence
+                    # distance grows with the consumer point — not
+                    # constant-izable.
+                    return None
+                k = var_dim[c].get(dim.var)
+                if k is None:
+                    return None  # index driven by a foreign variable
+                ratio = Fraction(dim.num, dim.den)  # producer = ratio * c
+                c_al, c_sc = align[c][k], scale[c][k]
+                p_al, p_sc = align[p][j], scale[p][j]
+                if c_al is not None and p_al is None:
+                    align[p][j] = c_al
+                    scale[p][j] = c_sc / ratio
+                    changed = True
+                elif p_al is not None and c_al is None:
+                    align[c][k] = p_al
+                    scale[c][k] = p_sc * ratio
+                    changed = True
+                elif p_al is not None and c_al is not None:
+                    if p_al != c_al or p_sc != c_sc / ratio:
+                        return None
+
+    # Assign leftover (never-constrained) dimensions: give each stage its
+    # unused group dimensions in trailing order with unit scale.
+    for s in stages:
+        used = {g for g in align[s] if g is not None}
+        free = [g for g in range(ndim) if g not in used]
+        missing = [j for j in range(s.ndim) if align[s][j] is None]
+        if len(missing) > len(free):
+            return None
+        # Trailing alignment: later stage dims get later group dims.
+        for j, g in zip(missing, free[len(free) - len(missing):]):
+            align[s][j] = g
+            scale[s][j] = Fraction(1)
+        # A stage's dims must map to distinct group dims.
+        if len(set(align[s])) != s.ndim:
+            return None
+
+    align_t = {s: tuple(align[s]) for s in stages}  # type: ignore[arg-type]
+    scale_t = {s: tuple(scale[s]) for s in stages}  # type: ignore[arg-type]
+
+    # Scaled per-stage bounds and the union grid.
+    scaled_bounds: Dict[Function, Tuple[Tuple[int, int], ...]] = {}
+    grid_lo = [None] * ndim  # type: List[Optional[int]]
+    grid_hi = [None] * ndim  # type: List[Optional[int]]
+    for s in stages:
+        dom = pipeline.domain(s)
+        bounds = []
+        for j, (lo, hi) in enumerate(dom):
+            f = scale_t[s][j]
+            slo = int(math.floor(lo * f))
+            shi = int(math.ceil(hi * f))
+            bounds.append((slo, shi))
+            g = align_t[s][j]
+            grid_lo[g] = slo if grid_lo[g] is None else min(grid_lo[g], slo)
+            grid_hi[g] = shi if grid_hi[g] is None else max(grid_hi[g], shi)
+        scaled_bounds[s] = tuple(bounds)
+    for g in range(ndim):
+        if grid_lo[g] is None:
+            grid_lo[g], grid_hi[g] = 0, 0
+
+    geom = GroupGeometry(
+        stages=stages,
+        ndim=ndim,
+        align=align_t,
+        scale=scale_t,
+        grid_bounds=tuple((int(grid_lo[g]), int(grid_hi[g])) for g in range(ndim)),
+        liveouts=liveouts,
+        edge_accesses=tuple(edge_accesses),
+    )
+    geom._set_scaled_bounds(scaled_bounds)
+    return geom

@@ -1,0 +1,71 @@
+"""Dependence-vector checks for fusion groups.
+
+Overlapped tiling of a group is possible only when every intra-group
+dependence can be made *constant* (independent of problem sizes) by the
+scaling and alignment of :mod:`repro.poly.alignscale`.  This module exposes
+the boolean check used on line 2 of Algorithm 2 plus helpers for
+inspecting the concrete (integer) dependence vectors of a group.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dsl.function import Function
+from ..dsl.pipeline import Pipeline
+from .alignscale import GroupGeometry, compute_group_geometry
+
+__all__ = [
+    "constant_dependence_vectors",
+    "dependence_vector_bounds",
+    "max_dependence_radius",
+]
+
+
+def constant_dependence_vectors(
+    pipeline: Pipeline, members: Iterable[Function]
+) -> bool:
+    """Whether all dependences inside the group have constant distance
+    after scaling/alignment (the fusability precondition)."""
+    return compute_group_geometry(pipeline, members) is not None
+
+
+def dependence_vector_bounds(
+    geom: GroupGeometry,
+) -> Dict[Tuple[str, str], Tuple[Tuple[int, int], ...]]:
+    """Integer dependence offset bounds per producer→consumer pair.
+
+    For each intra-group edge, the per-group-dimension ``(lo, hi)`` integer
+    bounds of (scaled producer point − scaled consumer point), unioned over
+    all accesses along that edge.  Dimensions unconstrained by any access
+    report ``(0, 0)``.
+    """
+    out: Dict[Tuple[str, str], List[Optional[List[int]]]] = {}
+    for e in geom.edge_accesses:
+        key = (e.producer.name, e.consumer.name)
+        rec = out.setdefault(key, [None for _ in range(geom.ndim)])
+        for g, bound in enumerate(geom.dependence_offsets(e)):
+            if bound is None:
+                continue
+            lo, hi = int(math.floor(bound[0])), int(math.ceil(bound[1]))
+            if rec[g] is None:
+                rec[g] = [lo, hi]
+            else:
+                rec[g][0] = min(rec[g][0], lo)
+                rec[g][1] = max(rec[g][1], hi)
+    return {
+        k: tuple((0, 0) if b is None else (b[0], b[1]) for b in v)
+        for k, v in out.items()
+    }
+
+
+def max_dependence_radius(geom: GroupGeometry) -> Tuple[int, ...]:
+    """Largest |offset| per group dimension over all intra-group edges —
+    a quick measure of how fast the tile trapezoid widens per dimension."""
+    radius = [0] * geom.ndim
+    for bounds in dependence_vector_bounds(geom).values():
+        for g, (lo, hi) in enumerate(bounds):
+            radius[g] = max(radius[g], abs(lo), abs(hi))
+    return tuple(radius)

@@ -1,0 +1,138 @@
+"""Memory footprints of fusion groups (live-ins, live-outs, intermediates).
+
+These are the quantities Algorithm 2 consumes:
+
+* ``liveOutsSize`` / ``intermediateBuffersSize`` — full-problem sizes used
+  to derive the per-core tile footprint budget and the tile count,
+* ``liveInTileSize`` / ``liveOutTileSize`` — per-tile transfer volumes whose
+  ratio to the tile's compute volume is the locality term of the cost.
+
+All sizes are in **bytes**.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..dsl.function import Function, Reduction
+from ..dsl.image import Image
+from ..dsl.pipeline import Pipeline
+from .access import summarize_access
+from .alignscale import GroupGeometry
+from .overlap import stage_tile_extents
+
+__all__ = [
+    "liveouts_size",
+    "intermediate_buffers_size",
+    "livein_tile_size",
+    "liveout_tile_size",
+    "buffer_count",
+]
+
+Producer = Union[Function, Image]
+
+
+def liveouts_size(pipeline: Pipeline, geom: GroupGeometry) -> int:
+    """Total bytes of the group's live-out buffers (full problem size)."""
+    return sum(
+        pipeline.domain_size(s) * s.scalar_type.size for s in geom.liveouts
+    )
+
+
+def intermediate_buffers_size(pipeline: Pipeline, geom: GroupGeometry) -> int:
+    """Total bytes of the group's intermediate (non-live-out) stages at
+    full problem size — the data fusion keeps out of main memory."""
+    liveout_set = set(geom.liveouts)
+    return sum(
+        pipeline.domain_size(s) * s.scalar_type.size
+        for s in geom.stages
+        if s not in liveout_set
+    )
+
+
+def _producer_extents(pipeline: Pipeline, producer: Producer) -> Tuple[int, ...]:
+    if isinstance(producer, Image):
+        return pipeline.image_shape(producer)
+    return pipeline.domain_extents(producer)
+
+
+def livein_tile_size(
+    pipeline: Pipeline, geom: GroupGeometry, tile_sizes: Sequence[int]
+) -> float:
+    """Bytes of external data (images and out-of-group stages) one tile of
+    the group loads.
+
+    For each external producer, the needed region per producer dimension is
+    the consumer's tile extent mapped through the access's affine
+    coefficient, unioned over all accessing stages; data-dependent
+    dimensions conservatively need the producer's whole extent (e.g. a
+    LUT indexed by pixel values).
+    """
+    member = set(geom.stages)
+    # per producer name: (producer, [needed extent per producer dim])
+    needed: Dict[str, Tuple[Producer, List[float]]] = {}
+
+    for consumer in geom.stages:
+        var_dim = {v.name: j for j, v in enumerate(consumer.variables)}
+        if isinstance(consumer, Reduction):
+            var_dim.update(
+                {v.name: None for v in consumer.reduction_variables}
+            )
+        c_scale = geom.scale[consumer]
+        c_align = geom.align[consumer]
+        tile_ext = stage_tile_extents(geom, tile_sizes, consumer)
+        for acc in pipeline.accesses(consumer):
+            producer = acc.producer
+            if isinstance(producer, Function) and producer in member:
+                continue  # intra-group: scratch, not a live-in
+            p_extents = _producer_extents(pipeline, producer)
+            summary = summarize_access(acc, pipeline.env)
+            rec = needed.setdefault(
+                producer.name, (producer, [0.0] * len(p_extents))
+            )[1]
+            for j, dim in enumerate(summary.dims):
+                full = float(p_extents[j])
+                if not dim.affine or dim.var is None:
+                    ext = full if not dim.affine else 1.0
+                else:
+                    k = var_dim.get(dim.var)
+                    if k is None:
+                        ext = full  # unknown driver: be conservative
+                    else:
+                        g = c_align[k]
+                        # consumer actual extent along k
+                        actual = float(tile_ext[g] / c_scale[k])
+                        ext = actual * dim.num / dim.den + 1.0
+                rec[j] = max(rec[j], min(ext, full))
+
+    total = 0.0
+    for producer, extents in needed.values():
+        region = 1.0
+        for e in extents:
+            region *= max(e, 1.0)
+        total += region * producer.scalar_type.size
+    return total
+
+
+def liveout_tile_size(
+    pipeline: Pipeline, geom: GroupGeometry, tile_sizes: Sequence[int]
+) -> float:
+    """Bytes one tile of the group stores to its live-out buffers (base
+    tile, no overlap — overlap writes land in scratch)."""
+    total = Fraction(0)
+    extents = geom.grid_extents
+    for stage in geom.liveouts:
+        vol = Fraction(1)
+        for g in range(geom.ndim):
+            vol *= min(tile_sizes[g], extents[g])
+        total += vol * geom.stage_density(stage) * stage.scalar_type.size
+    return float(total)
+
+
+def buffer_count(geom: GroupGeometry) -> int:
+    """Number of buffers live in cache during a group tile's execution —
+    one scratch (or live-out window) per member stage (``numBuffers`` of
+    Algorithm 2)."""
+    return len(geom.stages)

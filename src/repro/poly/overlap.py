@@ -1,0 +1,83 @@
+"""Overlap (redundant computation) and tile volume for overlapped tiling.
+
+With overlapped tiling, each tile of a fused group recomputes the
+overlapping region shared with neighbouring tiles (Fig. 2 of the paper) so
+tiles can run in parallel without synchronisation.  ``OVERLAPSIZE`` in
+Algorithm 2 is the total volume of that redundant computation for one tile;
+``COMPUTETILEVOLUME`` is the total points computed per tile including the
+overlap.  Both are computed here from a group's
+:class:`~repro.poly.alignscale.GroupGeometry` and candidate tile sizes.
+
+All volumes are in *actual iteration points*: a stage scaled by 1/2 packs
+two points per unit of scaled grid, which the per-stage density factor
+accounts for.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Sequence, Tuple
+
+from ..dsl.function import Function
+from .alignscale import GroupGeometry
+
+__all__ = ["overlap_size", "tile_volume", "stage_tile_extents"]
+
+
+def _clamped_extent(tile: int, left: int, right: int, dim_extent: int) -> int:
+    """Extent of an expanded tile along one dimension, clamped to the
+    grid: a tile cannot be larger than the stage's full extent."""
+    return min(tile + left + right, dim_extent)
+
+
+def stage_tile_extents(
+    geom: GroupGeometry,
+    tile_sizes: Sequence[int],
+    stage: Function,
+) -> Tuple[int, ...]:
+    """Scaled extents of one stage's (expanded) tile per group dimension."""
+    radii = geom.expansion_radii()[stage]
+    extents = geom.grid_extents
+    return tuple(
+        _clamped_extent(tile_sizes[g], radii[g][0], radii[g][1], extents[g])
+        for g in range(geom.ndim)
+    )
+
+
+def tile_volume(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
+    """Total iteration points computed by one tile of the group, including
+    redundant overlap regions (``COMPUTETILEVOLUME`` of Algorithm 2)."""
+    if len(tile_sizes) != geom.ndim:
+        raise ValueError(
+            f"expected {geom.ndim} tile sizes, got {len(tile_sizes)}"
+        )
+    total = Fraction(0)
+    for stage in geom.stages:
+        vol = Fraction(1)
+        for e in stage_tile_extents(geom, tile_sizes, stage):
+            vol *= e
+        total += vol * geom.stage_density(stage)
+    return float(total)
+
+
+def overlap_size(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
+    """Redundant computation per tile (``OVERLAPSIZE`` of Algorithm 2):
+    the expanded tile volume minus the base tile volume, summed over the
+    group's stages."""
+    if len(tile_sizes) != geom.ndim:
+        raise ValueError(
+            f"expected {geom.ndim} tile sizes, got {len(tile_sizes)}"
+        )
+    extents = geom.grid_extents
+    total = Fraction(0)
+    for stage in geom.stages:
+        radii = geom.expansion_radii()[stage]
+        expanded = Fraction(1)
+        base = Fraction(1)
+        for g in range(geom.ndim):
+            expanded *= _clamped_extent(
+                tile_sizes[g], radii[g][0], radii[g][1], extents[g]
+            )
+            base *= min(tile_sizes[g], extents[g])
+        total += (expanded - base) * geom.stage_density(stage)
+    return float(total)

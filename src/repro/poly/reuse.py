@@ -1,0 +1,60 @@
+"""Per-dimension reuse scores (``getDimensionalReuse`` of Algorithm 2).
+
+Tile sizes are set in proportion to the data reuse along each dimension
+(Sec. 4.2): dimensions along which stencils extend carry group-temporal
+reuse (the same producer value is read at several offsets), so longer tiles
+along them amortise more loads.  Reuse is determined by inspecting data
+accesses in the style of Wolf & Lam [19]: for every (consumer stage,
+producer) pair we count the distinct access offsets along each group
+dimension; ``k`` distinct offsets contribute ``k - 1`` units of reuse.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Set, Tuple
+
+from ..dsl.function import Function
+from ..dsl.image import Image
+from ..dsl.pipeline import Pipeline
+from .access import summarize_access
+from .alignscale import GroupGeometry
+
+__all__ = ["dimensional_reuse"]
+
+
+def dimensional_reuse(
+    pipeline: Pipeline, geom: GroupGeometry
+) -> Tuple[float, ...]:
+    """Reuse score per group dimension (all scores >= 1).
+
+    Considers every access made by group members — to other group members,
+    to external stages, and to input images alike, since producer-consumer
+    reuse inside a tile exists for all of them once the data is resident.
+    """
+    # offsets[(consumer, producer_name, g)] = set of distinct offsets
+    offsets: Dict[Tuple[str, str, int], Set[Fraction]] = {}
+    member_names = {s.name for s in geom.stages}
+
+    for consumer in geom.stages:
+        var_dim = {v.name: j for j, v in enumerate(consumer.variables)}
+        for acc in pipeline.accesses(consumer):
+            producer = acc.producer
+            summary = summarize_access(acc, pipeline.env)
+            for dim in summary.dims:
+                if not dim.affine or dim.var is None:
+                    continue
+                k = var_dim.get(dim.var)
+                if k is None:
+                    continue  # reduction variable: no tile-dimension reuse
+                g = geom.align[consumer][k]
+                key = (consumer.name, producer.name, g)
+                offsets.setdefault(key, set()).add(
+                    Fraction(dim.off, dim.den)
+                )
+
+    reuse = [1.0] * geom.ndim
+    for (_, _, g), offs in offsets.items():
+        if len(offs) > 1:
+            reuse[g] += len(offs) - 1
+    return tuple(reuse)

@@ -1,0 +1,6 @@
+"""Text rendering of paper-style result tables."""
+
+from .dot import pipeline_to_dot
+from .tables import format_speedup, format_table, ratio_str
+
+__all__ = ["format_table", "format_speedup", "ratio_str", "pipeline_to_dot"]

@@ -1,0 +1,100 @@
+"""Graphviz (DOT) export of pipeline DAGs and groupings.
+
+``pipeline_to_dot`` renders the stage DAG; passing a grouping draws each
+fused group as a cluster with its tile sizes in the label — the quickest
+way to see what a scheduling strategy decided.  The output is plain DOT
+text (render with ``dot -Tpdf``); no graphviz dependency is needed to
+produce it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dsl.function import Reduction
+from ..dsl.pipeline import Pipeline
+from ..fusion.grouping import Grouping
+
+__all__ = ["pipeline_to_dot"]
+
+
+def _node_id(name: str) -> str:
+    return '"' + name.replace('"', "'") + '"'
+
+
+def pipeline_to_dot(
+    pipeline: Pipeline,
+    grouping: Optional[Grouping] = None,
+    rankdir: str = "TB",
+) -> str:
+    """DOT source for the pipeline DAG, optionally clustered by grouping.
+
+    Stage nodes are boxes (reductions double-edged, live-outs filled);
+    image inputs are ellipses.  With a grouping, each group becomes a
+    ``subgraph cluster_N`` labelled with its tile sizes.
+    """
+    if grouping is not None and grouping.pipeline is not pipeline:
+        raise ValueError("grouping was built for a different pipeline")
+
+    lines = [f'digraph "{pipeline.name}" {{', f"    rankdir={rankdir};",
+             "    node [fontsize=10];"]
+
+    for img in pipeline.images:
+        shape = "x".join(str(e) for e in pipeline.image_shape(img))
+        lines.append(
+            f"    {_node_id(img.name)} [shape=ellipse, style=dashed, "
+            f'label="{img.name}\\n{shape}"];'
+        )
+
+    def stage_attrs(stage):
+        extents = "x".join(str(e) for e in pipeline.domain_extents(stage))
+        attrs = [f'label="{stage.name}\\n{extents}"', "shape=box"]
+        if isinstance(stage, Reduction):
+            attrs.append("peripheries=2")
+        if pipeline.is_output(stage):
+            attrs.append("style=filled")
+            attrs.append('fillcolor="#dddddd"')
+        return "[" + ", ".join(attrs) + "]"
+
+    if grouping is None:
+        for stage in pipeline.stages:
+            lines.append(f"    {_node_id(stage.name)} {stage_attrs(stage)};")
+    else:
+        for gi, (members, tiles) in enumerate(
+            zip(grouping.groups, grouping.tile_sizes)
+        ):
+            lines.append(f"    subgraph cluster_{gi} {{")
+            tile_label = "x".join(str(t) for t in tiles)
+            lines.append(f'        label="group {gi}  tiles {tile_label}";')
+            lines.append('        color="#4477aa";')
+            for stage in pipeline.stages:
+                if stage in members:
+                    lines.append(
+                        f"        {_node_id(stage.name)} {stage_attrs(stage)};"
+                    )
+            lines.append("    }")
+
+    # Edges: image reads dashed, stage-to-stage solid.
+    for stage in pipeline.stages:
+        seen_images = set()
+        for acc in pipeline.accesses(stage):
+            producer = acc.producer
+            if producer.name in seen_images:
+                continue
+            if producer is stage:
+                continue
+            from ..dsl.image import Image
+
+            if isinstance(producer, Image):
+                seen_images.add(producer.name)
+                lines.append(
+                    f"    {_node_id(producer.name)} -> "
+                    f"{_node_id(stage.name)} [style=dashed];"
+                )
+        for producer in pipeline.producers(stage):
+            lines.append(
+                f"    {_node_id(producer.name)} -> {_node_id(stage.name)};"
+            )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Paper-style text rendering of benchmark results.
+
+The benchmark harness produces rows mirroring the paper's tables; these
+helpers format them as aligned text with paper-vs-measured columns so the
+terminal output can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_speedup", "ratio_str"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an aligned text table with a title and optional footnote."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_speedup(ours: float, theirs: float) -> str:
+    """Speedup of ``ours`` over ``theirs`` (time ratios; >1 = we are
+    faster)."""
+    if ours <= 0:
+        return "n/a"
+    return f"{theirs / ours:.2f}x"
+
+
+def ratio_str(measured: Optional[float], paper: Optional[float]) -> str:
+    """measured/paper ratio annotation for EXPERIMENTS.md tables."""
+    if not measured or not paper:
+        return "-"
+    return f"{measured / paper:.2f}"

@@ -1,0 +1,15 @@
+"""Execution substrate: reference interpreter and overlapped-tiling
+executor (the stand-in for PolyMage's C++/OpenMP code generation)."""
+
+from .buffers import Buffer
+from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
+from .executor import execute_grouping, execute_reference
+
+__all__ = [
+    "Buffer",
+    "evaluate_expr",
+    "evaluate_cases",
+    "make_index_grids",
+    "execute_reference",
+    "execute_grouping",
+]

@@ -1,0 +1,69 @@
+"""Buffer bookkeeping for the pipeline interpreter.
+
+A buffer couples a NumPy array with the *origin* of its index space: stage
+domains need not start at zero (blur's rows run ``1..R``), and per-tile
+scratch buffers cover only the tile's expanded region.  ``Buffer.gather``
+translates absolute domain coordinates into array indices, clipping to the
+stored region — out-of-domain reads in stage bodies are guarded by their
+``Case`` conditions, so clipped values are always masked out downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Buffer"]
+
+
+@dataclass
+class Buffer:
+    """An array with an index-space origin."""
+
+    data: np.ndarray
+    origin: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.data.ndim != len(self.origin):
+            raise ValueError(
+                f"{self.data.ndim}-d array with {len(self.origin)}-d origin"
+            )
+
+    @classmethod
+    def for_region(
+        cls, bounds: Sequence[Tuple[int, int]], dtype
+    ) -> "Buffer":
+        """Allocate a zeroed buffer covering inclusive ``(lo, hi)`` bounds."""
+        shape = tuple(hi - lo + 1 for lo, hi in bounds)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"empty region {list(bounds)}")
+        return cls(np.zeros(shape, dtype=dtype), tuple(lo for lo, _ in bounds))
+
+    def gather(self, indices: Sequence[np.ndarray]) -> np.ndarray:
+        """Read at absolute coordinates (broadcasting index arrays),
+        clipping to the stored region."""
+        idx = []
+        for d, coord in enumerate(indices):
+            rel = np.asarray(coord) - self.origin[d]
+            idx.append(np.clip(rel, 0, self.data.shape[d] - 1))
+        return self.data[tuple(idx)]
+
+    def store_region(
+        self, bounds: Sequence[Tuple[int, int]], values: np.ndarray
+    ) -> None:
+        """Write ``values`` into the inclusive absolute region ``bounds``."""
+        sl = tuple(
+            slice(lo - self.origin[d], hi - self.origin[d] + 1)
+            for d, (lo, hi) in enumerate(bounds)
+        )
+        self.data[sl] = values
+
+    def read_region(self, bounds: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Read the inclusive absolute region ``bounds`` as a view."""
+        sl = tuple(
+            slice(lo - self.origin[d], hi - self.origin[d] + 1)
+            for d, (lo, hi) in enumerate(bounds)
+        )
+        return self.data[sl]

@@ -1,0 +1,125 @@
+"""Vectorised evaluation of DSL expressions over index grids.
+
+The interpreter materialises each stage region as open (broadcastable)
+index grids — one array per loop variable — and evaluates the stage's
+expression tree with NumPy, so a whole region is computed per stage pass
+(the Python-level cost is per *stage region*, not per pixel).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dsl.entities import Case, Condition, Parameter, Variable
+from ..dsl.expr import (
+    _BINOP_EVAL,
+    _MATH_EVAL,
+    Access,
+    BinOp,
+    Cast,
+    Const,
+    Expr,
+    MathCall,
+    Select,
+    UnaryOp,
+)
+from .buffers import Buffer
+
+__all__ = ["make_index_grids", "evaluate_expr", "evaluate_cases"]
+
+Env = Mapping[str, Union[int, float, np.ndarray]]
+
+
+def make_index_grids(
+    bounds: Sequence[Tuple[int, int]]
+) -> List[np.ndarray]:
+    """Open index grids for an inclusive region: grid ``d`` has the
+    region's coordinates along axis ``d`` and length-1 axes elsewhere, so
+    arithmetic between grids broadcasts to the full region shape."""
+    ndim = len(bounds)
+    grids = []
+    for d, (lo, hi) in enumerate(bounds):
+        shape = [1] * ndim
+        shape[d] = hi - lo + 1
+        grids.append(np.arange(lo, hi + 1, dtype=np.int64).reshape(shape))
+    return grids
+
+
+def evaluate_expr(
+    expr: Expr, env: Env, buffers: Mapping[str, Buffer]
+) -> Union[int, float, np.ndarray]:
+    """Evaluate ``expr`` under variable/parameter bindings ``env``,
+    resolving accesses against ``buffers`` (keyed by producer name)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, (Variable, Parameter)):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise NameError(
+                f"unbound {type(expr).__name__.lower()} {expr.name!r}"
+            ) from None
+    if isinstance(expr, BinOp):
+        lhs = evaluate_expr(expr.lhs, env, buffers)
+        rhs = evaluate_expr(expr.rhs, env, buffers)
+        return _BINOP_EVAL[expr.op](lhs, rhs)
+    if isinstance(expr, UnaryOp):
+        return -evaluate_expr(expr.operand, env, buffers)
+    if isinstance(expr, MathCall):
+        args = [evaluate_expr(a, env, buffers) for a in expr.args]
+        return _MATH_EVAL[expr.fn](*args)
+    if isinstance(expr, Select):
+        cond = expr.condition.evaluate(
+            lambda e: evaluate_expr(e, env, buffers)
+        )
+        t = evaluate_expr(expr.true_expr, env, buffers)
+        f = evaluate_expr(expr.false_expr, env, buffers)
+        return np.where(cond, t, f)
+    if isinstance(expr, Cast):
+        value = evaluate_expr(expr.operand, env, buffers)
+        if isinstance(value, np.ndarray):
+            return value.astype(expr.scalar_type.np_dtype)
+        return expr.scalar_type.np_dtype.type(value)
+    if isinstance(expr, Access):
+        buf = buffers.get(expr.producer.name)
+        if buf is None:
+            raise KeyError(
+                f"no buffer for producer {expr.producer.name!r}"
+            )
+        indices = [
+            np.asarray(evaluate_expr(i, env, buffers), dtype=np.int64)
+            for i in expr.indices
+        ]
+        return buf.gather(indices)
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_cases(
+    defn: Sequence, env: Env, buffers: Mapping[str, Buffer], shape, dtype
+) -> np.ndarray:
+    """Evaluate a stage body (expressions and ``Case`` branches, first
+    matching branch wins; unmatched points are zero) over a region."""
+    conditions: List[np.ndarray] = []
+    values: List[np.ndarray] = []
+    default = 0
+    for entry in defn:
+        if isinstance(entry, Case):
+            cond = entry.condition.evaluate(
+                lambda e: evaluate_expr(e, env, buffers)
+            )
+            value = evaluate_expr(entry.expression, env, buffers)
+            conditions.append(np.broadcast_to(cond, shape))
+            values.append(np.broadcast_to(np.asarray(value), shape))
+        else:
+            # An unconditional entry is the fallback for points no earlier
+            # Case matched (and the whole definition if it is the only
+            # entry).
+            default = evaluate_expr(entry, env, buffers)
+
+    if not conditions:
+        out = np.broadcast_to(np.asarray(default), shape)
+        return np.ascontiguousarray(out).astype(dtype, copy=False)
+    result = np.select(conditions, values, default=default)
+    return result.astype(dtype, copy=False)

@@ -1,0 +1,307 @@
+"""NumPy interpreter for pipelines: reference and overlapped-tiled modes.
+
+Two entry points:
+
+* :func:`execute_reference` — every stage over its full domain, in
+  topological order.  The semantic ground truth.
+* :func:`execute_grouping` — execute a :class:`~repro.fusion.Grouping` the
+  way PolyMage's generated code does (Fig. 3 of the paper): the tile-space
+  loops of each fused group are shared, each tile computes the expanded
+  (overlapped) region of every member stage into per-tile scratch buffers,
+  live-outs write their base tile to full buffers, and tiles are
+  independent — optionally run on a thread pool, which is exactly what the
+  broken inter-tile dependences of overlapped tiling permit.
+
+Outputs of the two modes agree except for floating-point association
+noise; the integration test suite checks this for every benchmark pipeline
+and scheduling strategy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dsl.function import Function, Op, Reduction
+from ..dsl.pipeline import Pipeline
+from ..fusion.grouping import Grouping
+from ..poly.alignscale import GroupGeometry, compute_group_geometry
+from .buffers import Buffer
+from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
+
+__all__ = ["execute_reference", "execute_grouping"]
+
+#: Rows of the outermost reduction dimension processed per chunk, bounding
+#: the temporary index arrays a reduction materialises.
+_REDUCTION_CHUNK = 256
+
+
+def _input_buffers(
+    pipeline: Pipeline, inputs: Mapping[str, np.ndarray]
+) -> Dict[str, Buffer]:
+    buffers: Dict[str, Buffer] = {}
+    for img in pipeline.images:
+        if img.name not in inputs:
+            raise KeyError(f"missing input image {img.name!r}")
+        arr = np.asarray(inputs[img.name])
+        shape = pipeline.image_shape(img)
+        if arr.shape != shape:
+            raise ValueError(
+                f"input {img.name!r} has shape {arr.shape}, expected {shape}"
+            )
+        buffers[img.name] = Buffer(
+            arr.astype(img.scalar_type.np_dtype, copy=False),
+            (0,) * len(shape),
+        )
+    return buffers
+
+
+def _compute_function_region(
+    pipeline: Pipeline,
+    stage: Function,
+    bounds: Sequence[Tuple[int, int]],
+    buffers: Mapping[str, Buffer],
+) -> Buffer:
+    """Evaluate a (non-reduction) stage over an inclusive region."""
+    grids = make_index_grids(bounds)
+    env: Dict[str, object] = dict(pipeline.env)
+    for var, grid in zip(stage.variables, grids):
+        env[var.name] = grid
+    shape = tuple(hi - lo + 1 for lo, hi in bounds)
+    values = evaluate_cases(
+        stage.defn, env, buffers, shape, stage.scalar_type.np_dtype
+    )
+    return Buffer(values, tuple(lo for lo, _ in bounds))
+
+
+def _compute_reduction(
+    pipeline: Pipeline,
+    stage: Reduction,
+    buffers: Mapping[str, Buffer],
+) -> Buffer:
+    """Evaluate a reduction over its full reduction domain."""
+    dom = pipeline.domain(stage)
+    out = Buffer.for_region(dom, stage.scalar_type.np_dtype)
+    out.data.fill(stage.default)
+    rdom = stage.resolve_reduction_domain(pipeline.env)
+
+    r0_lo, r0_hi = rdom[0]
+    for chunk_lo in range(r0_lo, r0_hi + 1, _REDUCTION_CHUNK):
+        chunk_hi = min(chunk_lo + _REDUCTION_CHUNK - 1, r0_hi)
+        bounds = [(chunk_lo, chunk_hi)] + list(rdom[1:])
+        grids = make_index_grids(bounds)
+        env: Dict[str, object] = dict(pipeline.env)
+        for var, grid in zip(stage.reduction_variables, grids):
+            env[var.name] = grid
+        for rule in stage.defn:
+            idx = [
+                np.asarray(evaluate_expr(i, env, buffers), dtype=np.int64)
+                for i in rule.indices
+            ]
+            val = np.asarray(evaluate_expr(rule.value, env, buffers))
+            arrays = np.broadcast_arrays(val, *idx)
+            val_b = arrays[0]
+            idx_b = arrays[1:]
+            mask = np.ones(val_b.shape, dtype=bool)
+            rel: List[np.ndarray] = []
+            for d, coords in enumerate(idx_b):
+                r = coords - out.origin[d]
+                mask &= (r >= 0) & (r < out.data.shape[d])
+                rel.append(r)
+            target = tuple(r[mask] for r in rel)
+            contrib = val_b[mask]
+            if rule.op == Op.Sum:
+                np.add.at(out.data, target, contrib)
+            elif rule.op == Op.Max:
+                np.maximum.at(out.data, target, contrib)
+            else:
+                np.minimum.at(out.data, target, contrib)
+    return out
+
+
+def _compute_stage_full(
+    pipeline: Pipeline, stage: Function, buffers: Mapping[str, Buffer]
+) -> Buffer:
+    if isinstance(stage, Reduction):
+        return _compute_reduction(pipeline, stage, buffers)
+    return _compute_function_region(
+        pipeline, stage, pipeline.domain(stage), buffers
+    )
+
+
+def execute_reference(
+    pipeline: Pipeline,
+    inputs: Mapping[str, np.ndarray],
+    keep_all: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Run the pipeline untiled, stage by stage.
+
+    Returns output arrays by stage name (all stages with ``keep_all``).
+    """
+    buffers = _input_buffers(pipeline, inputs)
+    for stage in pipeline.stages:
+        buffers[stage.name] = _compute_stage_full(pipeline, stage, buffers)
+    wanted = (
+        [s.name for s in pipeline.stages]
+        if keep_all
+        else [o.name for o in pipeline.outputs]
+    )
+    return {name: buffers[name].data for name in wanted}
+
+
+# ---------------------------------------------------------------------------
+# Tiled execution
+# ---------------------------------------------------------------------------
+
+
+def _stage_region(
+    geom: GroupGeometry,
+    stage: Function,
+    pipeline: Pipeline,
+    tile_lo: Sequence[int],
+    tile_sizes: Sequence[int],
+    radii,
+    expand: bool,
+) -> Optional[List[Tuple[int, int]]]:
+    """The stage-coordinate region one tile must compute for ``stage``
+    (``expand=True``: including overlap; ``False``: the base tile only).
+    ``None`` when the region is empty."""
+    dom = pipeline.domain(stage)
+    bounds: List[Tuple[int, int]] = []
+    for j, g in enumerate(geom.align[stage]):
+        left, right = radii[stage][g] if expand else (0, 0)
+        rlo = tile_lo[g] - left
+        rhi = tile_lo[g] + tile_sizes[g] - 1 + right
+        s = geom.scale[stage][j]
+        # Stage points p whose scaled position p*s lies in [rlo, rhi + 1):
+        # lo = ceil(rlo / s), hi = ceil((rhi + 1) / s) - 1.  With this
+        # convention the base regions of consecutive tiles partition the
+        # stage domain exactly for any rational scale; expanded regions
+        # additionally floor the lower bound for safety.
+        lo = int(math.ceil(rlo / s))
+        if expand:
+            lo = min(lo, int(math.floor(rlo / s)))
+        hi = int(math.ceil((rhi + 1) / s)) - 1
+        lo, hi = max(lo, dom[j][0]), min(hi, dom[j][1])
+        if lo > hi:
+            return None
+        bounds.append((lo, hi))
+    return bounds
+
+
+def _execute_group_tiled(
+    pipeline: Pipeline,
+    geom: GroupGeometry,
+    tile_sizes: Sequence[int],
+    buffers: Dict[str, Buffer],
+    nthreads: int,
+) -> None:
+    """Execute one fused group with overlapped tiling, updating
+    ``buffers`` with its live-out arrays."""
+    radii = geom.expansion_radii()
+    liveouts = set(geom.liveouts)
+    out_buffers = {
+        s.name: Buffer.for_region(pipeline.domain(s), s.scalar_type.np_dtype)
+        for s in geom.liveouts
+    }
+
+    dim_ranges = [
+        range(lo, hi + 1, tile_sizes[g])
+        for g, (lo, hi) in enumerate(geom.grid_bounds)
+    ]
+
+    def run_tile(tile_lo: Tuple[int, ...]) -> None:
+        scratch: Dict[str, Buffer] = {}
+        lookup = _ChainLookup(scratch, buffers)
+        for stage in geom.stages:
+            bounds = _stage_region(
+                geom, stage, pipeline, tile_lo, tile_sizes, radii, True
+            )
+            if bounds is None:
+                continue
+            result = _compute_function_region(
+                pipeline, stage, bounds, lookup
+            )
+            scratch[stage.name] = result
+            if stage in liveouts:
+                base = _stage_region(
+                    geom, stage, pipeline, tile_lo, tile_sizes, radii, False
+                )
+                if base is not None:
+                    out_buffers[stage.name].store_region(
+                        base, result.read_region(base)
+                    )
+
+    tiles = list(itertools.product(*dim_ranges))
+    if nthreads > 1 and len(tiles) > 1:
+        with ThreadPoolExecutor(max_workers=nthreads) as pool:
+            list(pool.map(run_tile, tiles))
+    else:
+        for t in tiles:
+            run_tile(t)
+
+    buffers.update(out_buffers)
+
+
+class _ChainLookup:
+    """Two-level buffer lookup: tile scratch first, then full buffers."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Mapping[str, Buffer], second: Mapping[str, Buffer]):
+        self.first = first
+        self.second = second
+
+    def get(self, name: str) -> Optional[Buffer]:
+        buf = self.first.get(name)
+        return buf if buf is not None else self.second.get(name)
+
+    def __getitem__(self, name: str) -> Buffer:
+        buf = self.get(name)
+        if buf is None:
+            raise KeyError(name)
+        return buf
+
+
+def execute_grouping(
+    pipeline: Pipeline,
+    grouping: Grouping,
+    inputs: Mapping[str, np.ndarray],
+    nthreads: int = 1,
+) -> Dict[str, np.ndarray]:
+    """Execute a grouping with overlapped tiling.
+
+    Groups execute in topological order.  Groups without an overlap-tiling
+    geometry (singleton reductions, or Halide-style groups that fuse a
+    reduction) are executed stage-by-stage untiled — PolyMage likewise
+    leaves reductions unoptimised (Sec. 6.2).
+    """
+    if grouping.pipeline is not pipeline:
+        raise ValueError("grouping was built for a different pipeline")
+    if nthreads < 1:
+        raise ValueError("nthreads must be positive")
+    buffers = _input_buffers(pipeline, inputs)
+
+    for members, tiles in zip(grouping.groups, grouping.tile_sizes):
+        geom = compute_group_geometry(pipeline, members)
+        if geom is None or len(members) == 1 and isinstance(
+            next(iter(members)), Reduction
+        ):
+            for stage in pipeline.stages:
+                if stage in members:
+                    buffers[stage.name] = _compute_stage_full(
+                        pipeline, stage, buffers
+                    )
+            continue
+        if len(tiles) != geom.ndim:
+            raise ValueError(
+                f"group {[s.name for s in members]} needs {geom.ndim} tile "
+                f"sizes, got {len(tiles)}"
+            )
+        _execute_group_tiled(pipeline, geom, tiles, buffers, nthreads)
+
+    return {o.name: buffers[o.name].data for o in pipeline.outputs}

@@ -1,0 +1,109 @@
+"""Shared pipeline fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    Case,
+    Condition,
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Op,
+    Pipeline,
+    Reduce,
+    Reduction,
+    Variable,
+)
+
+
+def build_blur(rows=94, cols=130):
+    """The paper's Fig. 1 blur pipeline (3-channel, 3-tap stencils)."""
+    x, y, c = Variable(Int, "x"), Variable(Int, "y"), Variable(Int, "c")
+    img = Image(Float, "img", [3, rows + 2, cols + 2])
+    cr = Interval(Int, 0, 2)
+    blurx = Function(
+        ([c, x, y], [cr, Interval(Int, 1, rows), Interval(Int, 0, cols + 1)]),
+        Float,
+        "blurx",
+    )
+    blurx.defn = [
+        (img(c, x - 1, y) + img(c, x, y) + img(c, x + 1, y)) * (1.0 / 3)
+    ]
+    blury = Function(
+        ([c, x, y], [cr, Interval(Int, 1, rows), Interval(Int, 1, cols)]),
+        Float,
+        "blury",
+    )
+    blury.defn = [
+        (blurx(c, x, y - 1) + blurx(c, x, y) + blurx(c, x, y + 1)) * (1.0 / 3)
+    ]
+    return Pipeline([blury], {}, name="blur")
+
+
+def build_updown(n=200):
+    """fine -> downsample -> upsample chain (scaling stress test)."""
+    x = Variable(Int, "x")
+    base = Image(Float, "base", [n + 2])
+    fine = Function(([x], [Interval(Int, 0, n + 1)]), Float, "fine")
+    fine.defn = [base(x) * 2.0]
+    down = Function(([x], [Interval(Int, 0, n // 2)]), Float, "down")
+    down.defn = [(fine(2 * x) + fine(2 * x + 1)) * 0.5]
+    up = Function(([x], [Interval(Int, 0, n - 1)]), Float, "up")
+    up.defn = [(down(x // 2) + down((x + 1) // 2)) * 0.5]
+    return Pipeline([up], {}, name="updown")
+
+
+def build_histogram(n=64, bins=8):
+    """image -> histogram (reduction) -> normalize chain."""
+    x, rx, ry = Variable(Int, "x"), Variable(Int, "rx"), Variable(Int, "ry")
+    img = Image(Float, "img", [n, n])
+    hist = Reduction(
+        ([x], [Interval(Int, 0, bins - 1)]),
+        ([rx, ry], [Interval(Int, 0, n - 1), Interval(Int, 0, n - 1)]),
+        Float,
+        "hist",
+    )
+    from repro.dsl import Cast, Clamp
+
+    bin_idx = Cast(Int, Clamp(img(rx, ry) * float(bins), 0.0, float(bins - 1)))
+    hist.defn = [Reduce((bin_idx,), 1.0, Op.Sum)]
+    norm = Function(([x], [Interval(Int, 0, bins - 1)]), Float, "norm")
+    norm.defn = [hist(x) * (1.0 / (n * n))]
+    return Pipeline([norm], {}, name="histogram")
+
+
+@pytest.fixture
+def blur_pipeline():
+    return build_blur()
+
+
+@pytest.fixture
+def updown_pipeline():
+    return build_updown()
+
+
+@pytest.fixture
+def histogram_pipeline():
+    return build_histogram()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_inputs(pipeline, rng):
+    """Deterministic random input arrays matching the pipeline's images."""
+    inputs = {}
+    for img in pipeline.images:
+        shape = pipeline.image_shape(img)
+        if img.scalar_type.np_dtype.kind in "ui":
+            inputs[img.name] = rng.integers(0, 1024, shape).astype(
+                img.scalar_type.np_dtype
+            )
+        else:
+            inputs[img.name] = rng.random(shape, dtype=np.float32)
+    return inputs

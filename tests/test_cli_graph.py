@@ -1,0 +1,50 @@
+"""Tests for the `graph` CLI command and remaining CLI surfaces."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGraphCommand:
+    def test_bare_dag(self, capsys):
+        rc = main(["graph", "UM", "--scale", "0.05", "--strategy", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "unsharp_mask"')
+        assert "subgraph" not in out
+
+    def test_clustered_by_dp(self, capsys):
+        rc = main(["graph", "UM", "--scale", "0.05", "--strategy", "dp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "subgraph cluster_0" in out
+        assert "tiles" in out
+
+    def test_write_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "g.dot")
+        rc = main(["graph", "BG", "--scale", "0.1", "-o", path])
+        assert rc == 0
+        text = open(path).read()
+        assert text.count("{") == text.count("}")
+        assert '"grid"' in text
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("list", "schedule", "run", "estimate", "codegen",
+                    "graph"):
+            args = parser.parse_args(
+                [cmd] if cmd == "list" else [cmd, "UM"]
+            )
+            assert args.command == cmd
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "UM", "--machine", "arm"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,128 @@
+"""Unit tests for Parameter/Variable/Interval/Condition/Case."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    Case,
+    Condition,
+    Const,
+    Float,
+    Int,
+    Interval,
+    Min,
+    Parameter,
+    Variable,
+)
+from repro.dsl.entities import evaluate_scalar
+
+
+class TestInterval:
+    def test_constant_bounds(self):
+        iv = Interval(Int, 1, 8)
+        assert iv.resolve({}) == (1, 8)
+
+    def test_parameter_bounds(self):
+        R = Parameter(Int, "R")
+        iv = Interval(Int, 1, R)
+        assert iv.resolve({"R": 100}) == (1, 100)
+
+    def test_arithmetic_bounds(self):
+        R = Parameter(Int, "R")
+        iv = Interval(Int, R // 2 + 1, R * 2 - 3)
+        assert iv.resolve({"R": 10}) == (6, 17)
+
+    def test_empty_interval_rejected(self):
+        iv = Interval(Int, 5, 2)
+        with pytest.raises(ValueError):
+            iv.resolve({})
+
+    def test_unbound_parameter_raises(self):
+        R = Parameter(Int, "R")
+        with pytest.raises(KeyError):
+            Interval(Int, 0, R).resolve({})
+
+
+class TestEvaluateScalar:
+    def test_const(self):
+        assert evaluate_scalar(Const(7), {}) == 7
+
+    def test_negation(self):
+        R = Parameter(Int, "R")
+        assert evaluate_scalar(-R, {"R": 4}) == -4
+
+    def test_all_binops(self):
+        R = Parameter(Int, "R")
+        env = {"R": 7}
+        assert evaluate_scalar(R + 1, env) == 8
+        assert evaluate_scalar(R - 1, env) == 6
+        assert evaluate_scalar(R * 3, env) == 21
+        assert evaluate_scalar(R / 2, env) == 3.5
+        assert evaluate_scalar(R // 2, env) == 3
+        assert evaluate_scalar(R % 4, env) == 3
+
+    def test_mathcall(self):
+        R = Parameter(Int, "R")
+        assert evaluate_scalar(Min(R, 5), {"R": 9}) == 5
+
+    def test_loop_variable_rejected(self):
+        x = Variable(Int, "x")
+        with pytest.raises(TypeError):
+            evaluate_scalar(x + 1, {})
+
+
+class TestCondition:
+    def test_comparison_evaluates(self):
+        x = Variable(Int, "x")
+        cond = Condition(x, ">=", 3)
+        assert cond.evaluate(lambda e: 5 if isinstance(e, Variable) else e.value)
+
+    def test_all_comparators(self):
+        x = Variable(Int, "x")
+        get = lambda e: 5 if isinstance(e, Variable) else e.value
+        assert Condition(x, "<", 6).evaluate(get)
+        assert Condition(x, "<=", 5).evaluate(get)
+        assert Condition(x, ">", 4).evaluate(get)
+        assert Condition(x, "==", 5).evaluate(get)
+        assert Condition(x, "!=", 4).evaluate(get)
+
+    def test_unknown_operator_rejected(self):
+        x = Variable(Int, "x")
+        with pytest.raises(ValueError):
+            Condition(x, "~", 0)
+
+    def test_conjunction(self):
+        x = Variable(Int, "x")
+        cond = Condition(x, ">", 0) & Condition(x, "<", 10)
+        get = lambda e: 5 if isinstance(e, Variable) else e.value
+        assert cond.evaluate(get)
+
+    def test_disjunction(self):
+        x = Variable(Int, "x")
+        cond = Condition(x, "<", 0) | Condition(x, ">", 4)
+        get = lambda e: 5 if isinstance(e, Variable) else e.value
+        assert cond.evaluate(get)
+
+    def test_vectorised_evaluation(self):
+        x = Variable(Int, "x")
+        cond = Condition(x, ">=", 2) & Condition(x, "<=", 3)
+        values = np.arange(6)
+        get = lambda e: values if isinstance(e, Variable) else e.value
+        assert list(cond.evaluate(get)) == [False, False, True, True, False, False]
+
+    def test_exprs_collects_both_sides(self):
+        x = Variable(Int, "x")
+        cond = (Condition(x, ">", 0) & Condition(x + 1, "<", 9)) | Condition(x, "==", 2)
+        assert len(cond.exprs()) == 6
+
+
+class TestCase:
+    def test_requires_condition(self):
+        x = Variable(Int, "x")
+        with pytest.raises(TypeError):
+            Case(x, x + 1)
+
+    def test_wraps_expression(self):
+        x = Variable(Int, "x")
+        c = Case(Condition(x, ">", 0), 1)
+        assert isinstance(c.expression, Const)

@@ -1,0 +1,178 @@
+"""Unit tests for the expression AST (repro.dsl.expr)."""
+
+import pytest
+
+from repro.dsl import (
+    Abs,
+    Access,
+    BinOp,
+    Cast,
+    Clamp,
+    Condition,
+    Const,
+    Exp,
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Max,
+    MathCall,
+    Min,
+    Pow,
+    Select,
+    Sqrt,
+    UnaryOp,
+    Variable,
+    collect_accesses,
+    count_ops,
+)
+from repro.dsl.expr import MATH_OP_COST, walk, wrap
+
+
+@pytest.fixture
+def x():
+    return Variable(Int, "x")
+
+
+@pytest.fixture
+def img():
+    return Image(Float, "img", [16, 16])
+
+
+class TestWrap:
+    def test_wraps_int(self):
+        e = wrap(3)
+        assert isinstance(e, Const) and e.value == 3
+
+    def test_wraps_float(self):
+        e = wrap(2.5)
+        assert isinstance(e, Const) and e.value == 2.5
+
+    def test_passes_expr_through(self, x):
+        assert wrap(x) is x
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            wrap("nope")
+
+    def test_const_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            Const([1, 2])
+
+
+class TestOperators:
+    def test_add_builds_binop(self, x):
+        e = x + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+
+    def test_radd(self, x):
+        e = 1 + x
+        assert isinstance(e, BinOp)
+        assert isinstance(e.lhs, Const) and e.lhs.value == 1
+
+    def test_sub_mul_div(self, x):
+        assert (x - 1).op == "-"
+        assert (x * 2).op == "*"
+        assert (x / 2).op == "/"
+        assert (x // 2).op == "//"
+        assert (x % 2).op == "%"
+
+    def test_rsub_order(self, x):
+        e = 10 - x
+        assert isinstance(e.lhs, Const) and e.lhs.value == 10
+
+    def test_neg(self, x):
+        e = -x
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_pow_builds_mathcall(self, x):
+        e = x ** 2
+        assert isinstance(e, MathCall) and e.fn == "pow"
+
+    def test_unknown_binop_rejected(self, x):
+        with pytest.raises(ValueError):
+            BinOp("^", x, x)
+
+    def test_unknown_unary_rejected(self, x):
+        with pytest.raises(ValueError):
+            UnaryOp("+", x)
+
+
+class TestIntrinsics:
+    def test_constructors(self, x):
+        for ctor, name in [
+            (Sqrt, "sqrt"), (Exp, "exp"), (Abs, "abs"),
+        ]:
+            e = ctor(x)
+            assert isinstance(e, MathCall) and e.fn == name
+
+    def test_min_max(self, x):
+        assert Min(x, 3).fn == "min"
+        assert Max(x, 3).fn == "max"
+
+    def test_pow_two_args(self, x):
+        e = Pow(x, 0.5)
+        assert len(e.args) == 2
+
+    def test_clamp_composes(self, x):
+        e = Clamp(x, 0, 10)
+        assert e.fn == "min"
+        assert isinstance(e.args[0], MathCall) and e.args[0].fn == "max"
+
+    def test_unknown_intrinsic_rejected(self, x):
+        with pytest.raises(ValueError):
+            MathCall("tanh", (x,))
+
+
+class TestAccess:
+    def test_image_call_builds_access(self, img, x):
+        acc = img(x, x + 1)
+        assert isinstance(acc, Access)
+        assert acc.producer is img
+        assert len(acc.indices) == 2
+
+    def test_wrong_arity_rejected(self, img, x):
+        with pytest.raises(ValueError):
+            img(x)
+
+    def test_function_call_builds_access(self, x):
+        f = Function(([x], [Interval(Int, 0, 9)]), Float, "f")
+        acc = f(x - 1)
+        assert acc.producer is f
+
+
+class TestTraversal:
+    def test_walk_visits_all(self, img, x):
+        e = img(x, x) + img(x, x + 1) * 2
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert kinds.count("Access") == 2
+
+    def test_walk_enters_select_condition(self, img, x):
+        cond = Condition(img(x, x), ">", 0)
+        e = Select(cond, 1, 2)
+        assert len(collect_accesses(e)) == 1
+
+    def test_collect_accesses(self, img, x):
+        e = (img(x, x) + img(x, x)) * img(x, x + 1)
+        assert len(collect_accesses(e)) == 3
+
+
+class TestCountOps:
+    def test_constant_is_free(self):
+        assert count_ops(Const(1)) == 0
+
+    def test_binops_count_one_each(self, x):
+        assert count_ops(x + 1) == 1
+        assert count_ops((x + 1) * 2) == 2
+
+    def test_math_cost_table(self, x):
+        assert count_ops(Exp(x)) == MATH_OP_COST["exp"]
+
+    def test_access_counts(self, img, x):
+        e = img(x, x) + img(x, x)
+        # two accesses + one add
+        assert count_ops(e) == 3
+
+    def test_cast_is_free(self, x):
+        assert count_ops(Cast(Float, x)) == 0

@@ -1,0 +1,181 @@
+"""Unit tests for Function/Reduction declarations and Pipeline DAG
+construction."""
+
+import pytest
+
+from repro.dsl import (
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Op,
+    Parameter,
+    Pipeline,
+    Reduce,
+    Reduction,
+    Variable,
+)
+
+
+def make_chain(n=3, size=16):
+    x = Variable(Int, "x")
+    img = Image(Float, "img", [size])
+    stages = []
+    prev = img
+    for k in range(n):
+        f = Function(([x], [Interval(Int, 1, size - 2)]), Float, f"s{k}")
+        f.defn = [prev(x) * 2.0]
+        stages.append(f)
+        prev = f
+    return img, stages
+
+
+class TestFunction:
+    def test_mismatched_vars_and_intervals(self):
+        x = Variable(Int, "x")
+        with pytest.raises(ValueError):
+            Function(([x], []), Float, "f")
+
+    def test_duplicate_variables_rejected(self):
+        x = Variable(Int, "x")
+        with pytest.raises(ValueError):
+            Function(([x, x], [Interval(Int, 0, 1)] * 2), Float, "f")
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Function((([], [])), Float, "f")
+
+    def test_empty_defn_rejected(self):
+        x = Variable(Int, "x")
+        f = Function(([x], [Interval(Int, 0, 3)]), Float, "f")
+        with pytest.raises(ValueError):
+            f.defn = []
+
+    def test_single_expr_defn_allowed(self):
+        x = Variable(Int, "x")
+        f = Function(([x], [Interval(Int, 0, 3)]), Float, "f")
+        f.defn = x * 1.0
+        assert len(f.defn) == 1
+
+
+class TestReduction:
+    def make(self):
+        x, rx = Variable(Int, "x"), Variable(Int, "rx")
+        img = Image(Float, "img", [16])
+        red = Reduction(
+            ([x], [Interval(Int, 0, 3)]),
+            ([rx], [Interval(Int, 0, 15)]),
+            Float,
+            "hist",
+        )
+        return red, img, rx
+
+    def test_defn_requires_reduce(self):
+        red, img, rx = self.make()
+        with pytest.raises(TypeError):
+            red.defn = [img(rx)]
+
+    def test_reduce_entry_accepted(self):
+        red, img, rx = self.make()
+        red.defn = [Reduce((rx // 4,), img(rx), Op.Sum)]
+        assert red.is_reduction
+
+    def test_unknown_op_rejected(self):
+        red, img, rx = self.make()
+        with pytest.raises(ValueError):
+            Reduce((rx,), 1.0, "prod")
+
+
+class TestPipeline:
+    def test_topological_stage_order(self):
+        img, stages = make_chain(4)
+        p = Pipeline([stages[-1]], {}, name="chain")
+        names = [s.name for s in p.stages]
+        assert names == ["s0", "s1", "s2", "s3"]
+
+    def test_producers_consumers(self):
+        img, stages = make_chain(3)
+        p = Pipeline([stages[-1]], {})
+        assert p.producers(stages[1]) == [stages[0]]
+        assert p.consumers(stages[1]) == [stages[2]]
+        assert p.consumers(stages[2]) == []
+
+    def test_images_discovered(self):
+        img, stages = make_chain(2)
+        p = Pipeline([stages[-1]], {})
+        assert [i.name for i in p.images] == ["img"]
+
+    def test_parameter_binding(self):
+        N = Parameter(Int, "N")
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [N])
+        f = Function(([x], [Interval(Int, 0, N - 1)]), Float, "f")
+        f.defn = [img(x)]
+        p = Pipeline([f], {N: 32})
+        assert p.domain(f) == ((0, 31),)
+        assert p.image_shape("img") == (32,)
+
+    def test_domain_size_and_extents(self):
+        img, stages = make_chain(1, size=16)
+        p = Pipeline([stages[-1]], {})
+        assert p.domain_extents(stages[0]) == (14,)
+        assert p.domain_size(stages[0]) == 14
+
+    def test_duplicate_names_rejected(self):
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [8])
+        a = Function(([x], [Interval(Int, 0, 3)]), Float, "dup")
+        a.defn = [img(x)]
+        b = Function(([x], [Interval(Int, 0, 3)]), Float, "dup")
+        b.defn = [a(x)]
+        with pytest.raises(ValueError):
+            Pipeline([b], {})
+
+    def test_missing_defn_rejected(self):
+        x = Variable(Int, "x")
+        f = Function(([x], [Interval(Int, 0, 3)]), Float, "f")
+        with pytest.raises(ValueError):
+            Pipeline([f], {})
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([], {})
+
+    def test_edges(self):
+        img, stages = make_chain(3)
+        p = Pipeline([stages[-1]], {})
+        assert p.edges() == [(stages[0], stages[1]), (stages[1], stages[2])]
+
+    def test_accesses_to(self):
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [16])
+        a = Function(([x], [Interval(Int, 1, 14)]), Float, "a")
+        a.defn = [img(x)]
+        b = Function(([x], [Interval(Int, 1, 14)]), Float, "b")
+        b.defn = [a(x - 1) + a(x + 1)]
+        p = Pipeline([b], {})
+        assert len(p.accesses_to(b, a)) == 2
+        assert p.accesses_to(a, img)[0].producer is img
+
+    def test_stage_by_name(self):
+        img, stages = make_chain(2)
+        p = Pipeline([stages[-1]], {})
+        assert p.stage_by_name("s0") is stages[0]
+        with pytest.raises(KeyError):
+            p.stage_by_name("nope")
+
+    def test_is_output(self):
+        img, stages = make_chain(2)
+        p = Pipeline([stages[-1]], {})
+        assert p.is_output(stages[1])
+        assert not p.is_output(stages[0])
+
+    def test_multi_output_pipeline(self):
+        img, stages = make_chain(2)
+        x = Variable(Int, "x")
+        side = Function(([x], [Interval(Int, 1, 13)]), Float, "side")
+        side.defn = [stages[0](x) + 1.0]
+        p = Pipeline([stages[-1], side], {})
+        assert p.is_output(side) and p.is_output(stages[-1])
+        assert set(p.consumers(stages[0])) == {stages[1], side}

@@ -1,0 +1,67 @@
+"""Tests for bounded and incremental DP grouping (Sec. 5)."""
+
+import pytest
+
+from repro.fusion import dp_group, dp_group_bounded, inc_grouping
+from repro.model import XEON_HASWELL
+
+from conftest import build_blur, build_updown
+
+
+class TestBounded:
+    def test_limit_one_gives_singletons(self, blur_pipeline):
+        grouping = dp_group_bounded(blur_pipeline, XEON_HASWELL, group_limit=1)
+        assert grouping.num_groups == blur_pipeline.num_stages
+
+    def test_large_limit_matches_unbounded(self, blur_pipeline):
+        bounded = dp_group_bounded(blur_pipeline, XEON_HASWELL, group_limit=99)
+        unbounded = dp_group(blur_pipeline, XEON_HASWELL)
+        assert bounded.group_names() == unbounded.group_names()
+        assert bounded.cost == pytest.approx(unbounded.cost)
+
+    def test_groups_respect_limit(self, updown_pipeline):
+        grouping = dp_group_bounded(updown_pipeline, XEON_HASWELL, group_limit=2)
+        assert all(len(g) <= 2 for g in grouping.groups)
+
+    def test_invalid_limit_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            dp_group_bounded(blur_pipeline, XEON_HASWELL, group_limit=0)
+
+
+class TestIncremental:
+    def test_matches_unbounded_on_small_pipeline(self, blur_pipeline):
+        inc = inc_grouping(blur_pipeline, XEON_HASWELL, initial_limit=1, step=2)
+        unbounded = dp_group(blur_pipeline, XEON_HASWELL)
+        # Collapsing singletons then regrouping must reach full fusion too.
+        assert inc.group_names() == unbounded.group_names()
+
+    def test_covers_all_stages(self, updown_pipeline):
+        grouping = inc_grouping(updown_pipeline, XEON_HASWELL, initial_limit=2)
+        covered = set()
+        for g in grouping.groups:
+            covered |= {s.name for s in g}
+        assert covered == {s.name for s in updown_pipeline.stages}
+
+    def test_is_valid_grouping(self, updown_pipeline):
+        grouping = inc_grouping(updown_pipeline, XEON_HASWELL, initial_limit=2)
+        assert grouping.is_valid()
+
+    def test_iteration_stats_recorded(self, updown_pipeline):
+        grouping = inc_grouping(updown_pipeline, XEON_HASWELL, initial_limit=1,
+                                step=2)
+        iters = [k for k in grouping.stats.extra if k.startswith("states_iter")]
+        assert len(iters) >= 2
+
+    def test_uses_fewer_states_than_unbounded_on_wide_dag(self):
+        from repro.pipelines import pyramid
+
+        p = pyramid.build(256, 192, levels=2)
+        unbounded = dp_group(p, XEON_HASWELL, max_states=200000)
+        inc = inc_grouping(p, XEON_HASWELL, initial_limit=2, step=2)
+        assert inc.stats.enumerated < unbounded.stats.enumerated
+
+    def test_invalid_parameters_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            inc_grouping(blur_pipeline, XEON_HASWELL, initial_limit=0)
+        with pytest.raises(ValueError):
+            inc_grouping(blur_pipeline, XEON_HASWELL, initial_limit=2, step=1)

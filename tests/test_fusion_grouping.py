@@ -1,0 +1,109 @@
+"""Tests for the Grouping value type and manual schedules."""
+
+import pytest
+
+from repro.fusion import Grouping, manual_grouping, schedule_pipeline
+from repro.fusion.grouping import GroupingStats
+from repro.model import XEON_HASWELL
+
+from conftest import build_blur
+
+
+class TestGroupingValidation:
+    def test_must_cover_all_stages(self, blur_pipeline):
+        blurx = blur_pipeline.stage_by_name("blurx")
+        with pytest.raises(ValueError):
+            Grouping(
+                pipeline=blur_pipeline,
+                groups=(frozenset({blurx}),),
+                tile_sizes=((3, 32, 32),),
+                cost=0.0,
+            )
+
+    def test_no_overlapping_groups(self, blur_pipeline):
+        blurx = blur_pipeline.stage_by_name("blurx")
+        blury = blur_pipeline.stage_by_name("blury")
+        with pytest.raises(ValueError):
+            Grouping(
+                pipeline=blur_pipeline,
+                groups=(frozenset({blurx, blury}), frozenset({blury})),
+                tile_sizes=((3, 32, 32), (3, 32, 32)),
+                cost=0.0,
+            )
+
+    def test_tile_sizes_parallel_to_groups(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            Grouping(
+                pipeline=blur_pipeline,
+                groups=(frozenset(blur_pipeline.stages),),
+                tile_sizes=(),
+                cost=0.0,
+            )
+
+    def test_empty_group_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            Grouping(
+                pipeline=blur_pipeline,
+                groups=(frozenset(blur_pipeline.stages), frozenset()),
+                tile_sizes=((3, 32, 32), (1,)),
+                cost=0.0,
+            )
+
+
+class TestQueries:
+    def test_group_of(self, blur_pipeline):
+        g = manual_grouping(blur_pipeline, [["blurx"], ["blury"]],
+                            [[3, 32, 32], [3, 32, 32]])
+        assert g.group_of(blur_pipeline.stage_by_name("blurx")) == 0
+
+    def test_group_names_ordered(self, blur_pipeline):
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]])
+        assert g.group_names() == [["blurx", "blury"]]
+
+    def test_describe_mentions_everything(self, blur_pipeline):
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 17, 23]])
+        text = g.describe()
+        assert "blurx" in text and "17" in text
+
+    def test_is_valid_true_for_manual(self, blur_pipeline):
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]])
+        assert g.is_valid()
+
+
+class TestManualGrouping:
+    def test_groups_toposorted(self, blur_pipeline):
+        # Given in reverse order, the constructor reorders topologically.
+        g = manual_grouping(
+            blur_pipeline,
+            [["blury"], ["blurx"]],
+            [[3, 16, 16], [3, 64, 64]],
+        )
+        assert g.group_names() == [["blurx"], ["blury"]]
+        # tile sizes follow their groups through the reorder
+        assert g.tile_sizes == ((3, 64, 64), (3, 16, 16))
+
+    def test_unknown_stage_rejected(self, blur_pipeline):
+        with pytest.raises(KeyError):
+            manual_grouping(blur_pipeline, [["nope"]], [[3, 32, 32]])
+
+    def test_mismatched_tiles_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            manual_grouping(blur_pipeline, [["blurx"], ["blury"]], [[3, 32, 32]])
+
+
+class TestScheduleApi:
+    @pytest.mark.parametrize(
+        "strategy",
+        ["dp", "dp-incremental", "greedy", "polymage-auto", "halide-auto"],
+    )
+    def test_all_strategies_produce_valid_groupings(self, blur_pipeline, strategy):
+        g = schedule_pipeline(blur_pipeline, XEON_HASWELL, strategy=strategy)
+        assert g.is_valid()
+
+    def test_dp_bounded_needs_limit(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            schedule_pipeline(blur_pipeline, XEON_HASWELL, strategy="dp-bounded")
+
+    def test_unknown_strategy_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            schedule_pipeline(blur_pipeline, XEON_HASWELL, strategy="magic")

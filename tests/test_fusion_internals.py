@@ -1,0 +1,129 @@
+"""Tests for fusion internals: graph collapsing in the incremental
+driver and DP memoisation behaviour."""
+
+import pytest
+
+from repro.fusion.bounded import _collapse
+from repro.fusion.dp import DPGrouper
+from repro.graph import StageGraph, iter_bits
+from repro.model import XEON_HASWELL
+
+
+class _Stub:
+    """Minimal stand-in for a stage (only .name is needed)."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"_Stub({self.name})"
+
+
+def _stubs(names):
+    return [frozenset({_Stub(n)}) for n in names]
+
+
+def _names(stage_set):
+    return frozenset(s.name for s in stage_set)
+
+
+class TestCollapse:
+    def make_chain(self, n):
+        return StageGraph(n, [(i, i + 1) for i in range(n - 1)],
+                          [f"s{i}" for i in range(n)])
+
+    def test_pairs_collapse_to_half(self):
+        g = self.make_chain(6)
+        node_stages = _stubs(f"s{i}" for i in range(6))
+        groups = (0b000011, 0b001100, 0b110000)
+        g2, stages2 = _collapse(g, node_stages, groups)
+        assert g2.num_nodes == 3
+        assert _names(stages2[0]) == {"s0", "s1"}
+        assert _names(stages2[2]) == {"s4", "s5"}
+
+    def test_edges_preserved_between_groups(self):
+        g = self.make_chain(4)
+        node_stages = _stubs(f"s{i}" for i in range(4))
+        g2, _ = _collapse(g, node_stages, (0b0011, 0b1100))
+        assert g2.succ[0] == 0b10
+        assert g2.pred[1] == 0b01
+
+    def test_collapsed_labels_join_names(self):
+        g = self.make_chain(2)
+        node_stages = _stubs("ab")
+        g2, _ = _collapse(g, node_stages, (0b11,))
+        assert g2.labels == ("a+b",)
+
+    def test_diamond_collapse_topological(self):
+        # 0 -> {1, 2} -> 3; collapse {1} and {0}, {2, 3}
+        g = StageGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)],
+                       list("abcd"))
+        node_stages = _stubs("abcd")
+        g2, stages2 = _collapse(g, node_stages, (0b0001, 0b0010, 0b1100))
+        # collapsed graph stays acyclic and ordered
+        assert g2.num_nodes == 3
+        order = g2.topo_order
+        pos = {n: i for i, n in enumerate(order)}
+        for u in range(3):
+            for v in iter_bits(g2.succ[u]):
+                assert pos[u] < pos[v]
+
+
+class TestDPMemo:
+    def test_memo_hits_keep_state_count_low(self):
+        g = StageGraph(6, [(i, i + 1) for i in range(5)])
+        grouper = DPGrouper(g, lambda m: 1.0)
+        grouper.solve()
+        first = grouper.states_evaluated
+        # solving again reuses the memo: no new states
+        grouper.solve()
+        assert grouper.states_evaluated == first
+
+    def test_cost_fn_called_once_per_group(self):
+        calls = {}
+
+        def cost_fn(mask):
+            calls[mask] = calls.get(mask, 0) + 1
+            return 1.0
+
+        g = StageGraph(5, [(i, i + 1) for i in range(4)])
+        DPGrouper(g, cost_fn).solve()
+        assert all(v == 1 for v in calls.values())
+
+    def test_viable_fn_called_once_per_set(self):
+        calls = {}
+
+        def viable(mask):
+            calls[mask] = calls.get(mask, 0) + 1
+            return True
+
+        g = StageGraph(5, [(i, i + 1) for i in range(4)])
+        DPGrouper(g, lambda m: 1.0, viable_fn=viable).solve()
+        assert all(v == 1 for v in calls.values())
+
+    def test_multi_source_dag_handled(self):
+        # two sources joining: the implicit dummy source seeds partitions
+        g = StageGraph(3, [(0, 2), (1, 2)])
+
+        def cost_fn(mask):
+            if not g.is_connected(mask):
+                return float("inf")
+            return 1.0
+
+        result = DPGrouper(g, cost_fn).solve()
+        covered = 0
+        for m in result.groups:
+            covered |= m
+        assert covered == g.all_mask
+
+    def test_all_sinks_dag(self):
+        # source feeding two sinks
+        g = StageGraph(3, [(0, 1), (0, 2)])
+
+        def cost_fn(mask):
+            if not g.is_connected(mask):
+                return float("inf")
+            return float(bin(mask).count("1"))
+
+        result = DPGrouper(g, cost_fn).solve()
+        assert result.cost <= 3.0

@@ -1,0 +1,147 @@
+"""Unit tests for the bitmask DAG machinery."""
+
+import pytest
+
+from repro.graph import StageGraph, bits, iter_bits, mask_of
+
+
+@pytest.fixture
+def diamond():
+    # 0 -> 1 -> 3, 0 -> 2 -> 3
+    return StageGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], list("abcd"))
+
+
+@pytest.fixture
+def chain():
+    return StageGraph(5, [(i, i + 1) for i in range(4)])
+
+
+class TestBitHelpers:
+    def test_mask_of(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_iter_bits_order(self):
+        assert list(iter_bits(0b101100)) == [2, 3, 5]
+
+    def test_bits_empty(self):
+        assert bits(0) == []
+
+
+class TestConstruction:
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            StageGraph(2, [(0, 1), (1, 0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            StageGraph(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            StageGraph(2, [(0, 5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StageGraph(0, [])
+
+    def test_labels_length_checked(self):
+        with pytest.raises(ValueError):
+            StageGraph(2, [], labels=["only-one"])
+
+
+class TestQueries:
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == 0b0001
+        assert diamond.sinks() == 0b1000
+
+    def test_reachability(self, diamond):
+        assert diamond.is_reachable(0, 3)
+        assert not diamond.is_reachable(1, 2)
+        assert not diamond.is_reachable(3, 0)
+
+    def test_reach_excludes_self(self, chain):
+        assert not chain.is_reachable(2, 2)
+
+    def test_successors_of_set(self, diamond):
+        assert diamond.successors_of_set(0b0001) == 0b0110
+        # set members are excluded from the result
+        assert diamond.successors_of_set(0b0011) == 0b0110 & ~0b0010 | 0b1000
+
+    def test_predecessors_of_set(self, diamond):
+        assert diamond.predecessors_of_set(0b1000) == 0b0110
+
+    def test_reachable_from_set(self, diamond):
+        assert diamond.reachable_from_set(0b0001) == 0b1110
+
+    def test_topo_order_valid(self, diamond):
+        pos = {n: i for i, n in enumerate(diamond.topo_order)}
+        for u in range(4):
+            for v in iter_bits(diamond.succ[u]):
+                assert pos[u] < pos[v]
+
+    def test_max_successor_count(self, diamond, chain):
+        assert diamond.max_successor_count() == 2
+        assert chain.max_successor_count() == 1
+
+
+class TestConnectivity:
+    def test_connected_single(self, diamond):
+        assert diamond.is_connected(0b0001)
+
+    def test_connected_via_undirected_edges(self, diamond):
+        # {1, 2} are not adjacent
+        assert not diamond.is_connected(0b0110)
+        # {1, 2, 3} connect through 3
+        assert diamond.is_connected(0b1110)
+
+    def test_empty_not_connected(self, diamond):
+        assert not diamond.is_connected(0)
+
+
+class TestCondensation:
+    def test_acyclic_partition(self, diamond):
+        assert diamond.condensation_is_acyclic([0b0011, 0b1100])
+
+    def test_cyclic_partition_detected(self):
+        # 0 -> 1 -> 2, 0 -> 2: groups {0, 2} and {1} form a cycle
+        g = StageGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert not g.condensation_is_acyclic([0b101, 0b010])
+
+    def test_overlapping_groups_invalid(self, diamond):
+        assert not diamond.condensation_is_acyclic([0b0011, 0b0010])
+
+    def test_topo_order_of_groups(self, diamond):
+        groups = [0b1000, 0b0001, 0b0110]
+        order = diamond.condensation_topo_order(groups)
+        assert [groups[i] for i in order] == [0b0001, 0b0110, 0b1000]
+
+    def test_topo_order_rejects_cycle(self):
+        g = StageGraph(3, [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            g.condensation_topo_order([0b101, 0b010])
+
+    def test_topo_order_rejects_overlap(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.condensation_topo_order([0b011, 0b010])
+
+    def test_partial_coverage_allowed(self, diamond):
+        # condensation over a subset of nodes
+        order = diamond.condensation_topo_order([0b0010, 0b0001])
+        assert order == [1, 0]
+
+
+class TestFromPipeline:
+    def test_matches_pipeline_edges(self):
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [16])
+        a = Function(([x], [Interval(Int, 1, 14)]), Float, "a")
+        a.defn = [img(x)]
+        b = Function(([x], [Interval(Int, 1, 14)]), Float, "b")
+        b.defn = [a(x)]
+        p = Pipeline([b], {})
+        g = StageGraph.from_pipeline(p)
+        assert g.num_nodes == 2
+        assert g.succ[0] == 0b10
+        assert g.labels == ("a", "b")

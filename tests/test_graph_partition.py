@@ -1,0 +1,80 @@
+"""Unit and property tests for set-partition enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import bell_number, mask_partitions, set_partitions
+
+
+class TestSetPartitions:
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+    def test_singleton(self):
+        assert list(set_partitions([1])) == [[[1]]]
+
+    def test_pair(self):
+        parts = [sorted(map(sorted, p)) for p in set_partitions([1, 2])]
+        assert sorted(parts) == [[[1], [2]], [[1, 2]]]
+
+    def test_counts_match_bell_numbers(self):
+        for n in range(7):
+            assert len(list(set_partitions(range(n)))) == bell_number(n)
+
+    def test_partitions_are_actual_partitions(self):
+        items = [0, 1, 2, 3]
+        for p in set_partitions(items):
+            flat = sorted(i for block in p for i in block)
+            assert flat == items  # disjoint cover
+
+    def test_no_duplicates(self):
+        seen = set()
+        for p in set_partitions(range(5)):
+            key = frozenset(frozenset(b) for b in p)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestMaskPartitions:
+    def test_zero_mask(self):
+        assert list(mask_partitions(0)) == [()]
+
+    def test_blocks_cover_mask(self):
+        mask = 0b101101
+        for part in mask_partitions(mask):
+            acc = 0
+            for block in part:
+                assert block  # non-empty
+                assert acc & block == 0  # disjoint
+                acc |= block
+            assert acc == mask
+
+    def test_count(self):
+        assert len(list(mask_partitions(0b11111))) == bell_number(5)
+
+
+class TestBellNumber:
+    def test_known_values(self):
+        assert [bell_number(n) for n in range(8)] == [
+            1, 1, 2, 5, 15, 52, 203, 877,
+        ]
+
+    def test_negative_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_property_partition_count_is_bell(n):
+    assert sum(1 for _ in set_partitions(range(n))) == bell_number(n)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_property_every_partition_covers(items):
+    items = sorted(items)
+    for p in set_partitions(items):
+        assert sorted(i for b in p for i in b) == items

@@ -1,0 +1,101 @@
+"""Integration tests: for every benchmark and every scheduling strategy,
+overlapped-tiled execution must reproduce the reference interpreter's
+output."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import schedule_pipeline
+from repro.model import AMD_OPTERON, XEON_HASWELL
+from repro.pipelines import BENCHMARKS
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import random_inputs
+
+
+def outputs_match(ref, out, atol=2e-3):
+    return all(
+        np.allclose(
+            ref[k].astype(np.float64), out[k].astype(np.float64),
+            atol=atol, rtol=1e-3,
+        )
+        for k in ref
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_io():
+    """Small builds + reference outputs, shared across the module."""
+    rng = np.random.default_rng(2024)
+    data = {}
+    for ab, b in BENCHMARKS.items():
+        p = b.build(**b.small_kwargs)
+        inputs = random_inputs(p, rng)
+        data[ab] = (p, inputs, execute_reference(p, inputs))
+    return data
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_dp_schedule_correct(bench_io, abbrev):
+    p, inputs, ref = bench_io[abbrev]
+    strategy = "dp-incremental" if abbrev == "PB" else "dp"
+    g = schedule_pipeline(
+        p, XEON_HASWELL, strategy=strategy, initial_limit=2, step=2,
+        max_states=500000,
+    )
+    assert g.is_valid()
+    out = execute_grouping(p, g, inputs, nthreads=2)
+    assert outputs_match(ref, out)
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_h_manual_schedule_correct(bench_io, abbrev):
+    p, inputs, ref = bench_io[abbrev]
+    g = BENCHMARKS[abbrev].h_manual(p)
+    out = execute_grouping(p, g, inputs)
+    assert outputs_match(ref, out)
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_greedy_schedule_correct(bench_io, abbrev):
+    p, inputs, ref = bench_io[abbrev]
+    g = schedule_pipeline(p, XEON_HASWELL, strategy="greedy", tile_size=32)
+    assert g.is_valid()
+    out = execute_grouping(p, g, inputs)
+    assert outputs_match(ref, out)
+
+
+@pytest.mark.parametrize("abbrev", ["UM", "HC", "BG"])
+def test_halide_auto_schedule_correct(bench_io, abbrev):
+    p, inputs, ref = bench_io[abbrev]
+    g = schedule_pipeline(p, XEON_HASWELL, strategy="halide-auto")
+    assert g.is_valid()
+    out = execute_grouping(p, g, inputs)
+    assert outputs_match(ref, out)
+
+
+@pytest.mark.parametrize("abbrev", ["UM", "HC"])
+def test_opteron_schedules_also_correct(bench_io, abbrev):
+    p, inputs, ref = bench_io[abbrev]
+    g = schedule_pipeline(p, AMD_OPTERON, strategy="dp")
+    out = execute_grouping(p, g, inputs)
+    assert outputs_match(ref, out)
+
+
+def test_parallel_matches_serial(bench_io):
+    p, inputs, ref = bench_io["HC"]
+    g = schedule_pipeline(p, XEON_HASWELL, strategy="dp")
+    serial = execute_grouping(p, g, inputs, nthreads=1)
+    parallel = execute_grouping(p, g, inputs, nthreads=8)
+    for k in serial:
+        assert np.array_equal(serial[k], parallel[k])
+
+
+def test_estimated_times_positive_for_all(bench_io):
+    from repro.perfmodel import estimate_runtime
+
+    for ab, (p, inputs, ref) in bench_io.items():
+        g = BENCHMARKS[ab].h_manual(p)
+        for machine in (XEON_HASWELL, AMD_OPTERON):
+            t = estimate_runtime(p, g, machine, 16)
+            assert t > 0

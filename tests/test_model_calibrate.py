@@ -1,0 +1,71 @@
+"""Tests for the weight-calibration utility."""
+
+import pytest
+
+from repro.model import XEON_HASWELL
+from repro.model.calibrate import calibrate_weights
+
+from conftest import build_blur, build_updown
+
+
+class TestCalibrate:
+    def test_small_grid_runs(self):
+        pipes = [build_blur(62, 94), build_updown(120)]
+        result = calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(1.0,), w2_grid=(0.4,), w3_grid=(1.0, 3.0),
+            w4_grid=(1.5,),
+        )
+        assert len(result.scores) == 2
+        assert result.best in [w for w, _ in result.scores]
+
+    def test_best_has_lowest_score(self):
+        pipes = [build_blur(62, 94)]
+        result = calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(0.3, 1.0), w2_grid=(0.4,), w3_grid=(3.0,),
+            w4_grid=(1.5,),
+        )
+        scores = [s for _, s in result.scores]
+        assert scores == sorted(scores)
+        assert result.scores[0][1] == pytest.approx(min(scores))
+
+    def test_scores_are_relative_slowdowns(self):
+        pipes = [build_blur(62, 94)]
+        result = calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(1.0,), w2_grid=(0.4,), w3_grid=(1.0, 30.0),
+            w4_grid=(1.5,),
+        )
+        # best candidate's geometric mean is exactly 1.0 by construction
+        assert result.scores[0][1] == pytest.approx(1.0)
+        assert all(s >= 1.0 for _, s in result.scores)
+
+    def test_custom_oracle(self):
+        pipes = [build_blur(62, 94)]
+        calls = []
+
+        def oracle(pipe, grouping):
+            calls.append(grouping.num_groups)
+            return float(grouping.num_groups)  # prefer maximal fusion
+
+        result = calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(1.0,), w2_grid=(0.4,), w3_grid=(1.0,), w4_grid=(1.5,),
+            oracle=oracle,
+        )
+        assert calls
+        assert result.scores[0][1] == 1.0
+
+    def test_times_recorded_per_pipeline(self):
+        pipes = [build_blur(62, 94), build_updown(120)]
+        result = calibrate_weights(
+            pipes, XEON_HASWELL,
+            w1_grid=(1.0,), w2_grid=(0.4,), w3_grid=(3.0,), w4_grid=(1.5,),
+        )
+        names = {name for _, name in result.times}
+        assert names == {"blur", "updown"}
+
+    def test_empty_pipelines_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_weights([], XEON_HASWELL)

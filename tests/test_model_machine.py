@@ -1,0 +1,79 @@
+"""Tests for machine descriptions and vectorization behaviour."""
+
+import dataclasses
+
+import pytest
+
+from repro.model import AMD_OPTERON, PAPER_TABLE1, XEON_HASWELL
+
+
+class TestPresets:
+    def test_paper_parameters(self):
+        # Sec. 6.1 hardware parameters.
+        assert XEON_HASWELL.num_cores == 16
+        assert XEON_HASWELL.l1_cache == 32 * 1024
+        assert XEON_HASWELL.l2_cache == 256 * 1024
+        assert XEON_HASWELL.l3_cache == 20 * 1024 * 1024
+        assert AMD_OPTERON.l1_cache == 16 * 1024
+        assert AMD_OPTERON.l2_cache == 1024 * 1024
+        assert AMD_OPTERON.l3_cache == 12 * 1024 * 1024
+
+    def test_innermost_tile_sizes(self):
+        # Sec. 6.1: 256 on the Xeon, 128 on the Opteron.
+        assert XEON_HASWELL.innermost_tile_size == 256
+        assert AMD_OPTERON.innermost_tile_size == 128
+
+    def test_halide_parameters(self):
+        # Sec. 6.1 Halide auto-scheduler settings.
+        for m in (XEON_HASWELL, AMD_OPTERON):
+            assert m.halide.vector_width == 16
+            assert m.halide.parallelism_threshold == 16
+            assert m.halide.load_cost == 40.0
+        assert XEON_HASWELL.halide.cache_size == 256 * 1024
+        assert AMD_OPTERON.halide.cache_size == 1024 * 1024
+
+    def test_paper_table1_recorded(self):
+        assert PAPER_TABLE1["Intel Xeon"] == (1.0, 100.0, 46875.0, 1.5)
+        assert PAPER_TABLE1["AMD Opteron"] == (0.3, 100.0, 46875.0, 2.0)
+
+
+class TestVectorization:
+    def test_float_autovec_on_xeon(self):
+        v = XEON_HASWELL.polymage_vec_efficiency(
+            integer_heavy=False, data_dependent=False
+        )
+        assert v > 1.0
+
+    def test_integer_autovec_fails_on_opteron(self):
+        # Sec. 6.2: g++ on the Opteron fails on integer-heavy stages.
+        v = AMD_OPTERON.polymage_vec_efficiency(
+            integer_heavy=True, data_dependent=False
+        )
+        assert v == 1.0
+        v_xeon = XEON_HASWELL.polymage_vec_efficiency(
+            integer_heavy=True, data_dependent=False
+        )
+        assert v_xeon > 1.0
+
+    def test_data_dependent_defeats_autovec_everywhere(self):
+        for m in (XEON_HASWELL, AMD_OPTERON):
+            assert m.polymage_vec_efficiency(
+                integer_heavy=False, data_dependent=True
+            ) == 1.0
+
+    def test_halide_intrinsics_unaffected_by_integer(self):
+        v = AMD_OPTERON.halide_vec_efficiency(
+            integer_heavy=True, data_dependent=False
+        )
+        assert v > 1.0
+
+    def test_autovec_float_off_forces_scalar(self):
+        # Pyramid Blend on the Opteron: g++ vectorized nothing (Sec 6.2).
+        novec = dataclasses.replace(AMD_OPTERON, autovec_float=False)
+        assert novec.polymage_vec_efficiency(
+            integer_heavy=False, data_dependent=False
+        ) == 1.0
+
+    def test_ops_per_second_scales_with_vec(self):
+        base = XEON_HASWELL.ops_per_second(1.0)
+        assert XEON_HASWELL.ops_per_second(4.0) == pytest.approx(4 * base)

@@ -1,0 +1,99 @@
+"""Unit and property tests for tile-size determination (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.tilesize import MIN_OUTER_TILE, UNTILED_EXTENT, compute_tile_sizes
+from repro.poly import compute_group_geometry
+
+from conftest import build_blur
+
+
+@pytest.fixture
+def blur_geom(blur_pipeline):
+    return compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+
+
+class TestComputeTileSizes:
+    def test_innermost_pinned(self, blur_geom):
+        tiles = compute_tile_sizes(blur_geom, 32 * 1024, 256, (1.0, 3.0, 3.0))
+        # INNERMOSTTILESIZE caps the last dimension (extent 132 < 256).
+        assert tiles[-1] == min(132, 256)
+
+    def test_innermost_respects_parameter(self, blur_geom):
+        tiles = compute_tile_sizes(blur_geom, 32 * 1024, 64, (1.0, 3.0, 3.0))
+        assert tiles[-1] == 64
+
+    def test_short_dims_untiled(self, blur_geom):
+        tiles = compute_tile_sizes(blur_geom, 32 * 1024, 256, (1.0, 3.0, 3.0))
+        # The 3-wide colour dimension is never split.
+        assert tiles[0] == 3
+
+    def test_bounded_by_extents(self, blur_geom):
+        tiles = compute_tile_sizes(blur_geom, 1 << 30, 256, (1.0, 3.0, 3.0))
+        assert all(t <= e for t, e in zip(tiles, blur_geom.grid_extents))
+
+    def test_reuse_ratio_shapes_tiles(self):
+        # Two outer dims with very different reuse: the high-reuse one
+        # gets the longer tile.
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x, y, z = Variable(Int, "x"), Variable(Int, "y"), Variable(Int, "z")
+        img = Image(Float, "img", [128, 128, 128])
+        a = Function(([x, y, z], [Interval(Int, 0, 127)] * 3), Float, "a")
+        a.defn = [img(x, y, z)]
+        p = Pipeline([a], {})
+        geom = compute_group_geometry(p, [a])
+        tiles = compute_tile_sizes(geom, 64 * 1024, 128, (1.0, 4.0, 1.0))
+        assert tiles[1] > tiles[0]
+
+    def test_larger_budget_larger_tiles(self, blur_geom):
+        small = compute_tile_sizes(blur_geom, 16 * 1024, 256, (1.0, 3.0, 3.0))
+        big = compute_tile_sizes(blur_geom, 256 * 1024, 256, (1.0, 3.0, 3.0))
+        assert big[1] >= small[1]
+
+    def test_not_restricted_to_powers_of_two(self, blur_geom):
+        # One of the paper's headline points: a 5x256-style tile emerges.
+        tiles = compute_tile_sizes(blur_geom, 32 * 1024, 256, (1.0, 3.0, 3.0))
+        assert any(t & (t - 1) for t in tiles if t > 1)
+
+    def test_one_dimensional_group(self):
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [4096])
+        a = Function(([x], [Interval(Int, 0, 4095)]), Float, "a")
+        a.defn = [img(x) * 2.0]
+        p = Pipeline([a], {})
+        geom = compute_group_geometry(p, [a])
+        tiles = compute_tile_sizes(geom, 8 * 1024, 256, (1.0,))
+        assert len(tiles) == 1 and 1 <= tiles[0] <= 4096
+
+    def test_zero_budget_rejected(self, blur_geom):
+        with pytest.raises(ValueError):
+            compute_tile_sizes(blur_geom, 0, 256, (1.0, 3.0, 3.0))
+
+    def test_wrong_reuse_length_rejected(self, blur_geom):
+        with pytest.raises(ValueError):
+            compute_tile_sizes(blur_geom, 1024, 256, (1.0, 3.0))
+
+
+@given(
+    budget=st.integers(min_value=256, max_value=1 << 22),
+    innermost=st.sampled_from([64, 128, 256]),
+    r1=st.floats(min_value=1.0, max_value=8.0),
+    r2=st.floats(min_value=1.0, max_value=8.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_tile_sizes_always_valid(budget, innermost, r1, r2):
+    pipeline = build_blur()
+    geom = compute_group_geometry(pipeline, pipeline.stages)
+    tiles = compute_tile_sizes(geom, budget, innermost, (1.0, r1, r2))
+    assert len(tiles) == geom.ndim
+    for t, extent in zip(tiles, geom.grid_extents):
+        assert 1 <= t <= extent
+    # Tiled outer dimensions respect the minimum tile size.
+    for t, extent in zip(tiles[:-1], geom.grid_extents[:-1]):
+        if extent > UNTILED_EXTENT:
+            assert t >= MIN_OUTER_TILE

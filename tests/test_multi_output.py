@@ -1,0 +1,89 @@
+"""Multi-output pipelines through the whole stack: scheduling, tiled
+execution, and code generation."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+from repro.fusion import manual_grouping, schedule_pipeline
+from repro.model import XEON_HASWELL
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import random_inputs
+
+
+def build_two_outputs(n=96):
+    """One producer feeding two pipeline outputs (e.g. a preview and a
+    full-quality path)."""
+    x, y = Variable(Int, "x"), Variable(Int, "y")
+    img = Image(Float, "img", [n, n])
+    base = Function(([x, y], [Interval(Int, 1, n - 2)] * 2), Float, "base")
+    base.defn = [
+        (img(x - 1, y) + img(x + 1, y) + img(x, y - 1) + img(x, y + 1))
+        * 0.25
+    ]
+    sharp = Function(([x, y], [Interval(Int, 2, n - 3)] * 2), Float, "sharp")
+    sharp.defn = [base(x, y) * 2.0 - (base(x - 1, y) + base(x + 1, y)) * 0.5]
+    soft = Function(([x, y], [Interval(Int, 2, n - 3)] * 2), Float, "soft")
+    soft.defn = [(base(x, y - 1) + base(x, y) + base(x, y + 1)) * (1.0 / 3)]
+    return Pipeline([sharp, soft], {}, name="two_outputs")
+
+
+class TestScheduling:
+    def test_dp_covers_both_outputs(self):
+        p = build_two_outputs()
+        g = schedule_pipeline(p, XEON_HASWELL, strategy="dp")
+        assert g.is_valid()
+        names = {s.name for grp in g.groups for s in grp}
+        assert names == {"base", "sharp", "soft"}
+
+    def test_both_outputs_are_liveouts_when_fused(self):
+        from repro.poly import compute_group_geometry
+
+        p = build_two_outputs()
+        geom = compute_group_geometry(p, p.stages)
+        liveout_names = {s.name for s in geom.liveouts}
+        assert {"sharp", "soft"} <= liveout_names
+
+
+class TestExecution:
+    def test_reference_returns_both(self, rng):
+        p = build_two_outputs()
+        out = execute_reference(p, random_inputs(p, rng))
+        assert set(out) == {"sharp", "soft"}
+
+    def test_fused_tiled_matches_reference(self, rng):
+        p = build_two_outputs()
+        inputs = random_inputs(p, rng)
+        ref = execute_reference(p, inputs)
+        g = manual_grouping(p, [["base", "sharp", "soft"]], [[16, 32]])
+        out = execute_grouping(p, g, inputs, nthreads=2)
+        for k in ("sharp", "soft"):
+            assert np.allclose(ref[k], out[k], atol=1e-5)
+
+    def test_split_schedule_matches(self, rng):
+        p = build_two_outputs()
+        inputs = random_inputs(p, rng)
+        ref = execute_reference(p, inputs)
+        g = manual_grouping(
+            p, [["base", "sharp"], ["soft"]], [[16, 32], [32, 16]]
+        )
+        out = execute_grouping(p, g, inputs)
+        for k in ("sharp", "soft"):
+            assert np.allclose(ref[k], out[k], atol=1e-5)
+
+
+@pytest.mark.skipif(shutil.which("g++") is None, reason="g++ not available")
+class TestCodegen:
+    def test_compiled_multi_output(self, rng, tmp_path):
+        from test_codegen import compile_and_run
+
+        p = build_two_outputs()
+        inputs = random_inputs(p, rng)
+        ref = execute_reference(p, inputs)
+        g = schedule_pipeline(p, XEON_HASWELL, strategy="dp")
+        out = compile_and_run(p, g, inputs, str(tmp_path))
+        for k in ("sharp", "soft"):
+            assert np.allclose(ref[k], out[k], atol=1e-5)

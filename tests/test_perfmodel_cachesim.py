@@ -1,0 +1,130 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import XEON_HASWELL
+from repro.perfmodel.cachesim import (
+    CacheHierarchy,
+    SetAssocCache,
+    simulate_group_cache,
+)
+
+from conftest import build_blur, build_histogram
+
+
+class TestSetAssocCache:
+    def test_first_access_misses(self):
+        c = SetAssocCache(1024, 64, 2)
+        assert not c.access(0)
+
+    def test_second_access_hits(self):
+        c = SetAssocCache(1024, 64, 2)
+        c.access(0)
+        assert c.access(0)
+
+    def test_lru_eviction(self):
+        c = SetAssocCache(2 * 64 * 2, 64, 2)  # 2 sets, 2 ways
+        # three lines mapping to set 0: 0, 2, 4
+        c.access(0)
+        c.access(2)
+        c.access(4)  # evicts 0
+        assert not c.access(0)
+
+    def test_lru_refresh_on_hit(self):
+        c = SetAssocCache(2 * 64 * 2, 64, 2)
+        c.access(0)
+        c.access(2)
+        c.access(0)  # refresh 0
+        c.access(4)  # evicts 2, not 0
+        assert c.access(0)
+        assert not c.access(2)
+
+    def test_sets_are_independent(self):
+        c = SetAssocCache(2 * 64 * 2, 64, 2)
+        c.access(0)
+        c.access(1)  # different set
+        assert c.access(0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(1000, 64, 3)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_property_working_set_within_capacity_always_hits_after_warmup(lines):
+    """Any reuse pattern over at most `assoc` lines per set must hit after
+    the first touch (LRU never evicts within capacity)."""
+    cache = SetAssocCache(64 * 64 * 8, 64, 8)  # 64 sets x 8 ways
+    from collections import Counter
+
+    per_set = Counter(l % 64 for l in set(lines))
+    if max(per_set.values()) > 8:
+        return  # pattern exceeds a set's capacity; no guarantee
+    seen = set()
+    for l in lines:
+        hit = cache.access(l)
+        assert hit == (l in seen)
+        seen.add(l)
+
+
+class TestHierarchy:
+    def test_counts_are_consistent(self):
+        h = CacheHierarchy(XEON_HASWELL)
+        for line in range(100):
+            h.access_line(line, 16)
+        st = h.stats()
+        assert st.accesses == 1600
+        assert st.l1_hits + st.l2_hits + st.l2_misses == st.accesses
+
+    def test_element_weighting(self):
+        h = CacheHierarchy(XEON_HASWELL)
+        h.access_line(0, 16)
+        st = h.stats()
+        # 1 miss (the line fill) + 15 in-line L1 hits
+        assert st.l2_misses == 1 and st.l1_hits == 15
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(XEON_HASWELL)
+        # touch enough distinct lines to overflow L1 (512 lines) but not
+        # L2 (4096 lines), then re-touch the first line.
+        for line in range(1024):
+            h.access_line(line, 1)
+        h.access_line(0, 1)
+        st = h.stats()
+        assert st.l2_hits >= 1
+
+
+class TestSimulateGroup:
+    def test_blur_stats_sane(self, blur_pipeline):
+        st = simulate_group_cache(
+            blur_pipeline, blur_pipeline.stages, (3, 16, 64),
+            XEON_HASWELL, max_tiles=4,
+        )
+        l1, l2, miss = st.row()
+        assert 0 <= miss <= 100
+        assert l1 + l2 + miss == pytest.approx(100.0)
+        assert l1 > 50  # row streaming always has strong L1 locality
+
+    def test_l1_sized_tiles_miss_less_than_spilling_tiles(self):
+        p = build_blur(rows=512, cols=512)
+        small = simulate_group_cache(p, p.stages, (3, 5, 256), XEON_HASWELL,
+                                     max_tiles=6)
+        huge = simulate_group_cache(p, p.stages, (3, 128, 256), XEON_HASWELL,
+                                    max_tiles=3)
+        assert small.l2_miss_frac < huge.l2_miss_frac
+
+    def test_reduction_group_rejected(self, histogram_pipeline):
+        with pytest.raises(ValueError):
+            simulate_group_cache(
+                histogram_pipeline, histogram_pipeline.stages, (8,),
+                XEON_HASWELL,
+            )
+
+    def test_wrong_tile_arity_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            simulate_group_cache(blur_pipeline, blur_pipeline.stages, (16,),
+                                 XEON_HASWELL)

@@ -1,0 +1,151 @@
+"""Tests for the shared group metrics and the timing model."""
+
+import pytest
+
+from repro.fusion import manual_grouping
+from repro.model import AMD_OPTERON, XEON_HASWELL
+from repro.perfmodel import (
+    estimate_runtime,
+    group_metrics,
+    stage_ops_per_point,
+    stage_traits,
+    stage_work_points,
+)
+
+from conftest import build_blur, build_histogram
+
+
+class TestStageTraits:
+    def test_float_stencil(self, blur_pipeline):
+        tr = stage_traits(blur_pipeline, blur_pipeline.stage_by_name("blurx"))
+        assert not tr.integer_heavy and not tr.data_dependent
+        assert tr.ops_per_point >= 5  # 3 loads + 2 adds + mul
+
+    def test_reduction_is_data_dependent(self, histogram_pipeline):
+        tr = stage_traits(
+            histogram_pipeline, histogram_pipeline.stage_by_name("hist")
+        )
+        assert tr.data_dependent
+
+    def test_integer_stage(self):
+        from repro.pipelines import campipe
+
+        p = campipe.build(128, 96)
+        tr = stage_traits(p, p.stage_by_name("denoisedx"))
+        assert tr.integer_heavy
+
+    def test_work_points_reduction_uses_rdom(self, histogram_pipeline):
+        hist = histogram_pipeline.stage_by_name("hist")
+        assert stage_work_points(histogram_pipeline, hist) == 64 * 64
+
+    def test_ops_per_point_positive(self, blur_pipeline):
+        for s in blur_pipeline.stages:
+            assert stage_ops_per_point(s) >= 1
+
+
+class TestGroupMetrics:
+    def test_geometry_path(self, blur_pipeline):
+        m = group_metrics(blur_pipeline, blur_pipeline.stages, (3, 32, 32))
+        assert m.has_geometry
+        assert m.n_tiles == 1 * 3 * 5  # ceil(94/32) x ceil(132/32) x 1
+        assert m.total_points > 2 * 94 * 130 * 3 * 0.9
+        assert m.inner_extent == 32
+
+    def test_overlap_included_in_points(self, blur_pipeline):
+        small = group_metrics(blur_pipeline, blur_pipeline.stages, (3, 94, 8))
+        big = group_metrics(blur_pipeline, blur_pipeline.stages, (3, 94, 132))
+        # smaller y tiles -> more overlap -> more total points
+        assert small.total_points > big.total_points
+
+    def test_resident_is_largest_stage_tile(self, blur_pipeline):
+        m = group_metrics(blur_pipeline, blur_pipeline.stages, (3, 32, 32))
+        assert 0 < m.resident_bytes <= m.tile_footprint_bytes
+
+    def test_fallback_path_for_reduction_group(self, histogram_pipeline):
+        members = list(histogram_pipeline.stages)  # hist + norm fused
+        m = group_metrics(histogram_pipeline, members, (8,))
+        assert not m.has_geometry
+        assert m.n_tiles == 1
+        assert m.total_points >= 64 * 64
+
+    def test_wrong_tile_arity_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            group_metrics(blur_pipeline, blur_pipeline.stages, (32, 32))
+
+    def test_livein_positive(self, blur_pipeline):
+        m = group_metrics(blur_pipeline, blur_pipeline.stages, (3, 32, 32))
+        assert m.livein_bytes_per_tile > 0
+        assert m.liveout_bytes_per_tile == 3 * 32 * 32 * 4
+
+
+class TestTiming:
+    def make_grouping(self, pipeline, fused=True, tiles=(3, 32, 128)):
+        if fused:
+            return manual_grouping(pipeline, [["blurx", "blury"]], [list(tiles)])
+        return manual_grouping(
+            pipeline, [["blurx"], ["blury"]], [list(tiles), list(tiles)]
+        )
+
+    def test_positive_time(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        t = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16)
+        assert t > 0
+
+    def test_parallel_faster_than_serial(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        t1 = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 1)
+        t16 = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16)
+        assert t16 < t1
+
+    def test_fused_beats_unfused_on_big_images(self):
+        p = build_blur(rows=2046, cols=2046)
+        fused = manual_grouping(p, [["blurx", "blury"]], [[3, 32, 256]])
+        unfused = manual_grouping(
+            p, [["blurx"], ["blury"]], [[3, 32, 256], [3, 32, 256]]
+        )
+        tf = estimate_runtime(p, fused, XEON_HASWELL, 16)
+        tu = estimate_runtime(p, unfused, XEON_HASWELL, 16)
+        assert tf < tu
+
+    def test_opteron_slower_than_xeon(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        tx = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16)
+        to = estimate_runtime(blur_pipeline, g, AMD_OPTERON, 16)
+        assert to > tx
+
+    def test_halide_codegen_helps_integer_stages_on_opteron(self):
+        from repro.pipelines import campipe
+
+        p = campipe.build(256, 192)
+        g = campipe.h_manual(p)
+        tp = estimate_runtime(p, g, AMD_OPTERON, 16, codegen="polymage")
+        th = estimate_runtime(p, g, AMD_OPTERON, 16, codegen="halide")
+        # Sec. 6.2: g++ fails to vectorize the integer stages; Halide's
+        # intrinsics do not care.
+        assert th < tp
+
+    def test_codegen_equal_on_xeon_for_float(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        tp = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16,
+                              codegen="polymage")
+        th = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16,
+                              codegen="halide")
+        assert tp == pytest.approx(th, rel=0.01)
+
+    def test_breakdown(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline, fused=False)
+        bd = estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16,
+                              breakdown=True)
+        assert len(bd.group_names) == 2
+        assert bd.total_s > 0
+        assert all(i >= 1.0 for i in bd.imbalance)
+
+    def test_unknown_codegen_rejected(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        with pytest.raises(ValueError):
+            estimate_runtime(blur_pipeline, g, XEON_HASWELL, 16, codegen="gcc")
+
+    def test_bad_threads_rejected(self, blur_pipeline):
+        g = self.make_grouping(blur_pipeline)
+        with pytest.raises(ValueError):
+            estimate_runtime(blur_pipeline, g, XEON_HASWELL, 0)

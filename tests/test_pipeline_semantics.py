@@ -1,0 +1,131 @@
+"""Semantic sanity tests for the six benchmark applications: each
+pipeline must actually perform its image-processing job, not merely be a
+DAG with the right shape."""
+
+import numpy as np
+import pytest
+
+from repro.pipelines import BENCHMARKS, bilateral, campipe, harris, interpolate, pyramid, unsharp
+from repro.runtime import execute_reference
+
+from conftest import random_inputs
+
+
+class TestUnsharpMask:
+    def test_sharpens_edges(self, rng):
+        p = unsharp.build(128, 96)
+        img = np.full(p.image_shape("img"), 0.25, dtype=np.float32)
+        img[:, :, 64:] = 0.75  # vertical step edge
+        out = execute_reference(p, {"img": img})["masked"]
+        # The sharpened image must overshoot on both sides of the edge.
+        assert out.max() > 0.75 + 0.02
+        assert out.min() < 0.25 - 0.02
+
+    def test_flat_regions_untouched(self):
+        p = unsharp.build(96, 64)
+        img = np.full(p.image_shape("img"), 0.4, dtype=np.float32)
+        out = execute_reference(p, {"img": img})["masked"]
+        assert np.allclose(out, 0.4, atol=1e-5)
+
+
+class TestHarris:
+    def test_detects_a_corner(self):
+        p = harris.build(96, 96)
+        img = np.zeros(p.image_shape("img"), dtype=np.float32)
+        img[:, 40:, 40:] = 1.0  # a bright quadrant: corner at (40, 40)
+        out = execute_reference(p, {"img": img})["corners"]
+        ci, cj = np.unravel_index(np.argmax(out), out.shape)
+        dom = p.domain(p.stage_by_name("corners"))
+        # strongest response within a few pixels of the true corner
+        assert abs((ci + dom[0][0]) - 40) <= 4
+        assert abs((cj + dom[1][0]) - 40) <= 4
+
+    def test_flat_image_has_no_corners(self):
+        p = harris.build(96, 96)
+        img = np.full(p.image_shape("img"), 0.5, dtype=np.float32)
+        out = execute_reference(p, {"img": img})["corners"]
+        assert np.count_nonzero(out) == 0
+
+
+class TestBilateralGrid:
+    def test_smooths_noise(self, rng):
+        p = bilateral.build(192, 128)
+        clean = np.full((128, 192), 0.5, dtype=np.float32)
+        noisy = clean + rng.normal(0, 0.05, clean.shape).astype(np.float32)
+        img = np.stack([noisy] * 3)
+        out = execute_reference(p, {"img": img})["filtered"]
+        assert out.std() < noisy.std() * 0.7
+
+    def test_weights_normalised(self, rng):
+        # On a constant image the filtered output equals the input value.
+        p = bilateral.build(192, 128)
+        img = np.full(p.image_shape("img"), 0.5, dtype=np.float32)
+        out = execute_reference(p, {"img": img})["filtered"]
+        assert np.allclose(out, 0.5, atol=0.02)
+
+
+class TestInterpolate:
+    def test_constant_image_preserved_in_shape(self):
+        p = interpolate.build(256, 192, levels=4)
+        img = np.full(p.image_shape("img"), 0.5, dtype=np.float32)
+        out = execute_reference(p, {"img": img})["output"]
+        # every stage is a convex-ish combination of constants: bounded,
+        # smooth, constant.
+        assert out.std() < 1e-4
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_output_clamped(self, rng):
+        p = interpolate.build(256, 192, levels=4)
+        inputs = random_inputs(p, rng)
+        out = execute_reference(p, inputs)["output"]
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestCameraPipeline:
+    def test_output_is_normalised_rgb(self, rng):
+        p = campipe.build(128, 96)
+        inputs = random_inputs(p, rng)
+        out = execute_reference(p, inputs)["out"]
+        assert out.shape[0] == 3
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_brighter_raw_brighter_output(self):
+        p = campipe.build(128, 96)
+        dark = {"raw": np.full(p.image_shape("raw"), 256, dtype=np.uint16)}
+        bright = {"raw": np.full(p.image_shape("raw"), 3000, dtype=np.uint16)}
+        out_d = execute_reference(p, dark)["out"].mean()
+        out_b = execute_reference(p, bright)["out"].mean()
+        assert out_b > out_d
+
+
+class TestPyramidBlend:
+    def test_mask_one_returns_first_image(self, rng):
+        p = pyramid.build(192, 128, levels=3)
+        imgA = rng.random(p.image_shape("imgA"), dtype=np.float32) * 0.8 + 0.1
+        imgB = rng.random(p.image_shape("imgB"), dtype=np.float32) * 0.8 + 0.1
+        mask = np.ones(p.image_shape("mask"), dtype=np.float32)
+        out = execute_reference(
+            p, {"imgA": imgA, "imgB": imgB, "mask": mask}
+        )["clamped"]
+        dom = p.domain(p.stage_by_name("clamped"))
+        # interior of the output should reproduce image A (W = 1
+        # everywhere; pyramid round trips smooth slightly at boundaries)
+        sl = tuple(slice(8, (hi - lo + 1) - 8) for lo, hi in dom[1:])
+        ref = imgA[(slice(None),) + tuple(
+            slice(lo + 8, hi - 7) for lo, hi in dom[1:]
+        )]
+        # blending with W=1 collapses to A's own laplacian pyramid,
+        # whose collapse reconstructs A up to boundary smoothing.
+        diff = np.abs(out[(slice(None),) + sl] - ref * 1.02).mean()
+        assert diff < 0.05
+
+    def test_blend_between_images(self, rng):
+        p = pyramid.build(192, 128, levels=3)
+        imgA = np.full(p.image_shape("imgA"), 0.8, dtype=np.float32)
+        imgB = np.full(p.image_shape("imgB"), 0.2, dtype=np.float32)
+        mask = np.full(p.image_shape("mask"), 0.5, dtype=np.float32)
+        out = execute_reference(
+            p, {"imgA": imgA, "imgB": imgB, "mask": mask}
+        )["clamped"]
+        interior = out[:, 8:-8, 8:-8]
+        assert abs(interior.mean() - 0.5 * 1.02) < 0.05

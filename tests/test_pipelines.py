@@ -1,0 +1,123 @@
+"""Structural tests for the six benchmark pipelines (paper Table 2)."""
+
+import pytest
+
+from repro.graph import StageGraph
+from repro.pipelines import BENCHMARKS, build_scaled, get_benchmark
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+class TestStructure:
+    def test_small_build_works(self, abbrev):
+        b = BENCHMARKS[abbrev]
+        p = b.build(**b.small_kwargs)
+        assert p.num_stages >= 4
+
+    def test_h_manual_is_valid_grouping(self, abbrev):
+        b = BENCHMARKS[abbrev]
+        p = b.build(**b.small_kwargs)
+        hm = b.h_manual(p)
+        covered = set()
+        for g in hm.groups:
+            covered |= {s.name for s in g}
+        assert covered == {s.name for s in p.stages}
+
+    def test_single_connected_dag(self, abbrev):
+        b = BENCHMARKS[abbrev]
+        p = b.build(**b.small_kwargs)
+        g = StageGraph.from_pipeline(p)
+        assert g.is_connected(g.all_mask)
+
+    def test_too_small_image_rejected(self, abbrev):
+        b = BENCHMARKS[abbrev]
+        with pytest.raises(ValueError):
+            b.build(width=8, height=8)
+
+
+class TestPaperCounts:
+    """Full-size builds must match Table 2's stage counts exactly."""
+
+    @pytest.mark.parametrize(
+        "abbrev,stages",
+        [("UM", 4), ("HC", 11), ("BG", 7), ("MI", 49), ("CP", 32), ("PB", 44)],
+    )
+    def test_stage_counts(self, abbrev, stages):
+        p = BENCHMARKS[abbrev].build()
+        assert p.num_stages == stages
+
+    @pytest.mark.parametrize(
+        "abbrev,max_succ",
+        [("UM", 2), ("HC", 2), ("CP", 5), ("PB", 3)],
+    )
+    def test_max_successors(self, abbrev, max_succ):
+        p = BENCHMARKS[abbrev].build()
+        g = StageGraph.from_pipeline(p)
+        assert g.max_successor_count() == max_succ
+
+
+class TestRegistry:
+    def test_get_benchmark(self):
+        assert get_benchmark("UM").name == "Unsharp Mask"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("XX")
+
+    def test_paper_rows_complete(self):
+        for b in BENCHMARKS.values():
+            assert b.paper_xeon.polymage_dp[1] > 0
+            assert b.paper_opteron.polymage_dp[1] > 0
+            assert "inf" in b.paper_groupings
+
+    def test_build_scaled(self):
+        p = build_scaled("UM", 0.1)
+        assert p.num_stages == 4
+        full = BENCHMARKS["UM"].image_size
+        assert p.image_shape("img")[1] < full[1]
+
+
+class TestBenchmarkSpecifics:
+    def test_bilateral_reduction_present(self):
+        from repro.dsl import Reduction
+
+        p = BENCHMARKS["BG"].build(**BENCHMARKS["BG"].small_kwargs)
+        assert any(isinstance(s, Reduction) for s in p.stages)
+
+    def test_campipe_has_integer_and_lut_stages(self):
+        from repro.perfmodel import stage_traits
+
+        p = BENCHMARKS["CP"].build(**BENCHMARKS["CP"].small_kwargs)
+        traits = [stage_traits(p, s) for s in p.stages]
+        assert any(t.integer_heavy for t in traits)
+        assert any(t.data_dependent for t in traits)
+
+    def test_interpolate_levels_configurable(self):
+        from repro.pipelines import interpolate
+
+        p = interpolate.build(256, 192, levels=3)
+        assert p.num_stages == 5 * 3 - 1
+
+    def test_pyramid_levels_configurable(self):
+        from repro.pipelines import pyramid
+
+        p3 = pyramid.build(256, 192, levels=3)
+        p2 = pyramid.build(256, 192, levels=2)
+        assert p3.num_stages > p2.num_stages
+
+    def test_interpolate_too_many_levels_rejected(self):
+        from repro.pipelines import interpolate
+
+        with pytest.raises(ValueError):
+            interpolate.build(128, 128, levels=10)
+
+    def test_unsharp_masked_condition(self, rng):
+        # The masked stage must keep flat regions untouched.
+        import numpy as np
+
+        from repro.pipelines import unsharp
+        from repro.runtime import execute_reference
+
+        p = unsharp.build(64, 48)
+        flat = {"img": np.full(p.image_shape("img"), 0.5, dtype=np.float32)}
+        out = execute_reference(p, flat)["masked"]
+        assert np.allclose(out, 0.5, atol=1e-5)

@@ -1,0 +1,71 @@
+"""Tests for the synthetic pipeline generator."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import schedule_pipeline
+from repro.model import XEON_HASWELL
+from repro.pipelines.synth import random_pipeline
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import random_inputs
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = random_pipeline(num_stages=12, seed=5, size=256)
+        b = random_pipeline(num_stages=12, seed=5, size=256)
+        assert [s.name for s in a.stages] == [s.name for s in b.stages]
+        assert [a.domain(s) for s in a.stages] == [b.domain(s) for s in b.stages]
+
+    def test_seeds_differ(self):
+        a = random_pipeline(num_stages=12, seed=1, size=256)
+        b = random_pipeline(num_stages=12, seed=2, size=256)
+        assert [s.name for s in a.stages] != [s.name for s in b.stages]
+
+    def test_stage_count_near_target(self):
+        for seed in range(6):
+            p = random_pipeline(num_stages=14, seed=seed, size=256)
+            assert 10 <= p.num_stages <= 24
+
+    def test_single_output(self):
+        p = random_pipeline(num_stages=10, seed=3, size=256)
+        assert len(p.outputs) == 1 and p.outputs[0].name == "out"
+
+    def test_domains_non_empty(self):
+        for seed in range(6):
+            p = random_pipeline(num_stages=16, seed=seed, size=256)
+            for s in p.stages:
+                for lo, hi in p.domain(s):
+                    assert lo <= hi
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_pipeline(num_stages=1)
+        with pytest.raises(ValueError):
+            random_pipeline(size=32)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_executes_correctly_under_dp(self, seed, rng):
+        p = random_pipeline(num_stages=10, seed=seed, size=192)
+        inputs = random_inputs(p, rng)
+        ref = execute_reference(p, inputs)
+        g = schedule_pipeline(p, XEON_HASWELL, strategy="dp",
+                              max_states=300_000)
+        out = execute_grouping(p, g, inputs)
+        assert np.allclose(ref["out"], out["out"], atol=1e-4)
+
+    def test_accesses_stay_in_bounds(self, rng):
+        # the reference interpreter clips silently; re-running with a
+        # poisoned border would reveal out-of-bounds reads.  Instead check
+        # structurally: every intra-pipeline access region fits.
+        from repro.poly import compute_group_geometry
+
+        for seed in range(4):
+            p = random_pipeline(num_stages=12, seed=seed, size=256)
+            # full-pipeline geometry either exists or fails for scaling
+            # reasons, but per-edge pairs must always be analysable.
+            for s in p.stages:
+                for producer in p.producers(s):
+                    geom = compute_group_geometry(p, [producer, s])
+                    assert geom is not None, (seed, producer.name, s.name)

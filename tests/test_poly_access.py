@@ -1,0 +1,122 @@
+"""Unit tests for affine access extraction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dsl import Float, Function, Image, Int, Interval, Min, Parameter, Variable
+from repro.poly.access import linearize, summarize_access, summarize_dim
+
+
+@pytest.fixture
+def x():
+    return Variable(Int, "x")
+
+
+@pytest.fixture
+def y():
+    return Variable(Int, "y")
+
+
+@pytest.fixture
+def img():
+    return Image(Float, "img", [64, 64])
+
+
+def dim_of(expr, env=None):
+    return summarize_dim(expr, env or {})
+
+
+class TestLinearize:
+    def test_variable(self, x):
+        coeffs, const, den = linearize(x, {})
+        assert coeffs == {"x": Fraction(1)} and const == 0 and den == 1
+
+    def test_affine_combo(self, x):
+        coeffs, const, den = linearize(2 * x + 3, {})
+        assert coeffs == {"x": Fraction(2)} and const == 3
+
+    def test_parameter_resolved(self, x):
+        R = Parameter(Int, "R")
+        coeffs, const, den = linearize(x + R, {"R": 10})
+        assert const == 10
+
+    def test_floordiv(self, x):
+        coeffs, const, den = linearize(x // 2, {})
+        assert coeffs == {"x": Fraction(1, 2)} and den == 2
+
+    def test_nested_floordiv_composes(self, x):
+        coeffs, const, den = linearize((x // 2) // 2, {})
+        assert coeffs == {"x": Fraction(1, 4)} and den == 4
+
+    def test_offset_inside_floordiv(self, x):
+        coeffs, const, den = linearize((x + 1) // 2, {})
+        assert const == Fraction(1, 2) and den == 2
+
+    def test_subtraction_cancels(self, x):
+        coeffs, const, den = linearize(x - x, {})
+        assert coeffs == {} and const == 0
+
+
+class TestSummarizeDim:
+    def test_plain_stencil_offset(self, x):
+        d = dim_of(x - 1)
+        assert d.affine and d.var == "x" and (d.num, d.off, d.den) == (1, -1, 1)
+
+    def test_downsample(self, x):
+        d = dim_of(2 * x)
+        assert d.affine and (d.num, d.off, d.den) == (2, 0, 1)
+        assert d.coeff == 2
+
+    def test_upsample(self, x):
+        d = dim_of(x // 2)
+        assert d.affine and (d.num, d.off, d.den) == (1, 0, 2)
+        assert d.coeff == Fraction(1, 2)
+
+    def test_upsample_with_offset(self, x):
+        d = dim_of((x + 1) // 2)
+        assert d.affine and (d.num, d.off, d.den) == (1, 1, 2)
+
+    def test_constant_index(self):
+        d = dim_of(Variable(Int, "x") * 0 + 3)
+        assert d.affine and d.var is None and d.off // d.den == 3
+
+    def test_negative_coefficient_non_affine(self, x):
+        # Mirrored accesses cannot be made constant dependences.
+        assert not dim_of(-x + 8).affine
+
+    def test_two_variables_non_affine(self, x, y):
+        assert not dim_of(x + y).affine
+
+    def test_data_dependent_non_affine(self, img, x, y):
+        assert not dim_of(img(x, y)).affine
+
+    def test_mathcall_non_affine(self, x):
+        assert not dim_of(Min(x, 5)).affine
+
+    def test_product_of_variables_non_affine(self, x, y):
+        assert not dim_of(x * y).affine
+
+    def test_offset_bounds_exact_when_den_one(self, x):
+        d = dim_of(x - 2)
+        assert d.offset_bounds() == (Fraction(-2), Fraction(-2))
+
+    def test_offset_bounds_floor_slack(self, x):
+        d = dim_of(x // 2)
+        lo, hi = d.offset_bounds()
+        assert lo == Fraction(-1, 2) and hi == 0
+
+
+class TestSummarizeAccess:
+    def test_full_access(self, img, x, y):
+        acc = img(2 * x, y - 1)
+        s = summarize_access(acc, {})
+        assert s.producer_name == "img"
+        assert s.affine
+        assert s.dims[0].coeff == 2
+        assert s.dims[1].off == -1
+
+    def test_non_affine_flag(self, img, x, y):
+        acc = img(img(x, y), y)
+        s = summarize_access(acc, {})
+        assert not s.affine

@@ -1,0 +1,152 @@
+"""Unit tests for group geometry: alignment, scaling, grids, densities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dsl import (
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Pipeline,
+    Variable,
+)
+from repro.poly import compute_group_geometry
+
+from conftest import build_blur, build_histogram, build_updown
+
+
+class TestBlurGeometry:
+    def test_full_group(self, blur_pipeline):
+        geom = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        assert geom is not None
+        assert geom.ndim == 3
+        assert geom.grid_extents == (3, 94, 132)
+
+    def test_unit_scales(self, blur_pipeline):
+        geom = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        for s in geom.stages:
+            assert all(f == 1 for f in geom.scale[s])
+
+    def test_identity_alignment(self, blur_pipeline):
+        geom = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        for s in geom.stages:
+            assert geom.align[s] == (0, 1, 2)
+
+    def test_liveouts(self, blur_pipeline):
+        geom = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        assert [s.name for s in geom.liveouts] == ["blury"]
+
+    def test_singleton_geometry(self, blur_pipeline):
+        s = blur_pipeline.stage_by_name("blurx")
+        geom = compute_group_geometry(blur_pipeline, [s])
+        assert geom is not None and geom.stages == (s,)
+
+    def test_density_one_for_unit_scale(self, blur_pipeline):
+        geom = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        assert geom.stage_density(geom.stages[0]) == 1
+
+
+class TestScaling:
+    def test_downsample_scales_fine_stage_down(self, updown_pipeline):
+        p = updown_pipeline
+        fine = p.stage_by_name("fine")
+        down = p.stage_by_name("down")
+        geom = compute_group_geometry(p, [fine, down])
+        assert geom.scale[down] == (Fraction(1),)
+        assert geom.scale[fine] == (Fraction(1, 2),)
+        assert geom.stage_density(fine) == 2
+
+    def test_upsample_scales_coarse_stage_up(self, updown_pipeline):
+        p = updown_pipeline
+        down = p.stage_by_name("down")
+        up = p.stage_by_name("up")
+        geom = compute_group_geometry(p, [down, up])
+        assert geom.scale[up] == (Fraction(1),)
+        assert geom.scale[down] == (Fraction(2),)
+        assert geom.stage_density(down) == Fraction(1, 2)
+
+    def test_three_stage_chain_composes_scales(self, updown_pipeline):
+        p = updown_pipeline
+        geom = compute_group_geometry(p, p.stages)
+        names = {s.name: s for s in geom.stages}
+        assert geom.scale[names["up"]] == (Fraction(1),)
+        assert geom.scale[names["down"]] == (Fraction(2),)
+        assert geom.scale[names["fine"]] == (Fraction(1),)
+
+
+class TestFailures:
+    def test_reduction_with_company_fails(self, histogram_pipeline):
+        p = histogram_pipeline
+        assert compute_group_geometry(p, p.stages) is None
+
+    def test_reduction_alone_succeeds(self, histogram_pipeline):
+        p = histogram_pipeline
+        hist = p.stage_by_name("hist")
+        assert compute_group_geometry(p, [hist]) is not None
+
+    def test_constant_index_intra_edge_fails(self):
+        x, y, c = Variable(Int, "x"), Variable(Int, "y"), Variable(Int, "c")
+        img = Image(Float, "img", [3, 16, 16])
+        a = Function(
+            ([c, x, y], [Interval(Int, 0, 2)] + [Interval(Int, 0, 15)] * 2),
+            Float, "a")
+        a.defn = [img(c, x, y)]
+        b = Function(([x, y], [Interval(Int, 0, 15)] * 2), Float, "b")
+        b.defn = [a(0, x, y) + a(1, x, y)]
+        p = Pipeline([b], {})
+        assert compute_group_geometry(p, [a, b]) is None
+
+    def test_data_dependent_intra_edge_fails(self):
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [32])
+        lut = Function(([x], [Interval(Int, 0, 31)]), Float, "lut")
+        lut.defn = [img(x) * 0.5]
+        apply_ = Function(([x], [Interval(Int, 0, 31)]), Float, "apply")
+        from repro.dsl import Cast, Clamp
+
+        apply_.defn = [lut(Cast(Int, Clamp(img(x) * 31.0, 0.0, 31.0)))]
+        p = Pipeline([apply_], {})
+        assert compute_group_geometry(p, [lut, apply_]) is None
+
+    def test_scale_conflict_fails(self):
+        # b reads a at both x and 2x: inconsistent scaling requirement.
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [64])
+        a = Function(([x], [Interval(Int, 0, 63)]), Float, "a")
+        a.defn = [img(x)]
+        b = Function(([x], [Interval(Int, 0, 31)]), Float, "b")
+        b.defn = [a(x) + a(2 * x)]
+        p = Pipeline([b], {})
+        assert compute_group_geometry(p, [a, b]) is None
+
+    def test_empty_group_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            compute_group_geometry(blur_pipeline, [])
+
+
+class TestMixedDimensionality:
+    def test_2d_producer_3d_consumer(self):
+        x, y, c = Variable(Int, "x"), Variable(Int, "y"), Variable(Int, "c")
+        img = Image(Float, "img", [16, 16])
+        mask = Function(([x, y], [Interval(Int, 0, 15)] * 2), Float, "mask")
+        mask.defn = [img(x, y) * 0.5]
+        colour = Function(
+            ([c, x, y], [Interval(Int, 0, 2)] + [Interval(Int, 0, 15)] * 2),
+            Float, "colour")
+        colour.defn = [mask(x, y) * 2.0]
+        p = Pipeline([colour], {})
+        geom = compute_group_geometry(p, [mask, colour])
+        assert geom is not None
+        assert geom.ndim == 3
+        # mask's dims align with the consumer's trailing (x, y) dims.
+        assert geom.align[mask] == (1, 2)
+
+
+class TestCaching:
+    def test_geometry_is_memoised(self, blur_pipeline):
+        g1 = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        g2 = compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+        assert g1 is g2

@@ -1,0 +1,86 @@
+"""Additional dependence/overlap analysis tests: multi-access edges,
+asymmetric stencils, and diagonal patterns."""
+
+import pytest
+
+from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+from repro.poly import (
+    compute_group_geometry,
+    dependence_vector_bounds,
+    max_dependence_radius,
+    overlap_size,
+)
+
+
+def two_stage(defn_builder, prod_span=(0, 63), cons_span=(4, 59)):
+    x, y = Variable(Int, "x"), Variable(Int, "y")
+    img = Image(Float, "img", [64, 64])
+    a = Function(([x, y], [Interval(Int, *prod_span)] * 2), Float, "a")
+    a.defn = [img(x, y)]
+    b = Function(([x, y], [Interval(Int, *cons_span)] * 2), Float, "b")
+    b.defn = [defn_builder(a, x, y)]
+    return Pipeline([b], {}), a, b
+
+
+class TestDependenceBounds:
+    def test_asymmetric_stencil(self):
+        p, a, b = two_stage(lambda a, x, y: a(x - 3, y) + a(x + 1, y))
+        geom = compute_group_geometry(p, [a, b])
+        bounds = dependence_vector_bounds(geom)[("a", "b")]
+        assert bounds[0] == (-3, 1)
+        assert bounds[1] == (0, 0)
+
+    def test_diagonal_stencil(self):
+        p, a, b = two_stage(lambda a, x, y: a(x - 1, y - 1) + a(x + 1, y + 1))
+        geom = compute_group_geometry(p, [a, b])
+        bounds = dependence_vector_bounds(geom)[("a", "b")]
+        assert bounds == ((-1, 1), (-1, 1))
+
+    def test_forward_only_dependence(self):
+        p, a, b = two_stage(lambda a, x, y: a(x + 2, y))
+        geom = compute_group_geometry(p, [a, b])
+        bounds = dependence_vector_bounds(geom)[("a", "b")]
+        # exact: the only offset is +2 (no spurious 0 from initialisation)
+        assert bounds[0] == (2, 2)
+
+    def test_max_radius_takes_absolute(self):
+        p, a, b = two_stage(lambda a, x, y: a(x - 4, y) + a(x + 1, y))
+        geom = compute_group_geometry(p, [a, b])
+        assert max_dependence_radius(geom)[0] == 4
+
+    def test_asymmetric_radii_in_overlap(self):
+        # left radius 3, right radius 1: overlap adds 4 columns per tile.
+        p, a, b = two_stage(lambda a, x, y: a(x - 3, y) + a(x + 1, y))
+        geom = compute_group_geometry(p, [a, b])
+        radii = geom.expansion_radii()[a]
+        assert radii[0] == (3, 1)
+        ovl = overlap_size(geom, (8, 56))
+        assert ovl == pytest.approx(4 * 56)
+
+
+class TestMultiAccessUnion:
+    def test_union_over_accesses_on_one_edge(self):
+        p, a, b = two_stage(
+            lambda a, x, y: a(x - 2, y) + a(x, y - 5) + a(x + 1, y + 1)
+        )
+        geom = compute_group_geometry(p, [a, b])
+        bounds = dependence_vector_bounds(geom)[("a", "b")]
+        assert bounds == ((-2, 1), (-5, 1))
+
+    def test_three_stage_chain_bounds_per_edge(self):
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [64])
+        a = Function(([x], [Interval(Int, 0, 63)]), Float, "a")
+        a.defn = [img(x)]
+        b = Function(([x], [Interval(Int, 2, 60)]), Float, "b")
+        b.defn = [a(x - 2)]
+        c = Function(([x], [Interval(Int, 4, 58)]), Float, "c")
+        c.defn = [b(x + 1)]
+        p = Pipeline([c], {})
+        geom = compute_group_geometry(p, p.stages)
+        bounds = dependence_vector_bounds(geom)
+        assert bounds[("a", "b")] == ((-2, -2),)
+        assert bounds[("b", "c")] == ((1, 1),)
+        # radii accumulate: a must cover c's tile shifted by both edges
+        radii = geom.expansion_radii()
+        assert radii[a][0] == (1, 0) or radii[a][0][0] >= 1

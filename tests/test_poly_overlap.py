@@ -1,0 +1,115 @@
+"""Unit tests for dependence vectors, expansion radii, overlap volumes."""
+
+import pytest
+
+from repro.poly import (
+    compute_group_geometry,
+    constant_dependence_vectors,
+    dependence_vector_bounds,
+    max_dependence_radius,
+    overlap_size,
+    stage_tile_extents,
+    tile_volume,
+)
+
+from conftest import build_blur, build_updown
+
+
+@pytest.fixture
+def blur_geom(blur_pipeline):
+    return compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+
+
+class TestDependenceVectors:
+    def test_blur_offsets(self, blur_geom):
+        bounds = dependence_vector_bounds(blur_geom)
+        assert bounds[("blurx", "blury")] == ((0, 0), (0, 0), (-1, 1))
+
+    def test_constant_check_true(self, blur_pipeline):
+        assert constant_dependence_vectors(blur_pipeline, blur_pipeline.stages)
+
+    def test_constant_check_false_for_reduction_group(self, histogram_pipeline):
+        p = histogram_pipeline
+        assert not constant_dependence_vectors(p, p.stages)
+
+    def test_max_radius(self, blur_geom):
+        assert max_dependence_radius(blur_geom) == (0, 0, 1)
+
+
+class TestExpansionRadii:
+    def test_liveout_has_zero_radius(self, blur_geom):
+        radii = blur_geom.expansion_radii()
+        blury = next(s for s in blur_geom.stages if s.name == "blury")
+        assert radii[blury] == ((0, 0), (0, 0), (0, 0))
+
+    def test_producer_expands_along_stencil_dim(self, blur_geom):
+        radii = blur_geom.expansion_radii()
+        blurx = next(s for s in blur_geom.stages if s.name == "blurx")
+        assert radii[blurx] == ((0, 0), (0, 0), (1, 1))
+
+    def test_radii_accumulate_through_chain(self):
+        # three chained y-stencils: first producer needs radius 2.
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [64])
+        a = Function(([x], [Interval(Int, 1, 62)]), Float, "a")
+        a.defn = [img(x - 1) + img(x + 1)]
+        b = Function(([x], [Interval(Int, 2, 61)]), Float, "b")
+        b.defn = [a(x - 1) + a(x + 1)]
+        c = Function(([x], [Interval(Int, 3, 60)]), Float, "c")
+        c.defn = [b(x - 1) + b(x + 1)]
+        p = Pipeline([c], {})
+        geom = compute_group_geometry(p, p.stages)
+        radii = geom.expansion_radii()
+        assert radii[a] == ((2, 2),)
+        assert radii[b] == ((1, 1),)
+        assert radii[c] == ((0, 0),)
+
+    def test_radii_cached(self, blur_geom):
+        assert blur_geom.expansion_radii() is blur_geom.expansion_radii()
+
+
+class TestTileVolumes:
+    def test_stage_tile_extents_clamped_to_grid(self, blur_geom):
+        ext = stage_tile_extents(blur_geom, (3, 1000, 1000), blur_geom.stages[0])
+        assert ext[1] <= blur_geom.grid_extents[1]
+
+    def test_tile_volume_counts_overlap(self, blur_geom):
+        tiles = (3, 32, 32)
+        vol = tile_volume(blur_geom, tiles)
+        # blury: 3*32*32; blurx expanded by 1 on each side of y.
+        assert vol == 3 * 32 * 32 + 3 * 32 * 34
+
+    def test_overlap_size(self, blur_geom):
+        tiles = (3, 32, 32)
+        # only blurx overlaps: 2 extra columns of 3*32.
+        assert overlap_size(blur_geom, tiles) == 3 * 32 * 2
+
+    def test_overlap_zero_for_pointwise(self):
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [64])
+        a = Function(([x], [Interval(Int, 0, 63)]), Float, "a")
+        a.defn = [img(x) * 2.0]
+        b = Function(([x], [Interval(Int, 0, 63)]), Float, "b")
+        b.defn = [a(x) + 1.0]
+        p = Pipeline([b], {})
+        geom = compute_group_geometry(p, p.stages)
+        assert overlap_size(geom, (16,)) == 0.0
+
+    def test_density_weighting_in_volume(self, updown_pipeline):
+        p = updown_pipeline
+        fine = p.stage_by_name("fine")
+        down = p.stage_by_name("down")
+        geom = compute_group_geometry(p, [fine, down])
+        # tile of 10 scaled points covers 10 down points and ~20 fine pts
+        vol = tile_volume(geom, (10,))
+        assert vol >= 10 + 20
+
+    def test_wrong_tile_count_rejected(self, blur_geom):
+        with pytest.raises(ValueError):
+            tile_volume(blur_geom, (32, 32))
+        with pytest.raises(ValueError):
+            overlap_size(blur_geom, (32,))

@@ -1,0 +1,81 @@
+"""Unit tests for reuse scores and footprint computations."""
+
+import pytest
+
+from repro.poly import (
+    buffer_count,
+    compute_group_geometry,
+    dimensional_reuse,
+    intermediate_buffers_size,
+    livein_tile_size,
+    liveout_tile_size,
+    liveouts_size,
+)
+
+from conftest import build_blur
+
+
+@pytest.fixture
+def blur_geom(blur_pipeline):
+    return compute_group_geometry(blur_pipeline, blur_pipeline.stages)
+
+
+class TestReuse:
+    def test_stencil_dims_have_more_reuse(self, blur_pipeline, blur_geom):
+        reuse = dimensional_reuse(blur_pipeline, blur_geom)
+        # x-stencil (blurx reads img at x-1,x,x+1) and y-stencil (blury)
+        # each add 2 units; the c dimension has none.
+        assert reuse[0] == 1.0
+        assert reuse[1] == 3.0
+        assert reuse[2] == 3.0
+
+    def test_all_scores_at_least_one(self, blur_pipeline, blur_geom):
+        assert all(r >= 1.0 for r in dimensional_reuse(blur_pipeline, blur_geom))
+
+    def test_pointwise_chain_has_unit_reuse(self):
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x, y = Variable(Int, "x"), Variable(Int, "y")
+        img = Image(Float, "img", [32, 32])
+        a = Function(([x, y], [Interval(Int, 0, 31)] * 2), Float, "a")
+        a.defn = [img(x, y) * 2.0]
+        p = Pipeline([a], {})
+        geom = compute_group_geometry(p, [a])
+        assert dimensional_reuse(p, geom) == (1.0, 1.0)
+
+
+class TestFootprints:
+    def test_liveouts_size(self, blur_pipeline, blur_geom):
+        # blury: 3 x 94 x 130 floats
+        assert liveouts_size(blur_pipeline, blur_geom) == 3 * 94 * 130 * 4
+
+    def test_intermediate_size(self, blur_pipeline, blur_geom):
+        # blurx: 3 x 94 x 132 floats
+        assert intermediate_buffers_size(blur_pipeline, blur_geom) == 3 * 94 * 132 * 4
+
+    def test_liveout_tile_size(self, blur_pipeline, blur_geom):
+        assert liveout_tile_size(blur_pipeline, blur_geom, (3, 32, 32)) == (
+            3 * 32 * 32 * 4
+        )
+
+    def test_liveout_tile_clamped_to_grid(self, blur_pipeline, blur_geom):
+        full = liveout_tile_size(blur_pipeline, blur_geom, (3, 1000, 1000))
+        assert full == 3 * 94 * 132 * 4
+
+    def test_livein_tile_accounts_for_halo(self, blur_pipeline, blur_geom):
+        small = livein_tile_size(blur_pipeline, blur_geom, (3, 16, 16))
+        big = livein_tile_size(blur_pipeline, blur_geom, (3, 64, 64))
+        # Per-tile live-in grows with the tile.
+        assert small < big
+        # 16x16 tile loads at least the 18x18-ish halo region x 3 channels.
+        assert small >= 3 * 18 * 16 * 4
+
+    def test_livein_counts_external_stage(self, blur_pipeline):
+        blury = blur_pipeline.stage_by_name("blury")
+        geom = compute_group_geometry(blur_pipeline, [blury])
+        livein = livein_tile_size(blur_pipeline, geom, (3, 16, 16))
+        # blury alone reads blurx (external): 3 x 16 x 18ish floats.
+        assert livein >= 3 * 16 * 18 * 4
+
+    def test_buffer_count(self, blur_geom):
+        assert buffer_count(blur_geom) == 2

@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.dp import DPGrouper
+from repro.graph import StageGraph, iter_bits
+from repro.model import XEON_HASWELL
+from repro.poly import compute_group_geometry, overlap_size, tile_volume
+
+from conftest import build_blur, build_updown
+
+
+# ---------------------------------------------------------------------------
+# DP invariants on random DAGs
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dags(draw, max_nodes=9):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        # every node gets at least one predecessor: connected-ish DAGs
+        preds = draw(
+            st.sets(st.integers(min_value=0, max_value=v - 1), min_size=1,
+                    max_size=min(3, v))
+        )
+        edges.extend((u, v) for u in preds)
+    return StageGraph(n, edges)
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=2 ** 30))
+@settings(max_examples=60, deadline=None)
+def test_dp_result_is_always_a_valid_grouping(graph, salt):
+    def cost_fn(mask):
+        if not graph.is_connected(mask):
+            return float("inf")
+        return ((mask * 2654435761 + salt) % 1009) / 13.0
+
+    result = DPGrouper(graph, cost_fn).solve()
+    # total cost is the sum of its groups' costs (up to float association)
+    assert sum(cost_fn(m) for m in result.groups) == pytest.approx(result.cost)
+    # groups are disjoint, cover everything, are connected, acyclic
+    covered = 0
+    for m in result.groups:
+        assert m and covered & m == 0
+        assert graph.is_connected(m)
+        covered |= m
+    assert covered == graph.all_mask
+    assert graph.condensation_is_acyclic(list(result.groups))
+
+
+@given(random_dags(max_nodes=7), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_dp_group_limit_always_respected(graph, limit):
+    result = DPGrouper(
+        graph, lambda m: float(bin(m).count("1")), group_limit=limit
+    ).solve()
+    assert all(bin(m).count("1") <= limit for m in result.groups)
+
+
+@given(random_dags(max_nodes=7))
+@settings(max_examples=40, deadline=None)
+def test_dp_no_worse_than_all_singletons(graph):
+    def cost_fn(mask):
+        if not graph.is_connected(mask):
+            return float("inf")
+        return float(bin(mask).count("1") ** 2)
+
+    result = DPGrouper(graph, cost_fn).solve()
+    singletons = sum(cost_fn(1 << i) for i in range(graph.num_nodes))
+    assert result.cost <= singletons + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Geometry/volume invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    tx=st.integers(min_value=1, max_value=128),
+    ty=st.integers(min_value=1, max_value=160),
+)
+@settings(max_examples=40, deadline=None)
+def test_overlap_never_exceeds_volume(tx, ty):
+    pipeline = build_blur(94, 130)
+    geom = compute_group_geometry(pipeline, pipeline.stages)
+    tiles = (3, tx, ty)
+    vol = tile_volume(geom, tiles)
+    ovl = overlap_size(geom, tiles)
+    assert 0.0 <= ovl <= vol
+
+
+@given(t=st.integers(min_value=1, max_value=128))
+@settings(max_examples=30, deadline=None)
+def test_scaled_group_volume_counts_every_point_once_tiles_cover(t):
+    """Summing base (unexpanded) tile volumes over all tiles must equal
+    the group's total points: base regions partition each stage."""
+    pipeline = build_updown(200)
+    geom = compute_group_geometry(pipeline, pipeline.stages)
+    extents = geom.grid_extents
+    lo, hi = geom.grid_bounds[0]
+    from repro.runtime.executor import _stage_region
+
+    radii = {s: ((0, 0),) for s in geom.stages}
+    total = {s: 0 for s in geom.stages}
+    for tile_lo in range(lo, hi + 1, t):
+        for s in geom.stages:
+            bounds = _stage_region(
+                geom, s, pipeline, (tile_lo,), (t,), radii, False
+            )
+            if bounds is not None:
+                total[s] += bounds[0][1] - bounds[0][0] + 1
+    for s in geom.stages:
+        assert total[s] == pipeline.domain_size(s)
+
+
+# ---------------------------------------------------------------------------
+# Cost-model sanity under random weights
+# ---------------------------------------------------------------------------
+
+@given(
+    w1=st.floats(min_value=0.0, max_value=10.0),
+    w3=st.floats(min_value=0.0, max_value=30.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_cost_finite_and_nonnegative_for_valid_groups(w1, w3):
+    from repro.model import CostWeights, group_cost
+
+    pipeline = build_blur(62, 94)
+    weights = CostWeights(w1=w1, w2=0.4, w3=w3, w4=1.5)
+    gc = group_cost(pipeline, pipeline.stages, XEON_HASWELL, weights=weights)
+    assert gc.valid
+    assert gc.cost >= 0.0
+    assert all(1 <= t for t in gc.tile_sizes)

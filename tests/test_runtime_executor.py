@@ -1,0 +1,152 @@
+"""Executor tests: overlapped-tiled execution must match the reference
+interpreter for all grouping/tile-size choices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import manual_grouping, schedule_pipeline
+from repro.model import XEON_HASWELL
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import build_blur, build_histogram, build_updown, random_inputs
+
+
+@pytest.fixture
+def blur_io(blur_pipeline, rng):
+    inputs = random_inputs(blur_pipeline, rng)
+    ref = execute_reference(blur_pipeline, inputs)
+    return inputs, ref
+
+
+class TestReference:
+    def test_blur_semantics(self, blur_pipeline, rng):
+        inputs = random_inputs(blur_pipeline, rng)
+        out = execute_reference(blur_pipeline, inputs)["blury"]
+        img = inputs["img"]
+        # manual check at an interior point
+        x, y = 10, 20
+        blurx = (img[:, x - 1, :] + img[:, x, :] + img[:, x + 1, :]) / 3
+        expect = (blurx[:, y - 1] + blurx[:, y] + blurx[:, y + 1]) / 3
+        assert np.allclose(out[:, x - 1, y - 1], expect, atol=1e-5)
+
+    def test_keep_all_returns_intermediates(self, blur_pipeline, rng):
+        inputs = random_inputs(blur_pipeline, rng)
+        out = execute_reference(blur_pipeline, inputs, keep_all=True)
+        assert set(out) == {"blurx", "blury"}
+
+    def test_missing_input_rejected(self, blur_pipeline):
+        with pytest.raises(KeyError):
+            execute_reference(blur_pipeline, {})
+
+    def test_wrong_shape_rejected(self, blur_pipeline):
+        with pytest.raises(ValueError):
+            execute_reference(blur_pipeline, {"img": np.zeros((3, 4, 4))})
+
+    def test_reduction_histogram(self, histogram_pipeline, rng):
+        inputs = random_inputs(histogram_pipeline, rng)
+        out = execute_reference(histogram_pipeline, inputs, keep_all=True)
+        # histogram counts sum to the number of pixels
+        n = inputs["img"].size
+        assert out["hist"].sum() == pytest.approx(n)
+        assert out["norm"].sum() == pytest.approx(1.0)
+
+
+class TestTiledMatchesReference:
+    def test_fused_blur(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]])
+        out = execute_grouping(blur_pipeline, g, inputs)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_unfused_blur(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = manual_grouping(
+            blur_pipeline, [["blurx"], ["blury"]],
+            [[3, 16, 64], [3, 64, 16]],
+        )
+        out = execute_grouping(blur_pipeline, g, inputs)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_odd_tile_sizes(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[2, 13, 29]])
+        out = execute_grouping(blur_pipeline, g, inputs)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_tile_larger_than_domain(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]],
+                            [[64, 4096, 4096]])
+        out = execute_grouping(blur_pipeline, g, inputs)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_parallel_execution_matches(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 24, 24]])
+        out = execute_grouping(blur_pipeline, g, inputs, nthreads=4)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_scaled_group_updown(self, updown_pipeline, rng):
+        inputs = random_inputs(updown_pipeline, rng)
+        ref = execute_reference(updown_pipeline, inputs)
+        g = manual_grouping(updown_pipeline, [["fine", "down", "up"]], [[17]])
+        out = execute_grouping(updown_pipeline, g, inputs)
+        assert np.allclose(ref["up"], out["up"], atol=1e-5)
+
+    def test_reduction_group_untiled_fallback(self, histogram_pipeline, rng):
+        inputs = random_inputs(histogram_pipeline, rng)
+        ref = execute_reference(histogram_pipeline, inputs)
+        g = manual_grouping(
+            histogram_pipeline, [["hist"], ["norm"]], [[8], [8]]
+        )
+        out = execute_grouping(histogram_pipeline, g, inputs)
+        assert np.allclose(ref["norm"], out["norm"], atol=1e-6)
+
+    def test_dp_schedule_end_to_end(self, blur_pipeline, blur_io):
+        inputs, ref = blur_io
+        g = schedule_pipeline(blur_pipeline, XEON_HASWELL, strategy="dp")
+        out = execute_grouping(blur_pipeline, g, inputs)
+        assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+    def test_wrong_pipeline_rejected(self, blur_pipeline, updown_pipeline, rng):
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]])
+        with pytest.raises(ValueError):
+            execute_grouping(updown_pipeline, g, {})
+
+    def test_bad_nthreads_rejected(self, blur_pipeline, blur_io):
+        inputs, _ = blur_io
+        g = manual_grouping(blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]])
+        with pytest.raises(ValueError):
+            execute_grouping(blur_pipeline, g, inputs, nthreads=0)
+
+
+@given(
+    tx=st.integers(min_value=1, max_value=100),
+    ty=st.integers(min_value=1, max_value=140),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_any_tile_size_is_correct(tx, ty):
+    """Overlapped tiling must be exact for every tile size."""
+    pipeline = build_blur(rows=46, cols=62)
+    rng = np.random.default_rng(99)
+    inputs = random_inputs(pipeline, rng)
+    ref = execute_reference(pipeline, inputs)
+    g = manual_grouping(pipeline, [["blurx", "blury"]], [[3, tx, ty]])
+    out = execute_grouping(pipeline, g, inputs)
+    assert np.allclose(ref["blury"], out["blury"], atol=1e-5)
+
+
+@given(t=st.integers(min_value=1, max_value=64))
+@settings(max_examples=15, deadline=None)
+def test_property_scaled_chain_any_tile(t):
+    """Fractional-scale groups stay exact for every tile size (the
+    region-partition logic for rational scales)."""
+    pipeline = build_updown(n=120)
+    rng = np.random.default_rng(7)
+    inputs = random_inputs(pipeline, rng)
+    ref = execute_reference(pipeline, inputs)
+    g = manual_grouping(pipeline, [["fine", "down", "up"]], [[t]])
+    out = execute_grouping(pipeline, g, inputs)
+    assert np.allclose(ref["up"], out["up"], atol=1e-5)
