@@ -15,6 +15,11 @@ The package provides:
   schedules),
 * :mod:`repro.runtime` — a NumPy interpreter executing groupings with
   overlapped tiling (the correctness substrate),
+* :mod:`repro.resilience` — budgets, the scheduling degradation chain
+  (``dp → dp-incremental → greedy → no-fusion``), hardened execution with
+  per-group fallback, and a deterministic fault-injection harness,
+* :mod:`repro.errors` — the structured error taxonomy with stable codes
+  every public entry point raises from,
 * :mod:`repro.perfmodel` — the analytic timing model and cache simulator
   standing in for the paper's hardware testbeds,
 * :mod:`repro.pipelines` — the six benchmark applications of the paper's
@@ -31,6 +36,7 @@ Quick start::
 """
 
 from .dsl import Pipeline
+from .errors import ReproError, error_code
 from .fusion import (
     Grouping,
     dp_group,
@@ -40,9 +46,16 @@ from .fusion import (
     polymage_autotune,
     polymage_greedy,
     schedule_pipeline,
+    singleton_grouping,
 )
 from .model import AMD_OPTERON, XEON_HASWELL, CostModel, Machine, group_cost
 from .perfmodel import estimate_runtime
+from .resilience import (
+    GuardPolicy,
+    ScheduleBudget,
+    execute_guarded,
+    resilient_schedule,
+)
 from .runtime import execute_grouping, execute_reference
 
 __version__ = "1.0.0"
@@ -56,7 +69,14 @@ __all__ = [
     "polymage_autotune",
     "halide_auto_schedule",
     "manual_grouping",
+    "singleton_grouping",
     "Grouping",
+    "ReproError",
+    "error_code",
+    "ScheduleBudget",
+    "resilient_schedule",
+    "GuardPolicy",
+    "execute_guarded",
     "Machine",
     "XEON_HASWELL",
     "AMD_OPTERON",

@@ -32,6 +32,8 @@ from .model import AMD_OPTERON, XEON_HASWELL, Machine
 from .perfmodel import estimate_runtime
 from .pipelines import BENCHMARKS, get_benchmark
 from .reporting import format_table
+from .resilience import GuardPolicy, ScheduleBudget, execute_guarded, \
+    resilient_schedule
 from .runtime import execute_grouping, execute_reference
 
 __all__ = ["main"]
@@ -58,18 +60,37 @@ def _build(abbrev: str, scale: float):
     return bench, bench.build(**kwargs)
 
 
-def _schedule(pipe, bench, machine, strategy, max_states):
+def _schedule(pipe, bench, machine, strategy, max_states,
+              budget_s=None, strict=True):
+    """Schedule for the CLI; returns ``(grouping, report_or_None)``.
+
+    In degrade mode (``strict=False``) the DP strategies run through
+    :func:`repro.resilience.resilient_schedule`, so a budget blowout or a
+    scheduling failure degrades down the chain instead of aborting; the
+    returned :class:`ScheduleReport` says which tier actually ran.
+    """
     if strategy == "h-manual":
-        return bench.h_manual(pipe)
+        return bench.h_manual(pipe), None
     kwargs = {}
     if strategy == "dp-incremental" or (
         strategy == "dp" and bench.abbrev == "PB"
     ):
         strategy = "dp-incremental"
         kwargs = dict(initial_limit=2, step=2)
+    if not strict and strategy in ("dp", "dp-incremental"):
+        # dp-incremental requests skip the unbounded tier by zeroing its
+        # state budget — its attempt fails instantly as SCHED_BUDGET.
+        budget = ScheduleBudget(
+            wall_clock_s=budget_s,
+            dp_max_states=0 if strategy == "dp-incremental" else max_states,
+            inc_max_states=max_states,
+        )
+        report = resilient_schedule(pipe, machine, budget)
+        return report.grouping, report
     return schedule_pipeline(
-        pipe, machine, strategy=strategy, max_states=max_states, **kwargs
-    )
+        pipe, machine, strategy=strategy, max_states=max_states,
+        time_budget_s=budget_s, **kwargs
+    ), None
 
 
 def cmd_list(args) -> int:
@@ -90,9 +111,14 @@ def cmd_schedule(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
     start = time.perf_counter()
-    grouping = _schedule(pipe, bench, machine, args.strategy, args.max_states)
+    grouping, report = _schedule(
+        pipe, bench, machine, args.strategy, args.max_states,
+        budget_s=args.schedule_budget_s, strict=args.strict,
+    )
     elapsed = time.perf_counter() - start
     print(grouping.describe())
+    if report is not None:
+        print(report.describe())
     print(f"scheduled in {elapsed:.2f}s "
           f"({grouping.stats.enumerated} states enumerated)")
     t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
@@ -109,8 +135,12 @@ def cmd_run(args) -> int:
     if args.schedule:
         grouping = load_grouping(pipe, args.schedule)
     else:
-        grouping = _schedule(pipe, bench, machine, args.strategy,
-                             args.max_states)
+        grouping, report = _schedule(
+            pipe, bench, machine, args.strategy, args.max_states,
+            budget_s=args.schedule_budget_s, strict=args.strict,
+        )
+        if report is not None:
+            print(report.describe())
     print(grouping.describe())
 
     rng = np.random.default_rng(args.seed)
@@ -125,7 +155,16 @@ def cmd_run(args) -> int:
             inputs[img.name] = rng.random(shape, dtype=np.float32)
 
     start = time.perf_counter()
-    out = execute_grouping(pipe, grouping, inputs, nthreads=args.threads)
+    if args.strict:
+        out = execute_grouping(pipe, grouping, inputs, nthreads=args.threads)
+    else:
+        exec_report = execute_guarded(
+            pipe, grouping, inputs, nthreads=args.threads,
+            policy=GuardPolicy(tile_retries=1, degrade=True),
+        )
+        out = exec_report.outputs
+        if exec_report.degraded:
+            print(exec_report.describe())
     elapsed = time.perf_counter() - start
     print(f"executed in {elapsed:.2f}s on {args.threads} thread(s)")
 
@@ -152,7 +191,8 @@ def cmd_estimate(args) -> int:
         ("H-auto", halide_auto_schedule(pipe, machine), "halide"),
         ("PolyMage-A", polymage_autotune(pipe, machine).best, "polymage"),
         ("PolyMageDP",
-         _schedule(pipe, bench, machine, "dp", args.max_states), "polymage"),
+         _schedule(pipe, bench, machine, "dp", args.max_states)[0],
+         "polymage"),
     ]
     for name, grouping, codegen in configs:
         t1 = estimate_runtime(pipe, grouping, machine, 1, codegen=codegen)
@@ -176,8 +216,8 @@ def cmd_graph(args) -> int:
     machine = _machine(args.machine)
     grouping = None
     if args.strategy != "none":
-        grouping = _schedule(pipe, bench, machine, args.strategy,
-                             args.max_states)
+        grouping, _ = _schedule(pipe, bench, machine, args.strategy,
+                                args.max_states)
     dot = pipeline_to_dot(pipe, grouping)
     if args.output:
         with open(args.output, "w") as fh:
@@ -193,7 +233,8 @@ def cmd_codegen(args) -> int:
 
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
-    grouping = _schedule(pipe, bench, machine, args.strategy, args.max_states)
+    grouping, _ = _schedule(pipe, bench, machine, args.strategy,
+                            args.max_states)
     code = generate_cpp(pipe, grouping)
     if args.with_main:
         code += generate_main(pipe)
@@ -222,11 +263,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine", default="xeon",
                        choices=sorted(_MACHINES))
         p.add_argument("--max-states", type=int, default=1_200_000)
+        p.add_argument("--schedule-budget-s", type=float, default=None,
+                       help="wall-clock budget for the DP scheduling "
+                            "tiers (degrade mode falls down the chain "
+                            "when it runs out)")
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument("--strict", dest="strict", action="store_true",
+                          help="fail hard on scheduling/execution errors")
+        mode.add_argument("--degrade", dest="strict", action="store_false",
+                          help="degrade gracefully: dp -> dp-incremental "
+                               "-> greedy -> no-fusion for scheduling, "
+                               "per-group reference fallback for "
+                               "execution (default)")
+        p.set_defaults(strict=False)
         if with_strategy:
             p.add_argument(
                 "--strategy", default="dp",
                 choices=["dp", "dp-incremental", "greedy", "polymage-auto",
-                         "halide-auto", "h-manual"],
+                         "halide-auto", "h-manual", "no-fusion"],
             )
 
     p = sub.add_parser("schedule", help="schedule a benchmark")

@@ -1,0 +1,239 @@
+"""Structured error taxonomy with stable error codes.
+
+Every failure a public entry point can raise is an instance of
+:class:`ReproError` carrying a stable ``code`` string — the contract the
+resilience layer (:mod:`repro.resilience`) keys its degradation decisions
+on, and the string operators grep for in production logs.  The taxonomy
+deliberately multiple-inherits from the builtin exception each error
+replaced (``KeyError``, ``ValueError``, ``RuntimeError``) so that callers
+written against the old bare exceptions keep working.
+
+========================  =====================================================
+code                      raised when
+========================  =====================================================
+``SCHED_BUDGET``          the DP grouping exceeds its state or wall-clock
+                          budget (:class:`GroupingBudgetExceeded`)
+``SCHED_INVALID``         no finite-cost grouping exists for the pipeline
+``INPUT_MISSING``         a pipeline input image was not supplied
+``INPUT_SHAPE``           an input array's shape does not match its image
+``INPUT_DTYPE``           an input array's dtype cannot feed its image
+``TILE_FAIL``             a tile of a fused group raised during execution
+``NUMERIC_NAN``           non-finite values detected in a group's output
+``MEMORY_BUDGET``         a scratch allocation would exceed the memory cap
+``SCHEDULE_FORMAT``       a serialized schedule has an unknown format version
+``SCHEDULE_STALE``        a serialized schedule does not match the pipeline
+                          it is being applied to (digest/name/stage mismatch)
+``FAULT_INJECTED``        a deliberate failure from the fault-injection
+                          harness (:mod:`repro.resilience.faults`)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+__all__ = [
+    "ReproError",
+    "SchedulingError",
+    "GroupingBudgetExceeded",
+    "NoValidGroupingError",
+    "InputError",
+    "InputMissingError",
+    "InputShapeError",
+    "InputDtypeError",
+    "ExecutionError",
+    "TileExecutionError",
+    "NumericError",
+    "MemoryBudgetError",
+    "ScheduleIOError",
+    "ScheduleFormatError",
+    "ScheduleStaleError",
+    "InjectedFault",
+    "ERROR_CODES",
+    "error_code",
+]
+
+
+class ReproError(Exception):
+    """Base of the taxonomy: a message plus a stable ``code`` and free-form
+    ``context`` mapping (machine-readable details of the failure)."""
+
+    code: str = "REPRO"
+
+    def __init__(self, message: str = "", **context):
+        super().__init__(message)
+        self.message = message
+        self.context = context
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        text = f"[{self.code}] {self.message}"
+        if self.context:
+            details = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(self.context.items())
+            )
+            text = f"{text} ({details})"
+        return text
+
+
+# -- scheduling -------------------------------------------------------------
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling strategy failed to produce a grouping."""
+
+    code = "SCHED_FAIL"
+
+
+class GroupingBudgetExceeded(SchedulingError):
+    """The DP exceeded its state or wall-clock budget — the signal to fall
+    back to the bounded incremental variant (paper Sec. 5)."""
+
+    code = "SCHED_BUDGET"
+
+
+class NoValidGroupingError(SchedulingError):
+    """The search found no finite-cost grouping (every candidate violates
+    validity or the cost model rejects it)."""
+
+    code = "SCHED_INVALID"
+
+
+# -- inputs -----------------------------------------------------------------
+
+
+class InputError(ReproError, ValueError):
+    """A pipeline input array fails validation."""
+
+    code = "INPUT"
+
+
+class InputMissingError(InputError, KeyError):
+    """A required input image was not supplied."""
+
+    code = "INPUT_MISSING"
+
+
+class InputShapeError(InputError):
+    """An input array's shape does not match the pipeline's image."""
+
+    code = "INPUT_SHAPE"
+
+
+class InputDtypeError(InputError):
+    """An input array's dtype cannot be converted to the image's type."""
+
+    code = "INPUT_DTYPE"
+
+
+# -- execution --------------------------------------------------------------
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Tiled execution failed."""
+
+    code = "EXEC_FAIL"
+
+
+class TileExecutionError(ExecutionError):
+    """One tile of a fused group raised; records which group, which tile,
+    and the original cause (also chained as ``__cause__``)."""
+
+    code = "TILE_FAIL"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        group_index: int,
+        tile_index: int,
+        tile_origin: Optional[tuple] = None,
+        cause: Optional[BaseException] = None,
+        **context,
+    ):
+        super().__init__(
+            message,
+            group_index=group_index,
+            tile_index=tile_index,
+            tile_origin=tile_origin,
+            **context,
+        )
+        self.group_index = group_index
+        self.tile_index = tile_index
+        self.tile_origin = tile_origin
+        if cause is not None:
+            self.__cause__ = cause
+
+    @property
+    def cause(self) -> Optional[BaseException]:
+        return self.__cause__
+
+
+class NumericError(ExecutionError):
+    """Non-finite values (NaN/Inf) detected in a stage's output."""
+
+    code = "NUMERIC_NAN"
+
+
+class MemoryBudgetError(ExecutionError):
+    """A scratch-buffer allocation would exceed the configured memory cap
+    even at the smallest admissible tile size."""
+
+    code = "MEMORY_BUDGET"
+
+
+# -- serialized schedules ---------------------------------------------------
+
+
+class ScheduleIOError(ReproError, ValueError):
+    """A serialized schedule cannot be applied."""
+
+    code = "SCHEDULE"
+
+
+class ScheduleFormatError(ScheduleIOError):
+    """Unknown serialization format version."""
+
+    code = "SCHEDULE_FORMAT"
+
+
+class ScheduleStaleError(ScheduleIOError):
+    """The schedule was built for a different pipeline structure (digest,
+    name, or stage-count mismatch)."""
+
+    code = "SCHEDULE_STALE"
+
+
+# -- fault injection --------------------------------------------------------
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberate failure from the fault-injection harness — never raised
+    in production unless :func:`repro.resilience.faults.inject_faults` is
+    active."""
+
+    code = "FAULT_INJECTED"
+
+
+def _walk(cls: Type[ReproError], into: Dict[str, Type[ReproError]]) -> None:
+    into.setdefault(cls.code, cls)
+    for sub in cls.__subclasses__():
+        _walk(sub, into)
+
+
+def _registry() -> Dict[str, Type[ReproError]]:
+    out: Dict[str, Type[ReproError]] = {}
+    for sub in ReproError.__subclasses__():
+        _walk(sub, out)
+    return out
+
+
+#: stable code -> exception class (most-derived class wins per code)
+ERROR_CODES: Dict[str, Type[ReproError]] = _registry()
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code of ``exc``; unstructured exceptions map to their
+    type name prefixed with ``UNSTRUCTURED:``."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    return f"UNSTRUCTURED:{type(exc).__name__}"

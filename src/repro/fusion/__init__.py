@@ -6,7 +6,12 @@ from .autotune import AutotuneResult, AutotuneTrial, polymage_autotune
 from .bounded import dp_group_bounded, inc_grouping
 from .dp import DPGrouper, GroupingBudgetExceeded, dp_group
 from .greedy import polymage_greedy, uniform_tile_sizes
-from .grouping import Grouping, GroupingStats, manual_grouping
+from .grouping import (
+    Grouping,
+    GroupingStats,
+    manual_grouping,
+    singleton_grouping,
+)
 from .halide import halide_auto_schedule, halide_group_cost
 from .native_tune import (
     NativeTrial,
@@ -48,4 +53,5 @@ __all__ = [
     "Grouping",
     "GroupingStats",
     "manual_grouping",
+    "singleton_grouping",
 ]

@@ -12,7 +12,12 @@ strategy                  meaning
 ``"greedy"``              PolyMage's greedy heuristic at fixed parameters
 ``"polymage-auto"``       PolyMage-A: greedy + auto-tuning (Sec. 6.1)
 ``"halide-auto"``         H-auto: Halide's greedy auto-scheduler (Sec. 2.3)
+``"no-fusion"``           every stage its own group, untiled semantics
 ========================  ====================================================
+
+For production paths that must *never* fail to schedule, see
+:func:`repro.resilience.resilient_schedule`, which walks the degradation
+chain ``dp → dp-incremental → greedy → no-fusion`` under hard budgets.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from .autotune import polymage_autotune
 from .bounded import dp_group_bounded, inc_grouping
 from .dp import dp_group
 from .greedy import polymage_greedy
-from .grouping import Grouping
+from .grouping import Grouping, singleton_grouping
 from .halide import halide_auto_schedule
 
 __all__ = ["schedule_pipeline"]
@@ -38,6 +43,7 @@ _STRATEGIES = (
     "greedy",
     "polymage-auto",
     "halide-auto",
+    "no-fusion",
 )
 
 
@@ -54,16 +60,20 @@ def schedule_pipeline(
     nthreads: Optional[int] = None,
     cost_model: Optional[CostModel] = None,
     max_states: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
 ) -> Grouping:
     """Schedule ``pipeline`` for ``machine`` with the chosen strategy.
 
     See the module docstring for the strategy catalogue; keyword arguments
-    not relevant to the chosen strategy are ignored.
+    not relevant to the chosen strategy are ignored.  ``max_states`` and
+    ``time_budget_s`` bound the DP strategies; exceeding either raises
+    ``SCHED_BUDGET`` (:class:`repro.errors.GroupingBudgetExceeded`).
     """
     if strategy == "dp":
         return dp_group(
             pipeline, machine, cost_model=cost_model,
             group_limit=group_limit, max_states=max_states,
+            time_budget_s=time_budget_s,
         )
     if strategy == "dp-bounded":
         if group_limit is None:
@@ -71,11 +81,13 @@ def schedule_pipeline(
         return dp_group_bounded(
             pipeline, machine, group_limit,
             cost_model=cost_model, max_states=max_states,
+            time_budget_s=time_budget_s,
         )
     if strategy == "dp-incremental":
         return inc_grouping(
             pipeline, machine, initial_limit=initial_limit, step=step,
             cost_model=cost_model, max_states=max_states,
+            time_budget_s=time_budget_s,
         )
     if strategy == "greedy":
         return polymage_greedy(
@@ -86,6 +98,8 @@ def schedule_pipeline(
         return polymage_autotune(pipeline, machine, nthreads=nthreads).best
     if strategy == "halide-auto":
         return halide_auto_schedule(pipeline, machine)
+    if strategy == "no-fusion":
+        return singleton_grouping(pipeline)
     raise ValueError(
         f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
     )

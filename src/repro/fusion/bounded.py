@@ -20,6 +20,7 @@ from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from ..dsl.function import Function
 from ..dsl.pipeline import Pipeline
+from ..errors import NoValidGroupingError
 from ..graph.dag import StageGraph, iter_bits
 from ..model.cost import CostModel
 from ..model.machine import Machine
@@ -37,6 +38,7 @@ def dp_group_bounded(
     group_limit: int,
     cost_model: Optional[CostModel] = None,
     max_states: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
 ) -> Grouping:
     """One DP pass with group sizes bounded by ``group_limit``
     (``DP-GROUPING-BOUNDED``)."""
@@ -48,6 +50,7 @@ def dp_group_bounded(
         cost_model=cost_model,
         group_limit=group_limit,
         max_states=max_states,
+        time_budget_s=time_budget_s,
     )
 
 
@@ -84,6 +87,7 @@ def inc_grouping(
     step: int = 4,
     cost_model: Optional[CostModel] = None,
     max_states: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
 ) -> Grouping:
     """``INC-GROUPING``: iterate bounded DP passes, collapsing groups into
     vertices between passes, multiplying the limit by ``step`` each time.
@@ -106,6 +110,7 @@ def inc_grouping(
     limit: Optional[int] = initial_limit
 
     start = time.perf_counter()
+    deadline = None if time_budget_s is None else start + time_budget_s
     total_states = 0
     iterations = 0
     per_iteration: List[int] = []
@@ -137,15 +142,19 @@ def inc_grouping(
             group_limit=effective_limit,
             max_states=max_states,
             viable_fn=viable_fn,
+            deadline=deadline,
         )
         result = grouper.solve()
         total_states += grouper.states_evaluated
         per_iteration.append(grouper.states_evaluated)
         iterations += 1
         if result.cost == INF:
-            raise RuntimeError(
+            raise NoValidGroupingError(
                 f"no valid grouping found for pipeline {pipeline.name!r} "
-                f"at group limit {effective_limit}"
+                f"at group limit {effective_limit}",
+                pipeline=pipeline.name,
+                strategy="dp-incremental",
+                group_limit=effective_limit,
             )
         final_masks = result.groups
 

@@ -32,6 +32,7 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, NamedTuple, Option
 
 from ..dsl.function import Function
 from ..dsl.pipeline import Pipeline
+from ..errors import GroupingBudgetExceeded, NoValidGroupingError
 from ..graph.dag import StageGraph, iter_bits
 from ..graph.partition import mask_partitions
 from ..model.cost import CostModel
@@ -41,11 +42,6 @@ from .grouping import Grouping, GroupingStats
 __all__ = ["DPGrouper", "DPResult", "GroupingBudgetExceeded", "dp_group"]
 
 INF = float("inf")
-
-
-class GroupingBudgetExceeded(RuntimeError):
-    """Raised when the DP exceeds its state budget — the signal to fall
-    back to the bounded incremental variant (Sec. 5)."""
 
 
 class DPResult(NamedTuple):
@@ -70,6 +66,9 @@ class DPGrouper:
         Maximum stages per group (``l`` of Sec. 5); ``None`` = unbounded.
     max_states:
         Optional safety budget on evaluated states.
+    deadline:
+        Optional absolute ``time.perf_counter()`` instant; exceeding it
+        raises :class:`GroupingBudgetExceeded` just like ``max_states``.
     """
 
     def __init__(
@@ -80,6 +79,7 @@ class DPGrouper:
         group_limit: Optional[int] = None,
         max_states: Optional[int] = None,
         viable_fn: Optional[Callable[[int], bool]] = None,
+        deadline: Optional[float] = None,
     ):
         self.graph = graph
         self.cost_fn = cost_fn
@@ -88,6 +88,7 @@ class DPGrouper:
             raise ValueError("sizes must have one entry per graph node")
         self.group_limit = group_limit
         self.max_states = max_states
+        self.deadline = deadline
         # viable_fn(mask) -> False means the node set can NEVER be part of
         # a finite-cost group, nor can any superset (monotone failures:
         # reductions, data-dependent intra-edges, scaling conflicts).  Such
@@ -189,7 +190,17 @@ class DPGrouper:
         if self.max_states is not None and self.states_evaluated > self.max_states:
             raise GroupingBudgetExceeded(
                 f"DP grouping exceeded {self.max_states} states; "
-                f"use a group limit (bounded incremental grouping)"
+                f"use a group limit (bounded incremental grouping)",
+                budget="states",
+                max_states=self.max_states,
+                states_evaluated=self.states_evaluated,
+            )
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise GroupingBudgetExceeded(
+                "DP grouping exceeded its wall-clock budget; "
+                "use a group limit (bounded incremental grouping)",
+                budget="wall-clock",
+                states_evaluated=self.states_evaluated,
             )
 
         g = self.graph
@@ -301,10 +312,14 @@ def dp_group(
     cost_model: Optional[CostModel] = None,
     group_limit: Optional[int] = None,
     max_states: Optional[int] = None,
+    time_budget_s: Optional[float] = None,
 ) -> Grouping:
     """Find the optimal grouping (per the cost model) of ``pipeline`` for
     ``machine`` — the paper's PolyMageDP with ``l = inf`` (or a single
-    bounded pass when ``group_limit`` is given)."""
+    bounded pass when ``group_limit`` is given).
+
+    ``max_states`` and ``time_budget_s`` are hard budgets: exceeding either
+    raises :class:`GroupingBudgetExceeded` (code ``SCHED_BUDGET``)."""
     graph = StageGraph.from_pipeline(pipeline)
     stages = pipeline.stages
     cm = cost_model or CostModel(pipeline, machine)
@@ -321,15 +336,18 @@ def dp_group(
         return compute_group_geometry(pipeline, members) is not None
 
     start = time.perf_counter()
+    deadline = None if time_budget_s is None else start + time_budget_s
     grouper = DPGrouper(
         graph, cost_fn, group_limit=group_limit, max_states=max_states,
-        viable_fn=viable_fn,
+        viable_fn=viable_fn, deadline=deadline,
     )
     result = grouper.solve()
     elapsed = time.perf_counter() - start
     if result.cost == INF:
-        raise RuntimeError(
-            f"no valid grouping found for pipeline {pipeline.name!r}"
+        raise NoValidGroupingError(
+            f"no valid grouping found for pipeline {pipeline.name!r}",
+            pipeline=pipeline.name,
+            strategy="dp",
         )
 
     groups = []

@@ -18,7 +18,8 @@ from ..dsl.function import Function
 from ..dsl.pipeline import Pipeline
 from ..graph.dag import StageGraph, mask_of
 
-__all__ = ["Grouping", "GroupingStats", "manual_grouping"]
+__all__ = ["Grouping", "GroupingStats", "manual_grouping",
+           "singleton_grouping"]
 
 Group = FrozenSet[Function]
 
@@ -114,6 +115,36 @@ class Grouping:
             lines.append(f"  {{{', '.join(names)}}}  tiles={list(tiles)}")
         lines.append(f"  cost = {self.cost:.6g}")
         return "\n".join(lines)
+
+
+def singleton_grouping(pipeline: Pipeline) -> Grouping:
+    """The no-fusion grouping: every stage its own group, one tile per
+    stage covering the full domain — semantically the reference execution,
+    so it never needs the cost model, the DP, or geometry to *succeed*.
+    The final tier of the resilience layer's degradation chain
+    (:func:`repro.resilience.fallback.resilient_schedule`)."""
+    from ..poly.alignscale import compute_group_geometry
+
+    groups: List[Group] = []
+    tiles: List[Tuple[int, ...]] = []
+    for stage in pipeline.stages:
+        members: Group = frozenset({stage})
+        try:
+            geom = compute_group_geometry(pipeline, members)
+            extents = geom.grid_extents if geom is not None else ()
+        except Exception:  # geometry failure must not block the last tier
+            extents = ()
+        groups.append(members)
+        tiles.append(tuple(extents))
+    # cost 0.0 = "not priced" (pricing could itself fail); keeps the
+    # grouping JSON-serializable where inf would not be.
+    return Grouping(
+        pipeline=pipeline,
+        groups=tuple(groups),
+        tile_sizes=tuple(tiles),
+        cost=0.0,
+        stats=GroupingStats(strategy="no-fusion"),
+    )
 
 
 def manual_grouping(

@@ -3,23 +3,51 @@
 The DP search on a large pipeline takes seconds; production use wants to
 schedule once and reuse.  A serialized grouping records the stage
 partition, per-group tile sizes, the objective value and the search
-statistics; loading validates it against the pipeline (stage names must
-match exactly), so a schedule cannot silently be applied to a different
-program.
+statistics, plus a *pipeline structure digest* (stage names in topological
+order, stage count, group count, format version).  Loading validates the
+digest against the pipeline being scheduled: a schedule saved for an older
+build of the program — renamed stages, added stages, different structure —
+is rejected with the stable error code ``SCHEDULE_STALE`` instead of being
+silently partially applied.
+
+Format history:
+
+* v1 — no digest; validated by pipeline name + stage count only.  Still
+  loadable (with those weaker checks).
+* v2 — adds ``digest``; mismatch is ``SCHEDULE_STALE``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Union
 
 from ..dsl.pipeline import Pipeline
+from ..errors import ScheduleFormatError, ScheduleStaleError
 from .grouping import Grouping, GroupingStats, manual_grouping
 
 __all__ = ["grouping_to_dict", "grouping_from_dict", "save_grouping",
-           "load_grouping"]
+           "load_grouping", "pipeline_digest"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: versions this loader still accepts
+_SUPPORTED_FORMATS = (1, 2)
+
+
+def pipeline_digest(pipeline: Pipeline, num_groups: int) -> str:
+    """A short stable digest of the pipeline structure a schedule was
+    built for: stage names in topological order, stage count, the
+    schedule's group count, and the format version."""
+    h = hashlib.sha256()
+    h.update(f"format:{_FORMAT_VERSION}\0".encode())
+    h.update(f"pipeline:{pipeline.name}\0".encode())
+    h.update(f"stages:{pipeline.num_stages}\0".encode())
+    h.update(f"groups:{num_groups}\0".encode())
+    for stage in pipeline.stages:
+        h.update(stage.name.encode())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
 
 
 def grouping_to_dict(grouping: Grouping) -> Dict:
@@ -28,6 +56,7 @@ def grouping_to_dict(grouping: Grouping) -> Dict:
         "format": _FORMAT_VERSION,
         "pipeline": grouping.pipeline.name,
         "num_stages": grouping.pipeline.num_stages,
+        "digest": pipeline_digest(grouping.pipeline, grouping.num_groups),
         "groups": grouping.group_names(),
         "tile_sizes": [list(t) for t in grouping.tile_sizes],
         "cost": grouping.cost,
@@ -42,21 +71,40 @@ def grouping_to_dict(grouping: Grouping) -> Dict:
 
 
 def grouping_from_dict(pipeline: Pipeline, data: Dict) -> Grouping:
-    """Rebuild a grouping against ``pipeline``; validates stage coverage."""
-    if data.get("format") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported schedule format {data.get('format')!r}"
+    """Rebuild a grouping against ``pipeline``; validates stage coverage
+    and (format v2) the pipeline structure digest."""
+    fmt = data.get("format")
+    if fmt not in _SUPPORTED_FORMATS:
+        raise ScheduleFormatError(
+            f"unsupported schedule format {fmt!r}; "
+            f"supported: {list(_SUPPORTED_FORMATS)}",
+            format=fmt,
+            supported=list(_SUPPORTED_FORMATS),
         )
     if data.get("pipeline") != pipeline.name:
-        raise ValueError(
+        raise ScheduleStaleError(
             f"schedule was made for pipeline {data.get('pipeline')!r}, "
-            f"not {pipeline.name!r}"
+            f"not {pipeline.name!r}",
+            schedule_pipeline=data.get("pipeline"),
+            pipeline=pipeline.name,
         )
     if data.get("num_stages") != pipeline.num_stages:
-        raise ValueError(
+        raise ScheduleStaleError(
             f"schedule expects {data.get('num_stages')} stages, pipeline "
-            f"has {pipeline.num_stages} (different build parameters?)"
+            f"has {pipeline.num_stages} (different build parameters?)",
+            schedule_stages=data.get("num_stages"),
+            pipeline_stages=pipeline.num_stages,
         )
+    if fmt >= 2:
+        expected = pipeline_digest(pipeline, len(data.get("groups", [])))
+        if data.get("digest") != expected:
+            raise ScheduleStaleError(
+                "schedule digest does not match the pipeline structure "
+                "(stage names or grouping changed since it was saved); "
+                "re-run scheduling",
+                schedule_digest=data.get("digest"),
+                pipeline_digest=expected,
+            )
     grouping = manual_grouping(
         pipeline,
         data["groups"],

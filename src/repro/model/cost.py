@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 from ..dsl.function import Function
 from ..dsl.pipeline import Pipeline
 from ..poly.alignscale import GroupGeometry, compute_group_geometry
+from ..resilience.faults import maybe_fail
 from ..poly.footprint import (
     intermediate_buffers_size,
     livein_tile_size,
@@ -232,6 +233,9 @@ class CostModel:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
+        maybe_fail(
+            "cost", detail="+".join(sorted(s.name for s in key))
+        )
         self.evaluations += 1
         result = group_cost(
             self.pipeline, key, self.machine, self.ncores, self.weights

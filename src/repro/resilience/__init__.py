@@ -1,0 +1,96 @@
+"""Resilient scheduling and execution.
+
+Production traffic must never hard-fail when a cheaper answer exists: the
+scheduler degrades ``dp → dp-incremental → greedy → no-fusion``
+(:func:`resilient_schedule`) and the executor validates inputs, retries
+and captures per-tile failures, and falls back to reference execution per
+group (:func:`execute_guarded`).  :mod:`repro.resilience.faults` injects
+deterministic failures at the instrumented sites so every one of those
+edges is provable in tests.
+
+Attribute access is lazy: the runtime's instrumented sites import
+:mod:`repro.resilience.faults` while :mod:`repro.resilience.guard` imports
+the runtime, so eagerly importing the submodules here would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    # fallback
+    "ScheduleBudget",
+    "ScheduleReport",
+    "TierAttempt",
+    "resilient_schedule",
+    # guard
+    "ExecutionReport",
+    "GroupOutcome",
+    "GuardPolicy",
+    "execute_guarded",
+    "validate_inputs",
+    # faults
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "inject_faults",
+    "maybe_fail",
+    "suspended",
+]
+
+_LOCATIONS = {
+    "ScheduleBudget": "fallback",
+    "ScheduleReport": "fallback",
+    "TierAttempt": "fallback",
+    "resilient_schedule": "fallback",
+    "ExecutionReport": "guard",
+    "GroupOutcome": "guard",
+    "GuardPolicy": "guard",
+    "execute_guarded": "guard",
+    "validate_inputs": "guard",
+    "FaultInjector": "faults",
+    "FaultSpec": "faults",
+    "FaultStats": "faults",
+    "inject_faults": "faults",
+    "maybe_fail": "faults",
+    "suspended": "faults",
+}
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fallback import (  # noqa: F401
+        ScheduleBudget,
+        ScheduleReport,
+        TierAttempt,
+        resilient_schedule,
+    )
+    from .faults import (  # noqa: F401
+        FaultInjector,
+        FaultSpec,
+        FaultStats,
+        inject_faults,
+        maybe_fail,
+        suspended,
+    )
+    from .guard import (  # noqa: F401
+        ExecutionReport,
+        GroupOutcome,
+        GuardPolicy,
+        execute_guarded,
+        validate_inputs,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _LOCATIONS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,243 @@
+"""The scheduling degradation chain: ``dp → dp-incremental → greedy →
+no-fusion``.
+
+The paper's unbounded DP (Sec. 3) is optimal but can blow up on wide
+DAGs; its own answer to that is the bounded incremental variant (Sec. 5).
+:func:`resilient_schedule` institutionalises the idea: it walks a chain of
+ever-cheaper tiers under hard wall-clock and DP-state budgets, and *always*
+returns a valid grouping — in the worst case the no-fusion grouping, which
+is structurally incapable of failing.  The returned
+:class:`ScheduleReport` records which tier produced the schedule, why each
+earlier tier was abandoned (stable error codes from :mod:`repro.errors`),
+and how much budget each attempt consumed.
+
+====================  ======================================================
+tier                  what can disqualify it
+====================  ======================================================
+``dp``                state budget, wall-clock budget, cost-model failure,
+                      no finite-cost grouping
+``dp-incremental``    same (bounded passes with a growing limit ``l``)
+``greedy``            geometry/overlap analysis failure
+``no-fusion``         nothing — it never runs the cost model or the DP
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dsl.pipeline import Pipeline
+from ..errors import GroupingBudgetExceeded, error_code
+from ..fusion.bounded import inc_grouping
+from ..fusion.dp import dp_group
+from ..fusion.greedy import polymage_greedy
+from ..fusion.grouping import Grouping, singleton_grouping
+from ..model.cost import CostModel
+from ..model.machine import Machine
+
+__all__ = [
+    "ScheduleBudget",
+    "TierAttempt",
+    "ScheduleReport",
+    "resilient_schedule",
+    "TIERS",
+]
+
+#: the degradation chain, cheapest-last
+TIERS = ("dp", "dp-incremental", "greedy", "no-fusion")
+
+
+@dataclass(frozen=True)
+class ScheduleBudget:
+    """Hard budgets for the optimizing tiers.
+
+    ``wall_clock_s`` bounds the *total* time the DP tiers may spend
+    (enforced cooperatively per DP state); ``dp_max_states`` bounds the
+    states of the unbounded DP tier, ``inc_max_states`` those of each
+    bounded incremental pass (defaults to ``dp_max_states``).  The greedy
+    and no-fusion tiers always run to completion — they are the floor the
+    budgets degrade onto, and both are orders of magnitude cheaper than
+    any DP pass.
+    """
+
+    wall_clock_s: Optional[float] = None
+    dp_max_states: Optional[int] = 1_200_000
+    inc_max_states: Optional[int] = None
+    #: initial group limit ``l`` and multiplicative step of the
+    #: incremental tier (paper Sec. 5; l grows by ``step`` per pass)
+    initial_limit: int = 2
+    step: int = 2
+
+    @property
+    def effective_inc_states(self) -> Optional[int]:
+        return (
+            self.inc_max_states
+            if self.inc_max_states is not None
+            else self.dp_max_states
+        )
+
+
+@dataclass
+class TierAttempt:
+    """One tier's outcome within a :func:`resilient_schedule` run."""
+
+    tier: str
+    status: str  # "ok" | "failed" | "skipped"
+    reason: str = ""
+    error_code: Optional[str] = None
+    elapsed_s: float = 0.0
+    states: int = 0
+
+
+@dataclass
+class ScheduleReport:
+    """What :func:`resilient_schedule` did and why.
+
+    ``grouping`` is always a valid grouping of the pipeline; ``tier`` names
+    the chain link that produced it; ``attempts`` records every tier
+    tried or skipped, in order, with the stable error code that
+    disqualified it.
+    """
+
+    grouping: Grouping
+    tier: str
+    attempts: List[TierAttempt] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    states_explored: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when a tier below the unbounded DP produced the result."""
+        return self.tier != TIERS[0]
+
+    def describe(self) -> str:
+        lines = [
+            f"Resilient schedule of {self.grouping.pipeline.name!r}: "
+            f"tier={self.tier}"
+            f"{' (degraded)' if self.degraded else ''}, "
+            f"{self.elapsed_s:.3f}s, {self.states_explored} DP states"
+        ]
+        for a in self.attempts:
+            line = f"  {a.tier}: {a.status}"
+            if a.status == "ok":
+                line += f" ({a.elapsed_s:.3f}s, {a.states} states)"
+            else:
+                line += f" — {a.reason}"
+                if a.error_code:
+                    line += f" [{a.error_code}]"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _reason(exc: BaseException) -> str:
+    text = str(exc)
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def resilient_schedule(
+    pipeline: Pipeline,
+    machine: Machine,
+    budget: Optional[ScheduleBudget] = None,
+    *,
+    cost_model: Optional[CostModel] = None,
+) -> ScheduleReport:
+    """Schedule ``pipeline`` with graceful degradation.
+
+    Never raises for data-dependent reasons: every tier failure —
+    budget exhaustion (``SCHED_BUDGET``), cost-model errors, geometry
+    failures, anything — is recorded in the report and the next tier
+    tried.  The no-fusion tier is infallible, so a grouping always comes
+    back.
+    """
+    budget = budget or ScheduleBudget()
+    start = time.perf_counter()
+    attempts: List[TierAttempt] = []
+    cm = cost_model or CostModel(pipeline, machine)
+
+    def remaining() -> Optional[float]:
+        if budget.wall_clock_s is None:
+            return None
+        return budget.wall_clock_s - (time.perf_counter() - start)
+
+    def out_of_time() -> bool:
+        left = remaining()
+        return left is not None and left <= 0
+
+    def finish(tier: str, grouping: Grouping) -> ScheduleReport:
+        return ScheduleReport(
+            grouping=grouping,
+            tier=tier,
+            attempts=attempts,
+            elapsed_s=time.perf_counter() - start,
+            states_explored=sum(a.states for a in attempts),
+        )
+
+    def attempt(tier: str, runner) -> Optional[Grouping]:
+        t0 = time.perf_counter()
+        try:
+            grouping = runner()
+        except GroupingBudgetExceeded as exc:
+            attempts.append(TierAttempt(
+                tier=tier, status="failed", reason=_reason(exc),
+                error_code=exc.code,
+                elapsed_s=time.perf_counter() - t0,
+                states=int(exc.context.get("states_evaluated", 0)),
+            ))
+            return None
+        except Exception as exc:  # noqa: BLE001 - any failure degrades
+            attempts.append(TierAttempt(
+                tier=tier, status="failed", reason=_reason(exc),
+                error_code=error_code(exc),
+                elapsed_s=time.perf_counter() - t0,
+            ))
+            return None
+        attempts.append(TierAttempt(
+            tier=tier, status="ok",
+            elapsed_s=time.perf_counter() - t0,
+            states=grouping.stats.enumerated,
+        ))
+        return grouping
+
+    # Tier 1: the unbounded DP (paper Sec. 3).
+    if out_of_time():
+        attempts.append(TierAttempt(
+            tier="dp", status="skipped", reason="wall-clock budget exhausted",
+            error_code="SCHED_BUDGET",
+        ))
+    else:
+        grouping = attempt("dp", lambda: dp_group(
+            pipeline, machine, cost_model=cm,
+            max_states=budget.dp_max_states,
+            time_budget_s=remaining(),
+        ))
+        if grouping is not None:
+            return finish("dp", grouping)
+
+    # Tier 2: bounded incremental DP with growing limit l (Sec. 5).
+    if out_of_time():
+        attempts.append(TierAttempt(
+            tier="dp-incremental", status="skipped",
+            reason="wall-clock budget exhausted", error_code="SCHED_BUDGET",
+        ))
+    else:
+        grouping = attempt("dp-incremental", lambda: inc_grouping(
+            pipeline, machine,
+            initial_limit=budget.initial_limit, step=budget.step,
+            cost_model=cm,
+            max_states=budget.effective_inc_states,
+            time_budget_s=remaining(),
+        ))
+        if grouping is not None:
+            return finish("dp-incremental", grouping)
+
+    # Tier 3: PolyMage's greedy heuristic — no DP, no cost model.
+    grouping = attempt("greedy", lambda: polymage_greedy(pipeline, machine))
+    if grouping is not None:
+        return finish("greedy", grouping)
+
+    # Tier 4: no fusion at all.  Cannot fail.
+    grouping = singleton_grouping(pipeline)
+    attempts.append(TierAttempt(tier="no-fusion", status="ok"))
+    return finish("no-fusion", grouping)

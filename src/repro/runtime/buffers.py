@@ -15,6 +15,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..resilience.faults import maybe_fail
+
 __all__ = ["Buffer"]
 
 
@@ -39,6 +41,7 @@ class Buffer:
         shape = tuple(hi - lo + 1 for lo, hi in bounds)
         if any(s <= 0 for s in shape):
             raise ValueError(f"empty region {list(bounds)}")
+        maybe_fail("alloc", detail=f"region{list(bounds)!r}")
         return cls(np.zeros(shape, dtype=dtype), tuple(lo for lo, _ in bounds))
 
     def gather(self, indices: Sequence[np.ndarray]) -> np.ndarray:

@@ -28,8 +28,15 @@ import numpy as np
 
 from ..dsl.function import Function, Op, Reduction
 from ..dsl.pipeline import Pipeline
+from ..errors import (
+    InputDtypeError,
+    InputMissingError,
+    InputShapeError,
+    TileExecutionError,
+)
 from ..fusion.grouping import Grouping
 from ..poly.alignscale import GroupGeometry, compute_group_geometry
+from ..resilience.faults import maybe_fail
 from .buffers import Buffer
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
 
@@ -43,15 +50,34 @@ _REDUCTION_CHUNK = 256
 def _input_buffers(
     pipeline: Pipeline, inputs: Mapping[str, np.ndarray]
 ) -> Dict[str, Buffer]:
+    expected = sorted(img.name for img in pipeline.images)
     buffers: Dict[str, Buffer] = {}
     for img in pipeline.images:
         if img.name not in inputs:
-            raise KeyError(f"missing input image {img.name!r}")
+            raise InputMissingError(
+                f"missing input image {img.name!r}; expected inputs "
+                f"{expected}, got {sorted(inputs)}",
+                missing=img.name,
+                expected=expected,
+                provided=sorted(inputs),
+            )
         arr = np.asarray(inputs[img.name])
         shape = pipeline.image_shape(img)
         if arr.shape != shape:
-            raise ValueError(
-                f"input {img.name!r} has shape {arr.shape}, expected {shape}"
+            raise InputShapeError(
+                f"input {img.name!r} has shape {arr.shape}, expected {shape}",
+                image=img.name,
+                actual=arr.shape,
+                expected=shape,
+            )
+        if arr.dtype.kind not in "buifc":
+            raise InputDtypeError(
+                f"input {img.name!r} has non-numeric dtype {arr.dtype}, "
+                f"expected something convertible to "
+                f"{img.scalar_type.np_dtype}",
+                image=img.name,
+                actual=str(arr.dtype),
+                expected=str(img.scalar_type.np_dtype),
             )
         buffers[img.name] = Buffer(
             arr.astype(img.scalar_type.np_dtype, copy=False),
@@ -199,9 +225,20 @@ def _execute_group_tiled(
     tile_sizes: Sequence[int],
     buffers: Dict[str, Buffer],
     nthreads: int,
+    group_index: int = 0,
+    tile_retries: int = 0,
 ) -> None:
     """Execute one fused group with overlapped tiling, updating
-    ``buffers`` with its live-out arrays."""
+    ``buffers`` with its live-out arrays.
+
+    A tile that raises is retried up to ``tile_retries`` times, then the
+    failure surfaces as a :class:`TileExecutionError` (code ``TILE_FAIL``)
+    naming the group, the tile, and the original cause — also from inside
+    the thread-pool path, where a bare exception would otherwise emerge as
+    an opaque traceback out of a future.  Live-outs are published to
+    ``buffers`` only after every tile succeeded, so a failed group leaves
+    ``buffers`` untouched and a caller can fall back cleanly.
+    """
     radii = geom.expansion_radii()
     liveouts = set(geom.liveouts)
     out_buffers = {
@@ -214,7 +251,10 @@ def _execute_group_tiled(
         for g, (lo, hi) in enumerate(geom.grid_bounds)
     ]
 
-    def run_tile(tile_lo: Tuple[int, ...]) -> None:
+    def run_tile(tile_index: int, tile_lo: Tuple[int, ...], attempt: int) -> None:
+        maybe_fail(
+            "tile", detail=f"g{group_index}t{tile_index}a{attempt}"
+        )
         scratch: Dict[str, Buffer] = {}
         lookup = _ChainLookup(scratch, buffers)
         for stage in geom.stages:
@@ -236,13 +276,34 @@ def _execute_group_tiled(
                         base, result.read_region(base)
                     )
 
-    tiles = list(itertools.product(*dim_ranges))
+    def run_tile_captured(item: Tuple[int, Tuple[int, ...]]) -> None:
+        tile_index, tile_lo = item
+        attempts = tile_retries + 1
+        for attempt in range(attempts):
+            try:
+                run_tile(tile_index, tile_lo, attempt)
+                return
+            except Exception as exc:  # noqa: BLE001 - rewrapped below
+                last = exc
+        raise TileExecutionError(
+            f"tile {tile_index} of group {group_index} failed after "
+            f"{attempts} attempt(s): {last}",
+            group_index=group_index,
+            tile_index=tile_index,
+            tile_origin=tuple(tile_lo),
+            cause=last,
+            attempts=attempts,
+        )
+
+    tiles = list(enumerate(itertools.product(*dim_ranges)))
     if nthreads > 1 and len(tiles) > 1:
         with ThreadPoolExecutor(max_workers=nthreads) as pool:
-            list(pool.map(run_tile, tiles))
+            futures = [pool.submit(run_tile_captured, item) for item in tiles]
+            for future in futures:
+                future.result()
     else:
-        for t in tiles:
-            run_tile(t)
+        for item in tiles:
+            run_tile_captured(item)
 
     buffers.update(out_buffers)
 
@@ -267,11 +328,46 @@ class _ChainLookup:
         return buf
 
 
+def _execute_one_group(
+    pipeline: Pipeline,
+    members,
+    tiles: Sequence[int],
+    buffers: Dict[str, Buffer],
+    nthreads: int,
+    group_index: int = 0,
+    tile_retries: int = 0,
+) -> str:
+    """Execute a single group of a grouping, returning the mode used:
+    ``"tiled"`` or ``"untiled"`` (groups without an overlap-tiling
+    geometry run stage-by-stage over full domains)."""
+    geom = compute_group_geometry(pipeline, members)
+    if geom is None or len(members) == 1 and isinstance(
+        next(iter(members)), Reduction
+    ):
+        for stage in pipeline.stages:
+            if stage in members:
+                buffers[stage.name] = _compute_stage_full(
+                    pipeline, stage, buffers
+                )
+        return "untiled"
+    if len(tiles) != geom.ndim:
+        raise ValueError(
+            f"group {[s.name for s in members]} needs {geom.ndim} tile "
+            f"sizes, got {len(tiles)}"
+        )
+    _execute_group_tiled(
+        pipeline, geom, tiles, buffers, nthreads,
+        group_index=group_index, tile_retries=tile_retries,
+    )
+    return "tiled"
+
+
 def execute_grouping(
     pipeline: Pipeline,
     grouping: Grouping,
     inputs: Mapping[str, np.ndarray],
     nthreads: int = 1,
+    tile_retries: int = 0,
 ) -> Dict[str, np.ndarray]:
     """Execute a grouping with overlapped tiling.
 
@@ -279,6 +375,13 @@ def execute_grouping(
     geometry (singleton reductions, or Halide-style groups that fuse a
     reduction) are executed stage-by-stage untiled — PolyMage likewise
     leaves reductions unoptimised (Sec. 6.2).
+
+    Failures are structured (:mod:`repro.errors`): missing or malformed
+    inputs raise ``INPUT_*`` errors up front, and a tile that raises
+    surfaces as ``TILE_FAIL`` with its group/tile coordinates after
+    ``tile_retries`` bounded retries.  For validation, retry-then-degrade
+    execution, and per-group fallback to the reference interpreter, see
+    :func:`repro.resilience.guard.execute_guarded`.
     """
     if grouping.pipeline is not pipeline:
         raise ValueError("grouping was built for a different pipeline")
@@ -286,22 +389,12 @@ def execute_grouping(
         raise ValueError("nthreads must be positive")
     buffers = _input_buffers(pipeline, inputs)
 
-    for members, tiles in zip(grouping.groups, grouping.tile_sizes):
-        geom = compute_group_geometry(pipeline, members)
-        if geom is None or len(members) == 1 and isinstance(
-            next(iter(members)), Reduction
-        ):
-            for stage in pipeline.stages:
-                if stage in members:
-                    buffers[stage.name] = _compute_stage_full(
-                        pipeline, stage, buffers
-                    )
-            continue
-        if len(tiles) != geom.ndim:
-            raise ValueError(
-                f"group {[s.name for s in members]} needs {geom.ndim} tile "
-                f"sizes, got {len(tiles)}"
-            )
-        _execute_group_tiled(pipeline, geom, tiles, buffers, nthreads)
+    for gi, (members, tiles) in enumerate(
+        zip(grouping.groups, grouping.tile_sizes)
+    ):
+        _execute_one_group(
+            pipeline, members, tiles, buffers, nthreads,
+            group_index=gi, tile_retries=tile_retries,
+        )
 
     return {o.name: buffers[o.name].data for o in pipeline.outputs}

@@ -6,11 +6,13 @@ import os
 import pytest
 
 from repro.cli import main
+from repro.errors import ScheduleFormatError, ScheduleStaleError
 from repro.fusion import dp_group
 from repro.fusion.serialize import (
     grouping_from_dict,
     grouping_to_dict,
     load_grouping,
+    pipeline_digest,
     save_grouping,
 )
 from repro.model import XEON_HASWELL
@@ -61,6 +63,53 @@ class TestSerialize:
         assert loaded.stats.enumerated == g.stats.enumerated
 
 
+class TestDigest:
+    """Satellite: the format-v2 pipeline structure digest."""
+
+    def test_v2_files_carry_a_digest(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        data = grouping_to_dict(g)
+        assert data["format"] == 2
+        assert data["digest"] == pipeline_digest(blur_pipeline, g.num_groups)
+
+    def test_digest_round_trip(self, blur_pipeline, tmp_path):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        path = str(tmp_path / "v2.json")
+        save_grouping(g, path)
+        loaded = load_grouping(blur_pipeline, path)
+        assert loaded.group_names() == g.group_names()
+
+    def test_digest_mismatch_is_stale(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        data = grouping_to_dict(g)
+        data["digest"] = "0" * 16
+        with pytest.raises(ScheduleStaleError) as exc_info:
+            grouping_from_dict(blur_pipeline, data)
+        assert exc_info.value.code == "SCHEDULE_STALE"
+        assert exc_info.value.context["schedule_digest"] == "0" * 16
+
+    def test_renamed_stage_changes_digest(self, blur_pipeline):
+        # A different pipeline build (same name, same stage count, renamed
+        # stages) would previously load silently; the digest catches it.
+        other = build_blur(rows=94, cols=130)
+        for stage in other.stages:
+            stage.name = stage.name + "_v2"
+        assert pipeline_digest(blur_pipeline, 2) != pipeline_digest(other, 2)
+
+    def test_v1_file_still_loads(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        data = grouping_to_dict(g)
+        data["format"] = 1
+        del data["digest"]
+        loaded = grouping_from_dict(blur_pipeline, data)
+        assert loaded.group_names() == g.group_names()
+
+    def test_stale_errors_are_valueerrors(self, blur_pipeline):
+        # Pre-taxonomy callers caught ValueError; both new codes keep that.
+        assert issubclass(ScheduleStaleError, ValueError)
+        assert issubclass(ScheduleFormatError, ValueError)
+
+
 class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -106,3 +155,25 @@ class TestCli:
                    "--strategy", "h-manual"])
         assert rc == 0
         assert "h-manual" in capsys.readouterr().out
+
+    def test_degrade_prints_schedule_report(self, capsys):
+        # A tiny state budget forces the dp tier down the chain; the
+        # printed ScheduleReport names the tier that actually ran.
+        rc = main(["schedule", "UM", "--scale", "0.05", "--max-states", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Resilient schedule" in out and "tier=" in out
+        assert "SCHED_BUDGET" in out
+
+    def test_strict_small_budget_fails_hard(self):
+        from repro.errors import GroupingBudgetExceeded
+
+        with pytest.raises(GroupingBudgetExceeded):
+            main(["schedule", "UM", "--scale", "0.05", "--strict",
+                  "--max-states", "2"])
+
+    def test_no_fusion_strategy_runs_and_verifies(self, capsys):
+        rc = main(["run", "UM", "--scale", "0.05",
+                   "--strategy", "no-fusion", "--verify"])
+        assert rc == 0
+        assert "verification against reference: OK" in capsys.readouterr().out

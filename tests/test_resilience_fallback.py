@@ -1,0 +1,155 @@
+"""The scheduling degradation chain: dp -> dp-incremental -> greedy ->
+no-fusion, under state, wall-clock, and injected-fault pressure."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import singleton_grouping
+from repro.model import XEON_HASWELL
+from repro.resilience import ScheduleBudget, inject_faults, resilient_schedule
+from repro.resilience.fallback import TIERS
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import random_inputs
+
+
+class TestHappyPath:
+    def test_dp_tier_wins_when_unconstrained(self, blur_pipeline):
+        report = resilient_schedule(blur_pipeline, XEON_HASWELL)
+        assert report.tier == "dp"
+        assert not report.degraded
+        assert [a.tier for a in report.attempts] == ["dp"]
+        assert report.attempts[0].status == "ok"
+        assert report.states_explored > 0
+        assert report.grouping.is_valid()
+
+    def test_report_describe_names_tiers(self, blur_pipeline):
+        report = resilient_schedule(blur_pipeline, XEON_HASWELL)
+        text = report.describe()
+        assert "tier=dp" in text
+        assert "blur" in text
+
+
+class TestDegradation:
+    def test_state_budget_falls_to_incremental(self, blur_pipeline):
+        # 3 states is below blur's 3-state DP? give 1: dp dies, the
+        # bounded incremental pass (uncapped here) succeeds.
+        report = resilient_schedule(
+            blur_pipeline, XEON_HASWELL,
+            ScheduleBudget(dp_max_states=1, inc_max_states=100_000),
+        )
+        assert report.tier == "dp-incremental"
+        assert report.degraded
+        dp = report.attempts[0]
+        assert (dp.tier, dp.status, dp.error_code) == \
+            ("dp", "failed", "SCHED_BUDGET")
+        assert report.grouping.is_valid()
+
+    def test_zero_wall_clock_skips_dp_tiers(self, blur_pipeline):
+        report = resilient_schedule(
+            blur_pipeline, XEON_HASWELL, ScheduleBudget(wall_clock_s=0.0),
+        )
+        assert report.tier in ("greedy", "no-fusion")
+        skipped = {a.tier for a in report.attempts if a.status == "skipped"}
+        assert skipped == {"dp", "dp-incremental"}
+        for a in report.attempts:
+            if a.status == "skipped":
+                assert a.error_code == "SCHED_BUDGET"
+
+    def test_cost_faults_fall_to_greedy(self, blur_pipeline):
+        with inject_faults(cost=1.0):
+            report = resilient_schedule(blur_pipeline, XEON_HASWELL)
+        assert report.tier == "greedy"
+        assert [a.status for a in report.attempts] == ["failed", "failed", "ok"]
+
+    def test_everything_failing_lands_on_no_fusion(
+        self, blur_pipeline, monkeypatch
+    ):
+        import repro.resilience.fallback as fb
+
+        def broken_greedy(*a, **k):
+            raise RuntimeError("greedy exploded")
+
+        monkeypatch.setattr(fb, "polymage_greedy", broken_greedy)
+        with inject_faults(cost=1.0):
+            report = resilient_schedule(blur_pipeline, XEON_HASWELL)
+        assert report.tier == "no-fusion"
+        statuses = {a.tier: a.status for a in report.attempts}
+        assert statuses == {
+            "dp": "failed", "dp-incremental": "failed",
+            "greedy": "failed", "no-fusion": "ok",
+        }
+        greedy = [a for a in report.attempts if a.tier == "greedy"][0]
+        assert greedy.error_code == "UNSTRUCTURED:RuntimeError"
+        assert report.grouping.is_valid()
+
+    def test_tiers_are_ordered_cheapest_last(self):
+        assert TIERS == ("dp", "dp-incremental", "greedy", "no-fusion")
+
+
+class TestNoFusionGrouping:
+    def test_matches_reference(self, blur_pipeline, rng):
+        g = singleton_grouping(blur_pipeline)
+        assert g.is_valid()
+        assert g.num_groups == blur_pipeline.num_stages
+        inputs = random_inputs(blur_pipeline, rng)
+        ref = execute_reference(blur_pipeline, inputs)
+        out = execute_grouping(blur_pipeline, g, inputs)
+        for k in out:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-6)
+
+    def test_handles_reductions(self, histogram_pipeline, rng):
+        g = singleton_grouping(histogram_pipeline)
+        inputs = random_inputs(histogram_pipeline, rng)
+        ref = execute_reference(histogram_pipeline, inputs)
+        out = execute_grouping(histogram_pipeline, g, inputs)
+        for k in out:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-5)
+
+    def test_via_schedule_pipeline(self, blur_pipeline):
+        from repro.fusion import schedule_pipeline
+
+        g = schedule_pipeline(
+            blur_pipeline, XEON_HASWELL, strategy="no-fusion"
+        )
+        assert g.stats.strategy == "no-fusion"
+
+
+class TestBudget:
+    def test_inc_states_defaults_to_dp_states(self):
+        assert ScheduleBudget(dp_max_states=5).effective_inc_states == 5
+        assert ScheduleBudget(
+            dp_max_states=5, inc_max_states=9
+        ).effective_inc_states == 9
+
+    def test_wall_clock_budget_interrupts_dp(self, blur_pipeline):
+        # A nearly-zero (but positive) budget lets the dp tier start and
+        # then aborts it cooperatively mid-search.
+        report = resilient_schedule(
+            blur_pipeline, XEON_HASWELL,
+            ScheduleBudget(wall_clock_s=1e-9),
+        )
+        assert report.grouping.is_valid()
+        dp = report.attempts[0]
+        assert dp.tier == "dp"
+        assert dp.status in ("failed", "skipped")
+        assert dp.error_code == "SCHED_BUDGET"
+
+
+class TestNoBareExceptionsEscape:
+    """Public scheduling entry points raise only structured errors."""
+
+    def test_dp_budget_is_structured(self, blur_pipeline):
+        from repro.errors import ReproError
+        from repro.fusion import dp_group
+
+        with pytest.raises(ReproError) as exc_info:
+            dp_group(blur_pipeline, XEON_HASWELL, max_states=1)
+        assert exc_info.value.code == "SCHED_BUDGET"
+
+    def test_resilient_schedule_never_raises_under_faults(
+        self, blur_pipeline
+    ):
+        with inject_faults(cost=1.0):
+            report = resilient_schedule(blur_pipeline, XEON_HASWELL)
+        assert report.grouping is not None

@@ -1,0 +1,245 @@
+"""The hardened executor: input validation, TILE_FAIL propagation out of
+the thread pool, per-group reference fallback, the memory cap, and the
+non-finite scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InjectedFault,
+    InputDtypeError,
+    InputMissingError,
+    InputShapeError,
+    MemoryBudgetError,
+    NumericError,
+    ReproError,
+    TileExecutionError,
+)
+from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, \
+    Sqrt, Variable
+from repro.fusion import dp_group, singleton_grouping
+from repro.model import XEON_HASWELL
+from repro.poly.alignscale import compute_group_geometry
+from repro.resilience import GuardPolicy, execute_guarded, inject_faults
+from repro.resilience.guard import (
+    estimate_tile_scratch_bytes,
+    fit_tiles_to_memory_cap,
+    validate_inputs,
+)
+from repro.runtime import execute_grouping, execute_reference
+
+from conftest import random_inputs
+
+
+class TestValidateInputs:
+    def test_missing_input(self, blur_pipeline):
+        with pytest.raises(InputMissingError) as exc_info:
+            validate_inputs(blur_pipeline, {})
+        exc = exc_info.value
+        assert exc.code == "INPUT_MISSING"
+        assert exc.context["missing"] == "img"
+        assert exc.context["expected"] == ["img"]
+
+    def test_missing_is_still_a_keyerror(self, blur_pipeline):
+        # Pre-taxonomy callers caught KeyError; they must keep working.
+        with pytest.raises(KeyError):
+            validate_inputs(blur_pipeline, {})
+
+    def test_wrong_shape(self, blur_pipeline, rng):
+        inputs = {"img": rng.random((2, 2), dtype=np.float32)}
+        with pytest.raises(InputShapeError) as exc_info:
+            validate_inputs(blur_pipeline, inputs)
+        assert exc_info.value.context["image"] == "img"
+        assert exc_info.value.context["actual"] == (2, 2)
+
+    def test_wrong_dtype(self, blur_pipeline):
+        shape = blur_pipeline.image_shape(blur_pipeline.images[0])
+        inputs = {"img": np.full(shape, "x", dtype=object)}
+        with pytest.raises(InputDtypeError):
+            validate_inputs(blur_pipeline, inputs)
+
+    def test_extra_keys_tolerated(self, blur_pipeline, rng):
+        inputs = random_inputs(blur_pipeline, rng)
+        inputs["unrelated"] = np.zeros(3)
+        validate_inputs(blur_pipeline, inputs)  # does not raise
+
+    def test_executor_raises_structured_missing(self, blur_pipeline):
+        # Satellite 1: the old bare-KeyError site in _input_buffers.
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        with pytest.raises(InputMissingError) as exc_info:
+            execute_grouping(blur_pipeline, g, {})
+        assert "expected" in str(exc_info.value)
+
+
+class TestTileFailPropagation:
+    """Satellite 3: TILE_FAIL out of the ThreadPoolExecutor carries the
+    group id, tile index, and original cause; --degrade re-runs the group
+    via reference execution."""
+
+    def test_strict_error_carries_coordinates_and_cause(
+        self, blur_pipeline, rng
+    ):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        with inject_faults(tile=1.0):
+            with pytest.raises(TileExecutionError) as exc_info:
+                execute_grouping(blur_pipeline, g, inputs, nthreads=2)
+        exc = exc_info.value
+        assert exc.code == "TILE_FAIL"
+        assert exc.group_index >= 0
+        assert exc.tile_index >= 0
+        assert exc.tile_origin is not None
+        assert isinstance(exc.cause, InjectedFault)
+        assert exc.__cause__ is exc.cause
+
+    def test_guarded_strict_mode_propagates(self, blur_pipeline, rng):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        with inject_faults(tile=1.0):
+            with pytest.raises(ReproError) as exc_info:
+                execute_guarded(
+                    blur_pipeline, g, inputs, nthreads=2,
+                    policy=GuardPolicy(degrade=False, tile_retries=0),
+                )
+        assert exc_info.value.code == "TILE_FAIL"
+
+    def test_degrade_reruns_group_via_reference(self, blur_pipeline, rng):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        ref = execute_reference(blur_pipeline, inputs)
+        with inject_faults(tile=1.0):
+            result = execute_guarded(
+                blur_pipeline, g, inputs, nthreads=2,
+                policy=GuardPolicy(tile_retries=1, degrade=True),
+            )
+        failed = [o for o in result.outcomes if o.error_code]
+        assert failed, "at least one group must have hit the fault"
+        for o in failed:
+            assert o.mode == "reference-fallback"
+            assert o.error_code == "TILE_FAIL"
+        for k in ref:
+            np.testing.assert_array_equal(ref[k], result.outputs[k])
+
+    def test_wrong_pipeline_grouping_rejected(self, blur_pipeline):
+        from conftest import build_blur
+
+        other = build_blur()
+        g = dp_group(other, XEON_HASWELL)
+        with pytest.raises(ValueError):
+            execute_guarded(blur_pipeline, g, {})
+
+
+class TestMemoryCap:
+    def _geometry(self, pipeline, grouping):
+        for members, tiles in zip(grouping.groups, grouping.tile_sizes):
+            geom = compute_group_geometry(pipeline, members)
+            if geom is not None and len(tiles) == geom.ndim:
+                return members, tiles, geom
+        pytest.skip("no tiled group in this grouping")
+
+    def test_estimate_positive_and_monotonic(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        _, tiles, geom = self._geometry(blur_pipeline, g)
+        small = estimate_tile_scratch_bytes(blur_pipeline, geom, [1] * geom.ndim)
+        big = estimate_tile_scratch_bytes(blur_pipeline, geom, tiles)
+        assert 0 < small <= big
+
+    def test_fit_shrinks_largest_dimension(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        _, tiles, geom = self._geometry(blur_pipeline, g)
+        full = estimate_tile_scratch_bytes(blur_pipeline, geom, tiles)
+        fitted = fit_tiles_to_memory_cap(
+            blur_pipeline, geom, tiles, cap_bytes=full // 2
+        )
+        assert fitted != tuple(tiles)
+        assert estimate_tile_scratch_bytes(
+            blur_pipeline, geom, fitted
+        ) <= full // 2
+
+    def test_impossible_cap_raises_memory_budget(self, blur_pipeline):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        _, tiles, geom = self._geometry(blur_pipeline, g)
+        with pytest.raises(MemoryBudgetError) as exc_info:
+            fit_tiles_to_memory_cap(blur_pipeline, geom, tiles, cap_bytes=1)
+        assert exc_info.value.code == "MEMORY_BUDGET"
+        assert exc_info.value.context["cap_bytes"] == 1
+
+    def test_guarded_run_under_cap_still_correct(self, blur_pipeline, rng):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        _, tiles, geom = self._geometry(blur_pipeline, g)
+        full = estimate_tile_scratch_bytes(blur_pipeline, geom, tiles)
+        inputs = random_inputs(blur_pipeline, rng)
+        ref = execute_reference(blur_pipeline, inputs)
+        result = execute_guarded(
+            blur_pipeline, g, inputs,
+            policy=GuardPolicy(memory_cap_bytes=full // 2),
+        )
+        shrunk = [o for o in result.outcomes if "shrunk" in o.note]
+        assert shrunk, "the cap must have forced at least one shrink"
+        for k in ref:
+            np.testing.assert_allclose(ref[k], result.outputs[k], rtol=1e-5)
+
+
+def build_nan_pipeline(n=48):
+    """sqrt of a negative intermediate: NaN in every tiled *and* reference
+    execution — a genuine numeric property of the pipeline."""
+    x = Variable(Int, "x")
+    img = Image(Float, "img", [n + 2])
+    shift = Function(([x], [Interval(Int, 0, n + 1)]), Float, "shift")
+    shift.defn = [img(x) - 2.0]
+    root = Function(([x], [Interval(Int, 0, n - 1)]), Float, "root")
+    root.defn = [Sqrt(shift(x) + shift(x + 1))]
+    return Pipeline([root], {}, name="nanpipe")
+
+
+class TestNonfiniteScan:
+    def _setup(self, rng):
+        p = build_nan_pipeline()
+        g = singleton_grouping(p)
+        inputs = random_inputs(p, rng)  # values in [0, 1) -> shift < 0
+        return p, g, inputs
+
+    def test_strict_scan_raises_numeric(self, rng):
+        p, g, inputs = self._setup(rng)
+        with pytest.raises(NumericError) as exc_info:
+            execute_guarded(
+                p, g, inputs,
+                policy=GuardPolicy(scan_nonfinite=True, degrade=False),
+            )
+        assert exc_info.value.code == "NUMERIC_NAN"
+        assert "root" in exc_info.value.context["stages"]
+
+    def test_degrade_scan_records_genuine_nan(self, rng):
+        p, g, inputs = self._setup(rng)
+        result = execute_guarded(
+            p, g, inputs,
+            policy=GuardPolicy(scan_nonfinite=True, degrade=True),
+        )
+        flagged = [o for o in result.outcomes if o.error_code == "NUMERIC_NAN"]
+        assert flagged
+        assert all(o.mode == "reference-fallback" for o in flagged)
+        assert any("genuine" in o.note for o in flagged)
+        # the fallback reproduces the (genuinely NaN) reference output
+        ref = execute_reference(p, inputs)
+        for k in ref:
+            np.testing.assert_array_equal(ref[k], result.outputs[k])
+
+    def test_scan_quiet_on_finite_pipeline(self, blur_pipeline, rng):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        result = execute_guarded(
+            blur_pipeline, g, inputs,
+            policy=GuardPolicy(scan_nonfinite=True),
+        )
+        assert not result.degraded
+        assert all(o.error_code is None for o in result.outcomes)
+
+
+class TestReport:
+    def test_describe_lists_every_group(self, blur_pipeline, rng):
+        g = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        result = execute_guarded(blur_pipeline, g, inputs)
+        text = result.describe()
+        for o in result.outcomes:
+            assert f"group {o.group_index}" in text
