@@ -1,0 +1,197 @@
+"""Per-tile executor overhead: interpreted vs compiled stage kernels.
+
+The paper's cost model reasons about locality and parallelism, but a
+Python interpreter that re-walks each stage's expression tree per tile
+adds per-tile overhead the model knows nothing about — the motivation for
+the compiled-kernel layer in :mod:`repro.runtime.kernelcache`.  This
+benchmark measures that overhead directly: every registered benchmark
+pipeline is executed on its H-manual grouping with tile sizes clamped
+small (so the tile count is high and per-tile dispatch dominates), once
+with ``compile_kernels=False`` and once with compilation enabled, on one
+thread.  Reported per pipeline: total wall time, tile count, per-tile
+microseconds for both modes, and the speedup.
+
+Results land in ``BENCH_executor.json`` (see ``--output``) — the first
+entry of the repo's executor-performance trajectory.  ``--check`` exits
+nonzero when compiled execution is slower than interpreted on any
+pipeline, which is how CI smoke-tests the fast path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor_overhead.py
+    PYTHONPATH=src python benchmarks/bench_executor_overhead.py \
+        --pipelines UM --repeats 5 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fusion.grouping import Grouping
+from repro.pipelines import BENCHMARKS
+from repro.poly.alignscale import compute_group_geometry
+from repro.runtime import clear_kernel_cache, execute_grouping
+from repro.runtime.executor import _CHUNKS_PER_WORKER  # noqa: F401 - doc link
+
+#: Tile sizes are clamped to this per dimension so every pipeline runs
+#: hundreds of tiles — the regime where per-tile overhead, not arithmetic,
+#: dominates and the interpreted/compiled difference is what's measured.
+MAX_TILE = 32
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_executor.json",
+)
+
+
+def _clamped_grouping(pipe, grouping: Grouping) -> Grouping:
+    tiles = tuple(
+        tuple(min(t, MAX_TILE) for t in ts) for ts in grouping.tile_sizes
+    )
+    return dataclasses.replace(grouping, tile_sizes=tiles)
+
+
+def _count_tiles(pipe, grouping: Grouping) -> int:
+    """Tiles executed across all groups (untiled groups count 1 region
+    per member stage, matching what the executor actually runs)."""
+    total = 0
+    for members, tiles in zip(grouping.groups, grouping.tile_sizes):
+        geom = compute_group_geometry(pipe, members)
+        if geom is None or not tiles or len(tiles) != geom.ndim:
+            total += len(members)
+            continue
+        n = 1
+        for (lo, hi), t in zip(geom.grid_bounds, tiles):
+            n *= -(-(hi - lo + 1) // t)
+        total += n
+    return total
+
+
+def _inputs(pipe, seed: int = 0) -> Dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    out = {}
+    for img in pipe.images:
+        shape = pipe.image_shape(img)
+        if img.scalar_type.np_dtype.kind in "ui":
+            out[img.name] = rng.integers(0, 1024, shape).astype(
+                img.scalar_type.np_dtype
+            )
+        else:
+            out[img.name] = rng.random(shape, dtype=np.float32)
+    return out
+
+
+def _time_mode(pipe, grouping, inputs, compile_kernels: bool,
+               repeats: int) -> Tuple[float, Dict[str, np.ndarray]]:
+    """Best-of-``repeats`` wall time; one untimed warmup run first (the
+    warmup also populates the kernel cache, so compilation cost is
+    excluded — it is paid once per pipeline, not per run)."""
+    out = execute_grouping(
+        pipe, grouping, inputs, nthreads=1, compile_kernels=compile_kernels
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = execute_grouping(
+            pipe, grouping, inputs, nthreads=1,
+            compile_kernels=compile_kernels,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run(abbrevs: List[str], repeats: int) -> List[dict]:
+    records = []
+    for ab in abbrevs:
+        bench = BENCHMARKS[ab]
+        pipe = bench.build(**bench.small_kwargs)
+        grouping = _clamped_grouping(pipe, bench.h_manual(pipe))
+        n_tiles = _count_tiles(pipe, grouping)
+        inputs = _inputs(pipe)
+        clear_kernel_cache()
+
+        t_interp, out_i = _time_mode(pipe, grouping, inputs, False, repeats)
+        t_compiled, out_c = _time_mode(pipe, grouping, inputs, True, repeats)
+
+        matches = all(
+            np.allclose(
+                out_i[k].astype(np.float64), out_c[k].astype(np.float64),
+                atol=1e-5, rtol=1e-5,
+            )
+            for k in out_i
+        )
+        rec = {
+            "pipeline": ab,
+            "name": bench.name,
+            "stages": len(pipe.stages),
+            "tiles": n_tiles,
+            "interpreted_s": round(t_interp, 6),
+            "compiled_s": round(t_compiled, 6),
+            "interpreted_us_per_tile": round(t_interp / n_tiles * 1e6, 2),
+            "compiled_us_per_tile": round(t_compiled / n_tiles * 1e6, 2),
+            "speedup": round(t_interp / t_compiled, 3),
+            "outputs_match": bool(matches),
+        }
+        records.append(rec)
+        print(
+            f"{ab:>3}  {n_tiles:>5} tiles  "
+            f"interp {rec['interpreted_us_per_tile']:>8.1f} us/tile  "
+            f"compiled {rec['compiled_us_per_tile']:>8.1f} us/tile  "
+            f"speedup {rec['speedup']:>6.2f}x  "
+            f"{'OK' if matches else 'MISMATCH'}"
+        )
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pipelines", nargs="+", choices=sorted(BENCHMARKS),
+        default=sorted(BENCHMARKS),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if compiled is slower than interpreted anywhere, "
+             "or any output mismatches",
+    )
+    args = parser.parse_args(argv)
+
+    records = run(args.pipelines, args.repeats)
+    payload = {
+        "benchmark": "executor_overhead",
+        "description": "interpreted vs compiled per-tile cost, "
+                       "1 thread, H-manual grouping with tiles "
+                       f"clamped to {MAX_TILE}",
+        "max_tile": MAX_TILE,
+        "repeats": args.repeats,
+        "results": records,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        bad = [
+            r["pipeline"] for r in records
+            if r["speedup"] < 1.0 or not r["outputs_match"]
+        ]
+        if bad:
+            print(f"FAIL: compiled slower or mismatched on {bad}")
+            return 1
+        print("PASS: compiled >= interpreted on all measured pipelines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

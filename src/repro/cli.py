@@ -154,13 +154,20 @@ def cmd_run(args) -> int:
         else:
             inputs[img.name] = rng.random(shape, dtype=np.float32)
 
+    compile_kernels = False if args.no_compile else None
     start = time.perf_counter()
     if args.strict:
-        out = execute_grouping(pipe, grouping, inputs, nthreads=args.threads)
+        out = execute_grouping(
+            pipe, grouping, inputs, nthreads=args.threads,
+            compile_kernels=compile_kernels,
+        )
     else:
         exec_report = execute_guarded(
             pipe, grouping, inputs, nthreads=args.threads,
-            policy=GuardPolicy(tile_retries=1, degrade=True),
+            policy=GuardPolicy(
+                tile_retries=1, degrade=True,
+                compile_kernels=compile_kernels,
+            ),
         )
         out = exec_report.outputs
         if exec_report.degraded:
@@ -297,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", help="load a saved schedule instead")
     p.add_argument("--verify", action="store_true",
                    help="compare against the reference interpreter")
+    p.add_argument("--no-compile", action="store_true",
+                   help="execute with the pure interpreter instead of "
+                        "compiled stage kernels (A/B timing; the "
+                        "REPRO_NO_COMPILE env var does the same)")
 
     p = sub.add_parser("estimate",
                        help="price the four paper configurations")

@@ -23,6 +23,9 @@ code                      raised when
 ``SCHEDULE_FORMAT``       a serialized schedule has an unknown format version
 ``SCHEDULE_STALE``        a serialized schedule does not match the pipeline
                           it is being applied to (digest/name/stage mismatch)
+``KERNEL_COMPILE_FAIL``   a stage could not be lowered to a compiled NumPy
+                          kernel; surfaced as a *warning* by the runtime
+                          (the stage falls back to the interpreter)
 ``FAULT_INJECTED``        a deliberate failure from the fault-injection
                           harness (:mod:`repro.resilience.faults`)
 ========================  =====================================================
@@ -48,6 +51,7 @@ __all__ = [
     "ScheduleIOError",
     "ScheduleFormatError",
     "ScheduleStaleError",
+    "KernelCompileError",
     "InjectedFault",
     "ERROR_CODES",
     "error_code",
@@ -201,6 +205,18 @@ class ScheduleStaleError(ScheduleIOError):
     name, or stage-count mismatch)."""
 
     code = "SCHEDULE_STALE"
+
+
+# -- kernel compilation -----------------------------------------------------
+
+
+class KernelCompileError(ReproError, RuntimeError):
+    """A stage's expression tree could not be lowered to a compiled NumPy
+    kernel.  Never escapes the runtime: :mod:`repro.runtime.kernelcache`
+    converts it into a ``KernelCompileWarning`` and the stage executes on
+    the interpreter instead."""
+
+    code = "KERNEL_COMPILE_FAIL"
 
 
 # -- fault injection --------------------------------------------------------

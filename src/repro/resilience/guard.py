@@ -56,6 +56,7 @@ from ..runtime.executor import (
     _input_buffers,
     _stage_region,
 )
+from ..runtime.kernelcache import stage_kernels
 from . import faults
 
 __all__ = [
@@ -85,6 +86,10 @@ class GuardPolicy:
     #: cap on estimated per-tile scratch bytes (all threads combined);
     #: tiles shrink to fit before allocation
     memory_cap_bytes: Optional[int] = None
+    #: use compiled stage kernels (``None``: on unless the
+    #: ``REPRO_NO_COMPILE`` env knob disables them; ``False``: pure
+    #: interpreter, the CLI's ``--no-compile``)
+    compile_kernels: Optional[bool] = None
 
 
 @dataclass
@@ -272,6 +277,7 @@ def execute_guarded(
     if policy.validate:
         validate_inputs(pipeline, inputs)
     buffers = _input_buffers(pipeline, inputs)
+    kernels = stage_kernels(pipeline, enabled=policy.compile_kernels)
 
     outcomes: List[GroupOutcome] = []
     for gi, (members, tiles) in enumerate(
@@ -300,6 +306,7 @@ def execute_guarded(
             outcome.mode = _execute_one_group(
                 pipeline, members, run_tiles, buffers, nthreads,
                 group_index=gi, tile_retries=policy.tile_retries,
+                kernels=kernels,
             )
         except Exception as exc:  # noqa: BLE001 - rewrapped/absorbed below
             if not policy.degrade:

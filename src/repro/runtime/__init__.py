@@ -1,15 +1,31 @@
-"""Execution substrate: reference interpreter and overlapped-tiling
-executor (the stand-in for PolyMage's C++/OpenMP code generation)."""
+"""Execution substrate: reference interpreter, compiled stage kernels,
+and the overlapped-tiling executor (the stand-in for PolyMage's
+C++/OpenMP code generation)."""
 
-from .buffers import Buffer
+from .buffers import Buffer, BufferPool
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
 from .executor import execute_grouping, execute_reference
+from .kernelcache import (
+    KernelCompileWarning,
+    StageKernel,
+    clear_kernel_cache,
+    compilation_enabled,
+    compile_stage_kernel,
+    stage_kernels,
+)
 
 __all__ = [
     "Buffer",
+    "BufferPool",
     "evaluate_expr",
     "evaluate_cases",
     "make_index_grids",
     "execute_reference",
     "execute_grouping",
+    "StageKernel",
+    "KernelCompileWarning",
+    "compile_stage_kernel",
+    "stage_kernels",
+    "clear_kernel_cache",
+    "compilation_enabled",
 ]

@@ -10,14 +10,14 @@ stored region — out-of-domain reads in stage bodies are guarded by their
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..resilience.faults import maybe_fail
 
-__all__ = ["Buffer"]
+__all__ = ["Buffer", "BufferPool"]
 
 
 @dataclass
@@ -48,10 +48,45 @@ class Buffer:
         """Read at absolute coordinates (broadcasting index arrays),
         clipping to the stored region."""
         idx = []
+        data = self.data
         for d, coord in enumerate(indices):
-            rel = np.asarray(coord) - self.origin[d]
-            idx.append(np.clip(rel, 0, self.data.shape[d] - 1))
-        return self.data[tuple(idx)]
+            rel = np.asarray(coord)
+            origin = self.origin[d]
+            if origin:
+                rel = rel - origin
+            # Raw minimum/maximum ufuncs: np.clip's wrapper costs more
+            # than the clip itself at tile-sized index arrays.
+            rel = np.minimum(np.maximum(rel, 0), data.shape[d] - 1)
+            idx.append(rel)
+        return data[tuple(idx)]
+
+    def read_window(
+        self,
+        starts: Sequence[int],
+        extents: Sequence[int],
+        steps: Sequence[int] = None,
+    ) -> "np.ndarray | None":
+        """Strided view of the region starting at absolute ``starts`` with
+        ``extents`` points per dimension spaced ``steps`` apart, or
+        ``None`` when any point lies outside the stored region (the caller
+        falls back to a clipped :meth:`gather`).
+
+        This is the fast path compiled kernels use for affine accesses
+        (``f(x - 1, y)``, ``f(2*x + 1)``): a slice instead of a
+        same-size integer-array gather.  Values are identical to
+        ``gather`` whenever this returns an array, since clipping only
+        matters out of bounds.
+        """
+        sl = []
+        shape = self.data.shape
+        for d, (lo, n) in enumerate(zip(starts, extents)):
+            step = 1 if steps is None else steps[d]
+            rel = lo - self.origin[d]
+            last = rel + (n - 1) * step
+            if rel < 0 or last >= shape[d]:
+                return None
+            sl.append(slice(rel, last + 1, step))
+        return self.data[tuple(sl)]
 
     def store_region(
         self, bounds: Sequence[Tuple[int, int]], values: np.ndarray
@@ -70,3 +105,52 @@ class Buffer:
             for d, (lo, hi) in enumerate(bounds)
         )
         return self.data[sl]
+
+
+@dataclass
+class BufferPool:
+    """Recycles tile-local scratch arrays across the tiles of one worker.
+
+    Consecutive tiles of a fused group allocate the same ``(shape, dtype)``
+    arrays over and over; the pool hands each request a previously-released
+    array when one is free, so steady-state tile execution performs zero
+    allocations.  Pools are *worker-local* — one per tile chunk — so no
+    locking is needed, and arrays never migrate between threads.
+
+    Arrays come back uncleared: compiled kernels (and ``evaluate_cases`` in
+    ``out=`` mode) overwrite every element, so zeroing would be wasted work.
+    Lent arrays are tracked by ``id`` (``ndarray.__eq__`` is elementwise,
+    which rules out list/dict membership by value).
+    """
+
+    _free: Dict[Tuple[Tuple[int, ...], object], List[np.ndarray]] = field(
+        default_factory=dict
+    )
+    _lent: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialised array of ``shape``/``dtype`` — recycled when
+        possible, freshly allocated otherwise."""
+        dt = np.dtype(dtype)
+        key = (tuple(shape), dt)
+        maybe_fail("alloc", detail=f"pool{key[0]!r}")
+        stack = self._free.get(key)
+        arr = stack.pop() if stack else np.empty(key[0], dtype=dt)
+        self._lent[id(arr)] = arr
+        return arr
+
+    def reclaim(self, arr: np.ndarray) -> None:
+        """Return one lent array to the free list immediately (used when a
+        kernel could not write into the scratch array after all)."""
+        if self._lent.pop(id(arr), None) is not None:
+            self._free.setdefault(
+                (arr.shape, arr.dtype), []
+            ).append(arr)
+
+    def release_all(self) -> None:
+        """Return every lent array to the free lists (end of one tile)."""
+        for arr in self._lent.values():
+            self._free.setdefault(
+                (arr.shape, arr.dtype), []
+            ).append(arr)
+        self._lent.clear()

@@ -8,6 +8,7 @@ expression tree with NumPy, so a whole region is computed per stage pass
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
@@ -32,6 +33,17 @@ __all__ = ["make_index_grids", "evaluate_expr", "evaluate_cases"]
 Env = Mapping[str, Union[int, float, np.ndarray]]
 
 
+@lru_cache(maxsize=4096)
+def _arange_i64(lo: int, hi: int) -> np.ndarray:
+    """Cached, read-only ``arange(lo, hi + 1)``.  Tiles in the same row or
+    column band ask for identical coordinate ranges thousands of times;
+    the array is frozen so a stray in-place write raises instead of
+    corrupting every tile sharing it."""
+    arr = np.arange(lo, hi + 1, dtype=np.int64)
+    arr.flags.writeable = False
+    return arr
+
+
 def make_index_grids(
     bounds: Sequence[Tuple[int, int]]
 ) -> List[np.ndarray]:
@@ -43,7 +55,7 @@ def make_index_grids(
     for d, (lo, hi) in enumerate(bounds):
         shape = [1] * ndim
         shape[d] = hi - lo + 1
-        grids.append(np.arange(lo, hi + 1, dtype=np.int64).reshape(shape))
+        grids.append(_arange_i64(lo, hi).reshape(shape))
     return grids
 
 
@@ -97,10 +109,17 @@ def evaluate_expr(
 
 
 def evaluate_cases(
-    defn: Sequence, env: Env, buffers: Mapping[str, Buffer], shape, dtype
+    defn: Sequence, env: Env, buffers: Mapping[str, Buffer], shape, dtype,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Evaluate a stage body (expressions and ``Case`` branches, first
-    matching branch wins; unmatched points are zero) over a region."""
+    matching branch wins; unmatched points are zero) over a region.
+
+    When ``out`` is given (a ``shape``/``dtype`` array, e.g. from a
+    :class:`~repro.runtime.buffers.BufferPool`), the result is stored into
+    it in place — ``np.copyto(..., casting="unsafe")`` performs the same
+    value conversion ``astype`` would — and ``out`` is returned, saving one
+    result-sized temporary per region."""
     conditions: List[np.ndarray] = []
     values: List[np.ndarray] = []
     default = 0
@@ -119,7 +138,13 @@ def evaluate_cases(
             default = evaluate_expr(entry, env, buffers)
 
     if not conditions:
-        out = np.broadcast_to(np.asarray(default), shape)
-        return np.ascontiguousarray(out).astype(dtype, copy=False)
+        result = np.broadcast_to(np.asarray(default), shape)
+        if out is not None:
+            np.copyto(out, result, casting="unsafe")
+            return out
+        return np.ascontiguousarray(result).astype(dtype, copy=False)
     result = np.select(conditions, values, default=default)
+    if out is not None:
+        np.copyto(out, result, casting="unsafe")
+        return out
     return result.astype(dtype, copy=False)

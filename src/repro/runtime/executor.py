@@ -10,7 +10,10 @@ Two entry points:
   (overlapped) region of every member stage into per-tile scratch buffers,
   live-outs write their base tile to full buffers, and tiles are
   independent — optionally run on a thread pool, which is exactly what the
-  broken inter-tile dependences of overlapped tiling permit.
+  broken inter-tile dependences of overlapped tiling permit.  Per-tile
+  stage bodies run as compiled NumPy kernels
+  (:mod:`repro.runtime.kernelcache`) with pooled scratch arrays by
+  default; ``compile_kernels=False`` restores pure interpretation.
 
 Outputs of the two modes agree except for floating-point association
 noise; the integration test suite checks this for every benchmark pipeline
@@ -20,7 +23,6 @@ and scheduling strategy.
 from __future__ import annotations
 
 import itertools
-import math
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,14 +39,23 @@ from ..errors import (
 from ..fusion.grouping import Grouping
 from ..poly.alignscale import GroupGeometry, compute_group_geometry
 from ..resilience.faults import maybe_fail
-from .buffers import Buffer
+from .buffers import Buffer, BufferPool
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
+from .kernelcache import StageKernel, stage_kernels
 
 __all__ = ["execute_reference", "execute_grouping"]
 
 #: Rows of the outermost reduction dimension processed per chunk, bounding
 #: the temporary index arrays a reduction materialises.
 _REDUCTION_CHUNK = 256
+
+#: Tile chunks handed to the thread pool per worker.  One future per *tile*
+#: costs a submit/dispatch round-trip per tile; one chunk per worker cannot
+#: load-balance the cleanup wave.  A small multiple keeps scheduling
+#: overhead bounded while the chunk-size imbalance (sizes differ by at most
+#: one tile) stays within what :mod:`repro.model.cost` assumes about
+#: cleanup-wave idling.
+_CHUNKS_PER_WORKER = 4
 
 
 def _input_buffers(
@@ -91,17 +102,36 @@ def _compute_function_region(
     stage: Function,
     bounds: Sequence[Tuple[int, int]],
     buffers: Mapping[str, Buffer],
+    kernel: Optional[StageKernel] = None,
+    pool: Optional[BufferPool] = None,
 ) -> Buffer:
-    """Evaluate a (non-reduction) stage over an inclusive region."""
+    """Evaluate a (non-reduction) stage over an inclusive region.
+
+    With a compiled ``kernel`` the region is computed by one call into
+    generated NumPy code instead of a tree walk; a ``pool`` additionally
+    lets kernels that support in-place stores write into a recycled
+    scratch array.  Without a kernel this is the interpreter path,
+    byte-for-byte the pre-compilation behaviour.
+    """
     grids = make_index_grids(bounds)
+    shape = tuple(hi - lo + 1 for lo, hi in bounds)
+    dtype = stage.scalar_type.np_dtype
+    origin = tuple(lo for lo, _ in bounds)
+    if kernel is not None:
+        out = (
+            pool.acquire(shape, dtype)
+            if pool is not None and kernel.uses_out
+            else None
+        )
+        values = kernel.fn(grids, pipeline.env, buffers, out)
+        if out is not None and values is not out:
+            pool.reclaim(out)
+        return Buffer(values, origin)
     env: Dict[str, object] = dict(pipeline.env)
     for var, grid in zip(stage.variables, grids):
         env[var.name] = grid
-    shape = tuple(hi - lo + 1 for lo, hi in bounds)
-    values = evaluate_cases(
-        stage.defn, env, buffers, shape, stage.scalar_type.np_dtype
-    )
-    return Buffer(values, tuple(lo for lo, _ in bounds))
+    values = evaluate_cases(stage.defn, env, buffers, shape, dtype)
+    return Buffer(values, origin)
 
 
 def _compute_reduction(
@@ -114,6 +144,12 @@ def _compute_reduction(
     out = Buffer.for_region(dom, stage.scalar_type.np_dtype)
     out.data.fill(stage.default)
     rdom = stage.resolve_reduction_domain(pipeline.env)
+
+    # Accumulator scaffolding (bounds mask, scratch comparison array,
+    # relative-index arrays) reused across chunks and rules whenever the
+    # broadcast shape repeats — all full-size chunks share one set instead
+    # of reallocating it per chunk.
+    scaffold: Dict[tuple, tuple] = {}
 
     r0_lo, r0_hi = rdom[0]
     for chunk_lo in range(r0_lo, r0_hi + 1, _REDUCTION_CHUNK):
@@ -132,12 +168,24 @@ def _compute_reduction(
             arrays = np.broadcast_arrays(val, *idx)
             val_b = arrays[0]
             idx_b = arrays[1:]
-            mask = np.ones(val_b.shape, dtype=bool)
-            rel: List[np.ndarray] = []
+            key = (val_b.shape, len(idx_b))
+            cached = scaffold.get(key)
+            if cached is None:
+                mask = np.empty(val_b.shape, dtype=bool)
+                tmp = np.empty(val_b.shape, dtype=bool)
+                rel = [
+                    np.empty(val_b.shape, dtype=np.int64) for _ in idx_b
+                ]
+                scaffold[key] = (mask, tmp, rel)
+            else:
+                mask, tmp, rel = cached
+            mask.fill(True)
             for d, coords in enumerate(idx_b):
-                r = coords - out.origin[d]
-                mask &= (r >= 0) & (r < out.data.shape[d])
-                rel.append(r)
+                np.subtract(coords, out.origin[d], out=rel[d])
+                np.greater_equal(rel[d], 0, out=tmp)
+                np.logical_and(mask, tmp, out=mask)
+                np.less(rel[d], out.data.shape[d], out=tmp)
+                np.logical_and(mask, tmp, out=mask)
             target = tuple(r[mask] for r in rel)
             contrib = val_b[mask]
             if rule.op == Op.Sum:
@@ -150,12 +198,15 @@ def _compute_reduction(
 
 
 def _compute_stage_full(
-    pipeline: Pipeline, stage: Function, buffers: Mapping[str, Buffer]
+    pipeline: Pipeline,
+    stage: Function,
+    buffers: Mapping[str, Buffer],
+    kernel: Optional[StageKernel] = None,
 ) -> Buffer:
     if isinstance(stage, Reduction):
         return _compute_reduction(pipeline, stage, buffers)
     return _compute_function_region(
-        pipeline, stage, pipeline.domain(stage), buffers
+        pipeline, stage, pipeline.domain(stage), buffers, kernel=kernel
     )
 
 
@@ -184,6 +235,84 @@ def execute_reference(
 # ---------------------------------------------------------------------------
 
 
+def _chunk_tiles(tiles: List, nthreads: int) -> List[List]:
+    """Partition ``tiles`` into contiguous chunks for the thread pool.
+
+    Chunk count is ``min(len(tiles), _CHUNKS_PER_WORKER * nthreads)`` and
+    chunk sizes differ by at most one tile, so the cleanup-wave imbalance
+    stays within the single-wave bound :mod:`repro.model.cost` assumes.
+    Serial execution gets one chunk (no scheduling at all).
+    """
+    if nthreads <= 1 or len(tiles) <= 1:
+        return [tiles]
+    target = min(len(tiles), _CHUNKS_PER_WORKER * nthreads)
+    base, extra = divmod(len(tiles), target)
+    chunks: List[List] = []
+    start = 0
+    for i in range(target):
+        size = base + (1 if i < extra else 0)
+        chunks.append(tiles[start:start + size])
+        start += size
+    return chunks
+
+
+def _stage_plan(
+    geom: GroupGeometry, stage: Function, pipeline: Pipeline, radii
+) -> List[Tuple[int, int, int, int, int, int, int]]:
+    """Per-dimension region coefficients for ``stage``, flattened out of
+    the geometry's ``Function``-keyed maps so the tile loop touches only
+    plain integers: ``(g, num, den, left, right, dom_lo, dom_hi)``."""
+    dom = pipeline.domain(stage)
+    rad = radii[stage]
+    plan = []
+    for j, g in enumerate(geom.align[stage]):
+        left, right = rad[g]
+        s = geom.scale[stage][j]
+        plan.append(
+            (g, s.numerator, s.denominator, left, right,
+             dom[j][0], dom[j][1])
+        )
+    return plan
+
+
+def _region_from_plan(
+    plan, tile_lo: Sequence[int], tile_sizes: Sequence[int], expand: bool
+) -> Optional[List[Tuple[int, int]]]:
+    """The stage-coordinate region one tile must compute
+    (``expand=True``: including overlap; ``False``: the base tile only).
+    ``None`` when the region is empty."""
+    bounds: List[Tuple[int, int]] = []
+    for g, num, den, left, right, dlo, dhi in plan:
+        if expand:
+            rlo = tile_lo[g] - left
+            rhi = tile_lo[g] + tile_sizes[g] - 1 + right
+        else:
+            rlo = tile_lo[g]
+            rhi = tile_lo[g] + tile_sizes[g] - 1
+        # Stage points p whose scaled position p*s lies in [rlo, rhi + 1):
+        # lo = ceil(rlo / s), hi = ceil((rhi + 1) / s) - 1.  With this
+        # convention the base regions of consecutive tiles partition the
+        # stage domain exactly for any rational scale; expanded regions
+        # additionally floor the lower bound for safety.  Pure integer
+        # arithmetic on the scale's numerator/denominator — Fraction
+        # division per tile per stage dimension is a hot-path cost.
+        a = rlo * den
+        lo = -((-a) // num)
+        if expand:
+            floor_lo = a // num
+            if floor_lo < lo:
+                lo = floor_lo
+        hi = -((-(rhi + 1) * den) // num) - 1
+        if lo < dlo:
+            lo = dlo
+        if hi > dhi:
+            hi = dhi
+        if lo > hi:
+            return None
+        bounds.append((lo, hi))
+    return bounds
+
+
 def _stage_region(
     geom: GroupGeometry,
     stage: Function,
@@ -193,30 +322,11 @@ def _stage_region(
     radii,
     expand: bool,
 ) -> Optional[List[Tuple[int, int]]]:
-    """The stage-coordinate region one tile must compute for ``stage``
-    (``expand=True``: including overlap; ``False``: the base tile only).
-    ``None`` when the region is empty."""
-    dom = pipeline.domain(stage)
-    bounds: List[Tuple[int, int]] = []
-    for j, g in enumerate(geom.align[stage]):
-        left, right = radii[stage][g] if expand else (0, 0)
-        rlo = tile_lo[g] - left
-        rhi = tile_lo[g] + tile_sizes[g] - 1 + right
-        s = geom.scale[stage][j]
-        # Stage points p whose scaled position p*s lies in [rlo, rhi + 1):
-        # lo = ceil(rlo / s), hi = ceil((rhi + 1) / s) - 1.  With this
-        # convention the base regions of consecutive tiles partition the
-        # stage domain exactly for any rational scale; expanded regions
-        # additionally floor the lower bound for safety.
-        lo = int(math.ceil(rlo / s))
-        if expand:
-            lo = min(lo, int(math.floor(rlo / s)))
-        hi = int(math.ceil((rhi + 1) / s)) - 1
-        lo, hi = max(lo, dom[j][0]), min(hi, dom[j][1])
-        if lo > hi:
-            return None
-        bounds.append((lo, hi))
-    return bounds
+    """One-shot form of :func:`_region_from_plan` (building the plan per
+    call) for callers outside the tile loop — the guard's reference
+    re-execution, the cache simulator, tests."""
+    plan = _stage_plan(geom, stage, pipeline, radii)
+    return _region_from_plan(plan, tile_lo, tile_sizes, expand)
 
 
 def _execute_group_tiled(
@@ -227,9 +337,16 @@ def _execute_group_tiled(
     nthreads: int,
     group_index: int = 0,
     tile_retries: int = 0,
+    kernels: Optional[Mapping[str, StageKernel]] = None,
 ) -> None:
     """Execute one fused group with overlapped tiling, updating
     ``buffers`` with its live-out arrays.
+
+    Stages present in ``kernels`` run their compiled kernel per tile (with
+    tile-local scratch arrays recycled through a worker-local
+    :class:`BufferPool`); absent stages are interpreted.  Tiles are batched
+    into contiguous chunks — :func:`_chunk_tiles` — with one future per
+    chunk rather than per tile.
 
     A tile that raises is retried up to ``tile_retries`` times, then the
     failure surfaces as a :class:`TileExecutionError` (code ``TILE_FAIL``)
@@ -241,6 +358,10 @@ def _execute_group_tiled(
     """
     radii = geom.expansion_radii()
     liveouts = set(geom.liveouts)
+    kernels = {} if kernels is None else kernels
+    plans = {
+        s.name: _stage_plan(geom, s, pipeline, radii) for s in geom.stages
+    }
     out_buffers = {
         s.name: Buffer.for_region(pipeline.domain(s), s.scalar_type.np_dtype)
         for s in geom.liveouts
@@ -251,37 +372,49 @@ def _execute_group_tiled(
         for g, (lo, hi) in enumerate(geom.grid_bounds)
     ]
 
-    def run_tile(tile_index: int, tile_lo: Tuple[int, ...], attempt: int) -> None:
+    def run_tile(
+        tile_index: int,
+        tile_lo: Tuple[int, ...],
+        attempt: int,
+        pool: BufferPool,
+    ) -> None:
         maybe_fail(
             "tile", detail=f"g{group_index}t{tile_index}a{attempt}"
         )
         scratch: Dict[str, Buffer] = {}
         lookup = _ChainLookup(scratch, buffers)
-        for stage in geom.stages:
-            bounds = _stage_region(
-                geom, stage, pipeline, tile_lo, tile_sizes, radii, True
-            )
-            if bounds is None:
-                continue
-            result = _compute_function_region(
-                pipeline, stage, bounds, lookup
-            )
-            scratch[stage.name] = result
-            if stage in liveouts:
-                base = _stage_region(
-                    geom, stage, pipeline, tile_lo, tile_sizes, radii, False
+        try:
+            for stage in geom.stages:
+                plan = plans[stage.name]
+                bounds = _region_from_plan(plan, tile_lo, tile_sizes, True)
+                if bounds is None:
+                    continue
+                result = _compute_function_region(
+                    pipeline, stage, bounds, lookup,
+                    kernel=kernels.get(stage.name), pool=pool,
                 )
-                if base is not None:
-                    out_buffers[stage.name].store_region(
-                        base, result.read_region(base)
+                scratch[stage.name] = result
+                if stage in liveouts:
+                    base = _region_from_plan(
+                        plan, tile_lo, tile_sizes, False
                     )
+                    if base is not None:
+                        out_buffers[stage.name].store_region(
+                            base, result.read_region(base)
+                        )
+        finally:
+            # Live-out regions were copied into out_buffers above, so the
+            # tile's scratch arrays can all go back for the next tile.
+            pool.release_all()
 
-    def run_tile_captured(item: Tuple[int, Tuple[int, ...]]) -> None:
+    def run_tile_captured(
+        item: Tuple[int, Tuple[int, ...]], pool: BufferPool
+    ) -> None:
         tile_index, tile_lo = item
         attempts = tile_retries + 1
         for attempt in range(attempts):
             try:
-                run_tile(tile_index, tile_lo, attempt)
+                run_tile(tile_index, tile_lo, attempt, pool)
                 return
             except Exception as exc:  # noqa: BLE001 - rewrapped below
                 last = exc
@@ -295,15 +428,23 @@ def _execute_group_tiled(
             attempts=attempts,
         )
 
+    def run_chunk(chunk: List[Tuple[int, Tuple[int, ...]]]) -> None:
+        # One scratch pool per chunk: worker-local, so lock-free, and warm
+        # for every tile after the first.
+        pool = BufferPool()
+        for item in chunk:
+            run_tile_captured(item, pool)
+
     tiles = list(enumerate(itertools.product(*dim_ranges)))
-    if nthreads > 1 and len(tiles) > 1:
-        with ThreadPoolExecutor(max_workers=nthreads) as pool:
-            futures = [pool.submit(run_tile_captured, item) for item in tiles]
+    chunks = _chunk_tiles(tiles, nthreads)
+    if nthreads > 1 and len(chunks) > 1:
+        with ThreadPoolExecutor(max_workers=nthreads) as tpool:
+            futures = [tpool.submit(run_chunk, chunk) for chunk in chunks]
             for future in futures:
                 future.result()
     else:
-        for item in tiles:
-            run_tile_captured(item)
+        for chunk in chunks:
+            run_chunk(chunk)
 
     buffers.update(out_buffers)
 
@@ -336,6 +477,7 @@ def _execute_one_group(
     nthreads: int,
     group_index: int = 0,
     tile_retries: int = 0,
+    kernels: Optional[Mapping[str, StageKernel]] = None,
 ) -> str:
     """Execute a single group of a grouping, returning the mode used:
     ``"tiled"`` or ``"untiled"`` (groups without an overlap-tiling
@@ -347,7 +489,9 @@ def _execute_one_group(
         for stage in pipeline.stages:
             if stage in members:
                 buffers[stage.name] = _compute_stage_full(
-                    pipeline, stage, buffers
+                    pipeline, stage, buffers,
+                    kernel=None if kernels is None
+                    else kernels.get(stage.name),
                 )
         return "untiled"
     if len(tiles) != geom.ndim:
@@ -358,6 +502,7 @@ def _execute_one_group(
     _execute_group_tiled(
         pipeline, geom, tiles, buffers, nthreads,
         group_index=group_index, tile_retries=tile_retries,
+        kernels=kernels,
     )
     return "tiled"
 
@@ -368,6 +513,7 @@ def execute_grouping(
     inputs: Mapping[str, np.ndarray],
     nthreads: int = 1,
     tile_retries: int = 0,
+    compile_kernels: Optional[bool] = None,
 ) -> Dict[str, np.ndarray]:
     """Execute a grouping with overlapped tiling.
 
@@ -375,6 +521,14 @@ def execute_grouping(
     geometry (singleton reductions, or Halide-style groups that fuse a
     reduction) are executed stage-by-stage untiled — PolyMage likewise
     leaves reductions unoptimised (Sec. 6.2).
+
+    By default every non-reduction stage is lowered once to a compiled
+    NumPy kernel (:mod:`repro.runtime.kernelcache`) and each tile runs the
+    kernel instead of re-walking the expression tree; a stage that fails
+    to compile is interpreted after a ``KERNEL_COMPILE_FAIL`` warning.
+    ``compile_kernels=False`` (the CLI's ``--no-compile``, or the
+    ``REPRO_NO_COMPILE`` env knob) forces the pure-interpreter path for
+    A/B timing.
 
     Failures are structured (:mod:`repro.errors`): missing or malformed
     inputs raise ``INPUT_*`` errors up front, and a tile that raises
@@ -388,13 +542,14 @@ def execute_grouping(
     if nthreads < 1:
         raise ValueError("nthreads must be positive")
     buffers = _input_buffers(pipeline, inputs)
+    kernels = stage_kernels(pipeline, enabled=compile_kernels)
 
     for gi, (members, tiles) in enumerate(
         zip(grouping.groups, grouping.tile_sizes)
     ):
         _execute_one_group(
             pipeline, members, tiles, buffers, nthreads,
-            group_index=gi, tile_retries=tile_retries,
+            group_index=gi, tile_retries=tile_retries, kernels=kernels,
         )
 
     return {o.name: buffers[o.name].data for o in pipeline.outputs}

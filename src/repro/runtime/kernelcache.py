@@ -1,0 +1,701 @@
+"""Compiled stage kernels: lower a stage body to flat NumPy source once.
+
+The interpreter (:mod:`repro.runtime.evalexpr`) re-walks each stage's
+expression tree for every region it evaluates — for tiled execution that
+means a full recursive tree walk, environment-dict construction, and
+``isinstance`` dispatch per *tile*, which dominates wall clock long before
+the locality/parallelism trade-off the paper's cost model reasons about.
+Halide-lineage systems compile each stage once and run the compiled
+kernel per tile; this module is the NumPy equivalent of that split.
+
+:func:`compile_stage_kernel` lowers a (non-reduction) stage definition —
+including ``Case`` branches, ``Select``, math intrinsics, ``Cast`` and
+up/downsample ``Access`` index arithmetic — into generated Python source
+that performs exactly the NumPy operations the interpreter would, in the
+same order, then ``compile()``/``exec``'s it into a callable
+
+    ``kernel(grids, env, buffers, out=None) -> ndarray``
+
+so every tile invocation is a single function call.  Two compile-time
+optimisations are applied, both bit-exact with respect to interpretation:
+
+* **Constant pooling** — any subtree free of loop variables and accesses
+  (parameters are bound at pipeline build time) is evaluated *once at
+  compile time with the interpreter itself* and stored in the kernel's
+  constant pool, preserving exact Python/NumPy scalar types.
+* **Common subexpression elimination** — structurally identical subtrees
+  (repeated index expressions across stencil taps, shared products)
+  evaluate once per tile instead of once per occurrence.
+
+When the body is a single unconditional expression rooted at a ufunc-shaped
+node, the kernel additionally supports ``out=``-style in-place evaluation
+(the final operation writes straight into a caller-provided scratch array
+with ``casting="unsafe"``, which is the same cast ``astype`` performs) —
+this is what lets the executor's scratch-buffer pool recycle tile-local
+arrays.
+
+Kernels are memoized per ``(pipeline, stage)`` in a weak-keyed cache.  A
+stage that cannot be compiled is *not* an error: :func:`get_kernel` emits
+a single :class:`KernelCompileWarning` (``KERNEL_COMPILE_FAIL``) and the
+executor falls back to the interpreter for that stage.  The global escape
+hatch is the ``REPRO_NO_COMPILE`` environment variable (or the CLI's
+``--no-compile``), which restores the pure-interpreter path for A/B
+timing experiments.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dsl.entities import Case, Condition, Parameter, Variable
+from ..dsl.expr import (
+    Access,
+    BinOp,
+    Cast,
+    Const,
+    Expr,
+    MathCall,
+    Select,
+    UnaryOp,
+    walk,
+)
+from ..dsl.function import Function, Reduction
+from ..dsl.pipeline import Pipeline
+from ..errors import KernelCompileError
+from .evalexpr import evaluate_expr
+
+__all__ = [
+    "KernelCompileWarning",
+    "StageKernel",
+    "compile_stage_kernel",
+    "get_kernel",
+    "stage_kernels",
+    "clear_kernel_cache",
+    "compilation_enabled",
+]
+
+
+class KernelCompileWarning(UserWarning):
+    """A stage fell back to the interpreter (``KERNEL_COMPILE_FAIL``)."""
+
+
+def compilation_enabled(override: Optional[bool] = None) -> bool:
+    """Whether stage-kernel compilation is enabled.
+
+    ``override`` (from an API argument or the CLI's ``--no-compile``)
+    wins; otherwise the ``REPRO_NO_COMPILE`` environment variable turns
+    compilation off when set to ``1``/``true``/``yes``/``on``.
+    """
+    if override is not None:
+        return bool(override)
+    knob = os.environ.get("REPRO_NO_COMPILE", "").strip().lower()
+    return knob not in ("1", "true", "yes", "on")
+
+
+@dataclass
+class StageKernel:
+    """A compiled stage body.
+
+    ``fn(grids, env, buffers, out=None)`` evaluates the stage over the
+    region described by the open index ``grids`` (one per stage variable,
+    as built by :func:`repro.runtime.evalexpr.make_index_grids`), reading
+    producers from ``buffers`` (any mapping of name -> ``Buffer``).
+    ``uses_out`` says whether the kernel can write its result into a
+    caller-provided scratch array; when it cannot (multi-``Case`` bodies,
+    copy/cast-rooted bodies) ``out`` is ignored and a fresh array is
+    returned.
+    """
+
+    stage_name: str
+    source: str
+    fn: Callable
+    uses_out: bool
+
+    def __call__(self, grids, env, buffers, out=None):
+        return self.fn(grids, env, buffers, out)
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+#: math intrinsic -> NumPy callable, mirroring ``expr._MATH_EVAL`` exactly.
+_NP_MATH = {
+    "min": "np.minimum",
+    "max": "np.maximum",
+    "sqrt": "np.sqrt",
+    "exp": "np.exp",
+    "log": "np.log",
+    "abs": "np.abs",
+    "pow": "np.power",
+    "floor": "np.floor",
+}
+
+#: binary operator -> the ufunc the Python operator dispatches to, used
+#: only for the fused final store (``out=`` path).
+_NP_BINOP = {
+    "+": "np.add",
+    "-": "np.subtract",
+    "*": "np.multiply",
+    "/": "np.true_divide",
+    "//": "np.floor_divide",
+    "%": "np.remainder",
+}
+
+
+def _expr_key(e: Expr) -> tuple:
+    """A hashable structural key for CSE (value-identical subtrees only)."""
+    if isinstance(e, Const):
+        return ("const", type(e.value).__name__, e.value)
+    if isinstance(e, Parameter):
+        return ("param", e.name)
+    if isinstance(e, Variable):
+        return ("var", e.name)
+    if isinstance(e, BinOp):
+        return ("bin", e.op, _expr_key(e.lhs), _expr_key(e.rhs))
+    if isinstance(e, UnaryOp):
+        return ("neg", _expr_key(e.operand))
+    if isinstance(e, MathCall):
+        return ("math", e.fn) + tuple(_expr_key(a) for a in e.args)
+    if isinstance(e, Select):
+        return (
+            "select",
+            _cond_key(e.condition),
+            _expr_key(e.true_expr),
+            _expr_key(e.false_expr),
+        )
+    if isinstance(e, Cast):
+        return ("cast", e.scalar_type.name, _expr_key(e.operand))
+    if isinstance(e, Access):
+        return ("access", e.producer.name) + tuple(
+            _expr_key(i) for i in e.indices
+        )
+    raise KernelCompileError(
+        f"cannot lower expression node {type(e).__name__}"
+    )
+
+
+def _cond_key(c: Condition) -> tuple:
+    if c.kind == "cmp":
+        return ("cmp", c.op, _expr_key(c.lhs), _expr_key(c.rhs))
+    return (c.kind,) + tuple(_cond_key(s) for s in c.sub)
+
+
+def _is_static(e: Expr) -> bool:
+    """True when the subtree depends on neither loop variables nor buffer
+    accesses — evaluable once at compile time (parameters are bound)."""
+    return not any(isinstance(n, (Variable, Access)) for n in walk(e))
+
+
+class _Lowerer:
+    """Emits the body of one stage kernel as Python source lines."""
+
+    def __init__(self, pipeline: Pipeline, stage: Function):
+        self.pipeline = pipeline
+        self.stage = stage
+        self.lines: List[str] = []
+        self.memo: Dict[tuple, str] = {}
+        self.consts: Dict[str, object] = {}
+        self.count = 0
+        self.var_names = {
+            v.name: f"_g{d}" for d, v in enumerate(stage.variables)
+        }
+
+    def fresh(self, prefix: str = "_t") -> str:
+        self.count += 1
+        return f"{prefix}{self.count}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def const(self, value: object) -> str:
+        name = f"_c{len(self.consts)}"
+        self.consts[name] = value
+        return name
+
+    # -- expressions ----------------------------------------------------
+    def lower(self, e: Expr) -> str:
+        key = _expr_key(e)
+        got = self.memo.get(key)
+        if got is not None:
+            return got
+        name = self._lower_uncached(e)
+        self.memo[key] = name
+        return name
+
+    def _lower_uncached(self, e: Expr) -> str:
+        if _is_static(e):
+            # Evaluate once, with the interpreter itself, so the pooled
+            # constant has exactly the value *and type* (Python scalar vs
+            # NumPy scalar vs 0-d array) interpretation would produce.
+            try:
+                value = evaluate_expr(e, self.pipeline.env, {})
+            except Exception as exc:
+                raise KernelCompileError(
+                    f"constant subtree of stage {self.stage.name!r} failed "
+                    f"to evaluate: {exc}"
+                ) from exc
+            if type(value) is int or type(value) is float:
+                lit = repr(value)
+                return f"({lit})" if value < 0 else lit
+            return self.const(value)
+        if isinstance(e, Variable):
+            try:
+                return self.var_names[e.name]
+            except KeyError:
+                raise KernelCompileError(
+                    f"unbound variable {e.name!r} in stage "
+                    f"{self.stage.name!r}"
+                ) from None
+        if isinstance(e, BinOp):
+            a, b = self.lower(e.lhs), self.lower(e.rhs)
+            t = self.fresh()
+            self.emit(f"{t} = ({a}) {e.op} ({b})")
+            return t
+        if isinstance(e, UnaryOp):
+            a = self.lower(e.operand)
+            t = self.fresh()
+            self.emit(f"{t} = -({a})")
+            return t
+        if isinstance(e, MathCall):
+            args = ", ".join(self.lower(a) for a in e.args)
+            t = self.fresh()
+            self.emit(f"{t} = {_NP_MATH[e.fn]}({args})")
+            return t
+        if isinstance(e, Select):
+            c = self.lower_cond(e.condition)
+            tv = self.lower(e.true_expr)
+            fv = self.lower(e.false_expr)
+            t = self.fresh()
+            self.emit(f"{t} = np.where({c}, {tv}, {fv})")
+            return t
+        if isinstance(e, Cast):
+            v = self.lower(e.operand)
+            dt = self.memo.get(("dtype", e.scalar_type.name))
+            if dt is None:
+                dt = self.const(e.scalar_type.np_dtype)
+                self.memo[("dtype", e.scalar_type.name)] = dt
+            t = self.fresh()
+            # Same scalar/array dispatch as evaluate_expr's Cast branch.
+            self.emit(
+                f"{t} = ({v}).astype({dt}) "
+                f"if isinstance({v}, np.ndarray) else {dt}.type({v})"
+            )
+            return t
+        if isinstance(e, Access):
+            bkey = ("buffer", e.producer.name)
+            buf = self.memo.get(bkey)
+            if buf is None:
+                buf = self.fresh("_buf")
+                self.emit(f"{buf} = buffers[{e.producer.name!r}]")
+                self.memo[bkey] = buf
+            win = self._lower_window_access(e, buf)
+            if win is not None:
+                return win
+            idx_names = []
+            for i in e.indices:
+                ikey = ("idx64", _expr_key(i))
+                it = self.memo.get(ikey)
+                if it is None:
+                    iv = self.lower(i)
+                    it = self.fresh("_i")
+                    self.emit(f"{it} = np.asarray({iv}, dtype=np.int64)")
+                    self.memo[ikey] = it
+                idx_names.append(it)
+            t = self.fresh()
+            self.emit(f"{t} = {buf}.gather(({', '.join(idx_names)},))")
+            return t
+        raise KernelCompileError(
+            f"cannot lower expression node {type(e).__name__}"
+        )
+
+    # -- affine (windowable) accesses -----------------------------------
+    def _affine_index(self, e: Expr):
+        """``(var_name, a, c, k)`` for an index of the form
+        ``(a*var + c) // k`` with integers ``a >= 1`` and ``k >= 1``
+        (``k > 1`` only with ``a == 1``), else ``None``.
+
+        Offsets distribute through the floor division exactly
+        (``x//2 + 1 == (x + 2)//2``), nested divisions multiply
+        (``(x//2)//3 == x//6``), and a division whose divisor divides
+        ``a`` folds back to pure affine — so the common stencil,
+        downsample, and upsample index shapes all normalise here.
+        """
+        if isinstance(e, Variable):
+            return (e.name, 1, 0, 1)
+        if isinstance(e, BinOp):
+            if e.op in ("+", "-"):
+                if isinstance(e.rhs, Const) and type(e.rhs.value) is int:
+                    base = self._affine_index(e.lhs)
+                    if base is not None:
+                        name, a, c, k = base
+                        delta = (
+                            e.rhs.value if e.op == "+" else -e.rhs.value
+                        )
+                        return (name, a, c + k * delta, k)
+                if (
+                    e.op == "+"
+                    and isinstance(e.lhs, Const)
+                    and type(e.lhs.value) is int
+                ):
+                    base = self._affine_index(e.rhs)
+                    if base is not None:
+                        name, a, c, k = base
+                        return (name, a, c + k * e.lhs.value, k)
+            elif e.op == "*":
+                for const, other in ((e.lhs, e.rhs), (e.rhs, e.lhs)):
+                    if (
+                        isinstance(const, Const)
+                        and type(const.value) is int
+                        and const.value >= 1
+                    ):
+                        base = self._affine_index(other)
+                        if base is not None and base[3] == 1:
+                            name, a, c, _ = base
+                            return (
+                                name, a * const.value, c * const.value, 1
+                            )
+            elif e.op == "//":
+                if (
+                    isinstance(e.rhs, Const)
+                    and type(e.rhs.value) is int
+                    and e.rhs.value >= 1
+                ):
+                    base = self._affine_index(e.lhs)
+                    if base is not None:
+                        name, a, c, k = base
+                        k *= e.rhs.value
+                        if a % k == 0:
+                            return (name, a // k, c // k, 1)
+                        if a == 1:
+                            return (name, 1, c, k)
+        return None
+
+    def _lower_window_access(self, e: Access, buf: str) -> Optional[str]:
+        """Emit a strided-view read for a structured access — the
+        stencil/downsample/upsample fast path.
+
+        Every index must be either a literal int (channel/plane selects)
+        or ``(a*var + c) // k`` over stage variables in increasing
+        dimension order.  The emitted code reads a view via
+        :meth:`Buffer.read_window`; upsample dims (``k > 1``) expand the
+        view with ``np.repeat`` plus an offset slice, which reproduces
+        ``(x + c) // k`` indexing exactly.  Boundary tiles whose window
+        leaves the stored region fall back to the clipped gather
+        (identical values in bounds, clamped out of bounds — same as the
+        interpreter).  Returns ``None`` for unstructured accesses, which
+        take the generic gather path.
+        """
+        var_pos = {v.name: d for d, v in enumerate(self.stage.variables)}
+        plan = []  # ("const", v) | ("var", d, a, c, k) per producer dim
+        last_d = -1
+        for i in e.indices:
+            if isinstance(i, Const) and type(i.value) is int:
+                plan.append(("const", i.value))
+                continue
+            aff = self._affine_index(i)
+            if aff is None:
+                return None
+            name, a, c, k = aff
+            d = var_pos.get(name)
+            if d is None or d <= last_d:
+                return None
+            last_d = d
+            plan.append(("var", d, a, c, k))
+        if last_d < 0:
+            return None
+
+        def term(sym: str, a: int, c: int) -> str:
+            s = sym if a == 1 else f"{sym} * {a}"
+            return f"{s} + ({c})" if c else s
+
+        starts, extents, steps, gidx = [], [], [], []
+        repeats = []  # (window_axis, k, d, c, base_name)
+        for j, ent in enumerate(plan):
+            if ent[0] == "const":
+                starts.append(str(ent[1]))
+                extents.append("1")
+                steps.append("1")
+                gidx.append(str(ent[1]))
+                continue
+            _, d, a, c, k = ent
+            skey = ("start", d)
+            if skey not in self.memo:
+                self.emit(f"_s{d} = _g{d}.item(0)")
+                self.memo[skey] = f"_s{d}"
+            if k == 1:
+                starts.append(term(f"_s{d}", a, c))
+                extents.append(f"_shape[{d}]")
+                steps.append(str(a))
+                gidx.append(term(f"_g{d}", a, c))
+            else:
+                bkey = ("fdbase", d, c, k)
+                b = self.memo.get(bkey)
+                if b is None:
+                    b = self.fresh("_fb")
+                    self.emit(f"{b} = ({term(f'_s{d}', 1, c)}) // {k}")
+                    self.memo[bkey] = b
+                starts.append(b)
+                extents.append(
+                    f"({term(f'_s{d}', 1, c)} + _shape[{d}] - 1) // {k} "
+                    f"- {b} + 1"
+                )
+                steps.append("1")
+                gidx.append(f"({term(f'_g{d}', 1, c)}) // {k}")
+                repeats.append((j, k, d, c, b))
+
+        t = self.fresh("_w")
+        self.emit(
+            f"{t} = {buf}.read_window(({', '.join(starts)},), "
+            f"({', '.join(extents)},), ({', '.join(steps)},))"
+        )
+        self.emit(f"if {t} is None:")
+        self.emit(f"    {t} = {buf}.gather(({', '.join(gidx)},))")
+
+        ndim = self.stage.ndim
+        positions = [ent[1] for ent in plan if ent[0] == "var"]
+        pure_suffix = (
+            len(positions) == len(plan)
+            and positions == list(range(ndim - len(plan), ndim))
+        )
+        if repeats or not pure_suffix:
+            self.emit("else:")
+            for j, k, d, c, b in reversed(repeats):
+                off = self.fresh("_o")
+                self.emit(f"    {off} = {term(f'_s{d}', 1, c)} - {b} * {k}")
+                pre = ":, " * j
+                self.emit(
+                    f"    {t} = np.repeat({t}, {k}, axis={j})"
+                    f"[{pre}{off}:{off} + _shape[{d}]]"
+                )
+            if not pure_suffix:
+                # Re-align window axes (one per producer dim) with the
+                # stage's broadcast layout: length-1 axes at unused stage
+                # dims.  Only 1-axes move, so this never copies.
+                pos_set = set(positions)
+                target = ", ".join(
+                    f"_shape[{d}]" if d in pos_set else "1"
+                    for d in range(ndim)
+                )
+                self.emit(f"    {t} = {t}.reshape(({target},))")
+        return t
+
+    # -- conditions -----------------------------------------------------
+    def lower_cond(self, c: Condition) -> str:
+        key = _cond_key(c)
+        got = self.memo.get(key)
+        if got is not None:
+            return got
+        if c.kind == "cmp":
+            a, b = self.lower(c.lhs), self.lower(c.rhs)
+            t = self.fresh("_b")
+            self.emit(f"{t} = ({a}) {c.op} ({b})")
+        else:
+            op = "&" if c.kind == "and" else "|"
+            t = self.lower_cond(c.sub[0])
+            for s in c.sub[1:]:
+                nxt = self.lower_cond(s)
+                acc = self.fresh("_b")
+                self.emit(f"{acc} = ({t}) {op} ({nxt})")
+                t = acc
+        self.memo[key] = t
+        return t
+
+    # -- whole-body assembly --------------------------------------------
+    def _fused_store(self, root: Expr) -> Optional[Tuple[str, List[str]]]:
+        """If the body root is a ufunc-shaped node, return the ufunc name
+        and its lowered operand names for the ``out=`` fast path."""
+        if _is_static(root):
+            return None
+        if isinstance(root, BinOp):
+            return _NP_BINOP[root.op], [
+                self.lower(root.lhs), self.lower(root.rhs)
+            ]
+        if isinstance(root, UnaryOp):
+            return "np.negative", [self.lower(root.operand)]
+        if isinstance(root, MathCall):
+            return _NP_MATH[root.fn], [self.lower(a) for a in root.args]
+        return None
+
+    def build(self) -> Tuple[str, bool]:
+        """Generate the kernel source; returns ``(source, uses_out)``."""
+        stage = self.stage
+        ndim = stage.ndim
+        for d in range(ndim):
+            self.emit(f"_g{d} = grids[{d}]")
+        shape = ", ".join(f"_g{d}.shape[{d}]" for d in range(ndim))
+        if ndim == 1:
+            shape += ","
+        self.emit(f"_shape = ({shape})")
+        out_dt = self.const(stage.scalar_type.np_dtype)
+        self.memo[("dtype", stage.scalar_type.name)] = out_dt
+
+        conds: List[str] = []
+        vals: List[str] = []
+        default = "0"
+        default_expr: Optional[Expr] = None
+        entries = list(stage.defn)
+        uses_out = False
+        for pos, entry in enumerate(entries):
+            if isinstance(entry, Case):
+                conds.append(self.lower_cond(entry.condition))
+                vals.append(self.lower(entry.expression))
+                continue
+            default_expr = entry
+            # The last unconditional entry of a Case-free body may fuse
+            # its root operation with the store into ``out``; lower only
+            # its operands here and finish in the epilogue.
+            is_fusable_root = (
+                not any(isinstance(x, Case) for x in entries)
+                and pos == len(entries) - 1
+            )
+            if is_fusable_root:
+                fused = self._fused_store(entry)
+                if fused is not None:
+                    fn, args = fused
+                    operands = ", ".join(f"({a})" for a in args)
+                    # The ufunc refuses an ``out`` larger than the operand
+                    # broadcast (a body like ``x + 1`` in a 2-d stage), so
+                    # fall through to the broadcast path in that case.
+                    self.emit(
+                        f"if out is not None and "
+                        f"np.broadcast({operands}).shape == out.shape:"
+                    )
+                    self.emit(
+                        f"    {fn}({operands}, out=out, casting='unsafe')"
+                    )
+                    self.emit("    return out")
+                    default = self.lower(entry)
+                    uses_out = True
+                    continue
+            default = self.lower(entry)
+
+        if conds:
+            clist = ", ".join(
+                f"np.broadcast_to({c}, _shape)" for c in conds
+            )
+            vlist = ", ".join(
+                f"np.broadcast_to(np.asarray({v}), _shape)" for v in vals
+            )
+            self.emit(f"_res = np.select([{clist}], [{vlist}], "
+                      f"default={default})")
+            self.emit(f"return _res.astype({out_dt}, copy=False)")
+        else:
+            self.emit(f"_res = np.broadcast_to(np.asarray({default}), "
+                      f"_shape)")
+            self.emit(f"return np.ascontiguousarray(_res)"
+                      f".astype({out_dt}, copy=False)")
+
+        header = "def _stage_kernel(grids, env, buffers, out=None):"
+        source = "\n".join([header] + self.lines) + "\n"
+        return source, uses_out
+
+
+def compile_stage_kernel(pipeline: Pipeline, stage: Function) -> StageKernel:
+    """Lower ``stage`` to generated NumPy source and compile it.
+
+    Raises :class:`repro.errors.KernelCompileError` for stages the
+    compiler does not handle (reductions, unknown AST nodes, constant
+    subtrees that fail to evaluate).
+    """
+    if isinstance(stage, Reduction) or stage.is_reduction:
+        raise KernelCompileError(
+            f"reduction stage {stage.name!r} is executed by the interpreter"
+        )
+    lowerer = _Lowerer(pipeline, stage)
+    try:
+        source, uses_out = lowerer.build()
+    except KernelCompileError:
+        raise
+    except Exception as exc:
+        raise KernelCompileError(
+            f"lowering stage {stage.name!r} failed: {exc}"
+        ) from exc
+    namespace: Dict[str, object] = {"np": np, "isinstance": isinstance}
+    namespace.update(lowerer.consts)
+    try:
+        code = compile(source, f"<kernel:{stage.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - generated from a closed AST
+    except Exception as exc:
+        raise KernelCompileError(
+            f"generated source for stage {stage.name!r} failed to "
+            f"compile: {exc}"
+        ) from exc
+    return StageKernel(
+        stage_name=stage.name,
+        source=source,
+        fn=namespace["_stage_kernel"],
+        uses_out=uses_out,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memoization
+# ---------------------------------------------------------------------------
+
+_MISS = object()
+_CACHE: "weakref.WeakKeyDictionary[Pipeline, Dict[str, Optional[StageKernel]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_kernel(pipeline: Pipeline, stage: Function) -> Optional[StageKernel]:
+    """The memoized kernel for ``(pipeline, stage)``.
+
+    Returns ``None`` (after one ``KernelCompileWarning``) for stages that
+    fail to compile; the executor interprets those.  Reductions return
+    ``None`` silently — they are interpreted by design.
+    """
+    per = _CACHE.get(pipeline)
+    if per is None:
+        per = _CACHE.setdefault(pipeline, {})
+    entry = per.get(stage.name, _MISS)
+    if entry is not _MISS:
+        return entry  # type: ignore[return-value]
+    if stage.is_reduction:
+        per[stage.name] = None
+        return None
+    try:
+        kernel: Optional[StageKernel] = compile_stage_kernel(pipeline, stage)
+    except Exception as exc:  # noqa: BLE001 - downgraded to a warning
+        warnings.warn(
+            f"[KERNEL_COMPILE_FAIL] stage {stage.name!r} of pipeline "
+            f"{pipeline.name!r} falls back to the interpreter: {exc}",
+            KernelCompileWarning,
+            stacklevel=2,
+        )
+        kernel = None
+    per[stage.name] = kernel
+    return kernel
+
+
+def stage_kernels(
+    pipeline: Pipeline,
+    stages: Optional[Sequence[Function]] = None,
+    enabled: Optional[bool] = None,
+) -> Mapping[str, StageKernel]:
+    """Kernels for every compilable stage, keyed by stage name.
+
+    Returns an empty mapping when compilation is disabled (``enabled``
+    override, else the ``REPRO_NO_COMPILE`` knob) so callers can treat the
+    result uniformly: a stage absent from the mapping is interpreted.
+    """
+    if not compilation_enabled(enabled):
+        return {}
+    out: Dict[str, StageKernel] = {}
+    for stage in (pipeline.stages if stages is None else stages):
+        kernel = get_kernel(pipeline, stage)
+        if kernel is not None:
+            out[stage.name] = kernel
+    return out
+
+
+def clear_kernel_cache() -> None:
+    """Drop every memoized kernel (tests and benchmarks)."""
+    _CACHE.clear()

@@ -1,0 +1,391 @@
+"""Compiled stage kernels: equivalence with the interpreter and the
+supporting machinery (cache, knobs, fallback, scratch pool, chunking).
+
+The contract under test is strict: with compilation enabled, every
+executor output must be *bit-identical* (``assert_array_equal`` plus
+dtype) to the interpreted run of the same grouping — compiled kernels are
+an implementation detail, never a numerics change.  Against the untiled
+reference executor the usual float tolerance applies (tiling reorders
+float reductions).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    Float,
+    Function,
+    Image,
+    Int,
+    Interval,
+    Pipeline,
+    Variable,
+)
+from repro.fusion import manual_grouping, schedule_pipeline
+from repro.model import XEON_HASWELL
+from repro.pipelines import BENCHMARKS
+from repro.pipelines.synth import random_pipeline
+from repro.resilience import GuardPolicy, execute_guarded, inject_faults
+from repro.runtime import (
+    Buffer,
+    BufferPool,
+    KernelCompileWarning,
+    clear_kernel_cache,
+    compilation_enabled,
+    execute_grouping,
+    execute_reference,
+    stage_kernels,
+)
+from repro.runtime import kernelcache
+from repro.runtime.executor import _CHUNKS_PER_WORKER, _chunk_tiles
+from repro.runtime.kernelcache import get_kernel
+
+from conftest import build_blur, build_updown, build_histogram, random_inputs
+
+
+def _both_modes(pipeline, grouping, inputs, nthreads=1):
+    clear_kernel_cache()
+    compiled = execute_grouping(
+        pipeline, grouping, inputs, nthreads=nthreads, compile_kernels=True
+    )
+    interpreted = execute_grouping(
+        pipeline, grouping, inputs, nthreads=nthreads, compile_kernels=False
+    )
+    return compiled, interpreted
+
+
+def _assert_bit_identical(compiled, interpreted):
+    assert set(compiled) == set(interpreted)
+    for name in compiled:
+        assert compiled[name].dtype == interpreted[name].dtype
+        np.testing.assert_array_equal(compiled[name], interpreted[name])
+
+
+class TestKernelEquivalence:
+    """Compiled output == interpreted output, exactly."""
+
+    @pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+    def test_registry_pipelines_bit_identical(self, abbrev, rng):
+        bench = BENCHMARKS[abbrev]
+        pipe = bench.build(**bench.small_kwargs)
+        grouping = bench.h_manual(pipe)
+        inputs = random_inputs(pipe, rng)
+        compiled, interpreted = _both_modes(pipe, grouping, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+    @pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+    def test_registry_pipelines_match_reference(self, abbrev, rng):
+        bench = BENCHMARKS[abbrev]
+        pipe = bench.build(**bench.small_kwargs)
+        grouping = bench.h_manual(pipe)
+        inputs = random_inputs(pipe, rng)
+        clear_kernel_cache()
+        compiled = execute_grouping(
+            pipe, grouping, inputs, compile_kernels=True
+        )
+        ref = execute_reference(pipe, inputs)
+        for name in compiled:
+            np.testing.assert_allclose(
+                compiled[name].astype(np.float64),
+                ref[name].astype(np.float64),
+                atol=1e-5, rtol=1e-5,
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_synth_pipelines_bit_identical(self, seed, rng):
+        pipe = random_pipeline(num_stages=10, seed=seed, size=192)
+        grouping = schedule_pipeline(
+            pipe, XEON_HASWELL, strategy="dp", max_states=300_000
+        )
+        inputs = random_inputs(pipe, rng)
+        compiled, interpreted = _both_modes(pipe, grouping, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+    def test_blur_multithreaded_bit_identical(self, blur_pipeline, rng):
+        g = manual_grouping(
+            blur_pipeline, [["blurx", "blury"]], [[2, 16, 16]]
+        )
+        inputs = random_inputs(blur_pipeline, rng)
+        compiled, interpreted = _both_modes(
+            blur_pipeline, g, inputs, nthreads=4
+        )
+        _assert_bit_identical(compiled, interpreted)
+
+    def test_updown_scaling_bit_identical(self, updown_pipeline, rng):
+        # 2*x / 2*x+1 (strided windows) and x//2 / (x+1)//2 (repeat
+        # windows) in one group, with tiles that don't divide the domain.
+        g = manual_grouping(
+            updown_pipeline, [["fine", "down", "up"]], [[23]]
+        )
+        inputs = random_inputs(updown_pipeline, rng)
+        compiled, interpreted = _both_modes(updown_pipeline, g, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+    def test_reduction_pipeline_bit_identical(self, histogram_pipeline, rng):
+        # Reductions never compile; the surrounding map stages still do.
+        g = manual_grouping(
+            histogram_pipeline, [["hist"], ["norm"]], [[], [4]]
+        )
+        inputs = random_inputs(histogram_pipeline, rng)
+        compiled, interpreted = _both_modes(histogram_pipeline, g, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+    def test_prefix_dimension_access(self, rng):
+        # A 3-d stage reading a 1-d producer through its *middle*
+        # dimension exercises the window-reshape (non-suffix) path.
+        n = 40
+        x = Variable(Int, "x")
+        y = Variable(Int, "y")
+        c = Variable(Int, "c")
+        base = Image(Float, "base", [n])
+        row = Function(([x], [Interval(Int, 0, n - 1)]), Float, "row")
+        row.defn = [base(x) * 2.0]
+        spread = Function(
+            ([c, x, y],
+             [Interval(Int, 0, 2), Interval(Int, 0, n - 1),
+              Interval(Int, 0, n - 1)]),
+            Float, "spread",
+        )
+        spread.defn = [row(x) + 0.5]
+        pipe = Pipeline([spread], {}, name="prefixaccess")
+        g = manual_grouping(
+            pipe, [["row", "spread"]], [[2, 16, 16]]
+        )
+        inputs = random_inputs(pipe, rng)
+        compiled, interpreted = _both_modes(pipe, g, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+    def test_constant_plane_index(self, rng):
+        # Literal channel selects (planes(0, x)) become extent-1 window
+        # axes; the camera pipeline relies on this shape heavily.
+        n = 64
+        x = Variable(Int, "x")
+        c = Variable(Int, "c")
+        img = Image(Float, "img", [3, n])
+        planes = Function(
+            ([c, x], [Interval(Int, 0, 2), Interval(Int, 0, n - 1)]),
+            Float, "planes",
+        )
+        planes.defn = [img(c, x) + 1.0]
+        mix = Function(([x], [Interval(Int, 0, n - 1)]), Float, "mix")
+        mix.defn = [planes(0, x) * 0.25 + planes(2, x) * 0.75]
+        pipe = Pipeline([mix], {}, name="planemix")
+        g = manual_grouping(pipe, [["planes"], ["mix"]], [[1, 32], [16]])
+        inputs = random_inputs(pipe, rng)
+        compiled, interpreted = _both_modes(pipe, g, inputs)
+        _assert_bit_identical(compiled, interpreted)
+
+
+class TestResilienceComposition:
+    """Compilation composes with fault injection and guarded execution."""
+
+    def test_guarded_all_tiles_fail_matches_reference(self, rng):
+        pipe = build_blur(rows=46, cols=62)
+        g = manual_grouping(pipe, [["blurx", "blury"]], [[2, 16, 16]])
+        inputs = random_inputs(pipe, rng)
+        ref = execute_reference(pipe, inputs)
+        clear_kernel_cache()
+        with inject_faults(seed=3, tile=1.0):
+            report = execute_guarded(
+                pipe, g, inputs,
+                policy=GuardPolicy(
+                    tile_retries=1, degrade=True, compile_kernels=True
+                ),
+            )
+        assert report.degraded
+        for name in ref:
+            np.testing.assert_array_equal(ref[name], report.outputs[name])
+
+    def test_guarded_alloc_faults_hit_pool(self, rng):
+        # The scratch pool's acquire is a fault site: 100% alloc failure
+        # must degrade, not crash, and still produce reference output.
+        pipe = build_blur(rows=30, cols=30)
+        g = manual_grouping(pipe, [["blurx", "blury"]], [[2, 12, 12]])
+        inputs = random_inputs(pipe, rng)
+        ref = execute_reference(pipe, inputs)
+        clear_kernel_cache()
+        with inject_faults(seed=11, alloc=1.0):
+            report = execute_guarded(
+                pipe, g, inputs,
+                policy=GuardPolicy(
+                    tile_retries=0, degrade=True, compile_kernels=True
+                ),
+            )
+        for name in ref:
+            np.testing.assert_array_equal(ref[name], report.outputs[name])
+
+    def test_partial_tile_faults_bit_identical(self, rng):
+        # Faults that retries absorb must not change compiled output.
+        pipe = build_blur(rows=46, cols=62)
+        g = manual_grouping(pipe, [["blurx", "blury"]], [[2, 16, 16]])
+        inputs = random_inputs(pipe, rng)
+        clear_kernel_cache()
+        with inject_faults(seed=5, tile=0.3):
+            compiled = execute_grouping(
+                pipe, g, inputs, tile_retries=4, compile_kernels=True
+            )
+        with inject_faults(seed=5, tile=0.3):
+            interpreted = execute_grouping(
+                pipe, g, inputs, tile_retries=4, compile_kernels=False
+            )
+        _assert_bit_identical(compiled, interpreted)
+
+
+class TestKnobsAndCache:
+    def test_env_knob_disables_compilation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_COMPILE", raising=False)
+        assert compilation_enabled() is True
+        for val in ("1", "true", "YES", "on"):
+            monkeypatch.setenv("REPRO_NO_COMPILE", val)
+            assert compilation_enabled() is False
+        monkeypatch.setenv("REPRO_NO_COMPILE", "0")
+        assert compilation_enabled() is True
+        # Explicit override beats the environment.
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        assert compilation_enabled(True) is True
+        assert compilation_enabled(False) is False
+
+    def test_stage_kernels_empty_when_disabled(self, blur_pipeline):
+        clear_kernel_cache()
+        assert stage_kernels(blur_pipeline, enabled=False) == {}
+        kernels = stage_kernels(blur_pipeline, enabled=True)
+        assert set(kernels) == {"blurx", "blury"}
+
+    def test_env_knob_flows_through_executor(
+        self, blur_pipeline, rng, monkeypatch
+    ):
+        g = manual_grouping(
+            blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]]
+        )
+        inputs = random_inputs(blur_pipeline, rng)
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        clear_kernel_cache()
+        out = execute_grouping(blur_pipeline, g, inputs)
+        ref = execute_grouping(
+            blur_pipeline, g, inputs, compile_kernels=False
+        )
+        _assert_bit_identical(out, ref)
+
+    def test_kernels_memoized_per_pipeline(self, blur_pipeline):
+        clear_kernel_cache()
+        k1 = get_kernel(blur_pipeline, blur_pipeline.stages[0])
+        k2 = get_kernel(blur_pipeline, blur_pipeline.stages[0])
+        assert k1 is k2
+        clear_kernel_cache()
+        k3 = get_kernel(blur_pipeline, blur_pipeline.stages[0])
+        assert k3 is not k1
+
+    def test_reductions_skip_silently(self, histogram_pipeline):
+        clear_kernel_cache()
+        hist = histogram_pipeline.stage_by_name("hist")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_kernel(histogram_pipeline, hist) is None
+
+    def test_compile_failure_warns_once_and_falls_back(
+        self, blur_pipeline, rng, monkeypatch
+    ):
+        def boom(pipeline, stage):
+            raise kernelcache.KernelCompileError("synthetic failure")
+
+        monkeypatch.setattr(kernelcache, "compile_stage_kernel", boom)
+        clear_kernel_cache()
+        stage = blur_pipeline.stages[0]
+        with pytest.warns(KernelCompileWarning, match="synthetic failure"):
+            assert get_kernel(blur_pipeline, stage) is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # memoized: no second warning
+            assert get_kernel(blur_pipeline, stage) is None
+        # End to end the executor silently interprets the stage.
+        g = manual_grouping(
+            blur_pipeline, [["blurx", "blury"]], [[3, 32, 32]]
+        )
+        inputs = random_inputs(blur_pipeline, rng)
+        with warnings.catch_warnings():
+            # blury's (also-failing) first compile warns here; expected.
+            warnings.simplefilter("ignore", KernelCompileWarning)
+            out = execute_grouping(
+                blur_pipeline, g, inputs, compile_kernels=True
+            )
+        ref = execute_grouping(
+            blur_pipeline, g, inputs, compile_kernels=False
+        )
+        _assert_bit_identical(out, ref)
+        clear_kernel_cache()
+
+
+class TestChunking:
+    def test_serial_is_one_chunk(self):
+        tiles = list(range(100))
+        assert _chunk_tiles(tiles, 1) == [tiles]
+
+    def test_chunks_partition_contiguously(self):
+        tiles = list(range(103))
+        chunks = _chunk_tiles(tiles, 4)
+        assert [t for chunk in chunks for t in chunk] == tiles
+        assert len(chunks) == min(len(tiles), _CHUNKS_PER_WORKER * 4)
+
+    def test_chunk_sizes_balanced(self):
+        for n in (5, 16, 17, 64, 103, 1000):
+            for nthreads in (2, 3, 4, 8):
+                chunks = _chunk_tiles(list(range(n)), nthreads)
+                sizes = [len(c) for c in chunks]
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+                assert len(chunks) == min(n, _CHUNKS_PER_WORKER * nthreads)
+
+    def test_fewer_tiles_than_chunks(self):
+        chunks = _chunk_tiles(list(range(3)), 8)
+        assert [len(c) for c in chunks] == [1, 1, 1]
+
+
+class TestBufferPool:
+    def test_recycles_released_arrays(self):
+        pool = BufferPool()
+        a = pool.acquire((4, 5), np.float32)
+        pool.release_all()
+        b = pool.acquire((4, 5), np.float32)
+        assert b is a
+
+    def test_lent_arrays_are_distinct(self):
+        pool = BufferPool()
+        a = pool.acquire((4,), np.float64)
+        b = pool.acquire((4,), np.float64)
+        assert a is not b
+
+    def test_reclaim_returns_single_array(self):
+        pool = BufferPool()
+        a = pool.acquire((8,), np.int32)
+        pool.reclaim(a)
+        assert pool.acquire((8,), np.int32) is a
+
+    def test_keyed_by_shape_and_dtype(self):
+        pool = BufferPool()
+        a = pool.acquire((4,), np.float32)
+        pool.release_all()
+        b = pool.acquire((4,), np.float64)
+        assert b is not a
+
+
+class TestReadWindow:
+    def test_in_bounds_view_matches_gather(self):
+        buf = Buffer(np.arange(40.0).reshape(5, 8), (2, -1))
+        w = buf.read_window((3, 1), (3, 4))
+        assert w is not None and np.shares_memory(w, buf.data)
+        grids = np.meshgrid(
+            np.arange(3, 6), np.arange(1, 5), indexing="ij"
+        )
+        np.testing.assert_array_equal(w, buf.gather(tuple(grids)))
+
+    def test_strided_window(self):
+        buf = Buffer(np.arange(10.0), (0,))
+        w = buf.read_window((1,), (4,), (2,))
+        np.testing.assert_array_equal(w, [1.0, 3.0, 5.0, 7.0])
+
+    def test_out_of_bounds_returns_none(self):
+        buf = Buffer(np.zeros((5, 5)), (0, 0))
+        assert buf.read_window((-1, 0), (2, 2)) is None
+        assert buf.read_window((4, 0), (2, 2)) is None
+        assert buf.read_window((0, 3), (1, 4)) is None
