@@ -9,7 +9,9 @@ pipeline is executed on its H-manual grouping with tile sizes clamped
 small (so the tile count is high and per-tile dispatch dominates), once
 with ``compile_kernels=False`` and once with compilation enabled, on one
 thread.  Reported per pipeline: total wall time, tile count, per-tile
-microseconds for both modes, and the speedup.
+microseconds for both modes, and the speedup.  The compiled path is then
+re-run at each ``--threads`` count (default 1/2/4) to record the chunked
+tile scheduler's parallel scaling and efficiency.
 
 Results land in ``BENCH_executor.json`` (see ``--output``) — the first
 entry of the repo's executor-performance trajectory.  ``--check`` exits
@@ -90,25 +92,29 @@ def _inputs(pipe, seed: int = 0) -> Dict[str, np.ndarray]:
 
 
 def _time_mode(pipe, grouping, inputs, compile_kernels: bool,
-               repeats: int) -> Tuple[float, Dict[str, np.ndarray]]:
+               repeats: int,
+               nthreads: int = 1) -> Tuple[float, Dict[str, np.ndarray]]:
     """Best-of-``repeats`` wall time; one untimed warmup run first (the
     warmup also populates the kernel cache, so compilation cost is
     excluded — it is paid once per pipeline, not per run)."""
     out = execute_grouping(
-        pipe, grouping, inputs, nthreads=1, compile_kernels=compile_kernels
+        pipe, grouping, inputs, nthreads=nthreads,
+        compile_kernels=compile_kernels,
     )
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         out = execute_grouping(
-            pipe, grouping, inputs, nthreads=1,
+            pipe, grouping, inputs, nthreads=nthreads,
             compile_kernels=compile_kernels,
         )
         best = min(best, time.perf_counter() - start)
     return best, out
 
 
-def run(abbrevs: List[str], repeats: int) -> List[dict]:
+def run(abbrevs: List[str], repeats: int,
+        threads: Optional[List[int]] = None) -> List[dict]:
+    threads = threads or [1, 2, 4]
     records = []
     for ab in abbrevs:
         bench = BENCHMARKS[ab]
@@ -120,6 +126,20 @@ def run(abbrevs: List[str], repeats: int) -> List[dict]:
 
         t_interp, out_i = _time_mode(pipe, grouping, inputs, False, repeats)
         t_compiled, out_c = _time_mode(pipe, grouping, inputs, True, repeats)
+
+        # Thread sweep on the compiled path: parallel efficiency of the
+        # chunked tile scheduler, normalized to its own 1-thread time.
+        sweep: Dict[str, Dict[str, float]] = {}
+        for n in threads:
+            t_n = (
+                t_compiled if n == 1
+                else _time_mode(pipe, grouping, inputs, True, repeats, n)[0]
+            )
+            sweep[str(n)] = {
+                "seconds": round(t_n, 6),
+                "scaling": round(t_compiled / t_n, 3),
+                "efficiency": round(t_compiled / t_n / n, 3),
+            }
 
         matches = all(
             np.allclose(
@@ -139,14 +159,18 @@ def run(abbrevs: List[str], repeats: int) -> List[dict]:
             "compiled_us_per_tile": round(t_compiled / n_tiles * 1e6, 2),
             "speedup": round(t_interp / t_compiled, 3),
             "outputs_match": bool(matches),
+            "threads": sweep,
         }
         records.append(rec)
+        scaling = "  ".join(
+            f"{n}t {sweep[str(n)]['scaling']:.2f}x" for n in threads
+        )
         print(
             f"{ab:>3}  {n_tiles:>5} tiles  "
             f"interp {rec['interpreted_us_per_tile']:>8.1f} us/tile  "
             f"compiled {rec['compiled_us_per_tile']:>8.1f} us/tile  "
             f"speedup {rec['speedup']:>6.2f}x  "
-            f"{'OK' if matches else 'MISMATCH'}"
+            f"{'OK' if matches else 'MISMATCH'}  [{scaling}]"
         )
     return records
 
@@ -158,6 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=sorted(BENCHMARKS),
     )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--threads", nargs="+", type=int, default=[1, 2, 4],
+        help="thread counts for the compiled-path scaling sweep",
+    )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     parser.add_argument(
         "--check", action="store_true",
@@ -166,14 +194,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    records = run(args.pipelines, args.repeats)
+    records = run(args.pipelines, args.repeats, args.threads)
     payload = {
         "benchmark": "executor_overhead",
-        "description": "interpreted vs compiled per-tile cost, "
-                       "1 thread, H-manual grouping with tiles "
+        "description": "interpreted vs compiled per-tile cost (1 thread) "
+                       "plus a compiled-path thread-scaling sweep, "
+                       "H-manual grouping with tiles "
                        f"clamped to {MAX_TILE}",
         "max_tile": MAX_TILE,
         "repeats": args.repeats,
+        "threads": args.threads,
         "results": records,
     }
     with open(args.output, "w") as fh:

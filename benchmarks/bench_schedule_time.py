@@ -1,0 +1,277 @@
+"""Autoscheduling wall-clock: seed baseline vs current code.
+
+The paper's compile-time story (Sec. 5, Table 2) treats scheduling time as
+a first-class quantity; so does this repo once it serves many pipelines
+under traffic.  This benchmark times the three scheduling strategies on
+all six registered benchmarks at their paper configuration:
+
+* ``full_dp``     — the unbounded DP (Pyramid Blend runs the repo's
+                    standard substitution, ``dp-incremental`` with
+                    ``initial_limit=2, step=2``, exactly as the CLI does —
+                    the unbounded DP on PB exceeds any state budget),
+* ``bounded_dp``  — Algorithm 3 (``inc_grouping``, l0=8, step=4),
+* ``greedy``      — PolyMage's greedy heuristic at fixed parameters.
+
+Each measurement rebuilds the pipeline and uses a fresh cost model, so
+every per-pipeline cache (geometry, access analysis, cost memo) starts
+cold — the numbers are true cold-start scheduling times.
+
+Results land in ``BENCH_schedule.json`` together with the speedup against
+the frozen pre-optimization baseline (``benchmarks/baselines/
+schedule_seed.json``).  The baseline also records the chosen groupings and
+tile sizes; the script asserts the current code reproduces them
+*bit-identically* — the optimizations must never change a scheduling
+decision.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_schedule_time.py
+    PYTHONPATH=src python benchmarks/bench_schedule_time.py --check
+    PYTHONPATH=src python benchmarks/bench_schedule_time.py --quick --budget-s 30
+    PYTHONPATH=src python benchmarks/bench_schedule_time.py --capture-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.fusion import dp_group, inc_grouping, polymage_greedy
+from repro.model import XEON_HASWELL
+from repro.model.cost import CostModel
+from repro.pipelines import BENCHMARKS
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(HERE, "baselines", "schedule_seed.json")
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(HERE), "BENCH_schedule.json")
+
+#: geometric-mean full-DP speedup the optimized scheduler must reach
+SPEEDUP_TARGET = 5.0
+
+MAX_STATES = 1_500_000
+
+STRATEGIES = ("full_dp", "bounded_dp", "greedy")
+
+
+def _schedule(abbrev: str, strategy: str):
+    """One cold-start scheduling run; returns (grouping, evaluations)."""
+    bench = BENCHMARKS[abbrev]
+    pipe = bench.build()  # fresh pipeline: all per-pipeline caches cold
+    machine = XEON_HASWELL
+    cm = CostModel(pipe, machine)
+    if strategy == "full_dp":
+        if abbrev == "PB":
+            # The repo's standard dispatch: unbounded DP on Pyramid Blend
+            # exceeds any reasonable state budget (the CLI substitutes the
+            # same incremental configuration).
+            g = inc_grouping(pipe, machine, initial_limit=2, step=2,
+                             cost_model=cm, max_states=MAX_STATES,
+                             prune=True)
+        else:
+            g = dp_group(pipe, machine, cost_model=cm, max_states=MAX_STATES,
+                         prune=True)
+    elif strategy == "bounded_dp":
+        # PB's stage DAG explodes even at l=8; its known-good incremental
+        # configuration is the (2, 2) ramp (Table 2's l=8 row analogue).
+        init, step = (2, 2) if abbrev == "PB" else (8, 4)
+        g = inc_grouping(pipe, machine, initial_limit=init, step=step,
+                         cost_model=cm, max_states=MAX_STATES, prune=True)
+    elif strategy == "greedy":
+        g = polymage_greedy(pipe, machine)
+    else:
+        raise ValueError(strategy)
+    return g, cm.evaluations
+
+
+def _time_strategy(abbrev: str, strategy: str, repeats: int):
+    """Best-of-``repeats`` cold-start wall clock plus the grouping found."""
+    best = float("inf")
+    grouping = None
+    evals = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        grouping, evals = _schedule(abbrev, strategy)
+        best = min(best, time.perf_counter() - start)
+    return best, grouping, evals
+
+
+def _record(abbrev: str, strategy: str, repeats: int) -> dict:
+    seconds, grouping, evals = _time_strategy(abbrev, strategy, repeats)
+    return {
+        "pipeline": abbrev,
+        "strategy": strategy,
+        "seconds": round(seconds, 6),
+        "states": grouping.stats.enumerated,
+        "cost_evaluations": evals,
+        "num_groups": grouping.num_groups,
+        "cost": grouping.cost,
+        "groups": grouping.group_names(),
+        "tile_sizes": [list(t) for t in grouping.tile_sizes],
+    }
+
+
+def capture_baseline(abbrevs: List[str], repeats: int) -> int:
+    """Freeze the current code's times and decisions as the baseline."""
+    records = []
+    for ab in abbrevs:
+        for strategy in STRATEGIES:
+            rec = _record(ab, strategy, repeats)
+            records.append(rec)
+            print(f"{ab:>3} {strategy:<10} {rec['seconds']:8.3f}s  "
+                  f"states={rec['states']:>6}  evals={rec['cost_evaluations']}")
+    os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump({
+            "description": "pre-optimization scheduling baseline "
+                           "(times, groupings, tile sizes)",
+            "machine": "xeon",
+            "repeats": repeats,
+            "results": records,
+        }, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+def _load_baseline() -> Optional[dict]:
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def run(abbrevs: List[str], repeats: int, check: bool,
+        output: str, budget_s: Optional[float]) -> int:
+    baseline = _load_baseline()
+    base_by_key: Dict[tuple, dict] = {}
+    if baseline is not None:
+        base_by_key = {
+            (r["pipeline"], r["strategy"]): r for r in baseline["results"]
+        }
+
+    records = []
+    mismatches: List[str] = []
+    over_budget: List[str] = []
+    for ab in abbrevs:
+        for strategy in STRATEGIES:
+            rec = _record(ab, strategy, repeats)
+            base = base_by_key.get((ab, strategy))
+            if base is not None:
+                rec["baseline_seconds"] = base["seconds"]
+                rec["speedup"] = round(base["seconds"] / rec["seconds"], 3) \
+                    if rec["seconds"] > 0 else float("inf")
+                if rec["groups"] != base["groups"]:
+                    mismatches.append(f"{ab}/{strategy}: groups changed")
+                if rec["tile_sizes"] != base["tile_sizes"]:
+                    mismatches.append(f"{ab}/{strategy}: tile sizes changed")
+            if (budget_s is not None and strategy == "full_dp"
+                    and rec["seconds"] > budget_s):
+                over_budget.append(
+                    f"{ab}/{strategy}: {rec['seconds']:.2f}s > {budget_s}s"
+                )
+            records.append(rec)
+            speed = rec.get("speedup")
+            print(f"{ab:>3} {strategy:<10} {rec['seconds']:8.3f}s  "
+                  f"states={rec['states']:>6}  "
+                  f"evals={rec['cost_evaluations']:>5}"
+                  + (f"  speedup {speed:6.2f}x" if speed else ""))
+
+    full_dp_speedups = [
+        r["speedup"] for r in records
+        if r["strategy"] == "full_dp" and "speedup" in r
+    ]
+    geomean = None
+    if full_dp_speedups:
+        geomean = math.exp(
+            sum(math.log(s) for s in full_dp_speedups) / len(full_dp_speedups)
+        )
+        print(f"full-DP geometric-mean speedup: {geomean:.2f}x "
+              f"(target {SPEEDUP_TARGET}x)")
+
+    payload = {
+        "benchmark": "schedule_time",
+        "description": "cold-start autoscheduling wall clock vs the "
+                       "frozen pre-optimization baseline",
+        "repeats": repeats,
+        "baseline": os.path.relpath(BASELINE_PATH, os.path.dirname(HERE)),
+        "full_dp_geomean_speedup":
+            round(geomean, 3) if geomean is not None else None,
+        "results": records,
+    }
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {output}")
+
+    failed = False
+    if mismatches:
+        print("FAIL: scheduling decisions changed vs the baseline:")
+        for m in mismatches:
+            print(f"  {m}")
+        failed = True
+    if over_budget:
+        print("FAIL: full-DP wall-clock budget exceeded:")
+        for m in over_budget:
+            print(f"  {m}")
+        failed = True
+    if check:
+        if geomean is None:
+            print("FAIL: no baseline to compare against "
+                  "(run --capture-baseline on the seed code first)")
+            failed = True
+        elif geomean < SPEEDUP_TARGET:
+            print(f"FAIL: geomean speedup {geomean:.2f}x < "
+                  f"{SPEEDUP_TARGET}x target")
+            failed = True
+        elif not failed:
+            print(f"PASS: {geomean:.2f}x geomean full-DP speedup, "
+                  "decisions bit-identical")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pipelines", nargs="+", choices=sorted(BENCHMARKS),
+        default=sorted(BENCHMARKS),
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--capture-baseline", action="store_true",
+        help="record the CURRENT code's times and decisions as the "
+             "frozen baseline (run once, on the pre-optimization code)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the full-DP geomean speedup meets "
+             f"{SPEEDUP_TARGET}x and all decisions match the baseline",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI regression tripwire: Camera Pipeline only, 1 repeat",
+    )
+    parser.add_argument(
+        "--budget-s", type=float, default=None,
+        help="fail if any full-DP run exceeds this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    abbrevs = args.pipelines
+    repeats = args.repeats
+    if args.quick:
+        abbrevs = ["CP"]
+        repeats = 1
+
+    if args.capture_baseline:
+        return capture_baseline(abbrevs, repeats)
+    return run(abbrevs, repeats, args.check, args.output, args.budget_s)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,9 @@ from typing import Optional
 
 import numpy as np
 
-from .fusion import schedule_pipeline
+from .fusion import ScheduleCache, schedule_cache_key, schedule_pipeline
 from .fusion.serialize import load_grouping, save_grouping
+from .profiling import PROFILE
 from .model import AMD_OPTERON, XEON_HASWELL, Machine
 from .perfmodel import estimate_runtime
 from .pipelines import BENCHMARKS, get_benchmark
@@ -61,13 +62,19 @@ def _build(abbrev: str, scale: float):
 
 
 def _schedule(pipe, bench, machine, strategy, max_states,
-              budget_s=None, strict=True):
+              budget_s=None, strict=True, prune=True, schedule_cache=None):
     """Schedule for the CLI; returns ``(grouping, report_or_None)``.
 
     In degrade mode (``strict=False``) the DP strategies run through
     :func:`repro.resilience.resilient_schedule`, so a budget blowout or a
     scheduling failure degrades down the chain instead of aborting; the
     returned :class:`ScheduleReport` says which tier actually ran.
+
+    The CLI enables the lossless DP pruning by default (``--no-prune``
+    opts out); the library default stays off so the paper's Table 2 state
+    counts remain reproducible.  ``schedule_cache`` is a directory for
+    the persistent schedule cache; in degrade mode only a result from the
+    *requested* tier is cached (never a degraded fallback).
     """
     if strategy == "h-manual":
         return bench.h_manual(pipe), None
@@ -78,18 +85,38 @@ def _schedule(pipe, bench, machine, strategy, max_states,
         strategy = "dp-incremental"
         kwargs = dict(initial_limit=2, step=2)
     if not strict and strategy in ("dp", "dp-incremental"):
+        cache = key = None
+        if schedule_cache is not None:
+            cache = ScheduleCache(schedule_cache)
+            params = []
+            if strategy == "dp-incremental":
+                params = [f"initial_limit={kwargs['initial_limit']}",
+                          f"step={kwargs['step']}"]
+            else:
+                params = ["group_limit=None"]
+            key = schedule_cache_key(pipe, machine, strategy=strategy,
+                                     params=params)
+            hit = cache.load(pipe, key)
+            if hit is not None:
+                return hit, None
         # dp-incremental requests skip the unbounded tier by zeroing its
         # state budget — its attempt fails instantly as SCHED_BUDGET.
         budget = ScheduleBudget(
             wall_clock_s=budget_s,
             dp_max_states=0 if strategy == "dp-incremental" else max_states,
             inc_max_states=max_states,
+            initial_limit=kwargs.get("initial_limit", 2),
+            step=kwargs.get("step", 2),
+            prune=prune,
         )
         report = resilient_schedule(pipe, machine, budget)
+        if cache is not None and report.tier == strategy:
+            cache.store(report.grouping, key)
         return report.grouping, report
     return schedule_pipeline(
         pipe, machine, strategy=strategy, max_states=max_states,
-        time_budget_s=budget_s, **kwargs
+        time_budget_s=budget_s, prune=prune, schedule_cache=schedule_cache,
+        **kwargs
     ), None
 
 
@@ -110,21 +137,28 @@ def cmd_list(args) -> int:
 def cmd_schedule(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
+    if args.profile_schedule:
+        PROFILE.reset(enabled=True)
     start = time.perf_counter()
     grouping, report = _schedule(
         pipe, bench, machine, args.strategy, args.max_states,
         budget_s=args.schedule_budget_s, strict=args.strict,
+        prune=args.prune, schedule_cache=args.schedule_cache,
     )
     elapsed = time.perf_counter() - start
+    timing = PROFILE.snapshot() if args.profile_schedule else None
     print(grouping.describe())
     if report is not None:
         print(report.describe())
     print(f"scheduled in {elapsed:.2f}s "
           f"({grouping.stats.enumerated} states enumerated)")
+    if args.profile_schedule:
+        print(PROFILE.format())
+        PROFILE.reset(enabled=False)
     t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
     print(f"estimated run time at {machine.num_cores} cores: {t * 1e3:.2f} ms")
     if args.output:
-        save_grouping(grouping, args.output)
+        save_grouping(grouping, args.output, timing=timing)
         print(f"schedule written to {args.output}")
     return 0
 
@@ -135,12 +169,18 @@ def cmd_run(args) -> int:
     if args.schedule:
         grouping = load_grouping(pipe, args.schedule)
     else:
+        if args.profile_schedule:
+            PROFILE.reset(enabled=True)
         grouping, report = _schedule(
             pipe, bench, machine, args.strategy, args.max_states,
             budget_s=args.schedule_budget_s, strict=args.strict,
+            prune=args.prune, schedule_cache=args.schedule_cache,
         )
         if report is not None:
             print(report.describe())
+        if args.profile_schedule:
+            print(PROFILE.format())
+            PROFILE.reset(enabled=False)
     print(grouping.describe())
 
     rng = np.random.default_rng(args.seed)
@@ -198,7 +238,8 @@ def cmd_estimate(args) -> int:
         ("H-auto", halide_auto_schedule(pipe, machine), "halide"),
         ("PolyMage-A", polymage_autotune(pipe, machine).best, "polymage"),
         ("PolyMageDP",
-         _schedule(pipe, bench, machine, "dp", args.max_states)[0],
+         _schedule(pipe, bench, machine, "dp", args.max_states,
+                   prune=args.prune, schedule_cache=args.schedule_cache)[0],
          "polymage"),
     ]
     for name, grouping, codegen in configs:
@@ -241,7 +282,8 @@ def cmd_codegen(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
     grouping, _ = _schedule(pipe, bench, machine, args.strategy,
-                            args.max_states)
+                            args.max_states, prune=args.prune,
+                            schedule_cache=args.schedule_cache)
     code = generate_cpp(pipe, grouping)
     if args.with_main:
         code += generate_main(pipe)
@@ -283,6 +325,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "per-group reference fallback for "
                                "execution (default)")
         p.set_defaults(strict=False)
+        p.add_argument("--schedule-cache", metavar="DIR", default=None,
+                       help="persistent schedule cache directory: a hit "
+                            "skips the DP search entirely, stale entries "
+                            "are evicted and re-scheduled")
+        p.add_argument("--profile-schedule", action="store_true",
+                       help="print a per-phase timing breakdown of the "
+                            "scheduling run (and embed it in the schedule "
+                            "file under a 'timing' key when -o is given)")
+        p.add_argument("--no-prune", dest="prune", action="store_false",
+                       help="disable the lossless branch-and-bound / "
+                            "dominance pruning of the DP search (same "
+                            "result, more explored states)")
+        p.set_defaults(prune=True)
         if with_strategy:
             p.add_argument(
                 "--strategy", default="dp",

@@ -20,6 +20,7 @@ from .native_tune import (
     measure_native,
     native_autotune,
 )
+from .schedcache import ScheduleCache, schedule_cache_key
 from .serialize import (
     grouping_from_dict,
     grouping_to_dict,
@@ -37,6 +38,8 @@ __all__ = [
     "grouping_from_dict",
     "save_grouping",
     "load_grouping",
+    "ScheduleCache",
+    "schedule_cache_key",
     "schedule_pipeline",
     "dp_group",
     "dp_group_bounded",

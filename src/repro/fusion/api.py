@@ -22,7 +22,7 @@ chain ``dp → dp-incremental → greedy → no-fusion`` under hard budgets.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..dsl.pipeline import Pipeline
 from ..model.cost import CostModel
@@ -33,8 +33,13 @@ from .dp import dp_group
 from .greedy import polymage_greedy
 from .grouping import Grouping, singleton_grouping
 from .halide import halide_auto_schedule
+from .schedcache import ScheduleCache, schedule_cache_key
 
 __all__ = ["schedule_pipeline"]
+
+#: strategies whose result is deterministic in (pipeline, machine,
+#: weights, params) and therefore cacheable across processes
+_CACHEABLE = ("dp", "dp-bounded", "dp-incremental", "greedy")
 
 _STRATEGIES = (
     "dp",
@@ -61,6 +66,8 @@ def schedule_pipeline(
     cost_model: Optional[CostModel] = None,
     max_states: Optional[int] = None,
     time_budget_s: Optional[float] = None,
+    prune: bool = False,
+    schedule_cache: Optional[Union[str, ScheduleCache]] = None,
 ) -> Grouping:
     """Schedule ``pipeline`` for ``machine`` with the chosen strategy.
 
@@ -68,38 +75,75 @@ def schedule_pipeline(
     not relevant to the chosen strategy are ignored.  ``max_states`` and
     ``time_budget_s`` bound the DP strategies; exceeding either raises
     ``SCHED_BUDGET`` (:class:`repro.errors.GroupingBudgetExceeded`).
+
+    ``prune`` turns on the lossless branch-and-bound / dominance pruning
+    of the DP strategies (identical result, fewer explored states).
+
+    ``schedule_cache`` (a directory path or a
+    :class:`~repro.fusion.schedcache.ScheduleCache`) makes deterministic
+    strategies persistent across processes: a hit returns the stored
+    grouping without any cost-model evaluation, a stale entry is evicted
+    and re-scheduled.
     """
+    cache: Optional[ScheduleCache] = None
+    key = ""
+    if schedule_cache is not None and strategy in _CACHEABLE:
+        cache = (
+            schedule_cache
+            if isinstance(schedule_cache, ScheduleCache)
+            else ScheduleCache(schedule_cache)
+        )
+        params = []
+        if strategy in ("dp", "dp-bounded"):
+            params.append(f"group_limit={group_limit}")
+        elif strategy == "dp-incremental":
+            params.append(f"initial_limit={initial_limit}")
+            params.append(f"step={step}")
+        elif strategy == "greedy":
+            params.append(f"tile_size={tile_size}")
+            params.append(f"overlap_tolerance={overlap_tolerance!r}")
+        key = schedule_cache_key(
+            pipeline, machine, strategy=strategy, params=params,
+        )
+        hit = cache.load(pipeline, key)
+        if hit is not None:
+            return hit
+
     if strategy == "dp":
-        return dp_group(
+        grouping = dp_group(
             pipeline, machine, cost_model=cost_model,
             group_limit=group_limit, max_states=max_states,
-            time_budget_s=time_budget_s,
+            time_budget_s=time_budget_s, prune=prune,
         )
-    if strategy == "dp-bounded":
+    elif strategy == "dp-bounded":
         if group_limit is None:
             raise ValueError("dp-bounded requires group_limit")
-        return dp_group_bounded(
+        grouping = dp_group_bounded(
             pipeline, machine, group_limit,
             cost_model=cost_model, max_states=max_states,
-            time_budget_s=time_budget_s,
+            time_budget_s=time_budget_s, prune=prune,
         )
-    if strategy == "dp-incremental":
-        return inc_grouping(
+    elif strategy == "dp-incremental":
+        grouping = inc_grouping(
             pipeline, machine, initial_limit=initial_limit, step=step,
             cost_model=cost_model, max_states=max_states,
-            time_budget_s=time_budget_s,
+            time_budget_s=time_budget_s, prune=prune,
         )
-    if strategy == "greedy":
-        return polymage_greedy(
+    elif strategy == "greedy":
+        grouping = polymage_greedy(
             pipeline, machine, tile_size=tile_size,
             overlap_tolerance=overlap_tolerance,
         )
-    if strategy == "polymage-auto":
+    elif strategy == "polymage-auto":
         return polymage_autotune(pipeline, machine, nthreads=nthreads).best
-    if strategy == "halide-auto":
+    elif strategy == "halide-auto":
         return halide_auto_schedule(pipeline, machine)
-    if strategy == "no-fusion":
+    elif strategy == "no-fusion":
         return singleton_grouping(pipeline)
-    raise ValueError(
-        f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
-    )
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    if cache is not None:
+        cache.store(grouping, key)
+    return grouping

@@ -37,11 +37,23 @@ from ..graph.dag import StageGraph, iter_bits
 from ..graph.partition import mask_partitions
 from ..model.cost import CostModel
 from ..model.machine import Machine
+from ..profiling import PROFILE
 from .grouping import Grouping, GroupingStats
 
 __all__ = ["DPGrouper", "DPResult", "GroupingBudgetExceeded", "dp_group"]
 
 INF = float("inf")
+
+#: Relative slack applied to branch-and-bound cutoffs.  Bounds are threaded
+#: top-down as repeated subtractions (``ub - base``) while candidate totals
+#: are accumulated bottom-up; float addition is not associative, so a branch
+#: whose true value *equals* the bound can drift past it by a few ulps and
+#: be wrongly ruled non-exact.  Pruning only beyond ``ub * (1 + SLACK)``
+#: absorbs that drift while remaining lossless: anything pruned is still
+#: provably worse than the incumbent by more than the slack, which is
+#: orders of magnitude above any accumulated rounding error and orders of
+#: magnitude below any genuine cost difference.
+_BB_SLACK = 1e-9
 
 
 class DPResult(NamedTuple):
@@ -69,6 +81,25 @@ class DPGrouper:
     deadline:
         Optional absolute ``time.perf_counter()`` instant; exceeding it
         raises :class:`GroupingBudgetExceeded` just like ``max_states``.
+    prune:
+        Enable branch-and-bound and dominance pruning.  **Provably
+        lossless**: the returned optimum (cost *and* groups, including
+        tie-breaks) is identical to the unpruned search — only the number
+        of visited states changes.  Three mechanisms:
+
+        * an *incumbent* upper bound from the all-singletons grouping
+          (always valid and achievable) seeds the search;
+        * branches are cut when a partial sum already exceeds the best
+          achievable bound — strictly (``>`` never ``>=``), so a branch
+          tying the optimum is always explored, preserving the unpruned
+          first-minimum tie-break;
+        * *dominance*: a seed block (or merged group) that is
+          disconnected within its reachability closure can never become a
+          connected group by absorbing successors, so its whole subtree
+          is infinite-cost and is skipped.
+
+        Off by default so the paper's Table 2 state counts remain
+        reproducible; production entry points (CLI, benchmarks) enable it.
     """
 
     def __init__(
@@ -80,6 +111,7 @@ class DPGrouper:
         max_states: Optional[int] = None,
         viable_fn: Optional[Callable[[int], bool]] = None,
         deadline: Optional[float] = None,
+        prune: bool = False,
     ):
         self.graph = graph
         self.cost_fn = cost_fn
@@ -95,17 +127,39 @@ class DPGrouper:
         # merges are pruned immediately, which is what keeps wide DAGs
         # (Camera Pipeline, Pyramid Blend) tractable.
         self.viable_fn = viable_fn
-        self._memo: Dict[Tuple[FrozenSet[int], int], DPResult] = {}
+        self.prune = prune
+        # memo value: (result, exact).  A non-exact entry records a proven
+        # lower bound (its cost is the upper bound the subproblem was cut
+        # under; the true value is strictly greater) and is reusable
+        # whenever the current bound is no larger.
+        self._memo: Dict[Tuple[FrozenSet[int], int], Tuple[DPResult, bool]] = {}
         self._cost_cache: Dict[int, float] = {}
         self._viable_cache: Dict[int, bool] = {}
         self._succ_cache: Dict[int, int] = {}
         self._reach_cache: Dict[int, int] = {}
         self._part_cache: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        self._connectable_cache: Dict[int, bool] = {}
+        self._size_cache: Dict[int, int] = {}
+        self._unit_sizes = all(s == 1 for s in self.sizes)
         self.states_evaluated = 0
+        #: pruning-effectiveness counters (all zero when ``prune=False``)
+        self.prune_counters: Dict[str, int] = {
+            "bound_cutoffs": 0,       # Case II partition loops skipped
+            "pruned_branches": 0,     # subproblems cut by the bound
+            "dominance_blocks": 0,    # seed blocks dropped as unconnectable
+            "dominance_merges": 0,    # Case I merges dropped as unconnectable
+            "lb_memo_hits": 0,        # lower-bound memo short-circuits
+        }
 
     # -- helpers -----------------------------------------------------------
     def _mask_size(self, mask: int) -> int:
-        return sum(self.sizes[i] for i in iter_bits(mask))
+        if self._unit_sizes:
+            return mask.bit_count()
+        hit = self._size_cache.get(mask)
+        if hit is None:
+            hit = sum(self.sizes[i] for i in iter_bits(mask))
+            self._size_cache[mask] = hit
+        return hit
 
     def _group_cost(self, mask: int) -> float:
         cost = self._cost_cache.get(mask)
@@ -129,18 +183,63 @@ class DPGrouper:
         if block & (block - 1) == 0:  # single node
             return True
         g = self.graph
-        for u in iter_bits(block):
-            for t in iter_bits(g.succ[u] & ~block):
-                if g.reach[t] & block:
+        succ = g.succ
+        reach = g.reach
+        m = block
+        while m:
+            u_bit = m & -m
+            m ^= u_bit
+            t_m = succ[u_bit.bit_length() - 1] & ~block
+            while t_m:
+                t_bit = t_m & -t_m
+                t_m ^= t_bit
+                if reach[t_bit.bit_length() - 1] & block:
                     return False
         return True
 
-    def _partitions(self, mask: int) -> Tuple[Tuple[int, ...], ...]:
-        """Valid partitions of ``mask`` into seed blocks (cached)."""
+    def _connectable(self, block: int) -> bool:
+        """Dominance check: can ``block`` ever become a connected group?
+
+        Groups only grow by absorbing successors, so every absorbable
+        node lies in the block's reachability closure.  If the block is
+        disconnected even within ``block ∪ reach(block)``, every group
+        that evolves from it stays disconnected and is charged infinite
+        cost at finalization — the whole subtree is dominated."""
+        if block & (block - 1) == 0:
+            return True
+        hit = self._connectable_cache.get(block)
+        if hit is not None:
+            return hit
+        g = self.graph
+        adj = g.adj
+        allowed = block | g.reachable_from_set(block)
+        start = block & -block
+        seen = start
+        frontier = start
+        while frontier:
+            nxt = 0
+            while frontier:
+                u_bit = frontier & -frontier
+                frontier ^= u_bit
+                nxt |= adj[u_bit.bit_length() - 1]
+            frontier = nxt & allowed & ~seen
+            seen |= frontier
+        ok = block & ~seen == 0
+        self._connectable_cache[block] = ok
+        return ok
+
+    def _partitions(self, mask: int) -> Tuple[FrozenSet[int], ...]:
+        """Valid partitions of ``mask`` into seed blocks (cached).
+
+        Each partition is returned as a *shared* frozenset: every DP state
+        reseeding from the same successor set reuses the same object, so
+        its hash is computed once ever and the memo lookups on re-visits
+        are as cheap as an identity-keyed dict get."""
         hit = self._part_cache.get(mask)
         if hit is not None:
             return hit
         limit = self.group_limit
+        counters = self.prune_counters
         out = []
         for part in mask_partitions(mask):
             ok = True
@@ -154,8 +253,12 @@ class DPGrouper:
                 if not self._viable(block):
                     ok = False
                     break
+                if self.prune and not self._connectable(block):
+                    counters["dominance_blocks"] += 1
+                    ok = False
+                    break
             if ok:
-                out.append(part)
+                out.append(frozenset(part))
         result = tuple(out)
         self._part_cache[mask] = result
         return result
@@ -169,23 +272,50 @@ class DPGrouper:
         return hit
 
     # -- the recurrence ------------------------------------------------------
-    def _solve(self, groups: FrozenSet[int], done: int) -> DPResult:
+    def _solve(
+        self, groups: FrozenSet[int], done: int, frontier: int,
+        ub: float = INF,
+    ) -> Tuple[DPResult, bool]:
+        """Value of the subproblem, as ``(result, exact)``.
+
+        ``frontier`` is the union of the current group masks; every caller
+        knows it incrementally (a merge adds one bit, a reseed starts from
+        the partitioned successor set), so threading it as a parameter
+        spares the hot path a per-call union loop — the majority of calls
+        terminate at the memo lookup just below.
+
+        ``ub`` is the branch-and-bound upper bound: when the subproblem's
+        true value provably exceeds it, the search may return early with
+        ``exact=False`` (the result's cost is then a valid lower bound —
+        the true value is strictly greater).  With ``prune=False`` the
+        bound stays infinite and every result is exact, reproducing the
+        seed search state-for-state.
+        """
         # The subproblem's value depends on the finalized set only through
         # the finalized *descendants* of the current frontier (they are the
         # successors that must stay excluded); normalising the key this way
         # collapses states that differ only in finalization history, which
         # is what keeps the paper's Table 2 state counts small.
-        frontier = 0
-        for h in groups:
-            frontier |= h
         reach = self._reach_cache.get(frontier)
         if reach is None:
             reach = self.graph.reachable_from_set(frontier)
             self._reach_cache[frontier] = reach
         key = (groups, done & reach)
-        hit = self._memo.get(key)
+        memo = self._memo
+        hit = memo.get(key)
         if hit is not None:
-            return hit
+            if hit[1]:
+                return hit
+            if hit[0].cost >= ub:
+                # Proven lower bound already at/above the current bound:
+                # the true value cannot beat it either.
+                self.prune_counters["lb_memo_hits"] += 1
+                return hit
+            # Stale lower bound (computed under a tighter ub): recompute.
+        # Inflated bound used for every pruning decision (see _BB_SLACK);
+        # the original ``ub`` is what a non-exact result records as its
+        # proven lower bound.
+        ub_eff = ub * (1.0 + _BB_SLACK)
         self.states_evaluated += 1
         if self.max_states is not None and self.states_evaluated > self.max_states:
             raise GroupingBudgetExceeded(
@@ -204,9 +334,8 @@ class DPGrouper:
             )
 
         g = self.graph
-        placed = done
-        for h in groups:
-            placed |= h
+        placed = done | frontier
+        not_placed = ~placed
         # Ready-wavefront discipline: a successor may be merged or seeded
         # only once ALL its predecessors are placed (in finalized or
         # current groups).  Every node becomes ready exactly when its last
@@ -215,80 +344,178 @@ class DPGrouper:
         # narrow, which is what makes the paper's Table 2 state counts as
         # small as they are (e.g. 741 for the 49-stage Multiscale
         # Interpolation).
-        succ_of: Dict[int, int] = {}
-        for h in groups:
-            s = self._succ(h) & ~placed
-            ready = 0
-            for j in iter_bits(s):
-                if g.pred[j] & ~placed == 0:
-                    ready |= 1 << j
-            succ_of[h] = ready
+        pred = g.pred
+        succ_cache = self._succ_cache
+        successors_of_set = g.successors_of_set
+        glist: List[int] = []
+        ready_list: List[int] = []
         all_succ = 0
-        for s in succ_of.values():
-            all_succ |= s
+        for h in groups:
+            raw = succ_cache.get(h)
+            if raw is None:
+                raw = successors_of_set(h)
+                succ_cache[h] = raw
+            m = raw & not_placed
+            ready = 0
+            while m:  # inline iter_bits: this is the hottest loop of the DP
+                b = m & -m
+                if pred[b.bit_length() - 1] & not_placed == 0:
+                    ready |= b
+                m ^= b
+            glist.append(h)
+            ready_list.append(ready)
+            all_succ |= ready
 
+        cost_cache = self._cost_cache
+        cost_fn = self.cost_fn
         if all_succ == 0:
             total = 0.0
-            for h in groups:
-                c = self._group_cost(h)
+            for h in glist:
+                c = cost_cache.get(h)
+                if c is None:
+                    c = cost_fn(h)
+                    cost_cache[h] = c
                 if c == INF:
                     total = INF
                     break
                 total += c
-            result = DPResult(total, tuple(groups))
-            self._memo[key] = result
-            return result
+            entry = (DPResult(total, tuple(groups)), True)
+            memo[key] = entry
+            return entry
 
+        prune = self.prune
+        counters = self.prune_counters
         best_cost = INF
         best_groups: Tuple[int, ...] = ()
+        any_pruned = False
 
         # Case I: grow some group by one of its successors.
         limit = self.group_limit
-        for h in groups:
-            raw_succ = self._succ(h)
-            for sj in iter_bits(succ_of[h]):
-                if limit is not None and self._mask_size(h) + self.sizes[sj] > limit:
+        sizes = self.sizes
+        unit_sizes = self._unit_sizes
+        size_cache = self._size_cache
+        reach_of = g.reach
+        viable_fn = self.viable_fn
+        viable_cache = self._viable_cache
+        solve = self._solve
+        for h, succ_m in zip(glist, ready_list):
+            raw_succ = succ_cache[h]
+            if limit is not None:
+                if unit_sizes:
+                    h_size = h.bit_count()
+                else:
+                    h_size = size_cache.get(h)
+                    if h_size is None:
+                        h_size = sum(sizes[i] for i in iter_bits(h))
+                        size_cache[h] = h_size
+            else:
+                h_size = 0
+            while succ_m:
+                sj_bit = succ_m & -succ_m
+                succ_m ^= sj_bit
+                if (limit is not None
+                        and h_size + sizes[sj_bit.bit_length() - 1] > limit):
                     continue
-                sj_bit = 1 << sj
                 # Cycle check: another successor t of H reaching sj means
                 # the merge closes a cycle H -> t ~> sj (Algorithm 1,
                 # lines 9-13).
                 is_cycle = False
-                for t in iter_bits(raw_succ & ~sj_bit):
-                    if g.reach[t] & sj_bit:
+                t_m = raw_succ & ~sj_bit
+                while t_m:
+                    t_bit = t_m & -t_m
+                    t_m ^= t_bit
+                    if reach_of[t_bit.bit_length() - 1] & sj_bit:
                         is_cycle = True
                         break
                 if is_cycle:
                     continue
-                if not self._viable(h | sj_bit):
+                merged = h | sj_bit
+                if viable_fn is not None and merged & (merged - 1):
+                    v = viable_cache.get(merged)
+                    if v is None:
+                        v = viable_fn(merged)
+                        viable_cache[merged] = v
+                    if not v:
+                        continue
+                if prune and not self._connectable(merged):
+                    # The merged group can never become connected: every
+                    # descendant grouping is infinite-cost (exact skip).
+                    counters["dominance_merges"] += 1
                     continue
-                new_groups = (groups - {h}) | {h | sj_bit}
-                sub = self._solve(frozenset(new_groups), done)
-                if sub.cost < best_cost:
-                    best_cost, best_groups = sub.cost, sub.groups
+                new_groups = (groups - {h}) | {merged}
+                sub, sub_exact = solve(
+                    new_groups,
+                    done,
+                    frontier | sj_bit,
+                    min(ub_eff, best_cost) if prune else INF,
+                )
+                if sub_exact:
+                    if sub.cost < best_cost:
+                        best_cost, best_groups = sub.cost, sub.groups
+                else:
+                    counters["pruned_branches"] += 1
+                    any_pruned = True
 
         # Case II: finalize the current groups and restart from every
         # partition of their successors.
         base = 0.0
         finalized: List[int] = []
-        for h in groups:
-            c = self._group_cost(h)
+        for h in glist:
+            c = cost_cache.get(h)
+            if c is None:
+                c = cost_fn(h)
+                cost_cache[h] = c
             if c == INF:
                 base = INF
                 break
             base += c
             finalized.append(h)
         if base < INF:
-            new_done = placed
-            for part in self._partitions(all_succ):
-                sub = self._solve(frozenset(part), new_done)
-                if base + sub.cost < best_cost:
-                    best_cost = base + sub.cost
-                    best_groups = tuple(finalized) + sub.groups
+            if prune and base > min(ub_eff, best_cost):
+                # Even a zero-cost remainder cannot beat the bound
+                # (strictly: ties are still explored, preserving the
+                # unpruned first-minimum tie-break).
+                counters["bound_cutoffs"] += 1
+                any_pruned = True
+            else:
+                # Inline the callee's memo lookup: every reseed child
+                # shares the same (frontier, done) pair, so the key suffix
+                # is loop-invariant and a hit skips the call entirely.
+                reach_cache = self._reach_cache
+                reach_s = reach_cache.get(all_succ)
+                if reach_s is None:
+                    reach_s = g.reachable_from_set(all_succ)
+                    reach_cache[all_succ] = reach_s
+                done_key = placed & reach_s
+                for part in self._partitions(all_succ):
+                    cur_ub = (min(ub_eff, best_cost) - base) if prune else INF
+                    hit = memo.get((part, done_key))
+                    if hit is not None and (
+                        hit[1] or hit[0].cost >= cur_ub
+                    ):
+                        if not hit[1]:
+                            counters["lb_memo_hits"] += 1
+                        sub, sub_exact = hit
+                    else:
+                        sub, sub_exact = solve(part, placed, all_succ, cur_ub)
+                    if sub_exact:
+                        if base + sub.cost < best_cost:
+                            best_cost = base + sub.cost
+                            best_groups = tuple(finalized) + sub.groups
+                    else:
+                        counters["pruned_branches"] += 1
+                        any_pruned = True
 
-        result = DPResult(best_cost, best_groups)
-        self._memo[key] = result
-        return result
+        # Exact when the value fits the bound (every branch that could
+        # have beaten it was explored exactly) or nothing was pruned.
+        # Otherwise every branch provably exceeds ``ub``: record ``ub``
+        # as a strict lower bound for reuse under equal-or-tighter bounds.
+        if best_cost <= ub_eff or not any_pruned:
+            entry = (DPResult(best_cost, best_groups), True)
+        else:
+            entry = (DPResult(ub, ()), False)
+        memo[key] = entry
+        return entry
 
     def solve(self) -> DPResult:
         """Run the DP from the pipeline's source stages.
@@ -298,10 +525,28 @@ class DPGrouper:
         all partitions of the source set.
         """
         sources = self.graph.sources()
+        ub0 = INF
+        if self.prune:
+            # Incumbent: the all-singletons grouping is always valid and
+            # reachable by the DP, so its cost bounds the optimum from
+            # above and is safe to prune against.
+            total = 0.0
+            for i in range(self.graph.num_nodes):
+                c = self._group_cost(1 << i)
+                if c == INF:
+                    total = INF
+                    break
+                total += c
+            ub0 = total
         best = DPResult(INF, ())
         for part in self._partitions(sources):
-            sub = self._solve(frozenset(part), 0)
-            if sub.cost < best.cost:
+            sub, exact = self._solve(
+                part,
+                0,
+                sources,
+                min(ub0, best.cost) if self.prune else INF,
+            )
+            if exact and sub.cost < best.cost:
                 best = sub
         return best
 
@@ -313,13 +558,18 @@ def dp_group(
     group_limit: Optional[int] = None,
     max_states: Optional[int] = None,
     time_budget_s: Optional[float] = None,
+    prune: bool = False,
 ) -> Grouping:
     """Find the optimal grouping (per the cost model) of ``pipeline`` for
     ``machine`` — the paper's PolyMageDP with ``l = inf`` (or a single
     bounded pass when ``group_limit`` is given).
 
     ``max_states`` and ``time_budget_s`` are hard budgets: exceeding either
-    raises :class:`GroupingBudgetExceeded` (code ``SCHED_BUDGET``)."""
+    raises :class:`GroupingBudgetExceeded` (code ``SCHED_BUDGET``).
+
+    ``prune`` enables the lossless branch-and-bound / dominance pruning
+    (see :class:`DPGrouper`); the returned grouping and cost are identical
+    either way, only search statistics differ."""
     graph = StageGraph.from_pipeline(pipeline)
     stages = pipeline.stages
     cm = cost_model or CostModel(pipeline, machine)
@@ -339,10 +589,15 @@ def dp_group(
     deadline = None if time_budget_s is None else start + time_budget_s
     grouper = DPGrouper(
         graph, cost_fn, group_limit=group_limit, max_states=max_states,
-        viable_fn=viable_fn, deadline=deadline,
+        viable_fn=viable_fn, deadline=deadline, prune=prune,
     )
     result = grouper.solve()
     elapsed = time.perf_counter() - start
+    if PROFILE.enabled:
+        PROFILE.add_time("dp_search", elapsed)
+        PROFILE.add_counter("dp_states", grouper.states_evaluated)
+        for name, n in grouper.prune_counters.items():
+            PROFILE.add_counter(name, n)
     if result.cost == INF:
         raise NoValidGroupingError(
             f"no valid grouping found for pipeline {pipeline.name!r}",
@@ -357,12 +612,16 @@ def dp_group(
         groups.append(members)
         tiles.append(cm.cost(members).tile_sizes)
     order = graph.condensation_topo_order(result.groups)
+    extra: Dict[str, float] = {}
+    if prune:
+        extra = {k: float(v) for k, v in grouper.prune_counters.items()}
     stats = GroupingStats(
         strategy="dp" if group_limit is None else f"dp(l={group_limit})",
         enumerated=grouper.states_evaluated,
         cost_evaluations=cm.evaluations,
         time_seconds=elapsed,
         group_limit=group_limit,
+        extra=extra,
     )
     return Grouping(
         pipeline=pipeline,

@@ -1,0 +1,133 @@
+"""Persistent schedule cache (``--schedule-cache DIR``).
+
+The ROADMAP's service scenario schedules the same pipelines over and over
+— across processes, so the in-memory memoisation of :class:`CostModel`
+and :class:`PipelineAnalysis` does not help.  This module stores finished
+groupings on disk, keyed by everything the scheduling *decision* depends
+on:
+
+* the pipeline structure (name, stage count, stage names in topological
+  order — the same facts :func:`repro.fusion.serialize.pipeline_digest`
+  certifies),
+* the machine identity (name, core count, cache sizes, the
+  ``INNERMOSTTILESIZE`` of Algorithm 2) and the four cost weights of
+  Table 1,
+* the strategy and its parameters (group limit, incremental ramp, greedy
+  knobs).
+
+A cache hit deserialises the stored grouping through
+:func:`repro.fusion.serialize.grouping_from_dict`, which re-validates the
+pipeline structure digest — a stale entry (stage renames, different build
+parameters) fails with ``SCHEDULE_STALE`` exactly like a stale
+``--schedule`` file would, and is evicted and re-scheduled instead of
+being silently applied.  A hit costs one JSON parse: zero cost-model
+evaluations, zero DP states.
+
+Cache files are written atomically (temp file + ``os.replace``) so a
+killed process never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, Optional
+
+from ..dsl.pipeline import Pipeline
+from ..errors import ScheduleFormatError, ScheduleStaleError
+from ..model.machine import Machine
+from ..model.weights import CostWeights
+from .grouping import Grouping
+from .serialize import grouping_from_dict, grouping_to_dict
+
+__all__ = ["ScheduleCache", "schedule_cache_key"]
+
+
+def schedule_cache_key(
+    pipeline: Pipeline,
+    machine: Machine,
+    strategy: str = "dp",
+    ncores: Optional[int] = None,
+    weights: Optional[CostWeights] = None,
+    params: Iterable[str] = (),
+) -> str:
+    """Digest of everything a scheduling decision depends on.
+
+    ``params`` carries strategy-specific knobs as ``"name=value"``
+    strings; budgets (``max_states``, wall clocks) are deliberately *not*
+    part of the key — a cached entry only exists if some run completed
+    within its budgets, and the chosen grouping does not depend on them.
+    """
+    w = weights or machine.weights
+    h = hashlib.sha256()
+    h.update(f"pipeline:{pipeline.name}\0".encode())
+    h.update(f"stages:{pipeline.num_stages}\0".encode())
+    for stage in pipeline.stages:
+        h.update(stage.name.encode())
+        h.update(b"\0")
+    h.update(f"machine:{machine.name}\0".encode())
+    h.update(f"cores:{ncores or machine.num_cores}\0".encode())
+    h.update(f"l1:{machine.l1_cache}\0l2:{machine.l2_cache}\0".encode())
+    h.update(f"line:{machine.cache_line}\0".encode())
+    h.update(f"itile:{machine.innermost_tile_size}\0".encode())
+    h.update(f"weights:{w.w1!r}:{w.w2!r}:{w.w3!r}:{w.w4!r}\0".encode())
+    h.update(f"strategy:{strategy}\0".encode())
+    for p in params:
+        h.update(f"{p}\0".encode())
+    return h.hexdigest()[:20]
+
+
+class ScheduleCache:
+    """A directory of serialized schedules keyed by
+    :func:`schedule_cache_key`."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0  # stale or unreadable entries removed
+
+    def _path(self, pipeline: Pipeline, key: str) -> str:
+        return os.path.join(self.directory, f"{pipeline.name}-{key}.json")
+
+    def load(self, pipeline: Pipeline, key: str) -> Optional[Grouping]:
+        """The cached grouping, or ``None`` on a miss.  Stale or corrupt
+        entries are evicted and reported as misses."""
+        path = self._path(pipeline, key)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(path)
+            return None
+        try:
+            grouping = grouping_from_dict(pipeline, data)
+        except (ScheduleStaleError, ScheduleFormatError, KeyError, ValueError):
+            self._evict(path)
+            return None
+        self.hits += 1
+        return grouping
+
+    def store(self, grouping: Grouping, key: str) -> str:
+        """Atomically write ``grouping``; returns the entry path."""
+        path = self._path(grouping.pipeline, key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(grouping_to_dict(grouping), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def _evict(self, path: str) -> None:
+        self.misses += 1
+        self.evictions += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from ..dsl.pipeline import Pipeline
 from ..errors import ScheduleFormatError, ScheduleStaleError
@@ -50,9 +50,13 @@ def pipeline_digest(pipeline: Pipeline, num_groups: int) -> str:
     return h.hexdigest()[:16]
 
 
-def grouping_to_dict(grouping: Grouping) -> Dict:
-    """A JSON-serializable description of ``grouping``."""
-    return {
+def grouping_to_dict(grouping: Grouping, timing: Optional[Dict] = None) -> Dict:
+    """A JSON-serializable description of ``grouping``.
+
+    ``timing`` optionally embeds a per-phase profile (the
+    ``--profile-schedule`` snapshot) under a ``timing`` key; loaders
+    ignore it."""
+    data = {
         "format": _FORMAT_VERSION,
         "pipeline": grouping.pipeline.name,
         "num_stages": grouping.pipeline.num_stages,
@@ -66,8 +70,12 @@ def grouping_to_dict(grouping: Grouping) -> Dict:
             "cost_evaluations": grouping.stats.cost_evaluations,
             "time_seconds": grouping.stats.time_seconds,
             "group_limit": grouping.stats.group_limit,
+            "extra": dict(grouping.stats.extra),
         },
     }
+    if timing is not None:
+        data["timing"] = timing
+    return data
 
 
 def grouping_from_dict(pipeline: Pipeline, data: Dict) -> Grouping:
@@ -117,13 +125,18 @@ def grouping_from_dict(pipeline: Pipeline, data: Dict) -> Grouping:
     grouping.stats.cost_evaluations = int(stats.get("cost_evaluations", 0))
     grouping.stats.time_seconds = float(stats.get("time_seconds", 0.0))
     grouping.stats.group_limit = stats.get("group_limit")
+    grouping.stats.extra = dict(stats.get("extra", {}))
     return grouping
 
 
-def save_grouping(grouping: Grouping, path: str) -> None:
-    """Write ``grouping`` to ``path`` as JSON."""
+def save_grouping(
+    grouping: Grouping, path: str, timing: Optional[Dict] = None
+) -> None:
+    """Write ``grouping`` to ``path`` as JSON (with an optional embedded
+    ``timing`` profile, see :func:`grouping_to_dict`)."""
     with open(path, "w") as fh:
-        json.dump(grouping_to_dict(grouping), fh, indent=2, sort_keys=True)
+        json.dump(grouping_to_dict(grouping, timing=timing), fh, indent=2,
+                  sort_keys=True)
         fh.write("\n")
 
 

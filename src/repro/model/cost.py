@@ -25,6 +25,7 @@ paper's literal formula needs this normalisation.)
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
@@ -40,6 +41,7 @@ from ..poly.footprint import (
 )
 from ..poly.overlap import overlap_size, tile_volume
 from ..poly.reuse import dimensional_reuse
+from ..profiling import PROFILE
 from .machine import Machine
 from .tilesize import compute_tile_sizes
 from .weights import CostWeights
@@ -110,10 +112,13 @@ def _cost_for_cache_size(
     tile_footprint = min(total_footprint / ncores, float(cache_size))
     tile_footprint = max(tile_footprint, float(machine.cache_line))
 
+    t0 = time.perf_counter() if PROFILE.enabled else 0.0
     dim_reuse = dimensional_reuse(pipeline, geom)
     tile_sizes = compute_tile_sizes(
         geom, tile_footprint, machine.innermost_tile_size, dim_reuse
     )
+    if PROFILE.enabled:
+        PROFILE.add_time("tile_size_search", time.perf_counter() - t0)
 
     livein_t = livein_tile_size(pipeline, geom, tile_sizes)
     liveout_t = liveout_tile_size(pipeline, geom, tile_sizes)
@@ -134,7 +139,7 @@ def _cost_for_cache_size(
         for e in stage_tile_extents(geom, tile_sizes, s):
             vol *= e
         resident = max(
-            resident, vol * float(geom.stage_density(s)) * s.scalar_type.size
+            resident, vol * geom.stage_density_float(s) * s.scalar_type.size
         )
     spill = 2.0 * max(0.0, resident - machine.l2_cache)
 
@@ -212,7 +217,13 @@ def group_cost(
 class CostModel:
     """Memoising wrapper around :func:`group_cost` for one
     (pipeline, machine) pair — the DP evaluates the same group inside many
-    different states, so caching by member set is essential."""
+    different states, so caching by member set is essential.
+
+    The cache is keyed by a stage *bitmask* (bit ``i`` = stage ``i`` in
+    pipeline order) rather than a ``frozenset`` of stage objects: hashing
+    one int is far cheaper than hashing a set of objects on the DP hot
+    path, and the key is stable across pipeline rebuilds with the same
+    stage order."""
 
     def __init__(
         self,
@@ -225,20 +236,32 @@ class CostModel:
         self.machine = machine
         self.ncores = ncores or machine.num_cores
         self.weights = weights or machine.weights
-        self._cache: Dict[FrozenSet[Function], GroupCost] = {}
+        self._bit: Dict[Function, int] = {
+            s: 1 << i for i, s in enumerate(pipeline.stages)
+        }
+        self._cache: Dict[int, GroupCost] = {}
         self.evaluations = 0  # distinct groups costed (for Table 2 stats)
 
     def cost(self, members: Iterable[Function]) -> GroupCost:
-        key = frozenset(members)
-        hit = self._cache.get(key)
+        members = tuple(members)
+        bit = self._bit
+        mask = 0
+        for s in members:
+            mask |= bit[s]
+        hit = self._cache.get(mask)
         if hit is not None:
             return hit
+        key: FrozenSet[Function] = frozenset(members)
         maybe_fail(
             "cost", detail="+".join(sorted(s.name for s in key))
         )
         self.evaluations += 1
+        t0 = time.perf_counter() if PROFILE.enabled else 0.0
         result = group_cost(
             self.pipeline, key, self.machine, self.ncores, self.weights
         )
-        self._cache[key] = result
+        if PROFILE.enabled:
+            PROFILE.add_time("cost_eval", time.perf_counter() - t0)
+            PROFILE.add_counter("cost_evaluations")
+        self._cache[mask] = result
         return result

@@ -24,6 +24,11 @@ from typing import Sequence, Tuple
 from ..poly.alignscale import GroupGeometry
 from ..poly.footprint import buffer_count
 
+try:  # NumPy is optional: the scalar path below is the reference.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 __all__ = ["compute_tile_sizes", "UNTILED_EXTENT", "MIN_OUTER_TILE"]
 
 #: Dimensions at most this long are left untiled (tile = full extent).
@@ -52,7 +57,7 @@ def _scaled_unit_bytes(geom: GroupGeometry) -> float:
     per scaled cell that actually holds thousands of fine-level points.
     """
     return max(
-        float(geom.stage_density(s)) * s.scalar_type.size for s in geom.stages
+        geom.stage_density_float(s) * s.scalar_type.size for s in geom.stages
     )
 
 
@@ -105,6 +110,25 @@ def compute_tile_sizes(
     for r in outer_reuse:
         tau /= r / max_reuse
     tau = tau ** (1.0 / (ndims - 1))
+
+    if _np is not None and ndims > 2:
+        # Vectorized evaluation of the whole outer-dimension candidate
+        # grid.  Bit-identical to the scalar loop below: ``np.rint`` and
+        # Python's ``round`` both round half to even, the elementwise
+        # ``tau * reuse / max_reuse`` performs the same IEEE-754 float64
+        # operations in the same order, and min/max compose in the same
+        # order (``max(MIN, min(dim, size))`` — NOT ``np.clip``, whose
+        # bound ordering differs when a dimension is shorter than
+        # ``MIN_OUTER_TILE``).
+        dims = _np.asarray(dim_sizes[: ndims - 1], dtype=_np.int64)
+        reuse = _np.asarray(outer_reuse, dtype=_np.float64)
+        sizes = _np.rint(tau * reuse / max_reuse).astype(_np.int64)
+        tiled = _np.maximum(MIN_OUTER_TILE, _np.minimum(dims, sizes))
+        # Short dimensions (e.g. a 3-wide colour dimension) are left
+        # untiled — splitting them only creates cleanup tiles.
+        outer = _np.where(dims <= UNTILED_EXTENT, dims, tiled)
+        tile_sizes[: ndims - 1] = [int(t) for t in outer]
+        return tuple(tile_sizes)
 
     for i in range(ndims - 1):
         if dim_sizes[i] <= UNTILED_EXTENT:

@@ -20,6 +20,7 @@ integer ``num > 0``, ``den >= 1``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
@@ -59,10 +60,7 @@ class DimIndex:
         deviation from the exact rational point spans
         ``[(off - den + 1)/den, off/den]``.
         """
-        return (
-            Fraction(self.off - self.den + 1, self.den),
-            Fraction(self.off, self.den),
-        )
+        return _offset_bounds(self.off, self.den)
 
     def __repr__(self) -> str:
         if not self.affine:
@@ -75,6 +73,13 @@ class DimIndex:
         if self.den != 1:
             return f"DimIndex(({body}) // {self.den})"
         return f"DimIndex({body})"
+
+
+@functools.lru_cache(maxsize=None)
+def _offset_bounds(off: int, den: int) -> Tuple[Fraction, Fraction]:
+    # Few distinct (off, den) pairs exist per pipeline, but the dependence
+    # pass asks for their bounds once per edge per candidate geometry.
+    return (Fraction(off - den + 1, den), Fraction(off, den))
 
 
 @dataclass(frozen=True)

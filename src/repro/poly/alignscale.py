@@ -27,8 +27,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from ..dsl.function import Function, Reduction
 from ..dsl.pipeline import Pipeline
 from .access import AccessSummary, DimIndex, summarize_access
+from .analysis import PipelineAnalysis
 
-__all__ = ["GroupGeometry", "EdgeAccess", "compute_group_geometry"]
+__all__ = [
+    "GroupGeometry",
+    "EdgeAccess",
+    "compute_group_geometry",
+    "compute_group_geometry_from_scratch",
+]
 
 
 @dataclass(frozen=True)
@@ -83,11 +89,57 @@ class GroupGeometry:
 
     def stage_density(self, stage: Function) -> Fraction:
         """Actual iteration points of ``stage`` per unit of scaled grid
-        volume (the product of 1/scale over its dimensions)."""
-        d = Fraction(1)
-        for s in self.scale[stage]:
-            d /= s
+        volume (the product of 1/scale over its dimensions).  Memoised —
+        the cost model queries it for every candidate tile shape."""
+        d = self._density_cache.get(stage)
+        if d is None:
+            n, den = self._density_pair(stage)
+            d = Fraction(n, den)
+            self._density_cache[stage] = d
         return d
+
+    def _density_pair(self, stage: Function) -> Tuple[int, int]:
+        """``stage_density`` as an exact unnormalised ``(num, den)`` integer
+        pair: density = prod(1/scale) = prod(den_j)/prod(num_j)."""
+        p = self._density_pair_cache.get(stage)
+        if p is None:
+            n = d = 1
+            for f in self.scale[stage]:
+                n *= f.denominator
+                d *= f.numerator
+            p = (n, d)
+            self._density_pair_cache[stage] = p
+        return p
+
+    def stage_density_float(self, stage: Function) -> float:
+        """``float(stage_density(stage))``, memoised.  Bit-identical:
+        ``int / int`` true division is correctly rounded, exactly like
+        ``Fraction.__float__``."""
+        f = self._density_float_cache.get(stage)
+        if f is None:
+            n, d = self._density_pair(stage)
+            f = n / d
+            self._density_float_cache[stage] = f
+        return f
+
+    def density_multipliers(self) -> Tuple[int, Dict[Function, int]]:
+        """A common denominator ``D`` and per-stage integer multipliers
+        ``m`` with ``stage_density(s) == m[s] / D`` exactly.
+
+        Lets the volume passes (:func:`~repro.poly.overlap.tile_volume`,
+        :func:`~repro.poly.overlap.overlap_size`, live-out sizing)
+        accumulate in pure integer arithmetic and divide once — the same
+        exact rational, hence the same correctly-rounded float, as a
+        ``Fraction`` accumulation."""
+        dm = self._density_mult_cache
+        if dm is None:
+            pairs = {s: self._density_pair(s) for s in self.stages}
+            common = 1
+            for _, d in pairs.values():
+                common = common * d // math.gcd(common, d)
+            dm = (common, {s: n * (common // d) for s, (n, d) in pairs.items()})
+            self._density_mult_cache = dm
+        return dm
 
     def group_scale(self, stage: Function) -> Tuple[Fraction, ...]:
         """Scale factors of ``stage`` indexed by *group* dimension (1 for
@@ -136,20 +188,32 @@ class GroupGeometry:
         for e in self.edge_accesses:
             consumers_edges[e.producer].append(e)
         for stage in reversed(self.stages):
+            s_rad = radii[stage]
             for e in consumers_edges[stage]:
                 c_rad = radii[e.consumer]
-                offs = self.dependence_offsets(e)
-                for g in range(self.ndim):
-                    if offs[g] is None:
-                        continue
-                    lo, hi = offs[g]
+                p_scale = self.scale[stage]
+                p_align = self.align[stage]
+                for j, dim in enumerate(e.summary.dims):
+                    g = p_align[j]
+                    sp = p_scale[j]
+                    olo, ohi = dim.offset_bounds()
+                    # Scaled dependence offsets lo = sp*olo, hi = sp*ohi
+                    # as exact integer ratios (sp and the offset bounds
+                    # are rationals with positive denominators).
+                    ln = sp.numerator * olo.numerator
+                    ld = sp.denominator * olo.denominator
+                    hn = sp.numerator * ohi.numerator
+                    hd = sp.denominator * ohi.denominator
                     # Consumer region [t_lo - left_c, t_hi + right_c];
                     # producer needs [.. + lo, .. + hi] in scaled space.
-                    left = c_rad[g][0] - lo
-                    right = c_rad[g][1] + hi
-                    s_rad = radii[stage]
-                    s_rad[g][0] = max(s_rad[g][0], int(math.ceil(left)))
-                    s_rad[g][1] = max(s_rad[g][1], int(math.ceil(right)))
+                    # left = ceil(c_left - lo), right = ceil(c_right + hi),
+                    # both exact via integer floor division.
+                    left = -((ln - c_rad[g][0] * ld) // ld)
+                    right = -((-(c_rad[g][1] * hd + hn)) // hd)
+                    if left > s_rad[g][0]:
+                        s_rad[g][0] = left
+                    if right > s_rad[g][1]:
+                        s_rad[g][1] = right
         self._radii = {
             s: tuple((l, r) for l, r in radii[s]) for s in self.stages
         }
@@ -167,6 +231,11 @@ class GroupGeometry:
     def __post_init__(self):
         # Pre-compute each stage's scaled (lo, hi) per stage dimension.
         self._scaled_bounds_cache: Dict[Function, Tuple[Tuple[int, int], ...]] = {}
+        self._density_cache: Dict[Function, Fraction] = {}
+        self._density_pair_cache: Dict[Function, Tuple[int, int]] = {}
+        self._density_float_cache: Dict[Function, float] = {}
+        self._density_mult_cache: Optional[Tuple[int, Dict[Function, int]]] = None
+        self._tile_ext_cache: Dict[tuple, Tuple[int, ...]] = {}
 
     def _set_scaled_bounds(
         self, cache: Dict[Function, Tuple[Tuple[int, int], ...]]
@@ -200,7 +269,11 @@ def compute_group_geometry(
     requirements, or irreconcilable dimension alignment.
 
     Results are memoised per (pipeline, member set): every fusion strategy
-    evaluates the same groups repeatedly.
+    evaluates the same groups repeatedly.  The group-independent parts
+    (access summaries, variable→dimension maps, domains) come from the
+    shared :class:`~repro.poly.analysis.PipelineAnalysis`, so a cache miss
+    only pays for the assembly: the align/scale fixpoint and the scaled
+    bounds.
     """
     global _GEOMETRY_CACHE
     if _GEOMETRY_CACHE is None:
@@ -214,13 +287,41 @@ def compute_group_geometry(
         _GEOMETRY_CACHE[pipeline] = per_pipe
     if member_set in per_pipe:
         return per_pipe[member_set]
-    geom = _compute_group_geometry_uncached(pipeline, member_set)
+    from ..profiling import PROFILE
+
+    if PROFILE.enabled:
+        import time as _time
+
+        t0 = _time.perf_counter()
+        geom = _compute_group_geometry_uncached(
+            pipeline, member_set, PipelineAnalysis.of(pipeline)
+        )
+        PROFILE.add_time("geometry", _time.perf_counter() - t0)
+        PROFILE.add_counter("geometry_builds")
+    else:
+        geom = _compute_group_geometry_uncached(
+            pipeline, member_set, PipelineAnalysis.of(pipeline)
+        )
     per_pipe[member_set] = geom
     return geom
 
 
+def compute_group_geometry_from_scratch(
+    pipeline: Pipeline, members: Iterable[Function]
+) -> Optional[GroupGeometry]:
+    """Uncached reference path: re-extracts every access summary from the
+    expression trees instead of consulting :class:`PipelineAnalysis`.
+
+    Exists so property tests can assert the incremental assembly is
+    bit-identical to a from-scratch computation.
+    """
+    return _compute_group_geometry_uncached(pipeline, frozenset(members), None)
+
+
 def _compute_group_geometry_uncached(
-    pipeline: Pipeline, member_set: FrozenSet[Function]
+    pipeline: Pipeline,
+    member_set: FrozenSet[Function],
+    analysis: Optional[PipelineAnalysis] = None,
 ) -> Optional[GroupGeometry]:
     stages = tuple(s for s in pipeline.stages if s in member_set)
     if not stages:
@@ -233,65 +334,128 @@ def _compute_group_geometry_uncached(
         return None
 
     ndim = max(s.ndim for s in stages)
-    liveouts = _liveouts(pipeline, member_set)
-    # Reference: a live-out with the most dimensions (ties: topologically
-    # last, i.e. closest to the pipeline output).
-    ref = max(liveouts, key=lambda s: (s.ndim, stages.index(s)))
+    if analysis is not None:
+        liveouts = tuple(sorted(
+            (
+                s for s in stages
+                if analysis.is_output[s]
+                or any(c not in member_set for c in analysis.consumers[s])
+            ),
+            key=lambda s: s.name,
+        ))
+        topo = analysis.topo_index
+        # Reference: a live-out with the most dimensions (ties:
+        # topologically last — pipeline order restricted to the group
+        # orders identically to the group-local index).
+        ref = max(liveouts, key=lambda s: (s.ndim, topo[s]))
+    else:
+        liveouts = _liveouts(pipeline, member_set)
+        # Reference: a live-out with the most dimensions (ties:
+        # topologically last, i.e. closest to the pipeline output).
+        ref = max(liveouts, key=lambda s: (s.ndim, stages.index(s)))
 
-    # Summarise intra-group accesses once.
+    # Summarise intra-group accesses once (assembled from the shared
+    # analysis when available; the iteration order is identical).  The
+    # parallel ``decoded`` list carries each edge's per-dimension
+    # ``(var, num/den)`` so the fixpoint below never re-normalises a
+    # Fraction.
     edge_accesses: List[EdgeAccess] = []
-    for consumer in stages:
-        for producer in pipeline.producers(consumer):
-            if producer not in member_set:
-                continue
-            for acc in pipeline.accesses_to(consumer, producer):
-                summary = summarize_access(acc, pipeline.env)
+    decoded: List[Tuple[Tuple[Optional[str], Fraction], ...]] = []
+    if analysis is not None:
+        for consumer in stages:
+            for producer, summary, dec in analysis.intra_edges[consumer]:
+                if producer not in member_set:
+                    continue
                 if not summary.affine:
                     return None
                 edge_accesses.append(EdgeAccess(producer, consumer, summary))
-
-    var_dim = {s: {v.name: j for j, v in enumerate(s.variables)} for s in stages}
+                decoded.append(dec)
+        var_dim = analysis.var_dim
+    else:
+        for consumer in stages:
+            for producer in pipeline.producers(consumer):
+                if producer not in member_set:
+                    continue
+                for acc in pipeline.accesses_to(consumer, producer):
+                    summary = summarize_access(acc, pipeline.env)
+                    if not summary.affine:
+                        return None
+                    edge_accesses.append(EdgeAccess(producer, consumer, summary))
+                    decoded.append(tuple(
+                        (dim.var, Fraction(dim.num, dim.den))
+                        for dim in summary.dims
+                    ))
+        var_dim = {
+            s: {v.name: j for j, v in enumerate(s.variables)} for s in stages
+        }
 
     align: Dict[Function, List[Optional[int]]] = {
         s: [None] * s.ndim for s in stages
     }
-    scale: Dict[Function, List[Optional[Fraction]]] = {
+    # Scales are carried through the fixpoint as exact *unnormalised*
+    # ``(num, den)`` integer pairs — multiply/divide/compare are then plain
+    # integer products instead of Fraction constructions (each of which
+    # pays a gcd).  The pairs denote the identical rationals, so the
+    # normalised Fractions built at the end are bit-identical to the old
+    # all-Fraction propagation.
+    scale: Dict[Function, List[Optional[Tuple[int, int]]]] = {
         s: [None] * s.ndim for s in stages
     }
     off = ndim - ref.ndim
     for j in range(ref.ndim):
         align[ref][j] = j + off
-        scale[ref][j] = Fraction(1)
+        scale[ref][j] = (1, 1)
 
     # Fixpoint propagation of alignment/scaling constraints along edges.
+    # Alignment entries are write-once (None → value, never changed), so
+    # each constraint needs at most one propagation and one verification;
+    # resolved constraints leave the worklist instead of being re-divided
+    # and re-compared on every sweep.
+    pending: List[tuple] = []
+    for e, dims in zip(edge_accesses, decoded):
+        c = e.consumer
+        vd_c = var_dim[c]
+        for j, (var, ratio) in enumerate(dims):
+            if var is None:
+                # Constant index on an intra-group edge: the dependence
+                # distance grows with the consumer point — not
+                # constant-izable.
+                return None
+            k = vd_c.get(var)
+            if k is None:
+                return None  # index driven by a foreign variable
+            # producer dim j = ratio * consumer dim k
+            pending.append(
+                (e.producer, c, j, k, ratio.numerator, ratio.denominator)
+            )
     changed = True
-    while changed:
+    while changed and pending:
         changed = False
-        for e in edge_accesses:
-            p, c = e.producer, e.consumer
-            for j, dim in enumerate(e.summary.dims):
-                if dim.var is None:
-                    # Constant index on an intra-group edge: the dependence
-                    # distance grows with the consumer point — not
-                    # constant-izable.
+        still: List[tuple] = []
+        for item in pending:
+            p, c, j, k, rn, rd = item
+            c_al = align[c][k]
+            p_al = align[p][j]
+            if c_al is not None and p_al is None:
+                align[p][j] = c_al
+                cn, cd = scale[c][k]
+                scale[p][j] = (cn * rd, cd * rn)
+                changed = True  # satisfied by construction: drop
+            elif p_al is not None and c_al is None:
+                align[c][k] = p_al
+                pn, pd = scale[p][j]
+                scale[c][k] = (pn * rn, pd * rd)
+                changed = True  # satisfied by construction: drop
+            elif p_al is not None and c_al is not None:
+                # p_sc == c_sc / ratio, checked multiplicatively (exact
+                # cross-multiplication of the integer pairs).
+                pn, pd = scale[p][j]
+                cn, cd = scale[c][k]
+                if p_al != c_al or pn * rn * cd != cn * pd * rd:
                     return None
-                k = var_dim[c].get(dim.var)
-                if k is None:
-                    return None  # index driven by a foreign variable
-                ratio = Fraction(dim.num, dim.den)  # producer = ratio * c
-                c_al, c_sc = align[c][k], scale[c][k]
-                p_al, p_sc = align[p][j], scale[p][j]
-                if c_al is not None and p_al is None:
-                    align[p][j] = c_al
-                    scale[p][j] = c_sc / ratio
-                    changed = True
-                elif p_al is not None and c_al is None:
-                    align[c][k] = p_al
-                    scale[c][k] = p_sc * ratio
-                    changed = True
-                elif p_al is not None and c_al is not None:
-                    if p_al != c_al or p_sc != c_sc / ratio:
-                        return None
+            else:
+                still.append(item)  # both unknown: retry next sweep
+        pending = still
 
     # Assign leftover (never-constrained) dimensions: give each stage its
     # unused group dimensions in trailing order with unit scale.
@@ -304,27 +468,34 @@ def _compute_group_geometry_uncached(
         # Trailing alignment: later stage dims get later group dims.
         for j, g in zip(missing, free[len(free) - len(missing):]):
             align[s][j] = g
-            scale[s][j] = Fraction(1)
+            scale[s][j] = (1, 1)
         # A stage's dims must map to distinct group dims.
         if len(set(align[s])) != s.ndim:
             return None
 
     align_t = {s: tuple(align[s]) for s in stages}  # type: ignore[arg-type]
-    scale_t = {s: tuple(scale[s]) for s in stages}  # type: ignore[arg-type]
+    scale_t = {
+        s: tuple(Fraction(n, d) for n, d in scale[s]) for s in stages
+    }
 
     # Scaled per-stage bounds and the union grid.
     scaled_bounds: Dict[Function, Tuple[Tuple[int, int], ...]] = {}
     grid_lo = [None] * ndim  # type: List[Optional[int]]
     grid_hi = [None] * ndim  # type: List[Optional[int]]
     for s in stages:
-        dom = pipeline.domain(s)
+        dom = analysis.domain[s] if analysis is not None else pipeline.domain(s)
         bounds = []
+        s_scale = scale[s]
+        s_align = align[s]
         for j, (lo, hi) in enumerate(dom):
-            f = scale_t[s][j]
-            slo = int(math.floor(lo * f))
-            shi = int(math.ceil(hi * f))
+            # floor(lo * f) and ceil(hi * f) in exact integer arithmetic
+            # (f is a positive rational; normalisation is irrelevant to
+            # the floor/ceil of the same rational).
+            n, d = s_scale[j]
+            slo = (lo * n) // d
+            shi = -((-hi * n) // d)
             bounds.append((slo, shi))
-            g = align_t[s][j]
+            g = s_align[j]
             grid_lo[g] = slo if grid_lo[g] is None else min(grid_lo[g], slo)
             grid_hi[g] = shi if grid_hi[g] is None else max(grid_hi[g], shi)
         scaled_bounds[s] = tuple(bounds)

@@ -1,0 +1,234 @@
+"""Incremental polyhedral analysis shared across a whole scheduling run.
+
+The DP search (Sec. 3) evaluates the cost of hundreds to thousands of
+candidate groups per pipeline, and Algorithm 2's cost function needs, for
+every candidate, the affine access summaries, dependence information, reuse
+offsets and live-in footprint shapes of its member stages.  All of those
+are *per-stage / per-edge* facts that do not depend on the candidate group
+at all — only their assembly (alignment, scaling, radii) does.  Re-deriving
+them from the expression trees for every distinct member set made
+``summarize_access`` the single hottest function of a scheduling run.
+
+:class:`PipelineAnalysis` computes every group-independent summary exactly
+once per pipeline:
+
+* ordered access summaries per consumer stage (for geometry assembly),
+* intra-pipeline edge summaries in the exact iteration order the
+  alignment/scaling pass consumes them,
+* per-stage variable→dimension maps,
+* reuse-offset entries (producer, stage dimension, rational offset) feeding
+  :func:`repro.poly.reuse.dimensional_reuse`,
+* live-in access plans (producer extents plus a per-dimension decoded
+  form) feeding :func:`repro.poly.footprint.livein_tile_size`,
+* resolved domains and domain sizes.
+
+Candidate-group geometry is then *assembled* from these cached parts
+instead of re-extracted.  Assembly is bit-identical to the from-scratch
+path (``compute_group_geometry_from_scratch``): the cached summaries are
+exactly the values ``summarize_access`` would return, consumed in exactly
+the same order.  The property tests in ``tests/test_properties.py`` assert
+this equality on random synthetic pipelines.
+
+Instances are memoised per pipeline in a ``WeakKeyDictionary`` — a
+pipeline's analysis dies with the pipeline, so repeated scheduling of many
+pipelines (the service scenario of the ROADMAP) cannot leak memory.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..dsl.function import Function, Reduction
+from ..dsl.image import Image
+from ..dsl.pipeline import Pipeline
+from .access import AccessSummary, summarize_access
+
+__all__ = ["PipelineAnalysis", "LiveinDimPlan", "LiveinAccessPlan"]
+
+Producer = Union[Function, Image]
+
+
+@dataclass(frozen=True)
+class LiveinDimPlan:
+    """Decoded per-dimension live-in extent rule for one access.
+
+    ``mode`` is ``"full"`` (needs the producer's whole extent),
+    ``"one"`` (a constant index: one element), or ``"var"`` (an affine
+    index driven by consumer dimension ``k`` with coefficient
+    ``num / den``).
+    """
+
+    mode: str
+    k: int = -1
+    num: int = 0
+    den: int = 1
+
+
+@dataclass(frozen=True)
+class LiveinAccessPlan:
+    """One access of a stage, decoded for the live-in footprint pass."""
+
+    producer: Producer
+    producer_name: str
+    is_function: bool
+    extents: Tuple[int, ...]
+    dims: Tuple[LiveinDimPlan, ...]
+
+
+class PipelineAnalysis:
+    """Group-independent polyhedral facts of one pipeline, computed once."""
+
+    _CACHE: "weakref.WeakKeyDictionary[Pipeline, PipelineAnalysis]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    @classmethod
+    def of(cls, pipeline: Pipeline) -> "PipelineAnalysis":
+        """The (cached) analysis of ``pipeline``."""
+        hit = cls._CACHE.get(pipeline)
+        if hit is None:
+            hit = cls(pipeline)
+            cls._CACHE[pipeline] = hit
+        return hit
+
+    def __init__(self, pipeline: Pipeline):
+        env = pipeline.env
+        stages = pipeline.stages
+
+        #: {stage name → dim index} per stage (loop variables only)
+        self.var_dim: Dict[Function, Dict[str, int]] = {
+            s: {v.name: j for j, v in enumerate(s.variables)} for s in stages
+        }
+
+        #: stage → position in pipeline topological order
+        self.topo_index: Dict[Function, int] = {
+            s: i for i, s in enumerate(stages)
+        }
+        #: per stage: is it a pipeline output, and who consumes it
+        self.is_output: Dict[Function, bool] = {
+            s: pipeline.is_output(s) for s in stages
+        }
+        self.consumers: Dict[Function, Tuple[Function, ...]] = {
+            s: tuple(pipeline.consumers(s)) for s in stages
+        }
+
+        #: every access of every stage, summarised once, in body order
+        self.summaries: Dict[Function, Tuple[Tuple[Producer, AccessSummary], ...]] = {}
+        #: per consumer, intra-pipeline edges in alignment-pass order:
+        #: for each producer (in ``pipeline.producers`` order), every access
+        #: to it (in body order) — exactly the nesting the from-scratch
+        #: extraction iterates.  Each entry carries the summary plus its
+        #: per-dimension decode ``(var, num/den)`` so the align/scale
+        #: fixpoint never re-normalises a Fraction.
+        self.intra_edges: Dict[
+            Function,
+            Tuple[
+                Tuple[
+                    Function,
+                    AccessSummary,
+                    Optional[Tuple[Tuple[Optional[str], Fraction], ...]],
+                ],
+                ...,
+            ],
+        ] = {}
+        summary_by_access: Dict[int, AccessSummary] = {}
+        for s in stages:
+            recs = []
+            for acc in pipeline.accesses(s):
+                summary = summarize_access(acc, env)
+                summary_by_access[id(acc)] = summary
+                recs.append((acc.producer, summary))
+            self.summaries[s] = tuple(recs)
+        for s in stages:
+            edges = []
+            for producer in pipeline.producers(s):
+                for acc in pipeline.accesses_to(s, producer):
+                    summary = summary_by_access[id(acc)]
+                    decoded = None
+                    if summary.affine:
+                        decoded = tuple(
+                            (dim.var, Fraction(dim.num, dim.den))
+                            for dim in summary.dims
+                        )
+                    edges.append((producer, summary, decoded))
+            self.intra_edges[s] = tuple(edges)
+
+        #: resolved domains / sizes (ints, identical to Pipeline queries)
+        self.domain: Dict[Function, Tuple[Tuple[int, int], ...]] = {
+            s: pipeline.domain(s) for s in stages
+        }
+        self.domain_size: Dict[Function, int] = {
+            s: pipeline.domain_size(s) for s in stages
+        }
+
+        #: reuse contributions per consumer: ``(stage dim k, extra)`` where
+        #: ``extra = distinct offsets - 1`` over each producer's accesses
+        #: along k.  Group-independent: the alignment map is injective per
+        #: stage, so distinct stage dims always land on distinct group
+        #: dims and the per-(consumer, producer, group-dim) offset sets of
+        #: the reuse pass partition exactly by (producer, k).
+        reuse_counts: Dict[Function, Tuple[Tuple[int, int], ...]] = {}
+        for s in stages:
+            vd = self.var_dim[s]
+            offsets: Dict[Tuple[str, int], set] = {}
+            for producer, summary in self.summaries[s]:
+                for dim in summary.dims:
+                    if not dim.affine or dim.var is None:
+                        continue
+                    k = vd.get(dim.var)
+                    if k is None:
+                        continue  # reduction variable: no tile-dim reuse
+                    f = Fraction(dim.off, dim.den)
+                    offsets.setdefault((producer.name, k), set()).add(
+                        (f.numerator, f.denominator)
+                    )
+            reuse_counts[s] = tuple(
+                (k, len(offs) - 1)
+                for (_, k), offs in offsets.items()
+                if len(offs) > 1
+            )
+        self.reuse_counts = reuse_counts
+
+        #: live-in plans per consumer, in access (body) order
+        livein_plans: Dict[Function, Tuple[LiveinAccessPlan, ...]] = {}
+        for s in stages:
+            vd = dict(self.var_dim[s])
+            if isinstance(s, Reduction):
+                # Reduction variables conservatively need the producer's
+                # whole extent along dims they drive.
+                for v in s.reduction_variables:
+                    vd[v.name] = None  # type: ignore[assignment]
+            plans: List[LiveinAccessPlan] = []
+            for producer, summary in self.summaries[s]:
+                if isinstance(producer, Image):
+                    extents = pipeline.image_shape(producer)
+                    is_function = False
+                else:
+                    extents = pipeline.domain_extents(producer)
+                    is_function = True
+                dims: List[LiveinDimPlan] = []
+                for dim in summary.dims:
+                    if not dim.affine:
+                        dims.append(LiveinDimPlan(mode="full"))
+                    elif dim.var is None:
+                        dims.append(LiveinDimPlan(mode="one"))
+                    else:
+                        k = vd.get(dim.var)
+                        if k is None:
+                            dims.append(LiveinDimPlan(mode="full"))
+                        else:
+                            dims.append(LiveinDimPlan(
+                                mode="var", k=k, num=dim.num, den=dim.den
+                            ))
+                plans.append(LiveinAccessPlan(
+                    producer=producer,
+                    producer_name=producer.name,
+                    is_function=is_function,
+                    extents=tuple(extents),
+                    dims=tuple(dims),
+                ))
+            livein_plans[s] = tuple(plans)
+        self.livein_plans = livein_plans

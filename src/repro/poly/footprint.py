@@ -13,14 +13,13 @@ All sizes are in **bytes**.
 from __future__ import annotations
 
 import math
-from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple, Union
 
-from ..dsl.function import Function, Reduction
+from ..dsl.function import Function
 from ..dsl.image import Image
 from ..dsl.pipeline import Pipeline
-from .access import summarize_access
 from .alignscale import GroupGeometry
+from .analysis import PipelineAnalysis
 from .overlap import stage_tile_extents
 
 __all__ = [
@@ -36,26 +35,20 @@ Producer = Union[Function, Image]
 
 def liveouts_size(pipeline: Pipeline, geom: GroupGeometry) -> int:
     """Total bytes of the group's live-out buffers (full problem size)."""
-    return sum(
-        pipeline.domain_size(s) * s.scalar_type.size for s in geom.liveouts
-    )
+    sizes = PipelineAnalysis.of(pipeline).domain_size
+    return sum(sizes[s] * s.scalar_type.size for s in geom.liveouts)
 
 
 def intermediate_buffers_size(pipeline: Pipeline, geom: GroupGeometry) -> int:
     """Total bytes of the group's intermediate (non-live-out) stages at
     full problem size — the data fusion keeps out of main memory."""
+    sizes = PipelineAnalysis.of(pipeline).domain_size
     liveout_set = set(geom.liveouts)
     return sum(
-        pipeline.domain_size(s) * s.scalar_type.size
+        sizes[s] * s.scalar_type.size
         for s in geom.stages
         if s not in liveout_set
     )
-
-
-def _producer_extents(pipeline: Pipeline, producer: Producer) -> Tuple[int, ...]:
-    if isinstance(producer, Image):
-        return pipeline.image_shape(producer)
-    return pipeline.domain_extents(producer)
 
 
 def livein_tile_size(
@@ -69,43 +62,45 @@ def livein_tile_size(
     coefficient, unioned over all accessing stages; data-dependent
     dimensions conservatively need the producer's whole extent (e.g. a
     LUT indexed by pixel values).
+
+    The per-access decode (which consumer dimension drives which producer
+    dimension, with what coefficient) is group-independent and comes
+    precompiled from :class:`~repro.poly.analysis.PipelineAnalysis`; this
+    pass only maps the group's tile extents through those plans.
     """
+    analysis = PipelineAnalysis.of(pipeline)
     member = set(geom.stages)
     # per producer name: (producer, [needed extent per producer dim])
     needed: Dict[str, Tuple[Producer, List[float]]] = {}
 
     for consumer in geom.stages:
-        var_dim = {v.name: j for j, v in enumerate(consumer.variables)}
-        if isinstance(consumer, Reduction):
-            var_dim.update(
-                {v.name: None for v in consumer.reduction_variables}
-            )
         c_scale = geom.scale[consumer]
         c_align = geom.align[consumer]
         tile_ext = stage_tile_extents(geom, tile_sizes, consumer)
-        for acc in pipeline.accesses(consumer):
-            producer = acc.producer
-            if isinstance(producer, Function) and producer in member:
+        for plan in analysis.livein_plans[consumer]:
+            if plan.is_function and plan.producer in member:
                 continue  # intra-group: scratch, not a live-in
-            p_extents = _producer_extents(pipeline, producer)
-            summary = summarize_access(acc, pipeline.env)
             rec = needed.setdefault(
-                producer.name, (producer, [0.0] * len(p_extents))
+                plan.producer_name, (plan.producer, [0.0] * len(plan.extents))
             )[1]
-            for j, dim in enumerate(summary.dims):
-                full = float(p_extents[j])
-                if not dim.affine or dim.var is None:
-                    ext = full if not dim.affine else 1.0
-                else:
-                    k = var_dim.get(dim.var)
-                    if k is None:
-                        ext = full  # unknown driver: be conservative
-                    else:
-                        g = c_align[k]
-                        # consumer actual extent along k
-                        actual = float(tile_ext[g] / c_scale[k])
-                        ext = actual * dim.num / dim.den + 1.0
-                rec[j] = max(rec[j], min(ext, full))
+            for j, d in enumerate(plan.dims):
+                full = float(plan.extents[j])
+                if d.mode == "var":
+                    g = c_align[d.k]
+                    cs = c_scale[d.k]
+                    # Consumer actual extent along d.k: tile_ext / cs as
+                    # correctly-rounded integer true division — identical
+                    # to float(Fraction(tile_ext, cs)).
+                    actual = (tile_ext[g] * cs.denominator) / cs.numerator
+                    ext = actual * d.num / d.den + 1.0
+                elif d.mode == "one":
+                    ext = 1.0
+                else:  # "full": non-affine or foreign-variable driver
+                    ext = full
+                if ext > full:
+                    ext = full
+                if rec[j] < ext:
+                    rec[j] = ext
 
     total = 0.0
     for producer, extents in needed.values():
@@ -121,14 +116,18 @@ def liveout_tile_size(
 ) -> float:
     """Bytes one tile of the group stores to its live-out buffers (base
     tile, no overlap — overlap writes land in scratch)."""
-    total = Fraction(0)
     extents = geom.grid_extents
+    common, mult = geom.density_multipliers()
+    total = 0
     for stage in geom.liveouts:
-        vol = Fraction(1)
+        vol = 1
         for g in range(geom.ndim):
             vol *= min(tile_sizes[g], extents[g])
-        total += vol * geom.stage_density(stage) * stage.scalar_type.size
-    return float(total)
+        # Exact: integer base-tile volume times the rational density, all
+        # over one common denominator (identical float to the Fraction
+        # accumulation — int/int true division is correctly rounded).
+        total += mult[stage] * (vol * stage.scalar_type.size)
+    return total / common
 
 
 def buffer_count(geom: GroupGeometry) -> int:

@@ -15,7 +15,6 @@ accounts for.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Dict, Sequence, Tuple
 
 from ..dsl.function import Function
@@ -35,13 +34,24 @@ def stage_tile_extents(
     tile_sizes: Sequence[int],
     stage: Function,
 ) -> Tuple[int, ...]:
-    """Scaled extents of one stage's (expanded) tile per group dimension."""
+    """Scaled extents of one stage's (expanded) tile per group dimension.
+
+    Memoised per (stage, tile shape) on the geometry — the footprint,
+    volume and residency passes each ask for the same extents while
+    costing one candidate tile shape.
+    """
+    key = (stage, tuple(tile_sizes))
+    hit = geom._tile_ext_cache.get(key)
+    if hit is not None:
+        return hit
     radii = geom.expansion_radii()[stage]
     extents = geom.grid_extents
-    return tuple(
+    result = tuple(
         _clamped_extent(tile_sizes[g], radii[g][0], radii[g][1], extents[g])
         for g in range(geom.ndim)
     )
+    geom._tile_ext_cache[key] = result
+    return result
 
 
 def tile_volume(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
@@ -51,13 +61,18 @@ def tile_volume(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
         raise ValueError(
             f"expected {geom.ndim} tile sizes, got {len(tile_sizes)}"
         )
-    total = Fraction(0)
+    # Extents are ints; densities come pre-scaled to a common denominator
+    # so the whole sum is one integer accumulation and a single division.
+    # Exact, and ``int / int`` true division is correctly rounded — the
+    # same float as the all-Fraction accumulation.
+    common, mult = geom.density_multipliers()
+    total = 0
     for stage in geom.stages:
-        vol = Fraction(1)
+        vol = 1
         for e in stage_tile_extents(geom, tile_sizes, stage):
             vol *= e
-        total += vol * geom.stage_density(stage)
-    return float(total)
+        total += mult[stage] * vol
+    return total / common
 
 
 def overlap_size(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
@@ -69,15 +84,14 @@ def overlap_size(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
             f"expected {geom.ndim} tile sizes, got {len(tile_sizes)}"
         )
     extents = geom.grid_extents
-    total = Fraction(0)
+    common, mult = geom.density_multipliers()
+    total = 0
     for stage in geom.stages:
-        radii = geom.expansion_radii()[stage]
-        expanded = Fraction(1)
-        base = Fraction(1)
+        expanded = 1
+        base = 1
+        ext = stage_tile_extents(geom, tile_sizes, stage)
         for g in range(geom.ndim):
-            expanded *= _clamped_extent(
-                tile_sizes[g], radii[g][0], radii[g][1], extents[g]
-            )
+            expanded *= ext[g]
             base *= min(tile_sizes[g], extents[g])
-        total += (expanded - base) * geom.stage_density(stage)
-    return float(total)
+        total += mult[stage] * (expanded - base)
+    return total / common

@@ -11,14 +11,11 @@ dimension; ``k`` distinct offsets contribute ``k - 1`` units of reuse.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, List, Set, Tuple
+from typing import Tuple
 
-from ..dsl.function import Function
-from ..dsl.image import Image
 from ..dsl.pipeline import Pipeline
-from .access import summarize_access
 from .alignscale import GroupGeometry
+from .analysis import PipelineAnalysis
 
 __all__ = ["dimensional_reuse"]
 
@@ -31,30 +28,18 @@ def dimensional_reuse(
     Considers every access made by group members — to other group members,
     to external stages, and to input images alike, since producer-consumer
     reuse inside a tile exists for all of them once the data is resident.
+
+    The distinct-offset counts per (consumer, producer, stage dimension)
+    are group-independent and come precomputed from
+    :class:`~repro.poly.analysis.PipelineAnalysis`; only the mapping of
+    stage dimensions onto group dimensions (``geom.align``) happens here.
+    All contributions are small integers, so the accumulation order is
+    immaterial (float addition of integers is exact).
     """
-    # offsets[(consumer, producer_name, g)] = set of distinct offsets
-    offsets: Dict[Tuple[str, str, int], Set[Fraction]] = {}
-    member_names = {s.name for s in geom.stages}
-
-    for consumer in geom.stages:
-        var_dim = {v.name: j for j, v in enumerate(consumer.variables)}
-        for acc in pipeline.accesses(consumer):
-            producer = acc.producer
-            summary = summarize_access(acc, pipeline.env)
-            for dim in summary.dims:
-                if not dim.affine or dim.var is None:
-                    continue
-                k = var_dim.get(dim.var)
-                if k is None:
-                    continue  # reduction variable: no tile-dimension reuse
-                g = geom.align[consumer][k]
-                key = (consumer.name, producer.name, g)
-                offsets.setdefault(key, set()).add(
-                    Fraction(dim.off, dim.den)
-                )
-
+    analysis = PipelineAnalysis.of(pipeline)
     reuse = [1.0] * geom.ndim
-    for (_, _, g), offs in offsets.items():
-        if len(offs) > 1:
-            reuse[g] += len(offs) - 1
+    for consumer in geom.stages:
+        c_align = geom.align[consumer]
+        for k, extra in analysis.reuse_counts[consumer]:
+            reuse[c_align[k]] += extra
     return tuple(reuse)

@@ -1,0 +1,79 @@
+"""Per-phase timing of a scheduling run (``--profile-schedule``).
+
+A single process-global accumulator collects wall-clock per phase
+(geometry assembly, tile-size search, cost evaluation, DP enumeration)
+and event counters (pruning hits, cache hits).  It is **disabled by
+default** and every instrumented hot path guards on ``PROFILE.enabled``
+before touching a clock, so the scheduler pays nothing when profiling is
+off.
+
+Usage::
+
+    from repro.profiling import PROFILE
+    PROFILE.reset(enabled=True)
+    ... run scheduling ...
+    breakdown = PROFILE.snapshot()
+
+The snapshot is a plain JSON-able dict; the CLI prints it and embeds it
+in the schedule file under a ``timing`` key.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+__all__ = ["ScheduleProfile", "PROFILE"]
+
+
+class ScheduleProfile:
+    """Accumulates per-phase seconds and event counters."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.seconds: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+        self._t0 = 0.0
+
+    def reset(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.seconds = {}
+        self.counters = {}
+        self._t0 = time.perf_counter()
+
+    def add_time(self, phase: str, dt: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + dt
+
+    def add_counter(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able breakdown: per-phase seconds, counters, and the
+        unattributed remainder since the last ``reset``."""
+        total = time.perf_counter() - self._t0
+        phases = {k: round(v, 6) for k, v in sorted(self.seconds.items())}
+        attributed = sum(self.seconds.values())
+        return {
+            "total_seconds": round(total, 6),
+            "phases": phases,
+            "other_seconds": round(max(total - attributed, 0.0), 6),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def format(self) -> str:
+        """Human-readable breakdown for the CLI."""
+        snap = self.snapshot()
+        lines = ["schedule timing breakdown:"]
+        for phase, secs in snap["phases"].items():  # type: ignore[union-attr]
+            lines.append(f"  {phase:<24} {secs:10.4f}s")
+        lines.append(f"  {'(other)':<24} {snap['other_seconds']:10.4f}s")
+        lines.append(f"  {'total':<24} {snap['total_seconds']:10.4f}s")
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, n in snap["counters"].items():  # type: ignore[union-attr]
+                lines.append(f"  {name:<24} {n:>10}")
+        return "\n".join(lines)
+
+
+#: the process-global profile all instrumented sites report into
+PROFILE = ScheduleProfile()

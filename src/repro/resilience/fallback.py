@@ -69,6 +69,9 @@ class ScheduleBudget:
     #: incremental tier (paper Sec. 5; l grows by ``step`` per pass)
     initial_limit: int = 2
     step: int = 2
+    #: lossless branch-and-bound / dominance pruning for the DP tiers
+    #: (identical groupings, fewer explored states)
+    prune: bool = False
 
     @property
     def effective_inc_states(self) -> Optional[int]:
@@ -211,6 +214,7 @@ def resilient_schedule(
             pipeline, machine, cost_model=cm,
             max_states=budget.dp_max_states,
             time_budget_s=remaining(),
+            prune=budget.prune,
         ))
         if grouping is not None:
             return finish("dp", grouping)
@@ -228,6 +232,7 @@ def resilient_schedule(
             cost_model=cm,
             max_states=budget.effective_inc_states,
             time_budget_s=remaining(),
+            prune=budget.prune,
         ))
         if grouping is not None:
             return finish("dp-incremental", grouping)

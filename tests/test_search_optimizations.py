@@ -1,0 +1,251 @@
+"""Losslessness of the search-time optimizations.
+
+Three families of guarantees back the fast autoscheduler:
+
+1. The branch-and-bound / dominance pruning of the DP search
+   (``prune=True``) returns *bit-identical* results — same cost, same
+   groups in the same tie-break order — on random DAGs and on every
+   registered benchmark.
+2. The incremental geometry assembly (shared
+   :class:`~repro.poly.analysis.PipelineAnalysis` summaries) matches the
+   from-scratch reference path on random synthetic pipelines.
+3. The persistent schedule cache replays a stored schedule with zero
+   cost-model evaluations, and evicts stale or corrupt entries instead of
+   serving them.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import ScheduleCache, schedule_cache_key, schedule_pipeline
+from repro.fusion.bounded import inc_grouping
+from repro.fusion.dp import DPGrouper, dp_group
+from repro.graph import StageGraph
+from repro.model import XEON_HASWELL
+from repro.model.cost import CostModel
+from repro.pipelines import BENCHMARKS
+from repro.pipelines.synth import random_pipeline
+from repro.poly import compute_group_geometry
+from repro.poly.alignscale import compute_group_geometry_from_scratch
+
+
+@st.composite
+def random_dags(draw, max_nodes=9):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = []
+    for v in range(1, n):
+        preds = draw(
+            st.sets(st.integers(min_value=0, max_value=v - 1), min_size=1,
+                    max_size=min(3, v))
+        )
+        edges.extend((u, v) for u in preds)
+    return StageGraph(n, edges)
+
+
+# ---------------------------------------------------------------------------
+# 1. Pruning is lossless
+# ---------------------------------------------------------------------------
+
+@given(random_dags(), st.integers(min_value=0, max_value=2 ** 30))
+@settings(max_examples=80, deadline=None)
+def test_pruned_dp_identical_on_random_dags(graph, salt):
+    """B&B + dominance pruning must reproduce the unpruned optimum
+    bit-identically, tie-breaks included, for arbitrary cost surfaces."""
+    def cost_fn(mask):
+        if not graph.is_connected(mask):
+            return float("inf")
+        return ((mask * 2654435761 + salt) % 1009) / 13.0
+
+    plain = DPGrouper(graph, cost_fn).solve()
+    pruned = DPGrouper(graph, cost_fn, prune=True).solve()
+    assert pruned.cost == plain.cost
+    assert pruned.groups == plain.groups
+
+
+@given(random_dags(max_nodes=8), st.integers(min_value=0, max_value=2 ** 30),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_pruned_bounded_dp_identical_on_random_dags(graph, salt, limit):
+    def cost_fn(mask):
+        if not graph.is_connected(mask):
+            return float("inf")
+        return ((mask * 2654435761 + salt) % 1009) / 13.0
+
+    plain = DPGrouper(graph, cost_fn, group_limit=limit).solve()
+    pruned = DPGrouper(graph, cost_fn, group_limit=limit, prune=True).solve()
+    assert pruned.cost == plain.cost
+    assert pruned.groups == plain.groups
+
+
+def _search(abbrev, pipe, cost_model, prune):
+    """Each registered benchmark at its repo-standard strategy: unbounded
+    DP everywhere except PB, whose DAG only the incremental variant
+    handles (the same substitution the CLI makes)."""
+    if abbrev == "PB":
+        return inc_grouping(
+            pipe, XEON_HASWELL, initial_limit=2, step=2,
+            cost_model=cost_model, prune=prune,
+        )
+    return dp_group(pipe, XEON_HASWELL, cost_model=cost_model, prune=prune)
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_pruned_search_identical_on_benchmarks(abbrev):
+    bench = BENCHMARKS[abbrev]
+    pipe = bench.build(**bench.small_kwargs)
+    plain = _search(abbrev, pipe, CostModel(pipe, XEON_HASWELL), prune=False)
+    pruned = _search(abbrev, pipe, CostModel(pipe, XEON_HASWELL), prune=True)
+    assert pruned.group_names() == plain.group_names()
+    assert pruned.tile_sizes == plain.tile_sizes
+    assert pruned.cost == plain.cost
+    # the pruned run records its pruning counters in the stats
+    assert any(
+        k in pruned.stats.extra
+        for k in ("bound_cutoffs", "states_iter0")
+    )
+
+
+def test_prune_counters_fire_on_a_real_pipeline():
+    """The counters are not decorative: on harris-corners the bound and
+    dominance tests must actually cut branches."""
+    bench = BENCHMARKS["HC"]
+    pipe = bench.build(**bench.small_kwargs)
+    plain = dp_group(pipe, XEON_HASWELL, prune=False)
+    pruned = dp_group(pipe, XEON_HASWELL, prune=True)
+    assert pruned.stats.extra["pruned_branches"] > 0
+    assert pruned.stats.enumerated < plain.stats.enumerated
+
+
+# ---------------------------------------------------------------------------
+# 2. Incremental geometry == from-scratch geometry
+# ---------------------------------------------------------------------------
+
+def _assert_geometry_equal(a, b):
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    assert a.stages == b.stages
+    assert a.ndim == b.ndim
+    assert a.align == b.align
+    assert a.scale == b.scale
+    assert a.grid_bounds == b.grid_bounds
+    assert a.liveouts == b.liveouts
+    assert a.edge_accesses == b.edge_accesses
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    num_stages=st.integers(min_value=4, max_value=14),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_geometry_matches_from_scratch(seed, num_stages):
+    pipe = random_pipeline(num_stages=num_stages, seed=seed, size=128)
+    stages = list(pipe.stages)
+    groups = [stages, stages[: max(2, len(stages) // 2)]]
+    groups += [[s] for s in stages[:3]]
+    for members in groups:
+        _assert_geometry_equal(
+            compute_group_geometry(pipe, members),
+            compute_group_geometry_from_scratch(pipe, members),
+        )
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_incremental_geometry_matches_from_scratch_on_benchmarks(abbrev):
+    bench = BENCHMARKS[abbrev]
+    pipe = bench.build(**bench.small_kwargs)
+    stages = list(pipe.stages)
+    _assert_geometry_equal(
+        compute_group_geometry(pipe, stages),
+        compute_group_geometry_from_scratch(pipe, stages),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3. Persistent schedule cache
+# ---------------------------------------------------------------------------
+
+def _build(abbrev="UM"):
+    bench = BENCHMARKS[abbrev]
+    return bench.build(**bench.small_kwargs)
+
+
+class TestScheduleCache:
+    def test_second_run_does_zero_cost_evaluations(self, tmp_path):
+        pipe = _build()
+        cm1 = CostModel(pipe, XEON_HASWELL)
+        first = schedule_pipeline(
+            pipe, XEON_HASWELL, strategy="dp", prune=True,
+            cost_model=cm1, schedule_cache=str(tmp_path),
+        )
+        assert cm1.evaluations > 0
+        cm2 = CostModel(pipe, XEON_HASWELL)
+        second = schedule_pipeline(
+            pipe, XEON_HASWELL, strategy="dp", prune=True,
+            cost_model=cm2, schedule_cache=str(tmp_path),
+        )
+        assert cm2.evaluations == 0
+        assert second.group_names() == first.group_names()
+        assert second.tile_sizes == first.tile_sizes
+        assert second.cost == first.cost
+
+    def test_cache_counters(self, tmp_path):
+        pipe = _build()
+        cache = ScheduleCache(str(tmp_path))
+        schedule_pipeline(pipe, XEON_HASWELL, schedule_cache=cache)
+        schedule_pipeline(pipe, XEON_HASWELL, schedule_cache=cache)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_key_depends_on_machine_weights_and_params(self):
+        import dataclasses
+
+        pipe = _build()
+        base = schedule_cache_key(pipe, XEON_HASWELL, strategy="dp")
+        other_machine = dataclasses.replace(XEON_HASWELL, num_cores=99)
+        assert schedule_cache_key(pipe, other_machine, strategy="dp") != base
+        assert schedule_cache_key(
+            pipe, XEON_HASWELL, strategy="dp-incremental"
+        ) != base
+        assert schedule_cache_key(
+            pipe, XEON_HASWELL, strategy="dp", params=("group_limit=3",)
+        ) != base
+
+    def test_corrupt_entry_is_evicted_and_rescheduled(self, tmp_path):
+        pipe = _build()
+        cache = ScheduleCache(str(tmp_path))
+        schedule_pipeline(pipe, XEON_HASWELL, schedule_cache=cache)
+        (path,) = [
+            os.path.join(str(tmp_path), f) for f in os.listdir(str(tmp_path))
+        ]
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        grouping = schedule_pipeline(pipe, XEON_HASWELL, schedule_cache=cache)
+        assert cache.evictions == 1
+        assert grouping.num_groups >= 1
+        with open(path) as fh:  # rewritten with a valid entry
+            json.load(fh)
+
+    def test_stale_entry_is_evicted(self, tmp_path):
+        """An entry whose digest no longer matches the pipeline structure
+        (SCHEDULE_STALE) must be evicted, not served."""
+        pipe = _build()
+        cache = ScheduleCache(str(tmp_path))
+        schedule_pipeline(pipe, XEON_HASWELL, schedule_cache=cache)
+        (fname,) = os.listdir(str(tmp_path))
+        path = os.path.join(str(tmp_path), fname)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["digest"] = "0" * 16
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        cm = CostModel(pipe, XEON_HASWELL)
+        schedule_pipeline(
+            pipe, XEON_HASWELL, cost_model=cm, schedule_cache=cache
+        )
+        assert cache.evictions == 1
+        assert cm.evaluations > 0  # genuinely re-scheduled
