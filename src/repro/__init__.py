@@ -20,6 +20,9 @@ The package provides:
   per-group fallback, and a deterministic fault-injection harness,
 * :mod:`repro.errors` — the structured error taxonomy with stable codes
   every public entry point raises from,
+* :mod:`repro.obs` — span tracing and a metrics registry (Prometheus
+  text / JSON exposition) instrumenting the scheduling and execution
+  path, disabled by default and free when disabled,
 * :mod:`repro.perfmodel` — the analytic timing model and cache simulator
   standing in for the paper's hardware testbeds,
 * :mod:`repro.pipelines` — the six benchmark applications of the paper's
@@ -49,6 +52,7 @@ from .fusion import (
     singleton_grouping,
 )
 from .model import AMD_OPTERON, XEON_HASWELL, CostModel, Machine, group_cost
+from .obs import METRICS, TRACE
 from .perfmodel import estimate_runtime
 from .resilience import (
     GuardPolicy,
@@ -73,6 +77,8 @@ __all__ = [
     "Grouping",
     "ReproError",
     "error_code",
+    "TRACE",
+    "METRICS",
     "ScheduleBudget",
     "resilient_schedule",
     "GuardPolicy",

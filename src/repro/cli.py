@@ -28,6 +28,7 @@ import numpy as np
 
 from .fusion import ScheduleCache, schedule_cache_key, schedule_pipeline
 from .fusion.serialize import load_grouping, save_grouping
+from .obs import METRICS, TRACE
 from .profiling import PROFILE
 from .model import AMD_OPTERON, XEON_HASWELL, Machine
 from .perfmodel import estimate_runtime
@@ -120,6 +121,35 @@ def _schedule(pipe, bench, machine, strategy, max_states,
     ), None
 
 
+def _obs_begin(args) -> None:
+    """Enable tracing/metrics collection per ``--trace-json`` /
+    ``--metrics`` (both default off, so the usual path pays nothing)."""
+    if getattr(args, "trace_json", None):
+        TRACE.reset(enabled=True)
+        # Collect the scheduler's per-phase breakdown even without
+        # --profile-schedule: the phases fold into the trace at the end,
+        # so scheduling and execution land in one tree.
+        if not args.profile_schedule:
+            PROFILE.reset(enabled=True)
+    if getattr(args, "metrics", None):
+        METRICS.reset(enabled=True)
+
+
+def _obs_finish(args) -> None:
+    """Write the requested trace/metrics files and disable collection."""
+    if getattr(args, "trace_json", None):
+        PROFILE.emit_spans(TRACE)
+        TRACE.write_json(args.trace_json)
+        print(f"trace written to {args.trace_json}")
+        TRACE.reset(enabled=False)
+        if not args.profile_schedule:
+            PROFILE.reset(enabled=False)
+    if getattr(args, "metrics", None):
+        METRICS.write(args.metrics)
+        print(f"metrics written to {args.metrics}")
+        METRICS.reset(enabled=False)
+
+
 def cmd_list(args) -> int:
     rows = []
     for ab, b in BENCHMARKS.items():
@@ -137,6 +167,7 @@ def cmd_list(args) -> int:
 def cmd_schedule(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
+    _obs_begin(args)
     if args.profile_schedule:
         PROFILE.reset(enabled=True)
     start = time.perf_counter()
@@ -154,18 +185,21 @@ def cmd_schedule(args) -> int:
           f"({grouping.stats.enumerated} states enumerated)")
     if args.profile_schedule:
         print(PROFILE.format())
-        PROFILE.reset(enabled=False)
+        if not args.trace_json:
+            PROFILE.reset(enabled=False)
     t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
     print(f"estimated run time at {machine.num_cores} cores: {t * 1e3:.2f} ms")
     if args.output:
         save_grouping(grouping, args.output, timing=timing)
         print(f"schedule written to {args.output}")
+    _obs_finish(args)
     return 0
 
 
 def cmd_run(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
     machine = _machine(args.machine)
+    _obs_begin(args)
     if args.schedule:
         grouping = load_grouping(pipe, args.schedule)
     else:
@@ -180,7 +214,8 @@ def cmd_run(args) -> int:
             print(report.describe())
         if args.profile_schedule:
             print(PROFILE.format())
-            PROFILE.reset(enabled=False)
+            if not args.trace_json:
+                PROFILE.reset(enabled=False)
     print(grouping.describe())
 
     rng = np.random.default_rng(args.seed)
@@ -215,6 +250,7 @@ def cmd_run(args) -> int:
     elapsed = time.perf_counter() - start
     print(f"executed in {elapsed:.2f}s on {args.threads} thread(s)")
 
+    rc = 0
     if args.verify:
         ref = execute_reference(pipe, inputs)
         ok = all(
@@ -223,8 +259,9 @@ def cmd_run(args) -> int:
             for k in ref
         )
         print(f"verification against reference: {'OK' if ok else 'MISMATCH'}")
-        return 0 if ok else 1
-    return 0
+        rc = 0 if ok else 1
+    _obs_finish(args)
+    return rc
 
 
 def cmd_estimate(args) -> int:
@@ -345,14 +382,26 @@ def build_parser() -> argparse.ArgumentParser:
                          "halide-auto", "h-manual", "no-fusion"],
             )
 
+    def obs_flags(p):
+        p.add_argument("--trace-json", metavar="FILE", default=None,
+                       help="write a span-tree trace (scheduling phases, "
+                            "per-group and per-chunk execution, fallback "
+                            "tiers) to FILE as JSON")
+        p.add_argument("--metrics", metavar="FILE", default=None,
+                       help="write metrics (tiles, retries, kernel "
+                            "compiles, pool recycling, cache events) to "
+                            "FILE in Prometheus text format")
+
     p = sub.add_parser("schedule", help="schedule a benchmark")
     common(p)
+    obs_flags(p)
     p.add_argument("--scale", type=float, default=1.0,
                    help="image-size fraction of the paper configuration")
     p.add_argument("-o", "--output", help="write the schedule as JSON")
 
     p = sub.add_parser("run", help="schedule and execute a benchmark")
     common(p)
+    obs_flags(p)
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)

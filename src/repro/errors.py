@@ -54,7 +54,9 @@ __all__ = [
     "KernelCompileError",
     "InjectedFault",
     "ERROR_CODES",
+    "NON_RETRYABLE_CODES",
     "error_code",
+    "is_retryable",
 ]
 
 
@@ -253,3 +255,40 @@ def error_code(exc: BaseException) -> str:
     if isinstance(exc, ReproError):
         return exc.code
     return f"UNSTRUCTURED:{type(exc).__name__}"
+
+
+#: codes whose failures are deterministic — retrying the identical
+#: attempt cannot succeed, so retry loops must fail fast instead of
+#: burning their attempt budget (and masking the real error behind an
+#: inflated ``attempts`` count)
+NON_RETRYABLE_CODES = frozenset({
+    "INPUT",
+    "INPUT_MISSING",
+    "INPUT_SHAPE",
+    "INPUT_DTYPE",
+    "MEMORY_BUDGET",
+    "SCHEDULE",
+    "SCHEDULE_FORMAT",
+    "SCHEDULE_STALE",
+    "KERNEL_COMPILE_FAIL",
+})
+
+#: builtin exception types that signal deterministic programming or
+#: lookup failures (a missing buffer key, a bad index, a type mismatch)
+#: rather than transient conditions
+_NON_RETRYABLE_BUILTINS = (KeyError, IndexError, TypeError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failure could plausibly succeed on an identical retry.
+
+    Input/validation errors (``INPUT_*``), memory-budget violations,
+    stale-schedule errors, and deterministic builtin failures
+    (``KeyError`` for a missing buffer, ``IndexError``, ``TypeError``)
+    are non-retryable: the same inputs produce the same failure every
+    time.  Everything else — injected faults, allocation hiccups,
+    unclassified runtime errors — is treated as potentially transient.
+    """
+    if isinstance(exc, ReproError):
+        return exc.code not in NON_RETRYABLE_CODES
+    return not isinstance(exc, _NON_RETRYABLE_BUILTINS)

@@ -22,11 +22,13 @@ chain ``dp → dp-incremental → greedy → no-fusion`` under hard budgets.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 from ..dsl.pipeline import Pipeline
 from ..model.cost import CostModel
 from ..model.machine import Machine
+from ..obs import METRICS, TRACE
 from .autotune import polymage_autotune
 from .bounded import dp_group_bounded, inc_grouping
 from .dp import dp_group
@@ -85,6 +87,46 @@ def schedule_pipeline(
     grouping without any cost-model evaluation, a stale entry is evicted
     and re-scheduled.
     """
+    observing = METRICS.enabled
+    t0 = time.perf_counter() if observing else 0.0
+    with TRACE.span(
+        "schedule_pipeline", pipeline=pipeline.name, strategy=strategy,
+    ) as span:
+        grouping = _schedule_pipeline(
+            pipeline, machine, strategy,
+            group_limit=group_limit, initial_limit=initial_limit,
+            step=step, tile_size=tile_size,
+            overlap_tolerance=overlap_tolerance, nthreads=nthreads,
+            cost_model=cost_model, max_states=max_states,
+            time_budget_s=time_budget_s, prune=prune,
+            schedule_cache=schedule_cache, span=span,
+        )
+    if observing:
+        METRICS.observe(
+            "repro_schedule_seconds", time.perf_counter() - t0,
+            strategy=strategy,
+        )
+    return grouping
+
+
+def _schedule_pipeline(
+    pipeline: Pipeline,
+    machine: Machine,
+    strategy: str,
+    *,
+    group_limit: Optional[int],
+    initial_limit: int,
+    step: int,
+    tile_size: int,
+    overlap_tolerance: float,
+    nthreads: Optional[int],
+    cost_model: Optional[CostModel],
+    max_states: Optional[int],
+    time_budget_s: Optional[float],
+    prune: bool,
+    schedule_cache: Optional[Union[str, ScheduleCache]],
+    span,
+) -> Grouping:
     cache: Optional[ScheduleCache] = None
     key = ""
     if schedule_cache is not None and strategy in _CACHEABLE:
@@ -107,7 +149,9 @@ def schedule_pipeline(
         )
         hit = cache.load(pipeline, key)
         if hit is not None:
+            span.set(cache="hit")
             return hit
+        span.set(cache="miss")
 
     if strategy == "dp":
         grouping = dp_group(

@@ -13,7 +13,12 @@ on:
   ``INNERMOSTTILESIZE`` of Algorithm 2) and the four cost weights of
   Table 1,
 * the strategy and its parameters (group limit, incremental ramp, greedy
-  knobs).
+  knobs),
+* the concrete **parameter bindings and domain extents**
+  (:func:`extents_digest`) — ``COMPUTETILESIZES`` and the overlap terms
+  of the cost model depend on extents, so a schedule computed for a
+  ``--scale 0.1`` build must never be silently reused at ``--scale 1.0``
+  even though both builds share stage names and counts.
 
 A cache hit deserialises the stored grouping through
 :func:`repro.fusion.serialize.grouping_from_dict`, which re-validates the
@@ -23,13 +28,21 @@ parameters) fails with ``SCHEDULE_STALE`` exactly like a stale
 being silently applied.  A hit costs one JSON parse: zero cost-model
 evaluations, zero DP states.
 
-Cache files are written atomically (temp file + ``os.replace``) so a
-killed process never leaves a truncated entry behind.
+Cache files are written atomically (temp file + ``os.replace``; the temp
+name carries the pid *and* a per-call unique suffix, so concurrent
+threads of one process storing the same key never interleave writes
+through a shared temp file) so a killed process never leaves a truncated
+entry behind.
+
+With ``repro.obs`` metrics collection on, every cache event is exported
+as ``repro_schedule_cache_events_total{event=hit|miss|eviction|store}``
+alongside the per-instance ``hits``/``misses``/``evictions`` counters.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from typing import Iterable, Optional
@@ -38,10 +51,35 @@ from ..dsl.pipeline import Pipeline
 from ..errors import ScheduleFormatError, ScheduleStaleError
 from ..model.machine import Machine
 from ..model.weights import CostWeights
+from ..obs import METRICS
 from .grouping import Grouping
 from .serialize import grouping_from_dict, grouping_to_dict
 
-__all__ = ["ScheduleCache", "schedule_cache_key"]
+__all__ = ["ScheduleCache", "schedule_cache_key", "extents_digest"]
+
+#: process-wide monotonic counter for unique temp-file suffixes
+_TMP_COUNTER = itertools.count()
+
+
+def extents_digest(pipeline: Pipeline) -> str:
+    """Digest of the concrete geometry a scheduling decision depends on:
+    parameter bindings, per-stage domain bounds, and input image shapes.
+
+    Two builds of the same pipeline at different scales share stage names
+    and counts but differ here — and ``COMPUTETILESIZES`` (Algorithm 2)
+    and the cost model's overlap/liveout terms are functions of extents,
+    so their schedules must not be interchangeable.
+    """
+    h = hashlib.sha256()
+    for name in sorted(pipeline.env):
+        h.update(f"param:{name}={pipeline.env[name]}\0".encode())
+    for stage in pipeline.stages:
+        h.update(f"dom:{stage.name}:{pipeline.domain(stage)!r}\0".encode())
+    for img in pipeline.images:
+        h.update(
+            f"img:{img.name}:{pipeline.image_shape(img)!r}\0".encode()
+        )
+    return h.hexdigest()[:16]
 
 
 def schedule_cache_key(
@@ -66,6 +104,7 @@ def schedule_cache_key(
     for stage in pipeline.stages:
         h.update(stage.name.encode())
         h.update(b"\0")
+    h.update(f"extents:{extents_digest(pipeline)}\0".encode())
     h.update(f"machine:{machine.name}\0".encode())
     h.update(f"cores:{ncores or machine.num_cores}\0".encode())
     h.update(f"l1:{machine.l1_cache}\0l2:{machine.l2_cache}\0".encode())
@@ -94,15 +133,24 @@ class ScheduleCache:
 
     def load(self, pipeline: Pipeline, key: str) -> Optional[Grouping]:
         """The cached grouping, or ``None`` on a miss.  Stale or corrupt
-        entries are evicted and reported as misses."""
+        entries — including entries whose recorded extent digest no
+        longer matches the pipeline's concrete parameter bindings and
+        domain extents — are evicted and reported as misses."""
         path = self._path(pipeline, key)
         try:
             with open(path) as fh:
                 data = json.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            self._event("miss")
             return None
         except (OSError, json.JSONDecodeError):
+            self._evict(path)
+            return None
+        if data.get("extents") != extents_digest(pipeline):
+            # Entry was written for a different concrete geometry (or by
+            # a pre-extent-digest build): the stored tile sizes are not
+            # trustworthy for this pipeline instance.
             self._evict(path)
             return None
         try:
@@ -111,23 +159,39 @@ class ScheduleCache:
             self._evict(path)
             return None
         self.hits += 1
+        self._event("hit")
         return grouping
 
     def store(self, grouping: Grouping, key: str) -> str:
-        """Atomically write ``grouping``; returns the entry path."""
+        """Atomically write ``grouping``; returns the entry path.
+
+        The temp-file name includes a process-wide unique suffix on top
+        of the pid: two threads of one process storing the same key get
+        distinct temp files, so neither can truncate or interleave the
+        other's half-written entry before its ``os.replace``.
+        """
         path = self._path(grouping.pipeline, key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        tmp = f"{path}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
+        data = grouping_to_dict(grouping)
+        data["extents"] = extents_digest(grouping.pipeline)
         with open(tmp, "w") as fh:
-            json.dump(grouping_to_dict(grouping), fh, indent=2,
-                      sort_keys=True)
+            json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
+        self._event("store")
         return path
 
     def _evict(self, path: str) -> None:
         self.misses += 1
         self.evictions += 1
+        self._event("miss")
+        self._event("eviction")
         try:
             os.remove(path)
         except OSError:
             pass
+
+    @staticmethod
+    def _event(event: str) -> None:
+        if METRICS.enabled:
+            METRICS.inc("repro_schedule_cache_events_total", event=event)

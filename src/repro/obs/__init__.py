@@ -1,0 +1,36 @@
+"""Observability: span tracing and metrics export.
+
+``repro.obs`` is the telemetry layer the ROADMAP's production-service
+scenario needs: a thread-safe span tracer (:mod:`repro.obs.trace`) that
+turns one scheduling-plus-execution run into a JSON span tree, and a
+metrics registry (:mod:`repro.obs.metrics`) with counters, gauges, and
+histograms exposable as JSON or Prometheus text format.
+
+Both are **disabled by default and free when disabled** — instrumented
+sites pay one attribute check.  The CLI enables them via
+``--trace-json FILE`` and ``--metrics FILE`` on the ``run`` and
+``schedule`` subcommands; library users call
+``TRACE.reset(enabled=True)`` / ``METRICS.reset(enabled=True)`` around
+the code they want observed.
+
+See ``docs/observability.md`` for the trace and metrics schemas.
+"""
+
+from .metrics import (
+    METRIC_HELP,
+    METRICS,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from .trace import NULL_SPAN, Span, TRACE, Tracer
+
+__all__ = [
+    "TRACE",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "METRICS",
+    "MetricsRegistry",
+    "METRIC_HELP",
+    "parse_prometheus_text",
+]

@@ -1,0 +1,245 @@
+"""Thread-safe span tracing for the scheduling and execution path.
+
+A *span* is a named interval of wall clock (``time.perf_counter``, so
+durations are monotonic and immune to system clock adjustments) with
+free-form attributes and child spans.  The tracer builds one tree per
+run: the CLI's ``--trace-json FILE`` enables it, the instrumented sites
+— :func:`repro.runtime.execute_grouping`,
+:func:`repro.resilience.execute_guarded`,
+:func:`repro.resilience.resilient_schedule`,
+:func:`repro.fusion.schedule_pipeline` — open spans around their phases,
+and the finished tree serializes to JSON.
+
+Usage::
+
+    from repro.obs import TRACE
+    TRACE.reset(enabled=True)
+    with TRACE.span("execute", pipeline="harris") as sp:
+        with TRACE.span("group", index=0):
+            ...
+        sp.set(groups=1)
+    TRACE.write_json("trace.json")
+
+Parenting is tracked per thread (a ``threading.local`` stack), so nested
+``with`` blocks on one thread produce the expected tree.  Work handed to
+a thread pool starts with an empty stack on the worker thread; the
+caller captures its current span and passes it as ``parent=`` — this is
+how the executor's per-chunk spans attach under their group span.
+
+**Disabled cost.**  The tracer is disabled by default and
+``Tracer.span`` returns a shared no-op handle without allocating
+anything, so an instrumented site costs one attribute check when tracing
+is off.  Sites are placed at group/chunk granularity (never per tile),
+keeping the enabled cost far below measurement noise too — the
+``bench_executor_overhead.py`` baselines guard this.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import error_code
+
+__all__ = ["Span", "Tracer", "TRACE", "NULL_SPAN"]
+
+#: trace-file schema version (bump on incompatible span-dict changes)
+TRACE_FORMAT = 1
+
+
+class Span:
+    """One timed interval: name, perf-counter start/end, attributes, and
+    child spans (appended by the tracer as nested spans close)."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to now while the span is open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes on the span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self, origin: Optional[float] = None) -> Dict[str, Any]:
+        """JSON-able form; times are seconds relative to ``origin``
+        (the root span's start), children sorted by start time."""
+        if origin is None:
+            origin = self.start
+        return {
+            "name": self.name,
+            "start_s": round(self.start - origin, 9),
+            "duration_s": round(self.duration, 9),
+            "attrs": self.attrs,
+            "children": [
+                c.to_dict(origin)
+                for c in sorted(self.children, key=lambda c: c.start)
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration:.6f}s, "
+                f"{len(self.children)} children)")
+
+
+class _NullSpan:
+    """The shared do-nothing handle a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager opening one span on ``__enter__`` (that is when
+    the clock starts — not at :meth:`Tracer.span` call time)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_parent", "span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 parent: Optional[Span], attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._parent = parent
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._open(self._name, self._parent, self._attrs)
+        return self.span
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> bool:
+        if exc_val is not None:
+            self.span.attrs.setdefault("error", error_code(exc_val))
+        self._tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """A per-process span tree builder.
+
+    Disabled by default; :meth:`reset` with ``enabled=True`` opens a
+    fresh root span.  Thread-safe: parenting is per-thread, tree
+    mutation is locked.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.enabled = False
+        self.root: Optional[Span] = None
+        if enabled:
+            self.reset(enabled=True)
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self, enabled: bool = False) -> None:
+        """Drop any existing tree; with ``enabled`` start a new root."""
+        with self._lock:
+            self.enabled = enabled
+            self.root = (
+                Span("trace", time.perf_counter()) if enabled else None
+            )
+        self._local = threading.local()
+
+    # -- span API -------------------------------------------------------
+    def span(self, name: str, parent: Optional[Span] = None,
+             **attrs: Any):
+        """A context manager for one span.
+
+        ``parent`` overrides the thread-local current span — pass it when
+        the span body runs on a different thread than its logical parent
+        (thread-pool workers).  When disabled this returns the shared
+        :data:`NULL_SPAN` without allocating.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name, parent, attrs)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on *this* thread (``None`` outside any
+        span, or with tracing disabled)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def add_span(self, name: str, start: float, end: float,
+                 parent: Optional[Span] = None, **attrs: Any
+                 ) -> Optional[Span]:
+        """Record an already-measured interval (used to fold externally
+        timed phases — e.g. the ``--profile-schedule`` breakdown — into
+        the tree).  Times are ``perf_counter`` values."""
+        if not self.enabled:
+            return None
+        span = Span(name, start, attrs)
+        span.end = end
+        target = parent or self.current() or self.root
+        with self._lock:
+            target.children.append(span)
+        return span
+
+    # -- internals ------------------------------------------------------
+    def _open(self, name: str, parent: Optional[Span],
+              attrs: Dict[str, Any]) -> Span:
+        span = Span(name, time.perf_counter(), attrs)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        target = parent or (stack[-1] if stack else None) or self.root
+        with self._lock:
+            if target is not None:
+                target.children.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # unbalanced exit: drop through it
+            while stack and stack.pop() is not span:
+                pass
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole tree as a JSON-able dict (``format``, ``root``)."""
+        with self._lock:
+            root = self.root
+        if root is None:
+            return {"format": TRACE_FORMAT, "root": None}
+        if root.end is None:
+            ends = [c.end for c in root.children if c.end is not None]
+            root.end = max(ends) if ends else time.perf_counter()
+        return {"format": TRACE_FORMAT, "root": root.to_dict()}
+
+    def write_json(self, path: str) -> None:
+        """Serialize the tree to ``path`` as indented JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+
+
+#: the process-global tracer every instrumented site reports into
+TRACE = Tracer()

@@ -60,6 +60,36 @@ class ScheduleProfile:
             "counters": dict(sorted(self.counters.items())),
         }
 
+    def emit_spans(self, tracer, parent=None) -> None:
+        """Fold the per-phase breakdown into ``tracer``'s span tree.
+
+        Phases carry only accumulated durations (hot paths add elapsed
+        deltas, not intervals), so the emitted spans are synthetic:
+        consecutive children of ``parent`` laid back-to-back from the
+        profile's reset time, each as long as its phase total, marked
+        ``aggregate=True``.  Counters ride on the parent phase span's
+        attributes.  This is what lets ``--trace-json`` show scheduling
+        and execution in one tree (the ``--profile-schedule`` breakdown
+        becomes ``schedule_profile/*`` spans).
+        """
+        if not tracer.enabled or not (self.seconds or self.counters):
+            return
+        total = sum(self.seconds.values())
+        holder = tracer.add_span(
+            "schedule_profile", self._t0, self._t0 + total,
+            parent=parent, aggregate=True,
+            counters=dict(sorted(self.counters.items())),
+        )
+        if holder is None:
+            return
+        cursor = self._t0
+        for phase in sorted(self.seconds):
+            dt = self.seconds[phase]
+            tracer.add_span(
+                phase, cursor, cursor + dt, parent=holder, aggregate=True,
+            )
+            cursor += dt
+
     def format(self) -> str:
         """Human-readable breakdown for the CLI."""
         snap = self.snapshot()

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from ..dsl.pipeline import Pipeline
 from ..errors import GroupingBudgetExceeded, error_code
+from ..obs import METRICS, TRACE
 from ..fusion.bounded import inc_grouping
 from ..fusion.dp import dp_group
 from ..fusion.greedy import polymage_greedy
@@ -168,6 +169,14 @@ def resilient_schedule(
         left = remaining()
         return left is not None and left <= 0
 
+    def record(attempt_rec: TierAttempt) -> None:
+        attempts.append(attempt_rec)
+        if METRICS.enabled:
+            METRICS.inc(
+                "repro_schedule_tier_attempts_total",
+                tier=attempt_rec.tier, status=attempt_rec.status,
+            )
+
     def finish(tier: str, grouping: Grouping) -> ScheduleReport:
         return ScheduleReport(
             grouping=grouping,
@@ -179,70 +188,85 @@ def resilient_schedule(
 
     def attempt(tier: str, runner) -> Optional[Grouping]:
         t0 = time.perf_counter()
-        try:
-            grouping = runner()
-        except GroupingBudgetExceeded as exc:
-            attempts.append(TierAttempt(
-                tier=tier, status="failed", reason=_reason(exc),
-                error_code=exc.code,
-                elapsed_s=time.perf_counter() - t0,
-                states=int(exc.context.get("states_evaluated", 0)),
-            ))
-            return None
-        except Exception as exc:  # noqa: BLE001 - any failure degrades
-            attempts.append(TierAttempt(
-                tier=tier, status="failed", reason=_reason(exc),
-                error_code=error_code(exc),
-                elapsed_s=time.perf_counter() - t0,
-            ))
-            return None
-        attempts.append(TierAttempt(
+        with TRACE.span("tier", tier=tier) as tspan:
+            try:
+                grouping = runner()
+            except GroupingBudgetExceeded as exc:
+                tspan.set(status="failed", error_code=exc.code)
+                record(TierAttempt(
+                    tier=tier, status="failed", reason=_reason(exc),
+                    error_code=exc.code,
+                    elapsed_s=time.perf_counter() - t0,
+                    states=int(exc.context.get("states_evaluated", 0)),
+                ))
+                return None
+            except Exception as exc:  # noqa: BLE001 - any failure degrades
+                tspan.set(status="failed", error_code=error_code(exc))
+                record(TierAttempt(
+                    tier=tier, status="failed", reason=_reason(exc),
+                    error_code=error_code(exc),
+                    elapsed_s=time.perf_counter() - t0,
+                ))
+                return None
+            tspan.set(status="ok", states=grouping.stats.enumerated)
+        record(TierAttempt(
             tier=tier, status="ok",
             elapsed_s=time.perf_counter() - t0,
             states=grouping.stats.enumerated,
         ))
         return grouping
 
-    # Tier 1: the unbounded DP (paper Sec. 3).
-    if out_of_time():
-        attempts.append(TierAttempt(
-            tier="dp", status="skipped", reason="wall-clock budget exhausted",
-            error_code="SCHED_BUDGET",
-        ))
-    else:
-        grouping = attempt("dp", lambda: dp_group(
-            pipeline, machine, cost_model=cm,
-            max_states=budget.dp_max_states,
-            time_budget_s=remaining(),
-            prune=budget.prune,
-        ))
+    with TRACE.span(
+        "resilient_schedule", pipeline=pipeline.name,
+    ) as sched_span:
+        # Tier 1: the unbounded DP (paper Sec. 3).
+        if out_of_time():
+            record(TierAttempt(
+                tier="dp", status="skipped",
+                reason="wall-clock budget exhausted",
+                error_code="SCHED_BUDGET",
+            ))
+        else:
+            grouping = attempt("dp", lambda: dp_group(
+                pipeline, machine, cost_model=cm,
+                max_states=budget.dp_max_states,
+                time_budget_s=remaining(),
+                prune=budget.prune,
+            ))
+            if grouping is not None:
+                sched_span.set(tier="dp")
+                return finish("dp", grouping)
+
+        # Tier 2: bounded incremental DP with growing limit l (Sec. 5).
+        if out_of_time():
+            record(TierAttempt(
+                tier="dp-incremental", status="skipped",
+                reason="wall-clock budget exhausted",
+                error_code="SCHED_BUDGET",
+            ))
+        else:
+            grouping = attempt("dp-incremental", lambda: inc_grouping(
+                pipeline, machine,
+                initial_limit=budget.initial_limit, step=budget.step,
+                cost_model=cm,
+                max_states=budget.effective_inc_states,
+                time_budget_s=remaining(),
+                prune=budget.prune,
+            ))
+            if grouping is not None:
+                sched_span.set(tier="dp-incremental")
+                return finish("dp-incremental", grouping)
+
+        # Tier 3: PolyMage's greedy heuristic — no DP, no cost model.
+        grouping = attempt(
+            "greedy", lambda: polymage_greedy(pipeline, machine)
+        )
         if grouping is not None:
-            return finish("dp", grouping)
+            sched_span.set(tier="greedy")
+            return finish("greedy", grouping)
 
-    # Tier 2: bounded incremental DP with growing limit l (Sec. 5).
-    if out_of_time():
-        attempts.append(TierAttempt(
-            tier="dp-incremental", status="skipped",
-            reason="wall-clock budget exhausted", error_code="SCHED_BUDGET",
-        ))
-    else:
-        grouping = attempt("dp-incremental", lambda: inc_grouping(
-            pipeline, machine,
-            initial_limit=budget.initial_limit, step=budget.step,
-            cost_model=cm,
-            max_states=budget.effective_inc_states,
-            time_budget_s=remaining(),
-            prune=budget.prune,
-        ))
-        if grouping is not None:
-            return finish("dp-incremental", grouping)
-
-    # Tier 3: PolyMage's greedy heuristic — no DP, no cost model.
-    grouping = attempt("greedy", lambda: polymage_greedy(pipeline, machine))
-    if grouping is not None:
-        return finish("greedy", grouping)
-
-    # Tier 4: no fusion at all.  Cannot fail.
-    grouping = singleton_grouping(pipeline)
-    attempts.append(TierAttempt(tier="no-fusion", status="ok"))
-    return finish("no-fusion", grouping)
+        # Tier 4: no fusion at all.  Cannot fail.
+        grouping = singleton_grouping(pipeline)
+        record(TierAttempt(tier="no-fusion", status="ok"))
+        sched_span.set(tier="no-fusion")
+        return finish("no-fusion", grouping)

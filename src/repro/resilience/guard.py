@@ -32,12 +32,14 @@ per-group audit trail of what actually ran.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dsl.pipeline import Pipeline
+from ..obs import METRICS, TRACE
 from ..errors import (
     InputDtypeError,
     InputMissingError,
@@ -274,77 +276,122 @@ def execute_guarded(
         raise ValueError("grouping was built for a different pipeline")
     if nthreads < 1:
         raise ValueError("nthreads must be positive")
-    if policy.validate:
-        validate_inputs(pipeline, inputs)
-    buffers = _input_buffers(pipeline, inputs)
-    kernels = stage_kernels(pipeline, enabled=policy.compile_kernels)
+    with TRACE.span("prepare", pipeline=pipeline.name):
+        if policy.validate:
+            validate_inputs(pipeline, inputs)
+        buffers = _input_buffers(pipeline, inputs)
+        kernels = stage_kernels(pipeline, enabled=policy.compile_kernels)
 
+    observing = METRICS.enabled
+    t_exec = time.perf_counter() if observing else 0.0
     outcomes: List[GroupOutcome] = []
-    for gi, (members, tiles) in enumerate(
-        zip(grouping.groups, grouping.tile_sizes)
+    with TRACE.span(
+        "execute_guarded", pipeline=pipeline.name, nthreads=nthreads,
+        groups=grouping.num_groups,
     ):
-        names = sorted(s.name for s in members)
-        outcome = GroupOutcome(
-            group_index=gi, stages=names, mode="tiled",
-            tile_sizes=tuple(tiles),
-        )
-        try:
-            run_tiles: Sequence[int] = tiles
-            if policy.memory_cap_bytes is not None:
-                geom = compute_group_geometry(pipeline, members)
-                if geom is not None and len(tiles) == geom.ndim:
-                    run_tiles = fit_tiles_to_memory_cap(
-                        pipeline, geom, tiles, policy.memory_cap_bytes,
-                        nthreads,
-                    )
-                    if tuple(run_tiles) != tuple(tiles):
-                        outcome.note = (
-                            f"tiles shrunk {list(tiles)} -> "
-                            f"{list(run_tiles)} for memory cap"
-                        )
-                        outcome.tile_sizes = tuple(run_tiles)
-            outcome.mode = _execute_one_group(
-                pipeline, members, run_tiles, buffers, nthreads,
-                group_index=gi, tile_retries=policy.tile_retries,
-                kernels=kernels,
+        for gi, (members, tiles) in enumerate(
+            zip(grouping.groups, grouping.tile_sizes)
+        ):
+            names = sorted(s.name for s in members)
+            outcome = GroupOutcome(
+                group_index=gi, stages=names, mode="tiled",
+                tile_sizes=tuple(tiles),
             )
-        except Exception as exc:  # noqa: BLE001 - rewrapped/absorbed below
-            if not policy.degrade:
-                if isinstance(exc, ReproError):
-                    raise
-                raise TileExecutionError(
-                    f"group {gi} failed: {exc}",
-                    group_index=gi,
-                    tile_index=-1,
-                    cause=exc,
-                ) from exc
-            _run_reference_group(pipeline, members, buffers)
-            outcome.mode = "reference-fallback"
-            outcome.error_code = error_code(exc)
-            if not outcome.note:
-                outcome.note = str(exc)[:200]
-
-        if policy.scan_nonfinite:
-            bad = _nonfinite_stages(members, buffers, pipeline)
-            if bad and outcome.mode != "reference-fallback":
-                if not policy.degrade:
-                    raise NumericError(
-                        f"non-finite values in stages {bad} of group {gi}",
-                        group_index=gi,
-                        stages=bad,
+            t_group = time.perf_counter() if observing else 0.0
+            with TRACE.span(
+                "group", index=gi, stages=names, tiles=list(tiles),
+            ) as gspan:
+                try:
+                    run_tiles: Sequence[int] = tiles
+                    if policy.memory_cap_bytes is not None:
+                        geom = compute_group_geometry(pipeline, members)
+                        if geom is not None and len(tiles) == geom.ndim:
+                            run_tiles = fit_tiles_to_memory_cap(
+                                pipeline, geom, tiles,
+                                policy.memory_cap_bytes, nthreads,
+                            )
+                            if tuple(run_tiles) != tuple(tiles):
+                                outcome.note = (
+                                    f"tiles shrunk {list(tiles)} -> "
+                                    f"{list(run_tiles)} for memory cap"
+                                )
+                                outcome.tile_sizes = tuple(run_tiles)
+                    outcome.mode = _execute_one_group(
+                        pipeline, members, run_tiles, buffers, nthreads,
+                        group_index=gi, tile_retries=policy.tile_retries,
+                        kernels=kernels,
                     )
-                _run_reference_group(pipeline, members, buffers)
-                outcome.mode = "reference-fallback"
-                outcome.error_code = NumericError.code
-                bad = _nonfinite_stages(members, buffers, pipeline)
-            if bad:
-                outcome.note = (
-                    f"non-finite values in {bad} (also in reference — "
-                    f"genuine pipeline output)"
-                    if outcome.mode == "reference-fallback"
-                    else outcome.note
+                except Exception as exc:  # noqa: BLE001 - rewrapped below
+                    if not policy.degrade:
+                        if isinstance(exc, ReproError):
+                            raise
+                        raise TileExecutionError(
+                            f"group {gi} failed: {exc}",
+                            group_index=gi,
+                            tile_index=-1,
+                            cause=exc,
+                        ) from exc
+                    code = error_code(exc)
+                    if observing:
+                        METRICS.inc(
+                            "repro_degraded_groups_total", code=code
+                        )
+                    with TRACE.span(
+                        "reference-fallback", index=gi, code=code,
+                    ):
+                        _run_reference_group(pipeline, members, buffers)
+                    outcome.mode = "reference-fallback"
+                    outcome.error_code = code
+                    if not outcome.note:
+                        outcome.note = str(exc)[:200]
+
+                if policy.scan_nonfinite:
+                    bad = _nonfinite_stages(members, buffers, pipeline)
+                    if bad and outcome.mode != "reference-fallback":
+                        if not policy.degrade:
+                            raise NumericError(
+                                f"non-finite values in stages {bad} of "
+                                f"group {gi}",
+                                group_index=gi,
+                                stages=bad,
+                            )
+                        if observing:
+                            METRICS.inc(
+                                "repro_degraded_groups_total",
+                                code=NumericError.code,
+                            )
+                        with TRACE.span(
+                            "reference-fallback", index=gi,
+                            code=NumericError.code,
+                        ):
+                            _run_reference_group(
+                                pipeline, members, buffers
+                            )
+                        outcome.mode = "reference-fallback"
+                        outcome.error_code = NumericError.code
+                        bad = _nonfinite_stages(members, buffers, pipeline)
+                    if bad:
+                        outcome.note = (
+                            f"non-finite values in {bad} (also in "
+                            f"reference — genuine pipeline output)"
+                            if outcome.mode == "reference-fallback"
+                            else outcome.note
+                        )
+                gspan.set(mode=outcome.mode)
+                if outcome.error_code:
+                    gspan.set(error_code=outcome.error_code)
+            if observing:
+                METRICS.observe(
+                    "repro_group_seconds",
+                    time.perf_counter() - t_group,
+                    pipeline=pipeline.name,
                 )
-        outcomes.append(outcome)
+            outcomes.append(outcome)
+    if observing:
+        METRICS.observe(
+            "repro_execute_seconds", time.perf_counter() - t_exec,
+            pipeline=pipeline.name, mode="guarded",
+        )
 
     outputs = {o.name: buffers[o.name].data for o in pipeline.outputs}
     return ExecutionReport(outputs=outputs, outcomes=outcomes)

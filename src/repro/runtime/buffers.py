@@ -121,12 +121,26 @@ class BufferPool:
     ``out=`` mode) overwrite every element, so zeroing would be wasted work.
     Lent arrays are tracked by ``id`` (``ndarray.__eq__`` is elementwise,
     which rules out list/dict membership by value).
+
+    The ``stat_*`` counters record recycling effectiveness (acquisitions
+    served from the free list vs fresh allocations, arrays reclaimed).
+    They are plain per-pool integers — always maintained, since an
+    increment is noise next to the ``np.empty`` it annotates — and the
+    executor folds them into :data:`repro.obs.METRICS`
+    (``repro_pool_acquires_total``/``repro_pool_reclaims_total``) per
+    chunk when metrics collection is on.
     """
 
     _free: Dict[Tuple[Tuple[int, ...], object], List[np.ndarray]] = field(
         default_factory=dict
     )
     _lent: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: acquisitions served by recycling a previously released array
+    stat_reused: int = 0
+    #: acquisitions that had to allocate a fresh array
+    stat_allocated: int = 0
+    #: arrays returned to the free lists (reclaim + release_all)
+    stat_reclaimed: int = 0
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """An uninitialised array of ``shape``/``dtype`` — recycled when
@@ -135,7 +149,12 @@ class BufferPool:
         key = (tuple(shape), dt)
         maybe_fail("alloc", detail=f"pool{key[0]!r}")
         stack = self._free.get(key)
-        arr = stack.pop() if stack else np.empty(key[0], dtype=dt)
+        if stack:
+            arr = stack.pop()
+            self.stat_reused += 1
+        else:
+            arr = np.empty(key[0], dtype=dt)
+            self.stat_allocated += 1
         self._lent[id(arr)] = arr
         return arr
 
@@ -143,12 +162,14 @@ class BufferPool:
         """Return one lent array to the free list immediately (used when a
         kernel could not write into the scratch array after all)."""
         if self._lent.pop(id(arr), None) is not None:
+            self.stat_reclaimed += 1
             self._free.setdefault(
                 (arr.shape, arr.dtype), []
             ).append(arr)
 
     def release_all(self) -> None:
         """Return every lent array to the free lists (end of one tile)."""
+        self.stat_reclaimed += len(self._lent)
         for arr in self._lent.values():
             self._free.setdefault(
                 (arr.shape, arr.dtype), []

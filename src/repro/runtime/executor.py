@@ -23,6 +23,7 @@ and scheduling strategy.
 from __future__ import annotations
 
 import itertools
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,7 +36,10 @@ from ..errors import (
     InputMissingError,
     InputShapeError,
     TileExecutionError,
+    error_code,
+    is_retryable,
 )
+from ..obs import METRICS, TRACE
 from ..fusion.grouping import Grouping
 from ..poly.alignscale import GroupGeometry, compute_group_geometry
 from ..resilience.faults import maybe_fail
@@ -411,29 +415,64 @@ def _execute_group_tiled(
         item: Tuple[int, Tuple[int, ...]], pool: BufferPool
     ) -> None:
         tile_index, tile_lo = item
-        attempts = tile_retries + 1
-        for attempt in range(attempts):
+        max_attempts = tile_retries + 1
+        attempts = 0
+        retryable = True
+        for attempt in range(max_attempts):
+            attempts = attempt + 1
             try:
                 run_tile(tile_index, tile_lo, attempt, pool)
                 return
             except Exception as exc:  # noqa: BLE001 - rewrapped below
                 last = exc
+                if not is_retryable(exc):
+                    # Deterministic failure (missing buffer, INPUT_*,
+                    # memory budget): identical retries cannot succeed,
+                    # so surface TILE_FAIL immediately with the true
+                    # attempt count instead of burning the budget.
+                    retryable = False
+                    if METRICS.enabled:
+                        METRICS.inc("repro_tile_nonretryable_total")
+                    break
+                if attempts < max_attempts and METRICS.enabled:
+                    METRICS.inc("repro_tile_retries_total")
+        if METRICS.enabled:
+            METRICS.inc(
+                "repro_tile_failures_total", code=error_code(last)
+            )
         raise TileExecutionError(
             f"tile {tile_index} of group {group_index} failed after "
-            f"{attempts} attempt(s): {last}",
+            f"{attempts} attempt(s)"
+            f"{'' if retryable else ' (non-retryable)'}: {last}",
             group_index=group_index,
             tile_index=tile_index,
             tile_origin=tuple(tile_lo),
             cause=last,
             attempts=attempts,
+            retryable=retryable,
         )
+
+    # Chunk spans run on worker threads where the thread-local span stack
+    # is empty — capture the group span here so they parent correctly.
+    parent_span = TRACE.current() if TRACE.enabled else None
 
     def run_chunk(chunk: List[Tuple[int, Tuple[int, ...]]]) -> None:
         # One scratch pool per chunk: worker-local, so lock-free, and warm
         # for every tile after the first.
         pool = BufferPool()
-        for item in chunk:
-            run_tile_captured(item, pool)
+        with TRACE.span(
+            "chunk", parent=parent_span, tiles=len(chunk),
+            first_tile=chunk[0][0] if chunk else -1,
+        ):
+            for item in chunk:
+                run_tile_captured(item, pool)
+        if METRICS.enabled:
+            METRICS.inc("repro_tiles_total", len(chunk))
+            METRICS.inc("repro_pool_acquires_total", pool.stat_reused,
+                        result="reused")
+            METRICS.inc("repro_pool_acquires_total", pool.stat_allocated,
+                        result="allocated")
+            METRICS.inc("repro_pool_reclaims_total", pool.stat_reclaimed)
 
     tiles = list(enumerate(itertools.product(*dim_ranges)))
     chunks = _chunk_tiles(tiles, nthreads)
@@ -541,15 +580,45 @@ def execute_grouping(
         raise ValueError("grouping was built for a different pipeline")
     if nthreads < 1:
         raise ValueError("nthreads must be positive")
-    buffers = _input_buffers(pipeline, inputs)
-    kernels = stage_kernels(pipeline, enabled=compile_kernels)
-
-    for gi, (members, tiles) in enumerate(
-        zip(grouping.groups, grouping.tile_sizes)
+    with TRACE.span(
+        "prepare", pipeline=pipeline.name,
+        compile_kernels=bool(compile_kernels)
+        if compile_kernels is not None else "default",
     ):
-        _execute_one_group(
-            pipeline, members, tiles, buffers, nthreads,
-            group_index=gi, tile_retries=tile_retries, kernels=kernels,
+        buffers = _input_buffers(pipeline, inputs)
+        kernels = stage_kernels(pipeline, enabled=compile_kernels)
+
+    observing = METRICS.enabled
+    t_exec = time.perf_counter() if observing else 0.0
+    with TRACE.span(
+        "execute_grouping", pipeline=pipeline.name, nthreads=nthreads,
+        groups=grouping.num_groups,
+    ):
+        for gi, (members, tiles) in enumerate(
+            zip(grouping.groups, grouping.tile_sizes)
+        ):
+            t_group = time.perf_counter() if observing else 0.0
+            with TRACE.span(
+                "group", index=gi,
+                stages=sorted(s.name for s in members),
+                tiles=list(tiles),
+            ) as gspan:
+                mode = _execute_one_group(
+                    pipeline, members, tiles, buffers, nthreads,
+                    group_index=gi, tile_retries=tile_retries,
+                    kernels=kernels,
+                )
+                gspan.set(mode=mode)
+            if observing:
+                METRICS.observe(
+                    "repro_group_seconds",
+                    time.perf_counter() - t_group,
+                    pipeline=pipeline.name,
+                )
+    if observing:
+        METRICS.observe(
+            "repro_execute_seconds", time.perf_counter() - t_exec,
+            pipeline=pipeline.name, mode="strict",
         )
 
     return {o.name: buffers[o.name].data for o in pipeline.outputs}

@@ -68,6 +68,7 @@ from ..dsl.expr import (
 from ..dsl.function import Function, Reduction
 from ..dsl.pipeline import Pipeline
 from ..errors import KernelCompileError
+from ..obs import METRICS
 from .evalexpr import evaluate_expr
 
 __all__ = [
@@ -657,6 +658,8 @@ def get_kernel(pipeline: Pipeline, stage: Function) -> Optional[StageKernel]:
         per = _CACHE.setdefault(pipeline, {})
     entry = per.get(stage.name, _MISS)
     if entry is not _MISS:
+        if METRICS.enabled:
+            METRICS.inc("repro_kernel_compile_total", result="cached")
         return entry  # type: ignore[return-value]
     if stage.is_reduction:
         per[stage.name] = None
@@ -672,6 +675,11 @@ def get_kernel(pipeline: Pipeline, stage: Function) -> Optional[StageKernel]:
         )
         kernel = None
     per[stage.name] = kernel
+    if METRICS.enabled:
+        METRICS.inc(
+            "repro_kernel_compile_total",
+            result="compiled" if kernel is not None else "fallback",
+        )
     return kernel
 
 

@@ -1,0 +1,201 @@
+"""The metrics registry: counter/gauge/histogram semantics, label
+handling, Prometheus text round-trip, and the disabled no-op path."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import METRICS, MetricsRegistry, parse_prometheus_text
+from repro.obs.metrics import METRIC_HELP
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounters:
+    def test_inc_accumulates(self, reg):
+        reg.inc("repro_tiles_total")
+        reg.inc("repro_tiles_total", 5)
+        assert reg.value("repro_tiles_total") == 6.0
+
+    def test_labels_are_distinct_series(self, reg):
+        reg.inc("repro_tile_failures_total", code="TILE_FAIL")
+        reg.inc("repro_tile_failures_total", 2, code="FAULT_INJECTED")
+        assert reg.value("repro_tile_failures_total",
+                         code="TILE_FAIL") == 1.0
+        assert reg.value("repro_tile_failures_total",
+                         code="FAULT_INJECTED") == 2.0
+
+    def test_label_order_does_not_matter(self, reg):
+        reg.inc("repro_schedule_tier_attempts_total",
+                tier="dp", status="ok")
+        assert reg.value("repro_schedule_tier_attempts_total",
+                         status="ok", tier="dp") == 1.0
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.inc("repro_tiles_total", -1)
+
+    def test_untouched_series_reads_zero(self, reg):
+        reg.inc("repro_tiles_total")
+        assert reg.value("repro_tiles_total", code="nope") == 0.0
+
+    def test_unknown_metric_reads_none(self, reg):
+        assert reg.value("never_registered") is None
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_overwrites(self, reg):
+        reg.set("pool_free", 4)
+        reg.set("pool_free", 2)
+        assert reg.value("pool_free") == 2.0
+
+    def test_histogram_count_and_sum(self, reg):
+        reg.observe("repro_group_seconds", 0.02, pipeline="blur")
+        reg.observe("repro_group_seconds", 0.03, pipeline="blur")
+        count, total = reg.value("repro_group_seconds", pipeline="blur")
+        assert count == 2
+        assert total == pytest.approx(0.05)
+
+    def test_type_conflict_rejected(self, reg):
+        reg.inc("repro_tiles_total")
+        with pytest.raises(ValueError):
+            reg.observe("repro_tiles_total", 1.0)
+
+    def test_declared_metrics_use_their_registered_kind(self, reg):
+        # METRIC_HELP pins the type regardless of the mutator's default
+        for name, (kind, _) in METRIC_HELP.items():
+            assert kind in ("counter", "gauge", "histogram")
+        reg.inc("repro_kernel_compile_total", result="compiled")
+        assert reg._metrics["repro_kernel_compile_total"].kind == "counter"
+        reg.observe("repro_execute_seconds", 0.1)
+        assert reg._metrics["repro_execute_seconds"].kind == "histogram"
+
+
+class TestPrometheusExposition:
+    def test_round_trip(self, reg):
+        reg.inc("repro_tiles_total", 36)
+        reg.inc("repro_tile_failures_total", 2, code="TILE_FAIL")
+        reg.observe("repro_group_seconds", 0.02, pipeline="blur")
+        text = reg.to_prometheus()
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_tiles_total", ())] == 36.0
+        assert samples[(
+            "repro_tile_failures_total", (("code", "TILE_FAIL"),)
+        )] == 2.0
+        assert samples[(
+            "repro_group_seconds_count", (("pipeline", "blur"),)
+        )] == 1.0
+        assert samples[(
+            "repro_group_seconds_sum", (("pipeline", "blur"),)
+        )] == pytest.approx(0.02)
+
+    def test_help_and_type_lines_present(self, reg):
+        reg.inc("repro_tiles_total")
+        text = reg.to_prometheus()
+        assert "# HELP repro_tiles_total " in text
+        assert "# TYPE repro_tiles_total counter" in text
+
+    def test_histogram_buckets_cumulative_and_inf(self, reg):
+        reg.observe("repro_group_seconds", 0.002)
+        reg.observe("repro_group_seconds", 0.002)
+        reg.observe("repro_group_seconds", 100.0)  # beyond every bucket
+        samples = parse_prometheus_text(reg.to_prometheus())
+        buckets = sorted(
+            (float(dict(labels)["le"].replace("+Inf", "inf")), v)
+            for (name, labels), v in samples.items()
+            if name == "repro_group_seconds_bucket"
+        )
+        # cumulative counts never decrease, +Inf equals the total count
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 3.0
+        assert samples[("repro_group_seconds_count", ())] == 3.0
+
+    def test_label_escaping_round_trips(self, reg):
+        nasty = 'quo"te\\slash\nnewline'
+        reg.inc("repro_tile_failures_total", code=nasty)
+        samples = parse_prometheus_text(reg.to_prometheus())
+        assert samples[(
+            "repro_tile_failures_total", (("code", nasty),)
+        )] == 1.0
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line at all!")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("name{unclosed 3")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("name notanumber")
+
+    def test_parser_accepts_comments_and_blanks(self):
+        assert parse_prometheus_text("# a comment\n\nx_total 1\n") == {
+            ("x_total", ()): 1.0
+        }
+
+
+class TestFilesAndJson:
+    def test_write_prometheus_file(self, reg, tmp_path):
+        reg.inc("repro_tiles_total", 3)
+        path = tmp_path / "metrics.prom"
+        reg.write(str(path))
+        samples = parse_prometheus_text(path.read_text())
+        assert samples[("repro_tiles_total", ())] == 3.0
+
+    def test_write_json_file(self, reg, tmp_path):
+        reg.inc("repro_tiles_total", 3)
+        reg.observe("repro_group_seconds", 0.02)
+        path = tmp_path / "metrics.json"
+        reg.write(str(path), fmt="json")
+        data = json.loads(path.read_text())
+        assert data["repro_tiles_total"]["type"] == "counter"
+        assert data["repro_tiles_total"]["samples"][0]["value"] == 3.0
+        hist = data["repro_group_seconds"]["samples"][0]["value"]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["le"] == "+Inf"
+
+    def test_unknown_format_rejected(self, reg, tmp_path):
+        with pytest.raises(ValueError):
+            reg.write(str(tmp_path / "x"), fmt="xml")
+
+
+class TestDisabledPath:
+    def test_mutators_are_noops_when_disabled(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_tiles_total")
+        reg.set("gauge", 1)
+        reg.observe("hist", 1.0)
+        assert reg.value("repro_tiles_total") is None
+        assert reg.to_prometheus() == ""
+        assert reg.to_dict() == {}
+
+    def test_global_registry_disabled_by_default(self):
+        assert METRICS.enabled is False
+
+    def test_reset_drops_values(self, reg):
+        reg.inc("repro_tiles_total")
+        reg.reset(enabled=True)
+        assert reg.value("repro_tiles_total") is None
+        reg.reset(enabled=False)
+        assert not reg.enabled
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self, reg):
+        n, per = 8, 500
+
+        def worker():
+            for _ in range(per):
+                reg.inc("repro_tiles_total")
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("repro_tiles_total") == n * per

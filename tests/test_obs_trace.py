@@ -1,0 +1,183 @@
+"""The span tracer: tree structure, parenting, timing monotonicity,
+thread-pool parenting, serialization, and the disabled no-op path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import TileExecutionError
+from repro.obs import NULL_SPAN, TRACE, Tracer
+from repro.obs.trace import TRACE_FORMAT
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.reset(enabled=True)
+    return t
+
+
+class TestSpanTree:
+    def test_nested_spans_parent_correctly(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf"):
+                    pass
+        root = tracer.root
+        assert [c.name for c in root.children] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner"]
+        assert [c.name for c in inner.children] == ["leaf"]
+
+    def test_siblings_attach_to_same_parent(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in parent.children] == ["a", "b"]
+
+    def test_timing_monotonicity(self, tracer):
+        with tracer.span("outer") as outer:
+            time.sleep(0.001)
+            with tracer.span("inner") as inner:
+                time.sleep(0.001)
+        assert outer.end is not None and inner.end is not None
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+
+    def test_attrs_at_open_and_set(self, tracer):
+        with tracer.span("s", mode="tiled") as span:
+            span.set(groups=3)
+        assert span.attrs == {"mode": "tiled", "groups": 3}
+
+    def test_exception_annotates_error_code_and_propagates(self, tracer):
+        with pytest.raises(TileExecutionError):
+            with tracer.span("failing") as span:
+                raise TileExecutionError("boom", group_index=0,
+                                         tile_index=1)
+        assert span.attrs["error"] == "TILE_FAIL"
+        assert span.end is not None  # closed despite the exception
+
+    def test_explicit_parent_overrides_thread_local(self, tracer):
+        with tracer.span("main-side") as parent:
+            pass  # closed before the worker runs
+
+        def worker():
+            with tracer.span("worker-side", parent=parent):
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert [c.name for c in parent.children] == ["worker-side"]
+
+    def test_current_tracks_innermost_open_span(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_add_span_folds_external_interval(self, tracer):
+        t0 = time.perf_counter()
+        span = tracer.add_span("phase", t0, t0 + 0.5, aggregate=True)
+        assert span in tracer.root.children
+        assert span.duration == pytest.approx(0.5)
+        assert span.attrs["aggregate"] is True
+
+    def test_concurrent_threads_build_disjoint_subtrees(self, tracer):
+        with tracer.span("run") as run:
+            def worker(i):
+                with tracer.span(f"w{i}", parent=run):
+                    with tracer.span(f"w{i}-child"):
+                        pass
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(run.children) == 8
+        for child in run.children:
+            assert len(child.children) == 1
+            assert child.children[0].name == f"{child.name}-child"
+
+
+class TestSerialization:
+    def test_to_dict_shape(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        data = tracer.to_dict()
+        assert data["format"] == TRACE_FORMAT
+        root = data["root"]
+        assert root["name"] == "trace"
+        (a,) = root["children"]
+        assert a["name"] == "a"
+        assert a["children"][0]["name"] == "b"
+
+    def test_dict_times_relative_and_monotone(self, tracer):
+        with tracer.span("a"):
+            time.sleep(0.001)
+            with tracer.span("b"):
+                time.sleep(0.001)
+        root = tracer.to_dict()["root"]
+        assert root["start_s"] == 0.0
+        a = root["children"][0]
+        b = a["children"][0]
+        assert 0.0 <= a["start_s"] <= b["start_s"]
+        assert b["duration_s"] <= a["duration_s"] <= root["duration_s"]
+
+    def test_children_sorted_by_start(self, tracer):
+        t0 = time.perf_counter()
+        tracer.add_span("late", t0 + 2.0, t0 + 3.0)
+        tracer.add_span("early", t0, t0 + 1.0)
+        root = tracer.to_dict()["root"]
+        assert [c["name"] for c in root["children"]] == ["early", "late"]
+
+    def test_write_json_round_trips(self, tracer, tmp_path):
+        with tracer.span("a", pipeline="blur"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == TRACE_FORMAT
+        assert data["root"]["children"][0]["attrs"]["pipeline"] == "blur"
+
+    def test_disabled_tracer_serializes_empty(self):
+        t = Tracer()
+        assert t.to_dict() == {"format": TRACE_FORMAT, "root": None}
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_handle(self):
+        t = Tracer()
+        handle = t.span("anything", pipeline="x")
+        assert handle is NULL_SPAN
+        # and it supports the full handle protocol as a no-op
+        with handle as span:
+            span.set(whatever=1)
+        assert t.root is None
+
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACE.enabled is False
+        assert TRACE.span("x") is NULL_SPAN
+
+    def test_add_span_noop_when_disabled(self):
+        t = Tracer()
+        assert t.add_span("x", 0.0, 1.0) is None
+
+    def test_reset_drops_previous_tree(self, tracer):
+        with tracer.span("old"):
+            pass
+        tracer.reset(enabled=True)
+        assert tracer.root.children == []
+        tracer.reset(enabled=False)
+        assert tracer.root is None
+        assert not tracer.enabled
