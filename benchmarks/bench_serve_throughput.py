@@ -1,0 +1,170 @@
+"""Steady-state serving throughput vs one-shot runs.
+
+The serve layer's reason to exist is amortization: a one-shot ``repro
+run`` pays scheduling, kernel compilation, pool setup, and thread-pool
+construction on *every* invocation, while a warm
+:class:`repro.serve.PipelineHost` pays them once.  This benchmark
+measures that directly, per pipeline:
+
+* **one-shot**: each iteration clears the kernel cache, rebuilds the
+  pipeline, re-schedules it (the CLI's degrade-mode path), and executes
+  once — everything a fresh process pays except interpreter startup,
+  which would only widen the gap.
+* **serve**: one warm :class:`~repro.serve.PipelineService`, then N
+  requests submitted back-to-back through the micro-batching queue.
+
+Both paths produce digests for the same seed, so the run doubles as a
+bit-identity check.  Results land in ``BENCH_serve.json``; ``--check``
+exits nonzero unless serving is at least ``--min-speedup`` (default 3x)
+faster per request on every measured pipeline and all digests match.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
+        --pipelines UM HC --requests 50 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.model.machine import XEON_HASWELL
+from repro.planner import (
+    build_benchmark,
+    make_inputs,
+    output_digests,
+    plan_schedule,
+)
+from repro.resilience import GuardPolicy, execute_guarded
+from repro.runtime import clear_kernel_cache
+from repro.serve import HostConfig, PipelineService, ServeConfig
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+SCALE = 0.05
+THREADS = 4
+SEED = 0
+
+
+def oneshot_once(key: str) -> Dict[str, str]:
+    """One cold request: schedule, compile, execute from scratch."""
+    clear_kernel_cache()
+    bench, pipe = build_benchmark(key, SCALE)
+    grouping, _ = plan_schedule(pipe, bench, XEON_HASWELL, "dp",
+                                1_200_000, strict=False)
+    report = execute_guarded(
+        pipe, grouping, make_inputs(pipe, SEED), nthreads=THREADS,
+        policy=GuardPolicy(tile_retries=1, degrade=True),
+    )
+    return output_digests(report.outputs)
+
+
+def bench_pipeline(service: PipelineService, key: str,
+                   oneshot_reps: int, requests: int) -> Dict:
+    # one-shot: full cold path per iteration
+    t0 = time.perf_counter()
+    for _ in range(oneshot_reps):
+        oneshot_digest = oneshot_once(key)
+    oneshot_s = (time.perf_counter() - t0) / oneshot_reps
+
+    # serve: warm outside the window, then N requests through the queue
+    host = service.host(key)
+    service.submit(key, seed=SEED).result(timeout=300)
+    t0 = time.perf_counter()
+    futures = [service.submit(key, seed=SEED) for _ in range(requests)]
+    results = [f.result(timeout=300) for f in futures]
+    serve_total_s = time.perf_counter() - t0
+    serve_s = serve_total_s / requests
+
+    serve_digests = {output_digests(r.outputs)[name]
+                     for r in results for name in r.outputs}
+    expected = set(oneshot_digest.values())
+    return {
+        "pipeline": key,
+        "requests": requests,
+        "oneshot_reps": oneshot_reps,
+        "oneshot_s_per_request": round(oneshot_s, 6),
+        "serve_s_per_request": round(serve_s, 6),
+        "serve_throughput_rps": round(requests / serve_total_s, 3),
+        "speedup": round(oneshot_s / serve_s, 3),
+        "warm_s": round(host.warm_s, 4),
+        "mean_batch_size": round(
+            sum(r.batch_size for r in results) / len(results), 3
+        ),
+        "digests_match": serve_digests == expected,
+        "digest": sorted(expected),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pipelines", nargs="+", default=["UM", "HC"])
+    parser.add_argument("--requests", type=int, default=50,
+                        help="served requests per pipeline")
+    parser.add_argument("--oneshot-reps", type=int, default=3,
+                        help="cold one-shot iterations per pipeline")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every pipeline serves at "
+                             ">= --min-speedup vs one-shot with matching "
+                             "digests")
+    args = parser.parse_args(argv)
+
+    service = PipelineService(ServeConfig(
+        host=HostConfig(scale=SCALE, threads=THREADS),
+        max_queue=max(256, args.requests * 2),
+    )).start()
+    try:
+        records = []
+        for key in args.pipelines:
+            rec = bench_pipeline(service, key, args.oneshot_reps,
+                                 args.requests)
+            records.append(rec)
+            print(f"{key}: one-shot {rec['oneshot_s_per_request']:.3f}s"
+                  f"/req, served {rec['serve_s_per_request']:.4f}s/req "
+                  f"({rec['serve_throughput_rps']:.1f} rps, "
+                  f"{rec['speedup']:.1f}x, digests_match="
+                  f"{rec['digests_match']})")
+    finally:
+        service.shutdown(timeout_s=120.0)
+
+    payload = {
+        "benchmark": "serve_throughput",
+        "description": "cold schedule+compile+execute per request vs a "
+                       "warm PipelineService, same seed and scale "
+                       f"({SCALE}), {THREADS} executor threads",
+        "scale": SCALE,
+        "threads": THREADS,
+        "seed": SEED,
+        "results": records,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        bad = [r["pipeline"] for r in records
+               if r["speedup"] < args.min_speedup
+               or not r["digests_match"]]
+        if bad:
+            print(f"FAIL: serve speedup < {args.min_speedup}x or digest "
+                  f"mismatch on {bad}")
+            return 1
+        print(f"PASS: serving >= {args.min_speedup}x one-shot throughput "
+              f"with bit-identical outputs on all measured pipelines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

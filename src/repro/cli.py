@@ -15,27 +15,31 @@ Commands
     Price all four paper configurations with the timing model.
 ``codegen <bench>``
     Emit PolyMage-style C++ for a scheduled benchmark.
+``serve``
+    Boot the long-lived batching pipeline service with an HTTP API
+    (see :mod:`repro.serve` and ``docs/serving.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional
 
 import numpy as np
 
-from .fusion import ScheduleCache, schedule_cache_key, schedule_pipeline
 from .fusion.serialize import load_grouping, save_grouping
 from .obs import METRICS, TRACE
+from .planner import build_benchmark, make_inputs, output_digests, \
+    plan_schedule
 from .profiling import PROFILE
 from .model import AMD_OPTERON, XEON_HASWELL, Machine
 from .perfmodel import estimate_runtime
-from .pipelines import BENCHMARKS, get_benchmark
+from .pipelines import BENCHMARKS, registry_json
 from .reporting import format_table
-from .resilience import GuardPolicy, ScheduleBudget, execute_guarded, \
-    resilient_schedule
+from .resilience import GuardPolicy, execute_guarded
 from .runtime import execute_grouping, execute_reference
 
 __all__ = ["main"]
@@ -51,74 +55,11 @@ def _machine(name: str) -> Machine:
                          f"{sorted(_MACHINES)}")
 
 
-def _build(abbrev: str, scale: float):
-    bench = get_benchmark(abbrev)
-    if scale >= 1.0:
-        return bench, bench.build()
-    kwargs = dict(bench.small_kwargs)
-    w, h = bench.image_size[0], bench.image_size[1]
-    kwargs["width"] = max(64, int(w * scale) // 16 * 16)
-    kwargs["height"] = max(64, int(h * scale) // 16 * 16)
-    return bench, bench.build(**kwargs)
-
-
-def _schedule(pipe, bench, machine, strategy, max_states,
-              budget_s=None, strict=True, prune=True, schedule_cache=None):
-    """Schedule for the CLI; returns ``(grouping, report_or_None)``.
-
-    In degrade mode (``strict=False``) the DP strategies run through
-    :func:`repro.resilience.resilient_schedule`, so a budget blowout or a
-    scheduling failure degrades down the chain instead of aborting; the
-    returned :class:`ScheduleReport` says which tier actually ran.
-
-    The CLI enables the lossless DP pruning by default (``--no-prune``
-    opts out); the library default stays off so the paper's Table 2 state
-    counts remain reproducible.  ``schedule_cache`` is a directory for
-    the persistent schedule cache; in degrade mode only a result from the
-    *requested* tier is cached (never a degraded fallback).
-    """
-    if strategy == "h-manual":
-        return bench.h_manual(pipe), None
-    kwargs = {}
-    if strategy == "dp-incremental" or (
-        strategy == "dp" and bench.abbrev == "PB"
-    ):
-        strategy = "dp-incremental"
-        kwargs = dict(initial_limit=2, step=2)
-    if not strict and strategy in ("dp", "dp-incremental"):
-        cache = key = None
-        if schedule_cache is not None:
-            cache = ScheduleCache(schedule_cache)
-            params = []
-            if strategy == "dp-incremental":
-                params = [f"initial_limit={kwargs['initial_limit']}",
-                          f"step={kwargs['step']}"]
-            else:
-                params = ["group_limit=None"]
-            key = schedule_cache_key(pipe, machine, strategy=strategy,
-                                     params=params)
-            hit = cache.load(pipe, key)
-            if hit is not None:
-                return hit, None
-        # dp-incremental requests skip the unbounded tier by zeroing its
-        # state budget — its attempt fails instantly as SCHED_BUDGET.
-        budget = ScheduleBudget(
-            wall_clock_s=budget_s,
-            dp_max_states=0 if strategy == "dp-incremental" else max_states,
-            inc_max_states=max_states,
-            initial_limit=kwargs.get("initial_limit", 2),
-            step=kwargs.get("step", 2),
-            prune=prune,
-        )
-        report = resilient_schedule(pipe, machine, budget)
-        if cache is not None and report.tier == strategy:
-            cache.store(report.grouping, key)
-        return report.grouping, report
-    return schedule_pipeline(
-        pipe, machine, strategy=strategy, max_states=max_states,
-        time_budget_s=budget_s, prune=prune, schedule_cache=schedule_cache,
-        **kwargs
-    ), None
+# The build/schedule logic lives in repro.planner now, shared verbatim
+# with the serve layer so `repro run` and a PipelineHost make identical
+# decisions (the serve layer's bit-identity contract depends on it).
+_build = build_benchmark
+_schedule = plan_schedule
 
 
 def _obs_begin(args) -> None:
@@ -151,6 +92,9 @@ def _obs_finish(args) -> None:
 
 
 def cmd_list(args) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps(registry_json(), indent=2))
+        return 0
     rows = []
     for ab, b in BENCHMARKS.items():
         rows.append([
@@ -218,16 +162,7 @@ def cmd_run(args) -> int:
                 PROFILE.reset(enabled=False)
     print(grouping.describe())
 
-    rng = np.random.default_rng(args.seed)
-    inputs = {}
-    for img in pipe.images:
-        shape = pipe.image_shape(img)
-        if img.scalar_type.np_dtype.kind in "ui":
-            inputs[img.name] = rng.integers(0, 1024, shape).astype(
-                img.scalar_type.np_dtype
-            )
-        else:
-            inputs[img.name] = rng.random(shape, dtype=np.float32)
+    inputs = make_inputs(pipe, args.seed)
 
     compile_kernels = False if args.no_compile else None
     start = time.perf_counter()
@@ -249,6 +184,10 @@ def cmd_run(args) -> int:
             print(exec_report.describe())
     elapsed = time.perf_counter() - start
     print(f"executed in {elapsed:.2f}s on {args.threads} thread(s)")
+
+    if args.digest:
+        for name, digest in output_digests(out).items():
+            print(f"digest {name} {digest}")
 
     rc = 0
     if args.verify:
@@ -333,6 +272,72 @@ def cmd_codegen(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Boot the batching pipeline service behind the stdlib HTTP API.
+
+    Runs until SIGTERM/SIGINT, then drains gracefully: admission stops,
+    every admitted request completes (bounded by ``--drain-timeout-s``),
+    and the exit code says whether the drain was clean.
+    """
+    import signal
+    import threading
+
+    # Deferred import: the serve layer pulls in the full runtime stack,
+    # which the other subcommands shouldn't pay for at parse time.
+    from .serve import HostConfig, PipelineService, ServeConfig, make_server
+
+    METRICS.reset(enabled=True)
+    config = ServeConfig(
+        host=HostConfig(
+            machine=args.machine,
+            scale=args.scale,
+            threads=args.threads,
+            schedule_cache=args.schedule_cache,
+        ),
+        max_queue=args.max_queue,
+        max_batch_size=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        default_timeout_s=args.timeout_s,
+    )
+    service = PipelineService(config).start()
+    for key in args.warm:
+        print(f"warming {key} ...", flush=True)
+        host = service.host(key)
+        print(f"  {key}: {host.grouping.num_groups} groups via "
+              f"{host.schedule_tier} in {host.warm_s:.2f}s", flush=True)
+
+    httpd = make_server(args.host, args.port, service)
+    bound_host, bound_port = httpd.server_address[:2]
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    server_thread = threading.Thread(
+        target=httpd.serve_forever, name="repro-serve-http", daemon=True,
+    )
+    server_thread.start()
+    print(f"serving on http://{bound_host}:{bound_port} "
+          f"(queue={config.max_queue}, batch={config.max_batch_size}, "
+          f"window={config.batch_window_s * 1e3:.1f}ms, "
+          f"threads={config.host.threads})", flush=True)
+
+    stop.wait()
+    print("draining ...", flush=True)
+    clean = service.shutdown(timeout_s=args.drain_timeout_s)
+    httpd.shutdown()
+    httpd.server_close()
+    snap = service.admission.snapshot()
+    print(f"drained clean={clean} admitted={snap['admitted']} "
+          f"completed={snap['completed']} shed={snap['shed']} "
+          f"timeouts={snap['timeouts']} errors={snap['errors']}",
+          flush=True)
+    return 0 if clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -341,7 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered benchmarks")
+    p = sub.add_parser("list", help="list registered benchmarks")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable registry: key, params, input "
+                        "extents and dtypes, outputs")
 
     def common(p, with_strategy=True):
         p.add_argument("benchmark", choices=sorted(BENCHMARKS),
@@ -412,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execute with the pure interpreter instead of "
                         "compiled stage kernels (A/B timing; the "
                         "REPRO_NO_COMPILE env var does the same)")
+    p.add_argument("--digest", action="store_true",
+                   help="print a 'digest <name> <sha256>' line per output "
+                        "(bit-identity checks against the serve layer)")
 
     p = sub.add_parser("estimate",
                        help="price the four paper configurations")
@@ -423,6 +434,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument("--with-main", action="store_true",
                    help="append a file-I/O main() harness")
+
+    p = sub.add_parser(
+        "serve",
+        help="boot the long-lived batching pipeline service (HTTP API)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177,
+                   help="listen port (0 picks a free port)")
+    p.add_argument("--machine", default="xeon", choices=sorted(_MACHINES))
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="image-size fraction hosts are built at")
+    p.add_argument("--threads", type=int, default=4,
+                   help="executor worker threads per request")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission bound: requests beyond this queue "
+                        "depth are shed with SERVE_OVERLOADED")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size cap")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="micro-batch flush deadline in milliseconds "
+                        "(0 disables waiting for batch-mates)")
+    p.add_argument("--timeout-s", type=float, default=30.0,
+                   help="default per-request deadline")
+    p.add_argument("--drain-timeout-s", type=float, default=60.0,
+                   help="bound on the graceful drain at shutdown")
+    p.add_argument("--warm", nargs="*", default=[],
+                   choices=sorted(BENCHMARKS), metavar="BENCH",
+                   help="benchmarks to schedule/compile at boot instead "
+                        "of on first request")
+    p.add_argument("--schedule-cache", metavar="DIR", default=None,
+                   help="persistent schedule cache directory shared "
+                        "with `repro run`")
 
     p = sub.add_parser("graph", help="emit a Graphviz DAG of a benchmark")
     p.add_argument("benchmark", choices=sorted(BENCHMARKS))
@@ -447,6 +490,7 @@ _COMMANDS = {
     "estimate": cmd_estimate,
     "codegen": cmd_codegen,
     "graph": cmd_graph,
+    "serve": cmd_serve,
 }
 
 

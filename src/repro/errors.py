@@ -28,6 +28,14 @@ code                      raised when
                           (the stage falls back to the interpreter)
 ``FAULT_INJECTED``        a deliberate failure from the fault-injection
                           harness (:mod:`repro.resilience.faults`)
+``SERVE_OVERLOADED``      admission control shed a request because the serve
+                          queue is at its depth bound
+``SERVE_TIMEOUT``         a request's deadline expired before (or while) the
+                          serve layer could execute it
+``SERVE_SHUTDOWN``        a request arrived while the service was draining
+                          or stopped
+``SERVE_UNKNOWN``         a request named a pipeline the serve registry does
+                          not know
 ========================  =====================================================
 """
 
@@ -53,6 +61,11 @@ __all__ = [
     "ScheduleStaleError",
     "KernelCompileError",
     "InjectedFault",
+    "ServeError",
+    "ServeOverloadedError",
+    "ServeTimeoutError",
+    "ServeShutdownError",
+    "ServeUnknownPipelineError",
     "ERROR_CODES",
     "NON_RETRYABLE_CODES",
     "error_code",
@@ -232,6 +245,44 @@ class InjectedFault(ReproError, RuntimeError):
     code = "FAULT_INJECTED"
 
 
+# -- serving ----------------------------------------------------------------
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serve layer (:mod:`repro.serve`) rejected or failed a request."""
+
+    code = "SERVE"
+
+
+class ServeOverloadedError(ServeError):
+    """Admission control shed the request: the queue is at its depth
+    bound.  The stable code clients key their retry/backoff policy on."""
+
+    code = "SERVE_OVERLOADED"
+
+
+class ServeTimeoutError(ServeError):
+    """The request's deadline expired before (or while) it could be
+    executed; the serve layer drops it instead of computing a result
+    nobody is waiting for."""
+
+    code = "SERVE_TIMEOUT"
+
+
+class ServeShutdownError(ServeError):
+    """The request arrived while the service was draining or stopped.
+    Admitted requests are never failed with this code — drain completes
+    them."""
+
+    code = "SERVE_SHUTDOWN"
+
+
+class ServeUnknownPipelineError(ServeError, KeyError):
+    """The request named a pipeline the serve registry does not know."""
+
+    code = "SERVE_UNKNOWN"
+
+
 def _walk(cls: Type[ReproError], into: Dict[str, Type[ReproError]]) -> None:
     into.setdefault(cls.code, cls)
     for sub in cls.__subclasses__():
@@ -271,6 +322,8 @@ NON_RETRYABLE_CODES = frozenset({
     "SCHEDULE_FORMAT",
     "SCHEDULE_STALE",
     "KERNEL_COMPILE_FAIL",
+    "SERVE_SHUTDOWN",
+    "SERVE_UNKNOWN",
 })
 
 #: builtin exception types that signal deterministic programming or

@@ -41,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "METRICS",
     "METRIC_HELP",
+    "BATCH_SIZE_BUCKETS",
     "parse_prometheus_text",
 ]
 
@@ -75,6 +76,9 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
                    "(result=reused|allocated)"),
     "repro_pool_reclaims_total": (
         "counter", "Scratch arrays returned to a BufferPool"),
+    "repro_pool_evictions_total": (
+        "counter", "Scratch arrays evicted from capped BufferPools to "
+                   "respect max_free_bytes"),
     "repro_degraded_groups_total": (
         "counter", "Groups that fell back to reference execution, "
                    "labelled by the stable error code that forced it"),
@@ -86,7 +90,37 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
                    "(event=hit|miss|eviction|store)"),
     "repro_schedule_seconds": (
         "histogram", "Wall time of scheduling runs, labelled by strategy"),
+    # -- serve layer (repro.serve) --------------------------------------
+    "repro_serve_requests_total": (
+        "counter", "Requests completed by the serve layer "
+                   "(status=ok|error|timeout|shed)"),
+    "repro_serve_queue_depth": (
+        "gauge", "Requests currently waiting in the serve queue"),
+    "repro_serve_batch_size": (
+        "histogram", "Coalesced requests per executed micro-batch"),
+    "repro_serve_batches_total": (
+        "counter", "Micro-batches executed by the serve dispatcher"),
+    "repro_serve_queue_wait_seconds": (
+        "histogram", "Time a request waited in the queue before its "
+                     "batch started executing"),
+    "repro_serve_shed_total": (
+        "counter", "Requests shed by admission control (queue at its "
+                   "depth bound, SERVE_OVERLOADED)"),
+    "repro_serve_timeouts_total": (
+        "counter", "Requests whose deadline expired before execution "
+                   "(SERVE_TIMEOUT)"),
+    "repro_serve_tier": (
+        "gauge", "Current degradation-ladder tier of a pipeline host "
+                 "(0=compiled, 1=interpreter, 2=no-fusion)"),
+    "repro_serve_tier_changes_total": (
+        "counter", "Degradation-ladder transitions (direction=down|up)"),
+    "repro_serve_warm_seconds": (
+        "histogram", "Time to warm a pipeline host (build + schedule + "
+                     "kernel compile)"),
 }
+
+#: bucket edges for the batch-size histogram (requests, not seconds)
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

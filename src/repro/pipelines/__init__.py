@@ -1,7 +1,13 @@
 """The paper's six benchmark applications, written in the DSL."""
 
 from . import bilateral, campipe, harris, interpolate, pyramid, unsharp
-from .registry import BENCHMARKS, Benchmark, build_scaled, get_benchmark
+from .registry import (
+    BENCHMARKS,
+    Benchmark,
+    build_scaled,
+    get_benchmark,
+    registry_json,
+)
 
 __all__ = [
     "unsharp",
@@ -14,4 +20,5 @@ __all__ = [
     "BENCHMARKS",
     "get_benchmark",
     "build_scaled",
+    "registry_json",
 ]

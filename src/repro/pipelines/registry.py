@@ -9,13 +9,19 @@ paper-vs-measured tables without hard-coding them in every bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..dsl.pipeline import Pipeline
 from ..fusion.grouping import Grouping
 from . import bilateral, campipe, harris, interpolate, pyramid, unsharp
 
-__all__ = ["Benchmark", "BENCHMARKS", "get_benchmark", "build_scaled"]
+__all__ = [
+    "Benchmark",
+    "BENCHMARKS",
+    "get_benchmark",
+    "build_scaled",
+    "registry_json",
+]
 
 
 @dataclass(frozen=True)
@@ -199,6 +205,39 @@ def get_benchmark(abbrev: str) -> Benchmark:
         raise KeyError(
             f"unknown benchmark {abbrev!r}; known: {sorted(BENCHMARKS)}"
         ) from None
+
+
+def registry_json() -> List[Dict[str, Any]]:
+    """Machine-readable registry listing (``repro list --json``).
+
+    One entry per benchmark with its name, builder parameters, and the
+    default (paper-size) input extents — everything the serve layer or
+    external tooling needs to enumerate pipelines and shape requests
+    without scraping the human-readable table.  Building each pipeline
+    is pure DSL construction (no scheduling), so this stays cheap.
+    """
+    out: List[Dict[str, Any]] = []
+    for ab in sorted(BENCHMARKS):
+        b = BENCHMARKS[ab]
+        pipe = b.build()
+        out.append({
+            "key": ab,
+            "name": b.name,
+            "pipeline": pipe.name,
+            "stages": b.paper_stages,
+            "paper_image_size": list(b.image_size),
+            "params": dict(b.small_kwargs),
+            "inputs": [
+                {
+                    "name": img.name,
+                    "shape": list(pipe.image_shape(img)),
+                    "dtype": str(img.scalar_type.np_dtype),
+                }
+                for img in pipe.images
+            ],
+            "outputs": [o.name for o in pipe.outputs],
+        })
+    return out
 
 
 def build_scaled(abbrev: str, scale: float = 1.0) -> Pipeline:

@@ -260,6 +260,8 @@ def execute_guarded(
     inputs: Mapping[str, np.ndarray],
     nthreads: int = 1,
     policy: Optional[GuardPolicy] = None,
+    executor=None,
+    pools=None,
 ) -> ExecutionReport:
     """Execute ``grouping`` with validation, bounded retries, and
     per-group degradation to reference execution.
@@ -270,6 +272,12 @@ def execute_guarded(
     untiled.  In strict mode (``policy.degrade=False``) the structured
     error of the first failing group propagates (``TILE_FAIL``,
     ``NUMERIC_NAN``, ``MEMORY_BUDGET``, …).
+
+    ``executor`` (a persistent ``ThreadPoolExecutor``) and ``pools`` (a
+    :class:`repro.runtime.buffers.PoolGroup` of warm worker-local scratch
+    pools) are passed straight through to the tiled executor — the serve
+    layer owns both so steady-state requests pay no pool setup; omitted,
+    the executor falls back to its process-global shared pool.
     """
     policy = policy or GuardPolicy()
     if grouping.pipeline is not pipeline:
@@ -319,7 +327,7 @@ def execute_guarded(
                     outcome.mode = _execute_one_group(
                         pipeline, members, run_tiles, buffers, nthreads,
                         group_index=gi, tile_retries=policy.tile_retries,
-                        kernels=kernels,
+                        kernels=kernels, executor=executor, pools=pools,
                     )
                 except Exception as exc:  # noqa: BLE001 - rewrapped below
                     if not policy.degrade:

@@ -2,9 +2,14 @@
 and the overlapped-tiling executor (the stand-in for PolyMage's
 C++/OpenMP code generation)."""
 
-from .buffers import Buffer, BufferPool
+from .buffers import Buffer, BufferPool, PoolGroup
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
-from .executor import execute_grouping, execute_reference
+from .executor import (
+    execute_grouping,
+    execute_reference,
+    shared_executor,
+    shutdown_shared_executors,
+)
 from .kernelcache import (
     KernelCompileWarning,
     StageKernel,
@@ -17,11 +22,14 @@ from .kernelcache import (
 __all__ = [
     "Buffer",
     "BufferPool",
+    "PoolGroup",
     "evaluate_expr",
     "evaluate_cases",
     "make_index_grids",
     "execute_reference",
     "execute_grouping",
+    "shared_executor",
+    "shutdown_shared_executors",
     "StageKernel",
     "KernelCompileWarning",
     "compile_stage_kernel",

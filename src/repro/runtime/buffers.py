@@ -10,14 +10,16 @@ stored region — out-of-domain reads in stage bodies are guarded by their
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..resilience.faults import maybe_fail
 
-__all__ = ["Buffer", "BufferPool"]
+__all__ = ["Buffer", "BufferPool", "PoolGroup"]
 
 
 @dataclass
@@ -122,13 +124,22 @@ class BufferPool:
     Lent arrays are tracked by ``id`` (``ndarray.__eq__`` is elementwise,
     which rules out list/dict membership by value).
 
+    A ``max_free_bytes`` cap bounds how much memory the free lists may
+    hold between uses — the serve layer keeps pools alive across requests
+    (:class:`PoolGroup`), and without a cap one oversized request would
+    pin its scratch footprint forever.  When a release pushes the free
+    lists over the cap, arrays are evicted largest-first (dropping the
+    biggest array frees the most bytes per eviction) until the cap holds
+    again; lent arrays are never evicted.
+
     The ``stat_*`` counters record recycling effectiveness (acquisitions
-    served from the free list vs fresh allocations, arrays reclaimed).
-    They are plain per-pool integers — always maintained, since an
-    increment is noise next to the ``np.empty`` it annotates — and the
-    executor folds them into :data:`repro.obs.METRICS`
-    (``repro_pool_acquires_total``/``repro_pool_reclaims_total``) per
-    chunk when metrics collection is on.
+    served from the free list vs fresh allocations, arrays reclaimed and
+    evicted).  They are plain per-pool integers — always maintained,
+    since an increment is noise next to the ``np.empty`` it annotates —
+    and the executor folds them into :data:`repro.obs.METRICS`
+    (``repro_pool_acquires_total``/``repro_pool_reclaims_total``/
+    ``repro_pool_evictions_total``) per chunk when metrics collection
+    is on.
     """
 
     _free: Dict[Tuple[Tuple[int, ...], object], List[np.ndarray]] = field(
@@ -141,6 +152,12 @@ class BufferPool:
     stat_allocated: int = 0
     #: arrays returned to the free lists (reclaim + release_all)
     stat_reclaimed: int = 0
+    #: arrays dropped from the free lists to respect ``max_free_bytes``
+    stat_evicted: int = 0
+    #: cap on the total bytes the free lists may retain (``None``: unbounded)
+    max_free_bytes: Optional[int] = None
+    #: current total bytes across all free lists
+    free_bytes: int = 0
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """An uninitialised array of ``shape``/``dtype`` — recycled when
@@ -151,6 +168,7 @@ class BufferPool:
         stack = self._free.get(key)
         if stack:
             arr = stack.pop()
+            self.free_bytes -= arr.nbytes
             self.stat_reused += 1
         else:
             arr = np.empty(key[0], dtype=dt)
@@ -166,6 +184,8 @@ class BufferPool:
             self._free.setdefault(
                 (arr.shape, arr.dtype), []
             ).append(arr)
+            self.free_bytes += arr.nbytes
+            self._evict_over_cap()
 
     def release_all(self) -> None:
         """Return every lent array to the free lists (end of one tile)."""
@@ -174,4 +194,76 @@ class BufferPool:
             self._free.setdefault(
                 (arr.shape, arr.dtype), []
             ).append(arr)
+            self.free_bytes += arr.nbytes
         self._lent.clear()
+        self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        """Drop free arrays, largest first, until under ``max_free_bytes``."""
+        if self.max_free_bytes is None:
+            return
+        while self.free_bytes > self.max_free_bytes and self._free:
+            key = max(
+                self._free,
+                key=lambda k: math.prod(k[0]) * np.dtype(k[1]).itemsize,
+            )
+            stack = self._free[key]
+            arr = stack.pop()
+            if not stack:
+                del self._free[key]
+            self.free_bytes -= arr.nbytes
+            self.stat_evicted += 1
+
+
+class PoolGroup:
+    """Thread-keyed :class:`BufferPool`\\ s that persist across executions.
+
+    The executor wants worker-local pools (lock-free, arrays never
+    migrate between threads), and the serve layer wants pools that stay
+    warm across *requests*.  A ``PoolGroup`` reconciles the two: each
+    worker thread gets its own :class:`BufferPool` on first use and keeps
+    it for the group's lifetime, so steady-state requests on a persistent
+    executor run with fully warm scratch.  Every pool carries the group's
+    ``max_free_bytes`` cap.
+
+    Only :meth:`get`'s first call per thread takes the lock; after that
+    the lookup is a plain dict read keyed by thread id.
+    """
+
+    def __init__(self, max_free_bytes: Optional[int] = None):
+        self.max_free_bytes = max_free_bytes
+        self._lock = threading.Lock()
+        self._pools: Dict[int, BufferPool] = {}
+
+    def get(self) -> BufferPool:
+        """The calling thread's pool (created on first use)."""
+        tid = threading.get_ident()
+        pool = self._pools.get(tid)
+        if pool is None:
+            with self._lock:
+                pool = self._pools.get(tid)
+                if pool is None:
+                    pool = BufferPool(max_free_bytes=self.max_free_bytes)
+                    self._pools[tid] = pool
+        return pool
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregated ``stat_*`` counters and free bytes across pools."""
+        with self._lock:
+            pools = list(self._pools.values())
+        out = {
+            "pools": len(pools), "reused": 0, "allocated": 0,
+            "reclaimed": 0, "evicted": 0, "free_bytes": 0,
+        }
+        for p in pools:
+            out["reused"] += p.stat_reused
+            out["allocated"] += p.stat_allocated
+            out["reclaimed"] += p.stat_reclaimed
+            out["evicted"] += p.stat_evicted
+            out["free_bytes"] += p.free_bytes
+        return out
+
+    def clear(self) -> None:
+        """Drop every thread's pool (shutdown / tests)."""
+        with self._lock:
+            self._pools.clear()

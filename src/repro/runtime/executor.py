@@ -23,6 +23,7 @@ and scheduling strategy.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -43,11 +44,16 @@ from ..obs import METRICS, TRACE
 from ..fusion.grouping import Grouping
 from ..poly.alignscale import GroupGeometry, compute_group_geometry
 from ..resilience.faults import maybe_fail
-from .buffers import Buffer, BufferPool
+from .buffers import Buffer, BufferPool, PoolGroup
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
 from .kernelcache import StageKernel, stage_kernels
 
-__all__ = ["execute_reference", "execute_grouping"]
+__all__ = [
+    "execute_reference",
+    "execute_grouping",
+    "shared_executor",
+    "shutdown_shared_executors",
+]
 
 #: Rows of the outermost reduction dimension processed per chunk, bounding
 #: the temporary index arrays a reduction materialises.
@@ -60,6 +66,47 @@ _REDUCTION_CHUNK = 256
 #: one tile) stays within what :mod:`repro.model.cost` assumes about
 #: cleanup-wave idling.
 _CHUNKS_PER_WORKER = 4
+
+#: process-global persistent thread pools, keyed by worker count.  One
+#: ``ThreadPoolExecutor`` per distinct ``nthreads`` ever requested — a
+#: handful of sizes at most — created lazily and kept for the process
+#: lifetime, so steady-state executions pay zero pool setup/teardown.
+_SHARED_EXECUTORS: Dict[int, ThreadPoolExecutor] = {}
+_SHARED_EXECUTORS_LOCK = threading.Lock()
+
+
+def shared_executor(nthreads: int) -> ThreadPoolExecutor:
+    """The process-global persistent pool with ``nthreads`` workers.
+
+    :func:`execute_grouping` used to construct (and tear down) a fresh
+    ``ThreadPoolExecutor`` per fused group; the serve layer executes the
+    same pipelines thousands of times, where that setup cost is pure
+    waste.  Pools returned here are never shut down mid-process (worker
+    threads are created lazily and idle ones cost nothing); callers that
+    need explicit teardown — tests, a draining service — call
+    :func:`shutdown_shared_executors`.
+    """
+    if nthreads < 1:
+        raise ValueError("nthreads must be positive")
+    with _SHARED_EXECUTORS_LOCK:
+        pool = _SHARED_EXECUTORS.get(nthreads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=nthreads,
+                thread_name_prefix=f"repro-exec{nthreads}",
+            )
+            _SHARED_EXECUTORS[nthreads] = pool
+        return pool
+
+
+def shutdown_shared_executors(wait: bool = True) -> None:
+    """Shut down and drop every process-global pool (tests, service
+    shutdown).  Subsequent executions lazily create fresh pools."""
+    with _SHARED_EXECUTORS_LOCK:
+        pools = list(_SHARED_EXECUTORS.values())
+        _SHARED_EXECUTORS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
 
 
 def _input_buffers(
@@ -342,6 +389,8 @@ def _execute_group_tiled(
     group_index: int = 0,
     tile_retries: int = 0,
     kernels: Optional[Mapping[str, StageKernel]] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
+    pools: Optional[PoolGroup] = None,
 ) -> None:
     """Execute one fused group with overlapped tiling, updating
     ``buffers`` with its live-out arrays.
@@ -350,7 +399,11 @@ def _execute_group_tiled(
     tile-local scratch arrays recycled through a worker-local
     :class:`BufferPool`); absent stages are interpreted.  Tiles are batched
     into contiguous chunks — :func:`_chunk_tiles` — with one future per
-    chunk rather than per tile.
+    chunk rather than per tile.  Chunks run on ``executor`` when given
+    (a persistent pool owned by the caller), else on the process-global
+    :func:`shared_executor`; scratch pools come from ``pools`` when given
+    (worker-local pools that stay warm across calls), else one fresh pool
+    per chunk.
 
     A tile that raises is retried up to ``tile_retries`` times, then the
     failure surfaces as a :class:`TileExecutionError` (code ``TILE_FAIL``)
@@ -457,30 +510,52 @@ def _execute_group_tiled(
     parent_span = TRACE.current() if TRACE.enabled else None
 
     def run_chunk(chunk: List[Tuple[int, Tuple[int, ...]]]) -> None:
-        # One scratch pool per chunk: worker-local, so lock-free, and warm
-        # for every tile after the first.
-        pool = BufferPool()
+        # Worker-local scratch pool, so lock-free: the group's shared
+        # PoolGroup when one was passed (warm across calls), else one
+        # fresh pool per chunk.
+        pool = pools.get() if pools is not None else BufferPool()
+        observing = METRICS.enabled
+        if observing:
+            # Shared pools carry cumulative counters across chunks and
+            # requests — flush only this chunk's delta.
+            base = (pool.stat_reused, pool.stat_allocated,
+                    pool.stat_reclaimed, pool.stat_evicted)
         with TRACE.span(
             "chunk", parent=parent_span, tiles=len(chunk),
             first_tile=chunk[0][0] if chunk else -1,
         ):
             for item in chunk:
                 run_tile_captured(item, pool)
-        if METRICS.enabled:
+        if observing:
             METRICS.inc("repro_tiles_total", len(chunk))
-            METRICS.inc("repro_pool_acquires_total", pool.stat_reused,
-                        result="reused")
-            METRICS.inc("repro_pool_acquires_total", pool.stat_allocated,
-                        result="allocated")
-            METRICS.inc("repro_pool_reclaims_total", pool.stat_reclaimed)
+            METRICS.inc("repro_pool_acquires_total",
+                        pool.stat_reused - base[0], result="reused")
+            METRICS.inc("repro_pool_acquires_total",
+                        pool.stat_allocated - base[1], result="allocated")
+            METRICS.inc("repro_pool_reclaims_total",
+                        pool.stat_reclaimed - base[2])
+            METRICS.inc("repro_pool_evictions_total",
+                        pool.stat_evicted - base[3])
 
     tiles = list(enumerate(itertools.product(*dim_ranges)))
     chunks = _chunk_tiles(tiles, nthreads)
     if nthreads > 1 and len(chunks) > 1:
-        with ThreadPoolExecutor(max_workers=nthreads) as tpool:
-            futures = [tpool.submit(run_chunk, chunk) for chunk in chunks]
-            for future in futures:
+        tpool = executor if executor is not None else shared_executor(
+            nthreads
+        )
+        futures = [tpool.submit(run_chunk, chunk) for chunk in chunks]
+        # Wait for *every* chunk before raising — matching the old
+        # per-group pool's shutdown-on-exit semantics, and guaranteeing
+        # no stray worker still writes out_buffers after we return.
+        first_exc: Optional[BaseException] = None
+        for future in futures:
+            try:
                 future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
     else:
         for chunk in chunks:
             run_chunk(chunk)
@@ -517,6 +592,8 @@ def _execute_one_group(
     group_index: int = 0,
     tile_retries: int = 0,
     kernels: Optional[Mapping[str, StageKernel]] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
+    pools: Optional[PoolGroup] = None,
 ) -> str:
     """Execute a single group of a grouping, returning the mode used:
     ``"tiled"`` or ``"untiled"`` (groups without an overlap-tiling
@@ -541,7 +618,7 @@ def _execute_one_group(
     _execute_group_tiled(
         pipeline, geom, tiles, buffers, nthreads,
         group_index=group_index, tile_retries=tile_retries,
-        kernels=kernels,
+        kernels=kernels, executor=executor, pools=pools,
     )
     return "tiled"
 
@@ -553,6 +630,8 @@ def execute_grouping(
     nthreads: int = 1,
     tile_retries: int = 0,
     compile_kernels: Optional[bool] = None,
+    executor: Optional[ThreadPoolExecutor] = None,
+    pools: Optional[PoolGroup] = None,
 ) -> Dict[str, np.ndarray]:
     """Execute a grouping with overlapped tiling.
 
@@ -568,6 +647,13 @@ def execute_grouping(
     ``compile_kernels=False`` (the CLI's ``--no-compile``, or the
     ``REPRO_NO_COMPILE`` env knob) forces the pure-interpreter path for
     A/B timing.
+
+    Multi-threaded groups run their tile chunks on ``executor`` when the
+    caller owns a persistent pool (the serve layer does), else on the
+    lazily created process-global :func:`shared_executor` — either way
+    no pool is constructed or torn down per group.  ``pools`` similarly
+    lets a caller keep worker-local scratch pools warm across calls
+    (:class:`repro.runtime.buffers.PoolGroup`).
 
     Failures are structured (:mod:`repro.errors`): missing or malformed
     inputs raise ``INPUT_*`` errors up front, and a tile that raises
@@ -606,7 +692,7 @@ def execute_grouping(
                 mode = _execute_one_group(
                     pipeline, members, tiles, buffers, nthreads,
                     group_index=gi, tile_retries=tile_retries,
-                    kernels=kernels,
+                    kernels=kernels, executor=executor, pools=pools,
                 )
                 gspan.set(mode=mode)
             if observing:

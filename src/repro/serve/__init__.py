@@ -1,0 +1,36 @@
+"""Long-lived in-process pipeline serving.
+
+The serve layer turns the one-shot executor into a service: per-pipeline
+:class:`PipelineHost`\\ s hold warm schedules, compiled kernels, pinned
+worker pools and scratch buffers; :class:`PipelineService` fronts them
+with a micro-batching queue, admission control with load shedding, a
+degradation ladder for sustained failure, and graceful drain.
+:func:`make_server` wraps it all in a stdlib HTTP API (see
+``docs/serving.md``).
+"""
+
+from .admission import AdmissionController
+from .batching import MicroBatchQueue, ServeRequest
+from .host import (
+    LADDER,
+    HostConfig,
+    PipelineHost,
+    PipelineService,
+    ServeConfig,
+    ServeResult,
+)
+from .http import ServeHTTPServer, make_server
+
+__all__ = [
+    "AdmissionController",
+    "MicroBatchQueue",
+    "ServeRequest",
+    "LADDER",
+    "HostConfig",
+    "PipelineHost",
+    "PipelineService",
+    "ServeConfig",
+    "ServeResult",
+    "ServeHTTPServer",
+    "make_server",
+]

@@ -1,0 +1,120 @@
+"""Admission control for the serve layer: bounded queue depth, load
+shedding, deadline accounting, and the drain state machine.
+
+The controller is deliberately dumb and deterministic: a request is
+admitted iff the service is accepting *and* the queue depth is below the
+bound — there is no probabilistic shedding, so the overload contract is
+testable exactly ("with queue bound Q and a blocked executor, request
+Q+1 is shed").  Shed requests fail fast with the stable
+``SERVE_OVERLOADED`` code (:class:`repro.errors.ServeOverloadedError`);
+requests arriving during drain fail with ``SERVE_SHUTDOWN``.  Requests
+admitted before drain began are *never* rejected — drain completes them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from ..errors import ServeOverloadedError, ServeShutdownError
+from ..obs import METRICS
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded admission with shed/timeout accounting and drain state.
+
+    Thread-safe; the queue calls :meth:`try_admit` under its own lock
+    with the current depth, so the depth check and the enqueue are
+    atomic with respect to other submitters.
+    """
+
+    def __init__(self, max_queue: int):
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._draining = False
+        self.admitted = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.completed = 0
+        self.errors = 0
+
+    # -- admission ------------------------------------------------------
+    def try_admit(self, depth: int, pipeline: str) -> None:
+        """Admit one request at current queue ``depth`` or raise.
+
+        Raises :class:`ServeShutdownError` while draining and
+        :class:`ServeOverloadedError` when ``depth`` has reached the
+        bound; both increment their counters before raising.
+        """
+        with self._lock:
+            if self._draining:
+                raise ServeShutdownError(
+                    f"service is draining; request for {pipeline!r} "
+                    f"rejected", pipeline=pipeline,
+                )
+            if depth >= self.max_queue:
+                self.shed += 1
+                if METRICS.enabled:
+                    METRICS.inc("repro_serve_shed_total",
+                                pipeline=pipeline)
+                    METRICS.inc("repro_serve_requests_total",
+                                pipeline=pipeline, status="shed")
+                raise ServeOverloadedError(
+                    f"queue full ({depth}/{self.max_queue}); request for "
+                    f"{pipeline!r} shed",
+                    pipeline=pipeline,
+                    depth=depth,
+                    max_queue=self.max_queue,
+                )
+            self.admitted += 1
+
+    # -- lifecycle ------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted requests keep their place."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- outcome accounting ---------------------------------------------
+    def note_timeout(self, pipeline: str) -> None:
+        with self._lock:
+            self.timeouts += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_serve_timeouts_total", pipeline=pipeline)
+            METRICS.inc("repro_serve_requests_total",
+                        pipeline=pipeline, status="timeout")
+
+    def note_completed(self, pipeline: str) -> None:
+        with self._lock:
+            self.completed += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_serve_requests_total",
+                        pipeline=pipeline, status="ok")
+
+    def note_error(self, pipeline: str) -> None:
+        with self._lock:
+            self.errors += 1
+        if METRICS.enabled:
+            METRICS.inc("repro_serve_requests_total",
+                        pipeline=pipeline, status="error")
+
+    # -- introspection --------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Counter snapshot for health endpoints and tests."""
+        with self._lock:
+            return {
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "completed": self.completed,
+                "errors": self.errors,
+            }

@@ -1,0 +1,156 @@
+"""Request queue with micro-batching for the serve layer.
+
+Requests targeting the same warm plan — the same ``(pipeline, extents)``
+``batch_key`` — are coalesced into one *micro-batch* and executed
+back-to-back by the dispatcher, so the per-batch costs (host lookup,
+batch span, a warm executor already holding the plan) amortize over
+every member.  Two knobs bound the latency cost of waiting for
+batch-mates:
+
+* ``max_batch_size`` — a batch dispatches immediately once it has this
+  many members, and
+* ``batch_window_s`` — the flush deadline: a batch never waits longer
+  than this for more same-key arrivals after its first member is
+  claimed.  ``0`` disables waiting entirely (pure FIFO, batches form
+  only from requests already queued).
+
+Requests with *different* keys are never reordered relative to each
+other: batch formation removes same-key requests from anywhere in the
+queue but leaves the rest in arrival order.
+
+Admission control lives in
+:class:`repro.serve.admission.AdmissionController` — :meth:`submit`
+calls it under the queue lock, so the depth check and the enqueue are
+one atomic step.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Mapping, Optional
+
+from ..obs import METRICS
+from .admission import AdmissionController
+
+__all__ = ["ServeRequest", "MicroBatchQueue"]
+
+
+@dataclass
+class ServeRequest:
+    """One admitted unit of work travelling through the queue."""
+
+    id: int
+    #: benchmark key ("UM", "HC", ...) — the host registry key
+    pipeline: str
+    #: coalescing key: requests sharing it run on the same warm plan
+    batch_key: Hashable
+    #: input arrays by image name
+    inputs: Mapping[str, Any]
+    #: resolved with a ServeResult (or an exception) by the dispatcher
+    future: Future = field(default_factory=Future)
+    #: perf_counter timestamp set at admission
+    enqueued_at: float = 0.0
+    #: perf_counter deadline; expired requests fail with SERVE_TIMEOUT
+    #: at dequeue instead of executing
+    deadline: Optional[float] = None
+    #: how the request was generated (diagnostics; e.g. a seed)
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+class MicroBatchQueue:
+    """Bounded FIFO with same-key coalescing.
+
+    One condition variable serves both sides: submitters signal arrivals,
+    the dispatcher waits either for a first request (long poll) or for
+    more batch-mates inside the flush window (short waits).
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        max_batch_size: int = 8,
+        batch_window_s: float = 0.002,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.admission = admission
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self._items: List[ServeRequest] = []
+        self._cond = threading.Condition()
+
+    # -- producer side --------------------------------------------------
+    def submit(self, request: ServeRequest) -> None:
+        """Admit and enqueue, or raise ``SERVE_OVERLOADED`` /
+        ``SERVE_SHUTDOWN`` without enqueueing."""
+        with self._cond:
+            self.admission.try_admit(len(self._items), request.pipeline)
+            request.enqueued_at = time.perf_counter()
+            self._items.append(request)
+            if METRICS.enabled:
+                METRICS.set("repro_serve_queue_depth", len(self._items))
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def wake_all(self) -> None:
+        """Wake blocked dispatchers (shutdown)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def drain_remaining(self) -> List[ServeRequest]:
+        """Remove and return everything still queued (terminal cleanup
+        after a failed drain; the service fails these futures)."""
+        with self._cond:
+            items, self._items = self._items, []
+            if METRICS.enabled:
+                METRICS.set("repro_serve_queue_depth", 0)
+            return items
+
+    # -- consumer side --------------------------------------------------
+    def next_batch(self, poll_s: float = 0.05) -> Optional[List[ServeRequest]]:
+        """The next micro-batch, or ``None`` after ``poll_s`` of empty
+        queue (the dispatcher's shutdown-check cadence).
+
+        The first queued request seeds the batch; same-``batch_key``
+        requests are pulled from anywhere in the queue, and the call then
+        waits out the flush window for more arrivals, dispatching early
+        when ``max_batch_size`` is reached.
+        """
+        with self._cond:
+            if not self._items:
+                self._cond.wait(poll_s)
+                if not self._items:
+                    return None
+            first = self._items.pop(0)
+            batch = [first]
+            self._collect_matching(batch)
+            if self.batch_window_s > 0:
+                flush_at = time.perf_counter() + self.batch_window_s
+                while len(batch) < self.max_batch_size:
+                    remaining = flush_at - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                    self._collect_matching(batch)
+            if METRICS.enabled:
+                METRICS.set("repro_serve_queue_depth", len(self._items))
+            return batch
+
+    def _collect_matching(self, batch: List[ServeRequest]) -> None:
+        """Move queued requests with the batch's key into it (in queue
+        order), up to ``max_batch_size``.  Caller holds the lock."""
+        key = batch[0].batch_key
+        i = 0
+        while i < len(self._items) and len(batch) < self.max_batch_size:
+            if self._items[i].batch_key == key:
+                batch.append(self._items.pop(i))
+            else:
+                i += 1

@@ -1,0 +1,565 @@
+"""Warm pipeline hosts and the long-lived in-process service.
+
+A :class:`PipelineHost` holds everything the paper says should be paid
+once and amortized over many executions (Sec. 4–5): the schedule
+(computed through the resilient chain, optionally via the persistent
+:class:`~repro.fusion.schedcache.ScheduleCache`), the compiled stage
+kernels, a shared :class:`~repro.runtime.buffers.PoolGroup` of warm
+scratch pools, and a pinned persistent executor worker pool.  Requests
+then execute on the warm plan through
+:func:`repro.resilience.guard.execute_guarded` — the identical code path
+a one-shot ``repro run`` takes, which is what keeps served outputs
+bit-identical to CLI runs.
+
+Each host also runs a **degradation ladder** for sustained failure, one
+step below the per-request protections ``execute_guarded`` already
+provides.  A request whose execution degraded (any group fell back to
+reference execution) counts as a soft failure; ``degrade_after``
+consecutive failures drop the host one tier, ``recover_after``
+consecutive clean requests raise it back:
+
+====  ====================  ============================================
+tier  name                  what executes
+====  ====================  ============================================
+0     ``compiled``          fused schedule, compiled stage kernels
+1     ``interpreter``       fused schedule, pure interpreter
+2     ``no-fusion``         singleton grouping (the infallible final
+                            tier of ``resilience.fallback.TIERS``),
+                            pure interpreter
+====  ====================  ============================================
+
+:class:`PipelineService` composes hosts with the micro-batching queue
+(:mod:`repro.serve.batching`) and admission control
+(:mod:`repro.serve.admission`) into the long-lived service the HTTP
+front-end (:mod:`repro.serve.http`) and the ``repro serve`` CLI expose.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import (
+    ServeShutdownError,
+    ServeTimeoutError,
+    ServeUnknownPipelineError,
+    error_code,
+)
+from ..fusion.grouping import singleton_grouping
+from ..obs import METRICS, TRACE
+from ..obs.metrics import BATCH_SIZE_BUCKETS
+from ..pipelines import BENCHMARKS
+from ..planner import build_benchmark, make_inputs, plan_schedule
+from ..resilience import GuardPolicy, execute_guarded
+from ..runtime import shared_executor, stage_kernels
+from ..runtime.buffers import PoolGroup
+from .admission import AdmissionController
+from .batching import MicroBatchQueue, ServeRequest
+
+__all__ = [
+    "HostConfig",
+    "ServeConfig",
+    "ServeResult",
+    "PipelineHost",
+    "PipelineService",
+    "LADDER",
+]
+
+#: degradation-ladder tiers, healthiest first
+LADDER = ("compiled", "interpreter", "no-fusion")
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Per-host knobs (shared by every host of one service)."""
+
+    machine: str = "xeon"
+    #: image-size fraction of the paper configuration hosts are built at
+    scale: float = 0.1
+    #: executor worker threads per request
+    threads: int = 4
+    tile_retries: int = 1
+    strategy: str = "dp"
+    max_states: int = 1_200_000
+    schedule_budget_s: Optional[float] = None
+    #: persistent schedule-cache directory (None: schedule per warm)
+    schedule_cache: Optional[str] = None
+    #: compiled kernels at tier 0 (None: on unless REPRO_NO_COMPILE)
+    compile_kernels: Optional[bool] = None
+    #: consecutive degraded/failed requests before stepping down a tier
+    degrade_after: int = 3
+    #: consecutive clean requests before stepping back up a tier
+    recover_after: int = 32
+    #: per-worker cap on retained scratch bytes (None: unbounded)
+    pool_cap_bytes: Optional[int] = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-level knobs: queue bound, batching, deadlines."""
+
+    host: HostConfig = field(default_factory=HostConfig)
+    #: admission bound on queued (not yet executing) requests
+    max_queue: int = 64
+    max_batch_size: int = 8
+    #: micro-batch flush deadline (seconds; 0 disables waiting)
+    batch_window_s: float = 0.002
+    #: default per-request deadline (None: no deadline)
+    default_timeout_s: Optional[float] = 30.0
+    #: dispatcher threads executing batches
+    dispatchers: int = 1
+
+
+@dataclass
+class ServeResult:
+    """What a completed request resolves to."""
+
+    request_id: int
+    pipeline: str
+    outputs: Dict[str, np.ndarray]
+    #: LADDER tier name the host executed at
+    tier: str
+    #: True when execute_guarded fell back for at least one group
+    degraded: bool
+    #: members coalesced into the request's batch (including it)
+    batch_size: int
+    queue_wait_s: float
+    execute_s: float
+
+
+class PipelineHost:
+    """One benchmark's warm serving state (see module docstring)."""
+
+    def __init__(self, key: str, config: HostConfig):
+        if key not in BENCHMARKS:
+            raise ServeUnknownPipelineError(
+                f"unknown pipeline {key!r}; known: {sorted(BENCHMARKS)}",
+                pipeline=key, known=sorted(BENCHMARKS),
+            )
+        self.key = key
+        self.config = config
+        self._warm_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self.pipeline = None
+        self.grouping = None
+        self.no_fusion_grouping = None
+        self.schedule_tier: Optional[str] = None
+        self.pools: Optional[PoolGroup] = None
+        self.executor = None
+        self.warm_s: Optional[float] = None
+        self._tier = 0
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self.requests_served = 0
+
+    @property
+    def is_warm(self) -> bool:
+        return self.pipeline is not None
+
+    @property
+    def tier(self) -> int:
+        return self._tier
+
+    @property
+    def tier_name(self) -> str:
+        return LADDER[self._tier]
+
+    # -- warm-up --------------------------------------------------------
+    def warm(self) -> "PipelineHost":
+        """Build, schedule, compile, and pin pools — idempotent."""
+        with self._warm_lock:
+            if self.is_warm:
+                return self
+            t0 = time.perf_counter()
+            with TRACE.span("serve_warm", pipeline=self.key):
+                from ..model.machine import AMD_OPTERON, XEON_HASWELL
+
+                machine = {
+                    "xeon": XEON_HASWELL, "opteron": AMD_OPTERON,
+                }[self.config.machine]
+                bench, pipe = build_benchmark(self.key, self.config.scale)
+                grouping, report = plan_schedule(
+                    pipe, bench, machine, self.config.strategy,
+                    self.config.max_states,
+                    budget_s=self.config.schedule_budget_s,
+                    strict=False,
+                    schedule_cache=self.config.schedule_cache,
+                )
+                # Pre-compile every stage kernel now (memoized per
+                # (pipeline, stage)), so the first request pays nothing.
+                stage_kernels(pipe, enabled=self.config.compile_kernels)
+                self.no_fusion_grouping = singleton_grouping(pipe)
+                self.pools = PoolGroup(self.config.pool_cap_bytes)
+                self.executor = shared_executor(self.config.threads)
+                self.grouping = grouping
+                self.schedule_tier = (
+                    report.tier if report is not None
+                    else self.config.strategy
+                )
+                self.machine = machine
+                self.pipeline = pipe
+            self.warm_s = time.perf_counter() - t0
+            if METRICS.enabled:
+                METRICS.observe("repro_serve_warm_seconds", self.warm_s,
+                                pipeline=self.key)
+                METRICS.set("repro_serve_tier", self._tier,
+                            pipeline=self.key)
+            return self
+
+    # -- execution ------------------------------------------------------
+    def execute(self, inputs: Mapping[str, np.ndarray]):
+        """Run one request on the warm plan at the current ladder tier;
+        returns ``(outputs, report, tier_name)``.
+
+        Input-validation errors propagate without moving the ladder (a
+        malformed request says nothing about the host's health); any
+        other exception, and any degraded execution, counts as a
+        failure.
+        """
+        if not self.is_warm:
+            self.warm()
+        tier = self._tier
+        grouping = (
+            self.no_fusion_grouping if tier >= 2 else self.grouping
+        )
+        compile_kernels = (
+            self.config.compile_kernels if tier == 0 else False
+        )
+        policy = GuardPolicy(
+            tile_retries=self.config.tile_retries,
+            degrade=True,
+            compile_kernels=compile_kernels,
+        )
+        try:
+            report = execute_guarded(
+                self.pipeline, grouping, inputs,
+                nthreads=self.config.threads, policy=policy,
+                executor=self.executor, pools=self.pools,
+            )
+        except Exception as exc:
+            if error_code(exc).startswith("INPUT"):
+                raise
+            self._note_outcome(ok=False)
+            raise
+        self._note_outcome(ok=not report.degraded)
+        return report.outputs, report, LADDER[tier]
+
+    def _note_outcome(self, ok: bool) -> None:
+        """Advance the degradation ladder on consecutive outcomes."""
+        with self._state_lock:
+            self.requests_served += 1
+            if ok:
+                self._consecutive_failures = 0
+                self._consecutive_successes += 1
+                if (self._tier > 0 and self._consecutive_successes
+                        >= self.config.recover_after):
+                    self._move_tier(-1)
+            else:
+                self._consecutive_successes = 0
+                self._consecutive_failures += 1
+                if (self._tier < len(LADDER) - 1
+                        and self._consecutive_failures
+                        >= self.config.degrade_after):
+                    self._move_tier(+1)
+
+    def _move_tier(self, delta: int) -> None:
+        """Caller holds ``_state_lock``."""
+        self._tier += delta
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        if METRICS.enabled:
+            METRICS.inc(
+                "repro_serve_tier_changes_total", pipeline=self.key,
+                direction="down" if delta > 0 else "up",
+            )
+            METRICS.set("repro_serve_tier", self._tier,
+                        pipeline=self.key)
+
+    # -- introspection --------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        with self._state_lock:
+            out = {
+                "warm": self.is_warm,
+                "tier": self.tier_name,
+                "requests": self.requests_served,
+                "consecutive_failures": self._consecutive_failures,
+            }
+        if self.is_warm:
+            out.update({
+                "schedule_tier": self.schedule_tier,
+                "groups": self.grouping.num_groups,
+                "warm_s": round(self.warm_s, 4),
+                "pool": self.pools.stats(),
+            })
+        return out
+
+
+class PipelineService:
+    """The long-lived in-process serving loop.
+
+    Lifecycle: :meth:`start` spawns the dispatcher thread(s);
+    :meth:`submit` admits requests (shedding under load) and returns a
+    ``Future``; :meth:`drain` stops admission and waits for every
+    admitted request to complete; :meth:`shutdown` drains, stops the
+    dispatchers, and fails anything a timed-out drain left behind with
+    ``SERVE_SHUTDOWN``.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.admission = AdmissionController(self.config.max_queue)
+        self.queue = MicroBatchQueue(
+            self.admission,
+            max_batch_size=self.config.max_batch_size,
+            batch_window_s=self.config.batch_window_s,
+        )
+        self.hosts: Dict[str, PipelineHost] = {}
+        self._hosts_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dispatchers: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._started_at: Optional[float] = None
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "PipelineService":
+        if self._started:
+            return self
+        METRICS.describe("repro_serve_batch_size", "histogram",
+                         buckets=BATCH_SIZE_BUCKETS)
+        self._started = True
+        self._started_at = time.monotonic()
+        for i in range(self.config.dispatchers):
+            t = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-serve-dispatch{i}", daemon=True,
+            )
+            t.start()
+            self._dispatchers.append(t)
+        return self
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admitting and wait for all admitted requests; True when
+        everything completed within the timeout."""
+        self.admission.begin_drain()
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            with self._pending_lock:
+                if self._pending == 0:
+                    return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.005)
+
+    def shutdown(self, timeout_s: Optional[float] = None) -> bool:
+        """Drain, stop dispatchers, fail leftovers; True on clean drain."""
+        clean = self.drain(timeout_s)
+        self._stop.set()
+        self.queue.wake_all()
+        for t in self._dispatchers:
+            t.join(timeout=5.0)
+        for req in self.queue.drain_remaining():
+            self._finish(req, error=ServeShutdownError(
+                "service shut down before the request could execute",
+                pipeline=req.pipeline,
+            ))
+        self._started = False
+        return clean
+
+    # -- host registry --------------------------------------------------
+    def host(self, key: str) -> PipelineHost:
+        """The (lazily created and warmed) host for a benchmark key."""
+        with self._hosts_lock:
+            h = self.hosts.get(key)
+            if h is None:
+                h = self.hosts[key] = PipelineHost(key, self.config.host)
+        return h.warm()
+
+    def warm(self, keys) -> None:
+        """Eagerly warm the given benchmark keys (service boot)."""
+        for key in keys:
+            self.host(key)
+
+    # -- request path ---------------------------------------------------
+    def submit(
+        self,
+        pipeline: str,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        seed: Optional[int] = None,
+        timeout_s: Optional[float] = -1.0,
+    ):
+        """Admit one request; returns its ``Future``.
+
+        ``inputs`` are the pipeline's image arrays; alternatively a
+        ``seed`` generates them deterministically (bit-identical to
+        ``repro run --seed``).  ``timeout_s=-1`` means the service
+        default.  Raises ``SERVE_OVERLOADED`` / ``SERVE_SHUTDOWN`` /
+        ``SERVE_UNKNOWN`` instead of enqueueing.
+        """
+        if not self._started:
+            raise RuntimeError("service not started")
+        host = self.host(pipeline)
+        meta: Dict[str, Any] = {}
+        if inputs is None:
+            seed = 0 if seed is None else seed
+            inputs = make_inputs(host.pipeline, seed)
+            meta["seed"] = seed
+        if timeout_s == -1.0:
+            timeout_s = self.config.default_timeout_s
+        deadline = (
+            None if timeout_s is None
+            else time.perf_counter() + timeout_s
+        )
+        req = ServeRequest(
+            id=next(self._ids),
+            pipeline=pipeline,
+            batch_key=(pipeline, self.config.host.scale),
+            inputs=inputs,
+            deadline=deadline,
+            meta=meta,
+        )
+        with self._pending_lock:
+            self._pending += 1
+        try:
+            self.queue.submit(req)
+        except BaseException:
+            with self._pending_lock:
+                self._pending -= 1
+            raise
+        return req.future
+
+    def run(self, pipeline: str, **kwargs) -> ServeResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        wait_s = kwargs.get("timeout_s")
+        future = self.submit(pipeline, **kwargs)
+        if wait_s in (None, -1.0):
+            wait_s = self.config.default_timeout_s
+        # Slack over the server-side deadline so the server-side
+        # SERVE_TIMEOUT (not a client-side TimeoutError) wins the race.
+        return future.result(
+            timeout=None if wait_s is None else wait_s + 30.0
+        )
+
+    # -- dispatcher -----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch(poll_s=0.05)
+            if batch is None:
+                if self._stop.is_set() and self.queue.depth() == 0:
+                    return
+                continue
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:  # pragma: no cover - last resort
+                for req in batch:
+                    if not req.future.done():
+                        self._finish(req, error=exc)
+
+    def _run_batch(self, batch: List[ServeRequest]) -> None:
+        key = batch[0].pipeline
+        host = self.hosts[key]
+        now = time.perf_counter()
+        live: List[ServeRequest] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                self._finish(req, error=ServeTimeoutError(
+                    f"request {req.id} deadline expired after "
+                    f"{now - req.enqueued_at:.3f}s in queue",
+                    pipeline=key, request_id=req.id,
+                ), timeout=True)
+            else:
+                live.append(req)
+        if not live:
+            return
+        observing = METRICS.enabled
+        with TRACE.span(
+            "batch", pipeline=key, size=len(live),
+            tier=host.tier_name,
+        ):
+            for req in live:
+                queue_wait = time.perf_counter() - req.enqueued_at
+                if observing:
+                    METRICS.observe("repro_serve_queue_wait_seconds",
+                                    queue_wait, pipeline=key)
+                with TRACE.span("request", id=req.id, pipeline=key):
+                    t0 = time.perf_counter()
+                    try:
+                        outputs, report, tier = host.execute(req.inputs)
+                    except Exception as exc:
+                        self._finish(req, error=exc)
+                        continue
+                    result = ServeResult(
+                        request_id=req.id,
+                        pipeline=key,
+                        outputs=outputs,
+                        tier=tier,
+                        degraded=report.degraded,
+                        batch_size=len(live),
+                        queue_wait_s=queue_wait,
+                        execute_s=time.perf_counter() - t0,
+                    )
+                    self._finish(req, result=result)
+        if observing:
+            METRICS.observe("repro_serve_batch_size", len(live),
+                            pipeline=key)
+            METRICS.inc("repro_serve_batches_total", pipeline=key)
+
+    def _finish(self, req: ServeRequest, result=None, error=None,
+                timeout: bool = False) -> None:
+        """Resolve a request's future exactly once and account for it."""
+        with self._pending_lock:
+            self._pending -= 1
+        if error is not None:
+            if timeout:
+                self.admission.note_timeout(req.pipeline)
+            else:
+                self.admission.note_error(req.pipeline)
+            req.future.set_exception(error)
+        else:
+            self.admission.note_completed(req.pipeline)
+            req.future.set_result(result)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet completed (queued + executing)."""
+        with self._pending_lock:
+            return self._pending
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` snapshot."""
+        if not self._started:
+            status = "stopped"
+        elif self.admission.draining:
+            status = "draining"
+        else:
+            status = "serving"
+        return {
+            "status": status,
+            "uptime_s": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None else 0.0
+            ),
+            "queue_depth": self.queue.depth(),
+            "pending": self.pending,
+            "admission": self.admission.snapshot(),
+            "config": {
+                "max_queue": self.config.max_queue,
+                "max_batch_size": self.config.max_batch_size,
+                "batch_window_s": self.config.batch_window_s,
+                "threads": self.config.host.threads,
+                "scale": self.config.host.scale,
+            },
+            "hosts": {
+                key: host.health() for key, host in self.hosts.items()
+            },
+        }

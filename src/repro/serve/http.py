@@ -1,0 +1,212 @@
+"""Stdlib HTTP front-end for :class:`repro.serve.PipelineService`.
+
+One small JSON API over :class:`http.server.ThreadingHTTPServer` — no
+third-party web framework, matching the repo's stdlib+numpy constraint:
+
+``GET /healthz``
+    The service's health snapshot; HTTP 200 while serving, 503 while
+    draining or stopped (so load balancers stop routing during drain).
+
+``GET /pipelines``
+    Machine-readable benchmark registry
+    (:func:`repro.pipelines.registry_json` — same payload as
+    ``repro list --json``).
+
+``GET /metrics``
+    Prometheus text exposition of the process-global registry.
+
+``POST /run``
+    Body ``{"pipeline": "UM", "seed": 0, "timeout_s": 10,
+    "return_data": false}``.  Responds with per-output shape, dtype and
+    sha256 digest (plus the raw data as nested lists when
+    ``return_data`` is true) and request metadata (ladder tier,
+    batch size, queue wait).  Clients that only need to verify
+    bit-identity against ``repro run --digest`` compare digests.
+
+Errors map onto HTTP statuses by their stable ``repro.errors`` code:
+
+=====================  ======
+``SERVE_OVERLOADED``   429
+``SERVE_TIMEOUT``      504
+``SERVE_SHUTDOWN``     503
+``SERVE_UNKNOWN``      404
+``INPUT_*``            400
+anything else          500
+=====================  ======
+
+and every error body is ``{"error": {"code": ..., "message": ...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServeTimeoutError, error_code
+from ..obs import METRICS
+from ..pipelines import registry_json
+from ..planner import array_digest
+from .host import PipelineService
+
+__all__ = ["make_server", "ServeHTTPServer"]
+
+_STATUS_BY_CODE = {
+    "SERVE_OVERLOADED": 429,
+    "SERVE_TIMEOUT": 504,
+    "SERVE_SHUTDOWN": 503,
+    "SERVE_UNKNOWN": 404,
+    "INPUT": 400,
+    "INPUT_MISSING": 400,
+    "INPUT_SHAPE": 400,
+    "INPUT_DTYPE": 400,
+}
+
+
+def _http_status(exc: BaseException) -> Tuple[int, str]:
+    code = error_code(exc)
+    return _STATUS_BY_CODE.get(code, 500), code
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service reference.
+
+    ``daemon_threads`` keeps in-flight handler threads from blocking
+    process exit after a drain has already failed their requests.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: PipelineService):
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # keep the access log out of the CLI's stdout protocol
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> PipelineService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, exc: BaseException) -> None:
+        status, code = _http_status(exc)
+        self._send_json(status, {
+            "error": {"code": code, "message": str(exc)},
+        })
+
+    # -- GET ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/healthz":
+                health = self.service.health()
+                status = 200 if health["status"] == "serving" else 503
+                self._send_json(status, health)
+            elif self.path == "/pipelines":
+                self._send_json(200, {"pipelines": registry_json()})
+            elif self.path == "/metrics":
+                text = METRICS.to_prometheus().encode()
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(text)))
+                self.end_headers()
+                self.wfile.write(text)
+            else:
+                self._send_json(404, {"error": {
+                    "code": "NOT_FOUND",
+                    "message": f"no route {self.path!r}",
+                }})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(exc)
+
+    # -- POST -----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/run":
+            self._send_json(404, {"error": {
+                "code": "NOT_FOUND",
+                "message": f"no route {self.path!r}",
+            }})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except ValueError as exc:
+                self._send_json(400, {"error": {
+                    "code": "BAD_REQUEST",
+                    "message": f"invalid JSON body: {exc}",
+                }})
+                return
+            pipeline = body.get("pipeline")
+            if not isinstance(pipeline, str):
+                self._send_json(400, {"error": {
+                    "code": "BAD_REQUEST",
+                    "message": "body must name a 'pipeline'",
+                }})
+                return
+            seed = body.get("seed", 0)
+            timeout_s: Optional[float] = body.get("timeout_s", -1.0)
+            return_data = bool(body.get("return_data", False))
+            try:
+                result = self.service.run(
+                    pipeline, seed=int(seed), timeout_s=timeout_s,
+                )
+            except FutureTimeoutError:
+                # client-side guard fired before the server-side
+                # deadline; present it under the same stable code
+                self._send_error_json(ServeTimeoutError(
+                    f"request for {pipeline!r} timed out",
+                    pipeline=pipeline,
+                ))
+                return
+            except Exception as exc:
+                self._send_error_json(exc)
+                return
+            outputs = {}
+            for name, arr in sorted(result.outputs.items()):
+                entry = {
+                    "shape": list(arr.shape),
+                    "dtype": str(arr.dtype),
+                    "sha256": array_digest(arr),
+                }
+                if return_data:
+                    entry["data"] = arr.tolist()
+                outputs[name] = entry
+            self._send_json(200, {
+                "id": result.request_id,
+                "pipeline": result.pipeline,
+                "seed": int(seed),
+                "tier": result.tier,
+                "degraded": result.degraded,
+                "batch_size": result.batch_size,
+                "queue_wait_s": round(result.queue_wait_s, 6),
+                "execute_s": round(result.execute_s, 6),
+                "outputs": outputs,
+            })
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(exc)
+
+
+def make_server(host: str, port: int,
+                service: PipelineService) -> ServeHTTPServer:
+    """Bind the front-end; ``port=0`` picks a free port (tests read
+    ``server.server_address``)."""
+    return ServeHTTPServer((host, port), service)

@@ -1,0 +1,150 @@
+"""Unit tests for the serve layer's queue and admission control:
+coalescing, flush windows, bounded depth with deterministic shedding,
+and the drain state machine."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeOverloadedError, ServeShutdownError
+from repro.serve import AdmissionController, MicroBatchQueue, ServeRequest
+
+
+def make_request(rid, pipeline="UM", key=None):
+    return ServeRequest(
+        id=rid, pipeline=pipeline,
+        batch_key=key if key is not None else (pipeline, 0.1),
+        inputs={},
+    )
+
+
+class TestAdmissionController:
+    def test_admits_below_bound(self):
+        adm = AdmissionController(max_queue=2)
+        adm.try_admit(0, "UM")
+        adm.try_admit(1, "UM")
+        assert adm.admitted == 2
+        assert adm.shed == 0
+
+    def test_sheds_at_bound_with_stable_code(self):
+        adm = AdmissionController(max_queue=2)
+        with pytest.raises(ServeOverloadedError) as exc_info:
+            adm.try_admit(2, "UM")
+        assert exc_info.value.code == "SERVE_OVERLOADED"
+        assert exc_info.value.context["max_queue"] == 2
+        assert adm.shed == 1
+        assert adm.admitted == 0
+
+    def test_drain_rejects_new_requests(self):
+        adm = AdmissionController(max_queue=2)
+        adm.begin_drain()
+        with pytest.raises(ServeShutdownError) as exc_info:
+            adm.try_admit(0, "UM")
+        assert exc_info.value.code == "SERVE_SHUTDOWN"
+
+    def test_snapshot_counts_outcomes(self):
+        adm = AdmissionController(max_queue=4)
+        adm.try_admit(0, "UM")
+        adm.note_completed("UM")
+        adm.note_timeout("UM")
+        adm.note_error("UM")
+        snap = adm.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["completed"] == 1
+        assert snap["timeouts"] == 1
+        assert snap["errors"] == 1
+        assert not snap["draining"]
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+
+
+def make_queue(max_queue=16, max_batch_size=8, batch_window_s=0.0):
+    return MicroBatchQueue(
+        AdmissionController(max_queue),
+        max_batch_size=max_batch_size,
+        batch_window_s=batch_window_s,
+    )
+
+
+class TestMicroBatchQueue:
+    def test_coalesces_same_key(self):
+        q = make_queue()
+        for i in range(3):
+            q.submit(make_request(i))
+        batch = q.next_batch(poll_s=0.01)
+        assert [r.id for r in batch] == [0, 1, 2]
+        assert q.depth() == 0
+
+    def test_respects_max_batch_size(self):
+        q = make_queue(max_batch_size=2)
+        for i in range(3):
+            q.submit(make_request(i))
+        assert [r.id for r in q.next_batch(poll_s=0.01)] == [0, 1]
+        assert [r.id for r in q.next_batch(poll_s=0.01)] == [2]
+
+    def test_different_keys_keep_queue_order(self):
+        q = make_queue()
+        q.submit(make_request(0, key="a"))
+        q.submit(make_request(1, key="b"))
+        q.submit(make_request(2, key="a"))
+        q.submit(make_request(3, key="b"))
+        # first batch seeds from the head (key "a") and pulls id 2 from
+        # behind id 1 without reordering the "b" requests
+        assert [r.id for r in q.next_batch(poll_s=0.01)] == [0, 2]
+        assert [r.id for r in q.next_batch(poll_s=0.01)] == [1, 3]
+
+    def test_empty_queue_returns_none(self):
+        q = make_queue()
+        t0 = time.perf_counter()
+        assert q.next_batch(poll_s=0.01) is None
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_flush_window_collects_late_arrivals(self):
+        q = make_queue(batch_window_s=0.25)
+        q.submit(make_request(0))
+
+        def late_submit():
+            time.sleep(0.05)
+            q.submit(make_request(1))
+
+        t = threading.Thread(target=late_submit)
+        t.start()
+        batch = q.next_batch(poll_s=0.01)
+        t.join()
+        assert [r.id for r in batch] == [0, 1]
+
+    def test_full_batch_skips_the_window(self):
+        q = make_queue(max_batch_size=2, batch_window_s=30.0)
+        q.submit(make_request(0))
+        q.submit(make_request(1))
+        t0 = time.perf_counter()
+        batch = q.next_batch(poll_s=0.01)
+        assert len(batch) == 2
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_sheds_when_full(self):
+        q = make_queue(max_queue=2)
+        q.submit(make_request(0))
+        q.submit(make_request(1))
+        with pytest.raises(ServeOverloadedError):
+            q.submit(make_request(2))
+        assert q.depth() == 2
+        assert q.admission.shed == 1
+
+    def test_submit_stamps_enqueue_time(self):
+        q = make_queue()
+        req = make_request(0)
+        assert req.enqueued_at == 0.0
+        q.submit(req)
+        assert req.enqueued_at > 0.0
+
+    def test_drain_remaining_empties_queue(self):
+        q = make_queue()
+        q.submit(make_request(0))
+        q.submit(make_request(1))
+        leftovers = q.drain_remaining()
+        assert [r.id for r in leftovers] == [0, 1]
+        assert q.depth() == 0

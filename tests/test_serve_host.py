@@ -1,0 +1,312 @@
+"""Integration tests for the serving core: warm hosts, bit-identity with
+one-shot execution, micro-batch coalescing, the deterministic overload
+contract, graceful drain, and the degradation ladder."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ServeOverloadedError,
+    ServeShutdownError,
+    ServeTimeoutError,
+    ServeUnknownPipelineError,
+)
+from repro.model.machine import XEON_HASWELL
+from repro.obs import METRICS
+from repro.planner import (
+    build_benchmark,
+    make_inputs,
+    output_digests,
+    plan_schedule,
+)
+from repro.resilience import GuardPolicy, execute_guarded, inject_faults
+from repro.serve import (
+    HostConfig,
+    PipelineHost,
+    PipelineService,
+    ServeConfig,
+)
+
+SCALE = 0.05
+THREADS = 2
+
+
+def small_config(**kwargs):
+    host = HostConfig(scale=SCALE, threads=THREADS,
+                      **kwargs.pop("host_kwargs", {}))
+    return ServeConfig(host=host, **kwargs)
+
+
+@pytest.fixture
+def service():
+    svc = PipelineService(small_config()).start()
+    yield svc
+    svc.shutdown(timeout_s=60.0)
+
+
+def oneshot_digests(key, seed):
+    """Digests of the CLI's degrade-mode execution path (what
+    ``repro run --digest`` prints)."""
+    bench, pipe = build_benchmark(key, SCALE)
+    grouping, _ = plan_schedule(pipe, bench, XEON_HASWELL, "dp",
+                                1_200_000, strict=False)
+    report = execute_guarded(
+        pipe, grouping, make_inputs(pipe, seed), nthreads=THREADS,
+        policy=GuardPolicy(tile_retries=1, degrade=True),
+    )
+    return output_digests(report.outputs)
+
+
+class TestBitIdentity:
+    def test_50_requests_match_oneshot_runs(self, service):
+        """The acceptance contract: N=50 served requests across two
+        benchmarks are bit-identical to one-shot runs."""
+        seeds = list(range(25))
+        expected = {
+            key: {s: oneshot_digests(key, s) for s in (0, 7)}
+            for key in ("UM", "HC")
+        }
+        futures = [
+            (key, s % 2 * 7, service.submit(key, seed=s % 2 * 7))
+            for key in ("UM", "HC") for s in seeds
+        ]
+        assert len(futures) == 50
+        for key, seed, fut in futures:
+            result = fut.result(timeout=120)
+            assert output_digests(result.outputs) == expected[key][seed]
+        snap = service.admission.snapshot()
+        assert snap["completed"] == 50
+        assert snap["errors"] == 0
+
+    def test_repeated_seed_is_deterministic(self, service):
+        a = service.submit("UM", seed=3).result(timeout=120)
+        b = service.submit("UM", seed=3).result(timeout=120)
+        assert output_digests(a.outputs) == output_digests(b.outputs)
+
+
+class TestBatching:
+    def test_concurrent_requests_coalesce(self):
+        svc = PipelineService(small_config(
+            max_batch_size=8, batch_window_s=0.2,
+        )).start()
+        try:
+            svc.host("UM")  # warm first so submits land close together
+            futures = [svc.submit("UM", seed=0) for _ in range(4)]
+            results = [f.result(timeout=120) for f in futures]
+            assert max(r.batch_size for r in results) > 1
+            digests = {output_digests(r.outputs)["masked"]
+                       for r in results}
+            assert len(digests) == 1
+        finally:
+            svc.shutdown(timeout_s=60.0)
+
+
+class BlockedHost:
+    """Wraps a warm host's execute so the dispatcher blocks until
+    released — makes overload and drain timing deterministic."""
+
+    def __init__(self, host):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._orig = host.execute
+        host.execute = self._blocked
+
+    def _blocked(self, inputs):
+        self.started.set()
+        assert self.release.wait(timeout=60.0)
+        return self._orig(inputs)
+
+
+class TestOverload:
+    def test_request_q_plus_1_is_shed(self):
+        """With queue bound Q and a blocked executor, requests 1..Q+1
+        are: 1 executing, Q queued, and exactly request Q+1 shed."""
+        Q = 3
+        svc = PipelineService(small_config(
+            max_queue=Q, max_batch_size=1, batch_window_s=0.0,
+        )).start()
+        try:
+            blocked = BlockedHost(svc.host("UM"))
+            first = svc.submit("UM", seed=0)
+            assert blocked.started.wait(timeout=60.0)
+            queued = [svc.submit("UM", seed=0) for _ in range(Q)]
+            with pytest.raises(ServeOverloadedError) as exc_info:
+                svc.submit("UM", seed=0)
+            assert exc_info.value.code == "SERVE_OVERLOADED"
+            assert svc.admission.shed == 1
+            assert METRICS.value("repro_serve_shed_total") in (None, 0)
+
+            blocked.release.set()
+            for fut in [first] + queued:
+                fut.result(timeout=120)
+            snap = svc.admission.snapshot()
+            assert snap["admitted"] == Q + 1
+            assert snap["completed"] == Q + 1
+            assert snap["shed"] == 1
+        finally:
+            svc.shutdown(timeout_s=60.0)
+
+    def test_shed_counter_exported_when_metrics_on(self):
+        METRICS.reset(enabled=True)
+        try:
+            svc = PipelineService(small_config(
+                max_queue=1, max_batch_size=1, batch_window_s=0.0,
+            )).start()
+            try:
+                blocked = BlockedHost(svc.host("UM"))
+                first = svc.submit("UM", seed=0)
+                assert blocked.started.wait(timeout=60.0)
+                second = svc.submit("UM", seed=0)
+                with pytest.raises(ServeOverloadedError):
+                    svc.submit("UM", seed=0)
+                assert METRICS.value("repro_serve_shed_total",
+                                     pipeline="UM") == 1
+                blocked.release.set()
+                first.result(timeout=120)
+                second.result(timeout=120)
+            finally:
+                svc.shutdown(timeout_s=60.0)
+        finally:
+            METRICS.reset(enabled=False)
+
+
+class TestTimeouts:
+    def test_expired_request_fails_with_serve_timeout(self):
+        svc = PipelineService(small_config(
+            max_batch_size=1, batch_window_s=0.0,
+        )).start()
+        try:
+            blocked = BlockedHost(svc.host("UM"))
+            first = svc.submit("UM", seed=0)
+            assert blocked.started.wait(timeout=60.0)
+            # sits in the queue past its deadline while the first
+            # request blocks the dispatcher
+            doomed = svc.submit("UM", seed=0, timeout_s=0.01)
+            time.sleep(0.05)
+            blocked.release.set()
+            first.result(timeout=120)
+            with pytest.raises(ServeTimeoutError) as exc_info:
+                doomed.result(timeout=120)
+            assert exc_info.value.code == "SERVE_TIMEOUT"
+            assert svc.admission.snapshot()["timeouts"] == 1
+        finally:
+            svc.shutdown(timeout_s=60.0)
+
+
+class TestDrain:
+    def test_drain_completes_admitted_requests(self):
+        svc = PipelineService(small_config(
+            max_batch_size=1, batch_window_s=0.0,
+        )).start()
+        blocked = BlockedHost(svc.host("UM"))
+        first = svc.submit("UM", seed=0)
+        assert blocked.started.wait(timeout=60.0)
+        queued = [svc.submit("UM", seed=0) for _ in range(3)]
+
+        drained = []
+        drainer = threading.Thread(
+            target=lambda: drained.append(svc.shutdown(timeout_s=60.0)),
+        )
+        drainer.start()
+        # drain must not cancel admitted work...
+        with pytest.raises(ServeShutdownError):
+            svc.submit("UM", seed=0)
+        blocked.release.set()
+        drainer.join(timeout=120)
+        assert drained == [True]
+        # ...and every admitted request completed
+        for fut in [first] + queued:
+            assert fut.result(timeout=1) is not None
+        assert svc.admission.snapshot()["completed"] == 4
+        assert svc.health()["status"] == "stopped"
+
+    def test_drain_timeout_reports_dirty(self):
+        svc = PipelineService(small_config(
+            max_batch_size=1, batch_window_s=0.0,
+        )).start()
+        blocked = BlockedHost(svc.host("UM"))
+        fut = svc.submit("UM", seed=0)
+        assert blocked.started.wait(timeout=60.0)
+        assert svc.drain(timeout_s=0.05) is False
+        blocked.release.set()
+        fut.result(timeout=120)
+        assert svc.drain(timeout_s=60.0) is True
+        svc.shutdown(timeout_s=60.0)
+
+
+class TestDegradationLadder:
+    def test_sustained_failure_steps_down_and_recovers(self):
+        svc = PipelineService(small_config(host_kwargs=dict(
+            degrade_after=2, recover_after=2,
+        ))).start()
+        try:
+            host = svc.host("UM")
+            assert host.tier_name == "compiled"
+            with inject_faults(tile=1.0):
+                for _ in range(2):
+                    r = svc.submit("UM", seed=0).result(timeout=120)
+                    assert r.degraded
+                assert host.tier_name == "interpreter"
+                for _ in range(2):
+                    svc.submit("UM", seed=0).result(timeout=120)
+                assert host.tier_name == "no-fusion"
+                # the floor holds under continued failure
+                svc.submit("UM", seed=0).result(timeout=120)
+                assert host.tier_name == "no-fusion"
+            # clean requests climb back up one tier per recover_after
+            for _ in range(2):
+                r = svc.submit("UM", seed=0).result(timeout=120)
+                assert not r.degraded
+            assert host.tier_name == "interpreter"
+            for _ in range(2):
+                svc.submit("UM", seed=0).result(timeout=120)
+            assert host.tier_name == "compiled"
+        finally:
+            svc.shutdown(timeout_s=60.0)
+
+    def test_degraded_tiers_stay_bit_identical(self):
+        """The ladder changes *how* a pipeline executes, never what it
+        computes — tier 2 output matches tier 0 output."""
+        svc = PipelineService(small_config(host_kwargs=dict(
+            degrade_after=1, recover_after=1000,
+        ))).start()
+        try:
+            host = svc.host("UM")
+            baseline = output_digests(
+                svc.submit("UM", seed=5).result(timeout=120).outputs
+            )
+            with inject_faults(tile=1.0):
+                svc.submit("UM", seed=5).result(timeout=120)
+                svc.submit("UM", seed=5).result(timeout=120)
+            assert host.tier_name == "no-fusion"
+            r = svc.submit("UM", seed=5).result(timeout=120)
+            assert r.tier == "no-fusion"
+            assert output_digests(r.outputs) == baseline
+        finally:
+            svc.shutdown(timeout_s=60.0)
+
+
+class TestHostLifecycle:
+    def test_unknown_pipeline_rejected(self, service):
+        with pytest.raises(ServeUnknownPipelineError) as exc_info:
+            service.submit("NOPE")
+        assert exc_info.value.code == "SERVE_UNKNOWN"
+
+    def test_warm_is_idempotent(self):
+        host = PipelineHost("UM", HostConfig(scale=SCALE, threads=THREADS))
+        host.warm()
+        grouping = host.grouping
+        host.warm()
+        assert host.grouping is grouping
+
+    def test_health_snapshot(self, service):
+        service.submit("UM", seed=0).result(timeout=120)
+        health = service.health()
+        assert health["status"] == "serving"
+        assert health["pending"] == 0
+        assert health["hosts"]["UM"]["warm"]
+        assert health["hosts"]["UM"]["tier"] == "compiled"
+        assert health["hosts"]["UM"]["requests"] == 1
+        assert health["hosts"]["UM"]["pool"]["pools"] >= 1

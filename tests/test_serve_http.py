@@ -1,0 +1,173 @@
+"""Tests for the stdlib HTTP front-end: routes, status codes, the
+error-code mapping, and digest agreement with the in-process service."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import METRICS
+from repro.planner import output_digests
+from repro.serve import (
+    HostConfig,
+    PipelineService,
+    ServeConfig,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One warm service + HTTP server shared by the module (warming a
+    host per test would dominate the suite's runtime)."""
+    service = PipelineService(ServeConfig(
+        host=HostConfig(scale=0.05, threads=2),
+    )).start()
+    httpd = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    port = httpd.server_address[1]
+    yield service, f"http://127.0.0.1:{port}"
+    httpd.shutdown()
+    httpd.server_close()
+    service.shutdown(timeout_s=60.0)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestRoutes:
+    def test_healthz_serving(self, server):
+        _, base = server
+        status, body = get(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "serving"
+        assert "admission" in body
+
+    def test_pipelines_lists_registry(self, server):
+        _, base = server
+        status, body = get(base + "/pipelines")
+        assert status == 200
+        keys = {p["key"] for p in body["pipelines"]}
+        assert keys == {"UM", "HC", "BG", "MI", "CP", "PB"}
+        um = next(p for p in body["pipelines"] if p["key"] == "UM")
+        assert um["inputs"][0]["dtype"] == "float32"
+
+    def test_metrics_exposition(self, server):
+        _, base = server
+        with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+            assert resp.status == 200
+            text = resp.read().decode()
+        # exposition parses even when collection is disabled
+        assert isinstance(text, str)
+
+    def test_unknown_route_404(self, server):
+        _, base = server
+        try:
+            urllib.request.urlopen(base + "/nope", timeout=60)
+            raise AssertionError("expected HTTP 404")
+        except urllib.error.HTTPError as err:
+            assert err.code == 404
+
+
+class TestRun:
+    def test_run_digests_match_inprocess_result(self, server):
+        service, base = server
+        status, body = post(base + "/run", {"pipeline": "UM", "seed": 9})
+        assert status == 200
+        expected = output_digests(
+            service.submit("UM", seed=9).result(timeout=120).outputs
+        )
+        got = {name: o["sha256"] for name, o in body["outputs"].items()}
+        assert got == expected
+        assert body["tier"] == "compiled"
+        assert body["degraded"] is False
+        assert body["batch_size"] >= 1
+
+    def test_return_data_roundtrips(self, server):
+        _, base = server
+        status, body = post(base + "/run", {
+            "pipeline": "UM", "seed": 1, "return_data": True,
+        })
+        assert status == 200
+        out = body["outputs"]["masked"]
+        assert len(out["data"]) == out["shape"][0]
+
+    def test_unknown_pipeline_404(self, server):
+        _, base = server
+        status, body = post(base + "/run", {"pipeline": "NOPE"})
+        assert status == 404
+        assert body["error"]["code"] == "SERVE_UNKNOWN"
+
+    def test_missing_pipeline_400(self, server):
+        _, base = server
+        status, body = post(base + "/run", {})
+        assert status == 400
+        assert body["error"]["code"] == "BAD_REQUEST"
+
+    def test_invalid_json_400(self, server):
+        _, base = server
+        req = urllib.request.Request(
+            base + "/run", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            urllib.request.urlopen(req, timeout=60)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as err:
+            assert err.code == 400
+
+    def test_serve_metrics_visible_when_enabled(self, server):
+        service, base = server
+        METRICS.reset(enabled=True)
+        try:
+            status, _ = post(base + "/run", {"pipeline": "UM", "seed": 0})
+            assert status == 200
+            with urllib.request.urlopen(
+                base + "/metrics", timeout=60
+            ) as resp:
+                text = resp.read().decode()
+            assert 'repro_serve_requests_total{pipeline="UM",status="ok"}' \
+                in text
+            assert "repro_serve_batches_total" in text
+        finally:
+            METRICS.reset(enabled=False)
+
+
+class TestDrainVisibility:
+    def test_healthz_503_while_draining(self):
+        service = PipelineService(ServeConfig(
+            host=HostConfig(scale=0.05, threads=2),
+        )).start()
+        httpd = make_server("127.0.0.1", 0, service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            service.admission.begin_drain()
+            try:
+                urllib.request.urlopen(base + "/healthz", timeout=60)
+                raise AssertionError("expected HTTP 503")
+            except urllib.error.HTTPError as err:
+                assert err.code == 503
+                assert json.loads(err.read())["status"] == "draining"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.shutdown(timeout_s=60.0)
