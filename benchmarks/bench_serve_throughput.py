@@ -12,17 +12,27 @@ measures that directly, per pipeline:
   which would only widen the gap.
 * **serve**: one warm :class:`~repro.serve.PipelineService`, then N
   requests submitted back-to-back through the micro-batching queue.
+* **serve+workers**: the same service with ``--workers`` crash-isolated
+  worker processes forked after warm-up; requests execute in the
+  workers with outputs returning through shared memory.  The recorded
+  ``scaling_vs_single_process`` is this mode's throughput over the
+  single-process serve throughput — on a multi-core host it shows the
+  worker tier escaping the single GIL; on a single-core host (the
+  payload records ``cpu_count``) the workers timeshare one core and the
+  honest expectation is ~1x, the point being that crash isolation costs
+  little even with no parallelism to win.
 
-Both paths produce digests for the same seed, so the run doubles as a
-bit-identity check.  Results land in ``BENCH_serve.json``; ``--check``
-exits nonzero unless serving is at least ``--min-speedup`` (default 3x)
-faster per request on every measured pipeline and all digests match.
+All paths produce digests for the same seed, so the run doubles as a
+bit-identity check across the process boundary.  Results land in
+``BENCH_serve.json``; ``--check`` exits nonzero unless serving is at
+least ``--min-speedup`` (default 3x) faster per request on every
+measured pipeline and all digests match.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py \
-        --pipelines UM HC --requests 50 --check
+        --pipelines UM HC --requests 50 --workers 2 --check
 """
 
 from __future__ import annotations
@@ -105,6 +115,59 @@ def bench_pipeline(service: PipelineService, key: str,
     }
 
 
+def bench_workers(keys: List[str], requests: int, workers: int,
+                  singles: Dict[str, Dict]) -> List[Dict]:
+    """Measure the worker-tier service on the same pipelines; returns
+    one record per pipeline referencing the single-process baseline."""
+    service = PipelineService(ServeConfig(
+        host=HostConfig(scale=SCALE, threads=THREADS),
+        max_queue=max(256, requests * 2),
+        workers=workers,
+        dispatchers=max(1, workers),
+        heartbeat_s=0.5,
+        worker_timeout_s=300.0,
+    )).start()
+    records = []
+    try:
+        service.warm(keys)
+        service.start_workers()
+        for key in keys:
+            service.submit(key, seed=SEED).result(timeout=300)  # prime
+            t0 = time.perf_counter()
+            futures = [service.submit(key, seed=SEED)
+                       for _ in range(requests)]
+            results = [f.result(timeout=300) for f in futures]
+            total_s = time.perf_counter() - t0
+            rps = requests / total_s
+            digests = {output_digests(r.outputs)[name]
+                       for r in results for name in r.outputs}
+            expected = set(singles[key]["digest"])
+            single_rps = singles[key]["serve_throughput_rps"]
+            pids = {r.worker for r in results}
+            records.append({
+                "pipeline": key,
+                "mode": "workers",
+                "workers": workers,
+                "requests": requests,
+                "serve_s_per_request": round(total_s / requests, 6),
+                "serve_throughput_rps": round(rps, 3),
+                "scaling_vs_single_process": round(rps / single_rps, 3),
+                "worker_processes_used": len(pids - {None}),
+                "mean_batch_size": round(
+                    sum(r.batch_size for r in results) / len(results), 3
+                ),
+                "digests_match": digests == expected,
+            })
+            rec = records[-1]
+            print(f"{key} x{workers} workers: "
+                  f"{rec['serve_throughput_rps']:.1f} rps "
+                  f"({rec['scaling_vs_single_process']:.2f}x single-"
+                  f"process, digests_match={rec['digests_match']})")
+    finally:
+        service.shutdown(timeout_s=120.0)
+    return records
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--pipelines", nargs="+", default=["UM", "HC"])
@@ -113,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--oneshot-reps", type=int, default=3,
                         help="cold one-shot iterations per pipeline")
     parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="also measure a service with this many "
+                             "worker processes (0 skips the mode)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     parser.add_argument("--check", action="store_true",
                         help="exit 1 unless every pipeline serves at "
@@ -138,14 +204,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         service.shutdown(timeout_s=120.0)
 
+    if args.workers > 0:
+        singles = {r["pipeline"]: r for r in records}
+        records.extend(bench_workers(
+            args.pipelines, args.requests, args.workers, singles,
+        ))
+
     payload = {
         "benchmark": "serve_throughput",
         "description": "cold schedule+compile+execute per request vs a "
                        "warm PipelineService, same seed and scale "
-                       f"({SCALE}), {THREADS} executor threads",
+                       f"({SCALE}), {THREADS} executor threads; "
+                       "mode=workers rows execute in forked worker "
+                       "processes with shared-memory output transport",
         "scale": SCALE,
         "threads": THREADS,
         "seed": SEED,
+        "cpu_count": os.cpu_count(),
         "results": records,
     }
     with open(args.output, "w") as fh:

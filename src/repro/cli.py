@@ -298,6 +298,12 @@ def cmd_serve(args) -> int:
         max_batch_size=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000.0,
         default_timeout_s=args.timeout_s,
+        # one dispatcher per worker keeps every worker busy; the
+        # in-process tier keeps its single dispatcher
+        dispatchers=max(1, args.workers),
+        workers=args.workers,
+        worker_timeout_s=args.worker_timeout_s,
+        heartbeat_s=args.heartbeat_s,
     )
     service = PipelineService(config).start()
     for key in args.warm:
@@ -305,8 +311,16 @@ def cmd_serve(args) -> int:
         host = service.host(key)
         print(f"  {key}: {host.grouping.num_groups} groups via "
               f"{host.schedule_tier} in {host.warm_s:.2f}s", flush=True)
+    if args.workers > 0:
+        # fork after warm-up: every worker inherits the warm schedules,
+        # compiled kernels, and scratch pools built above
+        sup = service.start_workers()
+        print(f"workers: {sup.worker_pids()} "
+              f"(timeout={config.worker_timeout_s}s, "
+              f"heartbeat={config.heartbeat_s}s)", flush=True)
 
-    httpd = make_server(args.host, args.port, service)
+    httpd = make_server(args.host, args.port, service,
+                        max_body_bytes=int(args.max_body_mb * 1024 * 1024))
     bound_host, bound_port = httpd.server_address[:2]
     stop = threading.Event()
 
@@ -459,6 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-request deadline")
     p.add_argument("--drain-timeout-s", type=float, default=60.0,
                    help="bound on the graceful drain at shutdown")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes forked after warm-up; requests "
+                        "execute crash-isolated in them, with automatic "
+                        "respawn and bounded retry on worker death "
+                        "(0: execute in-process)")
+    p.add_argument("--worker-timeout-s", type=float, default=30.0,
+                   help="per-batch execution timeout on a worker before "
+                        "the supervisor kills it (SERVE_WORKER_TIMEOUT)")
+    p.add_argument("--heartbeat-s", type=float, default=1.0,
+                   help="worker heartbeat interval; a worker silent for "
+                        "3x this is killed and respawned")
+    p.add_argument("--max-body-mb", type=float, default=8.0,
+                   help="reject POST bodies larger than this with "
+                        "HTTP 413 (SERVE_BODY_TOO_LARGE)")
     p.add_argument("--warm", nargs="*", default=[],
                    choices=sorted(BENCHMARKS), metavar="BENCH",
                    help="benchmarks to schedule/compile at boot instead "

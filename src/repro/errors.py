@@ -36,6 +36,13 @@ code                      raised when
                           or stopped
 ``SERVE_UNKNOWN``         a request named a pipeline the serve registry does
                           not know
+``SERVE_WORKER_LOST``     a worker process died (crash, OOM kill, SIGKILL)
+                          while executing the request and the bounded retry
+                          on a replacement worker also failed
+``SERVE_WORKER_TIMEOUT``  a worker exceeded the per-request execution
+                          timeout and was killed by the supervisor
+``SERVE_BODY_TOO_LARGE``  an HTTP request body exceeded the configured
+                          size limit (mapped to HTTP 413)
 ========================  =====================================================
 """
 
@@ -66,6 +73,9 @@ __all__ = [
     "ServeTimeoutError",
     "ServeShutdownError",
     "ServeUnknownPipelineError",
+    "ServeWorkerLostError",
+    "ServeWorkerTimeoutError",
+    "ServeBodyTooLargeError",
     "ERROR_CODES",
     "NON_RETRYABLE_CODES",
     "error_code",
@@ -283,6 +293,34 @@ class ServeUnknownPipelineError(ServeError, KeyError):
     code = "SERVE_UNKNOWN"
 
 
+class ServeWorkerLostError(ServeError):
+    """A worker process died while executing the request and the
+    supervisor's bounded at-most-once retry on a replacement worker also
+    failed.  Retryable: the failure says something about the worker that
+    served the request, not about the request itself."""
+
+    code = "SERVE_WORKER_LOST"
+
+
+class ServeWorkerTimeoutError(ServeError):
+    """A worker exceeded the per-request execution timeout
+    (``--worker-timeout-s``) and was killed by the supervisor.  The
+    request is *not* retried on another worker — a request that hung one
+    worker would likely hang its replacement too — but the code is
+    classified retryable so clients with larger budgets may try again."""
+
+    code = "SERVE_WORKER_TIMEOUT"
+
+
+class ServeBodyTooLargeError(ServeError):
+    """An HTTP request body exceeded the configured size limit.  The
+    front-end rejects it before reading the body, so one oversized
+    Content-Length cannot exhaust server memory.  Deterministic, hence
+    non-retryable: the same body is over the limit every time."""
+
+    code = "SERVE_BODY_TOO_LARGE"
+
+
 def _walk(cls: Type[ReproError], into: Dict[str, Type[ReproError]]) -> None:
     into.setdefault(cls.code, cls)
     for sub in cls.__subclasses__():
@@ -324,6 +362,7 @@ NON_RETRYABLE_CODES = frozenset({
     "KERNEL_COMPILE_FAIL",
     "SERVE_SHUTDOWN",
     "SERVE_UNKNOWN",
+    "SERVE_BODY_TOO_LARGE",
 })
 
 #: builtin exception types that signal deterministic programming or

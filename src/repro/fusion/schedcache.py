@@ -32,11 +32,14 @@ Cache files are written atomically (temp file + ``os.replace``; the temp
 name carries the pid *and* a per-call unique suffix, so concurrent
 threads of one process storing the same key never interleave writes
 through a shared temp file) so a killed process never leaves a truncated
-entry behind.
+entry behind.  Temp files a killed writer *did* leave behind (it died
+between ``open`` and ``os.replace``) are age-swept the next time the
+cache directory is opened.
 
 With ``repro.obs`` metrics collection on, every cache event is exported
-as ``repro_schedule_cache_events_total{event=hit|miss|eviction|store}``
-alongside the per-instance ``hits``/``misses``/``evictions`` counters.
+as ``repro_schedule_cache_events_total`` with
+``event=hit|miss|eviction|store|tmp_sweep`` alongside the per-instance
+``hits``/``misses``/``evictions`` counters.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ import hashlib
 import itertools
 import json
 import os
+import time
 from typing import Iterable, Optional
 
 from ..dsl.pipeline import Pipeline
@@ -117,6 +121,11 @@ def schedule_cache_key(
     return h.hexdigest()[:20]
 
 
+#: temp files from :meth:`ScheduleCache.store` older than this are
+#: presumed orphaned by a crashed/killed writer and swept on open
+STALE_TMP_S = 3600.0
+
+
 class ScheduleCache:
     """A directory of serialized schedules keyed by
     :func:`schedule_cache_key`."""
@@ -127,6 +136,36 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0  # stale or unreadable entries removed
+        self.swept_tmp = self._sweep_tmp()
+
+    def _sweep_tmp(self, stale_s: float = STALE_TMP_S) -> int:
+        """Remove ``*.tmp.*`` files a killed writer never renamed.
+
+        A writer that dies between ``open`` and ``os.replace`` leaves
+        its temp file behind forever — nothing else ever references the
+        unique name.  Age-gating the sweep (mtime older than
+        ``stale_s``) keeps it safe against writers in other processes
+        that are mid-store right now; returns the number removed.
+        """
+        removed = 0
+        now = time.time()
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if ".tmp." not in name:
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if now - os.path.getmtime(path) > stale_s:
+                    os.remove(path)
+                    removed += 1
+            except OSError:
+                continue
+        if removed:
+            self._event("tmp_sweep")
+        return removed
 
     def _path(self, pipeline: Pipeline, key: str) -> str:
         return os.path.join(self.directory, f"{pipeline.name}-{key}.json")

@@ -117,6 +117,38 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
     "repro_serve_warm_seconds": (
         "histogram", "Time to warm a pipeline host (build + schedule + "
                      "kernel compile)"),
+    # -- worker tier (repro.serve.supervisor) ---------------------------
+    "repro_serve_workers": (
+        "gauge", "Live worker processes in the supervised tier"),
+    "repro_serve_worker_restarts_total": (
+        "counter", "Worker respawns by the supervisor "
+                   "(reason=crash|timeout|heartbeat)"),
+    "repro_serve_worker_heartbeat_age_seconds": (
+        "gauge", "Seconds since each worker's last heartbeat "
+                 "(labelled by worker index)"),
+    "repro_serve_worker_batches_total": (
+        "counter", "Micro-batches executed on the worker tier, "
+                   "labelled by worker index"),
+    "repro_serve_worker_retries_total": (
+        "counter", "In-flight requests retried on a replacement worker "
+                   "after a worker death (at most once per request)"),
+    "repro_serve_worker_lost_total": (
+        "counter", "Requests failed with SERVE_WORKER_LOST after the "
+                   "bounded retry also lost its worker"),
+    "repro_serve_shm_bytes": (
+        "gauge", "Bytes currently held in live shared-memory segments "
+                 "owned by this process"),
+    "repro_serve_shm_segments": (
+        "gauge", "Live shared-memory segments owned by this process"),
+    "repro_serve_shm_swept_total": (
+        "counter", "Stale shared-memory segments of dead owners "
+                   "reclaimed by the supervisor's sweep"),
+    "repro_serve_breaker_state": (
+        "gauge", "Per-pipeline worker-tier circuit breaker "
+                 "(0=closed, 1=open, 2=half-open)"),
+    "repro_serve_breaker_trips_total": (
+        "counter", "Circuit-breaker trips to the in-process fallback "
+                   "tier after repeated worker deaths"),
 }
 
 #: bucket edges for the batch-size histogram (requests, not seconds)

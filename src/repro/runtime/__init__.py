@@ -7,6 +7,7 @@ from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
 from .executor import (
     execute_grouping,
     execute_reference,
+    reset_shared_executors_after_fork,
     shared_executor,
     shutdown_shared_executors,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "execute_grouping",
     "shared_executor",
     "shutdown_shared_executors",
+    "reset_shared_executors_after_fork",
     "StageKernel",
     "KernelCompileWarning",
     "compile_stage_kernel",

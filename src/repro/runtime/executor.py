@@ -53,6 +53,7 @@ __all__ = [
     "execute_grouping",
     "shared_executor",
     "shutdown_shared_executors",
+    "reset_shared_executors_after_fork",
 ]
 
 #: Rows of the outermost reduction dimension processed per chunk, bounding
@@ -107,6 +108,20 @@ def shutdown_shared_executors(wait: bool = True) -> None:
         _SHARED_EXECUTORS.clear()
     for pool in pools:
         pool.shutdown(wait=wait)
+
+
+def reset_shared_executors_after_fork() -> None:
+    """Forget every inherited pool in a freshly forked child.
+
+    The pools' worker threads do not exist on the child's side of a
+    ``fork()`` — calling ``shutdown(wait=True)`` on one would block
+    forever, and submitting to it would queue work nobody runs.  The
+    lock is replaced too, in case another thread of the parent held it
+    at the instant of the fork.  Fresh pools are created lazily.
+    """
+    global _SHARED_EXECUTORS_LOCK
+    _SHARED_EXECUTORS_LOCK = threading.Lock()
+    _SHARED_EXECUTORS.clear()
 
 
 def _input_buffers(

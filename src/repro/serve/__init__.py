@@ -1,12 +1,15 @@
-"""Long-lived in-process pipeline serving.
+"""Long-lived pipeline serving with crash-isolated workers.
 
 The serve layer turns the one-shot executor into a service: per-pipeline
 :class:`PipelineHost`\\ s hold warm schedules, compiled kernels, pinned
 worker pools and scratch buffers; :class:`PipelineService` fronts them
 with a micro-batching queue, admission control with load shedding, a
-degradation ladder for sustained failure, and graceful drain.
-:func:`make_server` wraps it all in a stdlib HTTP API (see
-``docs/serving.md``).
+degradation ladder for sustained failure, and graceful drain.  With
+``workers > 0`` a :class:`WorkerSupervisor` forks the warm service into
+supervised worker processes (heartbeats, timeouts, respawn, bounded
+retry, per-pipeline circuit breaker) that exchange arrays over
+crash-safe shared memory (:mod:`repro.serve.shm`).  :func:`make_server`
+wraps it all in a stdlib HTTP API (see ``docs/serving.md``).
 """
 
 from .admission import AdmissionController
@@ -20,6 +23,13 @@ from .host import (
     ServeResult,
 )
 from .http import ServeHTTPServer, make_server
+from .shm import Segment, ShmRegistry, sweep_stale
+from .supervisor import (
+    CircuitBreaker,
+    WorkerOutcome,
+    WorkerSupervisor,
+    WorkerTierUnavailable,
+)
 
 __all__ = [
     "AdmissionController",
@@ -33,4 +43,11 @@ __all__ = [
     "ServeResult",
     "ServeHTTPServer",
     "make_server",
+    "Segment",
+    "ShmRegistry",
+    "sweep_stale",
+    "CircuitBreaker",
+    "WorkerOutcome",
+    "WorkerSupervisor",
+    "WorkerTierUnavailable",
 ]

@@ -48,8 +48,10 @@ from ..errors import (
     ServeShutdownError,
     ServeTimeoutError,
     ServeUnknownPipelineError,
+    ServeWorkerLostError,
     error_code,
 )
+from .supervisor import WorkerSupervisor, WorkerTierUnavailable
 from ..fusion.grouping import singleton_grouping
 from ..obs import METRICS, TRACE
 from ..obs.metrics import BATCH_SIZE_BUCKETS
@@ -113,6 +115,17 @@ class ServeConfig:
     default_timeout_s: Optional[float] = 30.0
     #: dispatcher threads executing batches
     dispatchers: int = 1
+    #: worker processes forked after warm-up (0: in-process only)
+    workers: int = 0
+    #: per-batch execution timeout on a worker before it is killed
+    worker_timeout_s: Optional[float] = 30.0
+    #: worker heartbeat interval (staleness kills at 3x this)
+    heartbeat_s: float = 1.0
+    #: worker deaths per pipeline within the window that trip its breaker
+    breaker_threshold: int = 3
+    breaker_window_s: float = 30.0
+    #: seconds an open breaker waits before allowing a probe batch
+    breaker_cooldown_s: float = 5.0
 
 
 @dataclass
@@ -130,6 +143,10 @@ class ServeResult:
     batch_size: int
     queue_wait_s: float
     execute_s: float
+    #: pid of the worker process that executed it (None: in-process)
+    worker: Optional[int] = None
+    #: True when the request was re-driven after losing its worker
+    retried: bool = False
 
 
 class PipelineHost:
@@ -210,6 +227,22 @@ class PipelineHost:
                 METRICS.set("repro_serve_tier", self._tier,
                             pipeline=self.key)
             return self
+
+    def reinit_after_fork(self) -> None:
+        """Rebuild thread-backed state in a freshly forked worker.
+
+        Fork copies the warm plan (grouping, compiled kernels, pool
+        contents) for free, but inherited locks may be held by parent
+        threads that do not exist here, and the inherited executor's
+        threads do not exist at all.  Everything else — including the
+        ladder tier, which each worker then walks independently — is
+        kept.
+        """
+        self._warm_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        if self.is_warm:
+            self.pools = PoolGroup(self.config.pool_cap_bytes)
+            self.executor = shared_executor(self.config.threads)
 
     # -- execution ------------------------------------------------------
     def execute(self, inputs: Mapping[str, np.ndarray]):
@@ -320,6 +353,7 @@ class PipelineService:
         )
         self.hosts: Dict[str, PipelineHost] = {}
         self._hosts_lock = threading.Lock()
+        self.supervisor: Optional[WorkerSupervisor] = None
         self._ids = itertools.count(1)
         self._dispatchers: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -344,6 +378,29 @@ class PipelineService:
             t.start()
             self._dispatchers.append(t)
         return self
+
+    def start_workers(self) -> Optional[WorkerSupervisor]:
+        """Fork the worker tier (``config.workers`` processes) from the
+        current, warm process.
+
+        Must be called *after* :meth:`warm` — the workers inherit every
+        warm host through fork, which is what makes respawn cheap (fork
+        time, not warm-up time).  Hosts warmed later exist in the parent
+        only; batches for them run on the in-process fallback path.
+        No-op when ``config.workers`` is 0.
+        """
+        if self.config.workers <= 0 or self.supervisor is not None:
+            return self.supervisor
+        self.supervisor = WorkerSupervisor(
+            self.hosts,
+            workers=self.config.workers,
+            worker_timeout_s=self.config.worker_timeout_s,
+            heartbeat_s=self.config.heartbeat_s,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_window_s=self.config.breaker_window_s,
+            breaker_cooldown_s=self.config.breaker_cooldown_s,
+        ).start()
+        return self.supervisor
 
     def drain(self, timeout_s: Optional[float] = None) -> bool:
         """Stop admitting and wait for all admitted requests; True when
@@ -372,6 +429,9 @@ class PipelineService:
                 "service shut down before the request could execute",
                 pipeline=req.pipeline,
             ))
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
+            self.supervisor = None
         self._started = False
         return clean
 
@@ -396,6 +456,7 @@ class PipelineService:
         inputs: Optional[Mapping[str, np.ndarray]] = None,
         seed: Optional[int] = None,
         timeout_s: Optional[float] = -1.0,
+        _meta: Optional[Mapping[str, Any]] = None,
     ):
         """Admit one request; returns its ``Future``.
 
@@ -404,15 +465,22 @@ class PipelineService:
         ``repro run --seed``).  ``timeout_s=-1`` means the service
         default.  Raises ``SERVE_OVERLOADED`` / ``SERVE_SHUTDOWN`` /
         ``SERVE_UNKNOWN`` instead of enqueueing.
+
+        ``_meta`` is a private extension point (the chaos-test harness
+        plants its deterministic fault hooks through it).
         """
         if not self._started:
             raise RuntimeError("service not started")
         host = self.host(pipeline)
-        meta: Dict[str, Any] = {}
+        meta: Dict[str, Any] = dict(_meta or {})
         if inputs is None:
             seed = 0 if seed is None else seed
-            inputs = make_inputs(host.pipeline, seed)
             meta["seed"] = seed
+            if self.supervisor is None:
+                inputs = make_inputs(host.pipeline, seed)
+            # else: the worker regenerates the same arrays from the
+            # seed (make_inputs is deterministic), so the parent ships
+            # nothing — the cheapest possible request path
         if timeout_s == -1.0:
             timeout_s = self.config.default_timeout_s
         deadline = (
@@ -481,6 +549,65 @@ class PipelineService:
         if not live:
             return
         observing = METRICS.enabled
+        sup = self.supervisor
+        if sup is not None and sup.available(key):
+            try:
+                self._run_batch_on_workers(sup, key, live)
+            except WorkerTierUnavailable:
+                # breaker open or the tier lost its last worker while we
+                # prepared: the in-process path below is the fallback
+                # tier the breaker trips to
+                self._run_batch_in_process(key, host, live, observing)
+        else:
+            self._run_batch_in_process(key, host, live, observing)
+        if observing:
+            METRICS.observe("repro_serve_batch_size", len(live),
+                            pipeline=key)
+            METRICS.inc("repro_serve_batches_total", pipeline=key)
+
+    def _run_batch_on_workers(self, sup: WorkerSupervisor, key: str,
+                              live: List[ServeRequest]) -> None:
+        """Ship one micro-batch to the worker tier and resolve futures
+        from its outcomes."""
+        observing = METRICS.enabled
+        waits = {}
+        for req in live:
+            waits[req.id] = time.perf_counter() - req.enqueued_at
+            if observing:
+                METRICS.observe("repro_serve_queue_wait_seconds",
+                                waits[req.id], pipeline=key)
+        with TRACE.span("batch", pipeline=key, size=len(live),
+                        tier="workers"):
+            t0 = time.perf_counter()
+            outcomes = sup.execute_batch(key, live)
+            execute_s = time.perf_counter() - t0
+        by_rid = {o.rid: o for o in outcomes}
+        for req in live:
+            out = by_rid.get(req.id)
+            if out is None:
+                self._finish(req, error=ServeWorkerLostError(
+                    "worker reply omitted the request",
+                    pipeline=key, request_id=req.id,
+                ))
+            elif out.error is not None:
+                self._finish(req, error=out.error)
+            else:
+                self._finish(req, result=ServeResult(
+                    request_id=req.id,
+                    pipeline=key,
+                    outputs=out.outputs,
+                    tier=out.tier,
+                    degraded=out.degraded,
+                    batch_size=len(live),
+                    queue_wait_s=waits[req.id],
+                    execute_s=execute_s,
+                    worker=out.worker,
+                    retried=out.retried,
+                ))
+
+    def _run_batch_in_process(self, key: str, host: PipelineHost,
+                              live: List[ServeRequest],
+                              observing: bool) -> None:
         with TRACE.span(
             "batch", pipeline=key, size=len(live),
             tier=host.tier_name,
@@ -493,7 +620,15 @@ class PipelineService:
                 with TRACE.span("request", id=req.id, pipeline=key):
                     t0 = time.perf_counter()
                     try:
-                        outputs, report, tier = host.execute(req.inputs)
+                        inputs = req.inputs
+                        if inputs is None:
+                            # deferred seed request that fell back from
+                            # the worker tier — regenerate here, exactly
+                            # as a worker would have
+                            inputs = make_inputs(
+                                host.pipeline, int(req.meta["seed"])
+                            )
+                        outputs, report, tier = host.execute(inputs)
                     except Exception as exc:
                         self._finish(req, error=exc)
                         continue
@@ -508,10 +643,6 @@ class PipelineService:
                         execute_s=time.perf_counter() - t0,
                     )
                     self._finish(req, result=result)
-        if observing:
-            METRICS.observe("repro_serve_batch_size", len(live),
-                            pipeline=key)
-            METRICS.inc("repro_serve_batches_total", pipeline=key)
 
     def _finish(self, req: ServeRequest, result=None, error=None,
                 timeout: bool = False) -> None:
@@ -562,4 +693,8 @@ class PipelineService:
             "hosts": {
                 key: host.health() for key, host in self.hosts.items()
             },
+            "workers": (
+                self.supervisor.health()
+                if self.supervisor is not None else None
+            ),
         }

@@ -25,16 +25,29 @@ third-party web framework, matching the repo's stdlib+numpy constraint:
 
 Errors map onto HTTP statuses by their stable ``repro.errors`` code:
 
-=====================  ======
-``SERVE_OVERLOADED``   429
-``SERVE_TIMEOUT``      504
-``SERVE_SHUTDOWN``     503
-``SERVE_UNKNOWN``      404
-``INPUT_*``            400
-anything else          500
-=====================  ======
+==========================  ======
+``SERVE_OVERLOADED``        429
+``SERVE_TIMEOUT``           504
+``SERVE_WORKER_TIMEOUT``    504
+``SERVE_SHUTDOWN``          503
+``SERVE_WORKER_LOST``       503
+``SERVE_UNKNOWN``           404
+``SERVE_BODY_TOO_LARGE``    413
+``INPUT_*``                 400
+anything else               500
+==========================  ======
 
 and every error body is ``{"error": {"code": ..., "message": ...}}``.
+Codes not in the table are *deliberately* 500: they describe failures
+inside execution (``TILE_FAIL``, ``NUMERIC_NAN``, ``SCHED_*``, ...)
+that the client neither caused nor can address — the defining property
+of a server error.  ``tests/test_serve_errors_http.py`` pins the
+classification of every code in the taxonomy.
+
+Request bodies are capped: a ``Content-Length`` over the server's
+``max_body_bytes`` (default 8 MiB, ``repro serve --max-body-mb``) is
+rejected with 413 *before* reading a byte of the body, so one oversized
+or adversarial request cannot exhaust server memory.
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from ..errors import ServeTimeoutError, error_code
+from ..errors import ServeBodyTooLargeError, ServeTimeoutError, error_code
 from ..obs import METRICS
 from ..pipelines import registry_json
 from ..planner import array_digest
@@ -55,13 +68,19 @@ __all__ = ["make_server", "ServeHTTPServer"]
 _STATUS_BY_CODE = {
     "SERVE_OVERLOADED": 429,
     "SERVE_TIMEOUT": 504,
+    "SERVE_WORKER_TIMEOUT": 504,
     "SERVE_SHUTDOWN": 503,
+    "SERVE_WORKER_LOST": 503,
     "SERVE_UNKNOWN": 404,
+    "SERVE_BODY_TOO_LARGE": 413,
     "INPUT": 400,
     "INPUT_MISSING": 400,
     "INPUT_SHAPE": 400,
     "INPUT_DTYPE": 400,
 }
+
+#: default request-body cap (bytes); ``repro serve --max-body-mb``
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 def _http_status(exc: BaseException) -> Tuple[int, str]:
@@ -78,8 +97,10 @@ class ServeHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: PipelineService):
+    def __init__(self, address, service: PipelineService,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES):
         self.service = service
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, _Handler)
 
 
@@ -144,7 +165,28 @@ class _Handler(BaseHTTPRequestHandler):
             }})
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0:
+                self._send_json(400, {"error": {
+                    "code": "BAD_REQUEST",
+                    "message": "invalid Content-Length header",
+                }})
+                return
+            cap = self.server.max_body_bytes  # type: ignore[attr-defined]
+            if cap is not None and length > cap:
+                # reject on the declared length, before reading a byte;
+                # the unread body makes the connection unusable for
+                # keep-alive, so close it
+                self.close_connection = True
+                self._send_error_json(ServeBodyTooLargeError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{cap}-byte limit",
+                    content_length=length, limit=cap,
+                ))
+                return
             try:
                 body = json.loads(self.rfile.read(length) or b"{}")
             except ValueError as exc:
@@ -205,8 +247,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
 
 
-def make_server(host: str, port: int,
-                service: PipelineService) -> ServeHTTPServer:
+def make_server(host: str, port: int, service: PipelineService,
+                max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                ) -> ServeHTTPServer:
     """Bind the front-end; ``port=0`` picks a free port (tests read
     ``server.server_address``)."""
-    return ServeHTTPServer((host, port), service)
+    return ServeHTTPServer((host, port), service, max_body_bytes)

@@ -1,0 +1,307 @@
+"""Crash-safe shared-memory segments for the worker tier.
+
+Workers and the supervisor exchange image arrays through named
+shared-memory segments instead of pickling them over the control pipe:
+the sender lays the arrays out in one segment (:func:`plan_layout` +
+:func:`write_arrays`), sends only ``(segment name, offsets, shapes,
+dtypes)`` descriptors, and the receiver maps zero-copy NumPy views onto
+the same physical pages (:func:`view_arrays`).
+
+Implementation note — why not ``multiprocessing.shared_memory``: under
+the fork start method the supervisor and every worker share one
+``resource_tracker`` process, and on Python <= 3.12 *both* creating and
+attaching a ``SharedMemory`` register the name with it (gh-82300).
+Create-in-child / attach-in-parent / unlink-in-parent therefore races
+the tracker's set-based bookkeeping, and crash cleanup of a segment the
+tracker never saw makes it raise in its own process.  Segments here are
+plain ``O_EXCL`` files in ``/dev/shm`` mapped ``MAP_SHARED`` — the same
+tmpfs substrate POSIX shared memory uses — created and unlinked
+directly, so no tracker is involved and the semantics under ``kill -9``
+are exactly the filesystem's.
+
+Crash-safe reclamation: **the segment namespace is the registry**.
+Every name embeds the owning pid (``repro-shm-<pid>-<seq>``), so
+:func:`sweep_stale` can unlink anything whose owner is dead — there is
+no ledger file that a ``kill -9`` could leave stale or truncated.  The
+supervisor sweeps at startup, after every worker death, and at
+shutdown; segments whose ownership moved across the pipe (a worker's
+reply segment adopted by the supervisor) are unlinked eagerly on attach,
+which removes the name from ``/dev/shm`` while both mappings stay valid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import mmap
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..obs import METRICS
+
+__all__ = [
+    "SHM_PREFIX",
+    "Segment",
+    "ShmRegistry",
+    "shm_dir",
+    "list_segments",
+    "sweep_stale",
+    "plan_layout",
+    "write_arrays",
+    "view_arrays",
+]
+
+#: every segment this package creates starts with this prefix
+SHM_PREFIX = "repro-shm"
+
+#: per-array alignment inside a segment (cache line / SIMD friendly)
+_ALIGN = 64
+
+
+def shm_dir() -> str:
+    """The directory segments live in: ``/dev/shm`` (tmpfs — true shared
+    memory) where available, the system temp directory otherwise
+    (``MAP_SHARED`` file mappings give the same zero-copy semantics on
+    any filesystem)."""
+    d = "/dev/shm"
+    if os.path.isdir(d) and os.access(d, os.W_OK):
+        return d
+    return tempfile.gettempdir()
+
+
+class Segment:
+    """One named ``MAP_SHARED`` block.
+
+    :meth:`create` in the owning process, :meth:`attach` everywhere
+    else; ``buf`` is the writable memoryview NumPy views are built on.
+    ``close`` drops this object's handles on the mapping, ``unlink``
+    removes the name — either order works, and a mapping stays valid
+    after the name is gone (that is what makes eager unlink-on-attach
+    leak-proof).
+    """
+
+    __slots__ = ("name", "path", "size", "_mmap", "buf", "_closed")
+
+    def __init__(self, name: str, path: str, size: int, mm: mmap.mmap):
+        self.name = name
+        self.path = path
+        self.size = size
+        self._mmap = mm
+        self.buf = memoryview(mm)
+        self._closed = False
+
+    @classmethod
+    def create(cls, name: str, size: int,
+               directory: Optional[str] = None) -> "Segment":
+        path = os.path.join(directory or shm_dir(), name)
+        size = max(int(size), 1)
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+        try:
+            os.ftruncate(fd, size)
+            mm = mmap.mmap(fd, size)
+        except BaseException:
+            os.close(fd)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        os.close(fd)
+        return cls(name, path, size, mm)
+
+    @classmethod
+    def attach(cls, name: str,
+               directory: Optional[str] = None) -> "Segment":
+        path = os.path.join(directory or shm_dir(), name)
+        fd = os.open(path, os.O_RDWR)
+        try:
+            size = os.fstat(fd).st_size
+            mm = mmap.mmap(fd, size)
+        finally:
+            os.close(fd)
+        return cls(name, path, size, mm)
+
+    def close(self) -> None:
+        """Drop this object's handles on the mapping.
+
+        Never calls ``mmap.close()``: NumPy views built over the
+        segment hold the ``mmap`` object as their ``base`` *without* an
+        exported buffer, so an explicit close would unmap pages the
+        views still point into (instant use-after-unmap).  Dropping the
+        references instead makes refcounting do the right thing — the
+        mapping is unmapped the moment the last view (or this object)
+        is garbage-collected, and not an instant before.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.buf.release()
+        except BufferError:  # pragma: no cover - mv exports are transient
+            pass
+        self.buf = None
+        self._mmap = None
+
+    def unlink(self) -> None:
+        """Remove the segment's name; idempotent."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class ShmRegistry:
+    """Owner-side accounting of the segments this process created.
+
+    Names are allocated as ``repro-shm-<pid>-<seq>`` so crash cleanup
+    needs nothing but the name (:func:`sweep_stale`).  :meth:`release`
+    with ``unlink=False`` *disowns* a segment whose ownership moved to
+    another process over the pipe — it stays reclaimable by the sweep
+    (the name still carries this pid) until the adopter unlinks it.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or shm_dir()
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._owned: Dict[str, Segment] = {}
+
+    def create(self, nbytes: int) -> Segment:
+        pid = os.getpid()
+        while True:
+            name = f"{SHM_PREFIX}-{pid}-{next(self._seq)}"
+            try:
+                seg = Segment.create(name, nbytes, self.directory)
+                break
+            except FileExistsError:
+                # pid reuse left a stale name behind; try the next seq
+                continue
+        with self._lock:
+            self._owned[name] = seg
+        self._gauge()
+        return seg
+
+    def release(self, seg: Segment, unlink: bool = True) -> None:
+        with self._lock:
+            self._owned.pop(seg.name, None)
+        seg.close()
+        if unlink:
+            seg.unlink()
+        self._gauge()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "segments": len(self._owned),
+                "bytes": sum(s.size for s in self._owned.values()),
+            }
+
+    def close(self) -> None:
+        """Release and unlink everything still owned (shutdown)."""
+        with self._lock:
+            owned, self._owned = list(self._owned.values()), {}
+        for seg in owned:
+            seg.close()
+            seg.unlink()
+        self._gauge()
+
+    def _gauge(self) -> None:
+        if METRICS.enabled:
+            s = self.stats()
+            METRICS.set("repro_serve_shm_segments", s["segments"])
+            METRICS.set("repro_serve_shm_bytes", s["bytes"])
+
+
+def list_segments(directory: Optional[str] = None) -> List[str]:
+    """Every segment name currently present (any owner, dead or alive)."""
+    d = directory or shm_dir()
+    try:
+        names = os.listdir(d)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SHM_PREFIX + "-"))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def sweep_stale(directory: Optional[str] = None) -> List[str]:
+    """Unlink every segment whose owning pid is dead; returns the names
+    removed.  Safe to run concurrently with live traffic: live owners'
+    segments are never touched, and unlinking a segment another process
+    still has mapped only removes the name, not the pages."""
+    d = directory or shm_dir()
+    removed: List[str] = []
+    for name in list_segments(d):
+        try:
+            pid = int(name.split("-")[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(d, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed
+
+
+# -- array layout -------------------------------------------------------
+
+#: descriptor of one array inside a segment: (offset, shape, dtype.str)
+ArraySpec = Tuple[int, Tuple[int, ...], str]
+
+
+def plan_layout(
+    items: Iterable[Tuple[Any, Tuple[int, ...], Any]],
+) -> Tuple[int, Dict[Any, ArraySpec]]:
+    """Lay arrays out back-to-back, 64-byte aligned; returns
+    ``(total_bytes, {key: (offset, shape, dtype_str)})``.
+
+    ``items`` yields ``(key, shape, dtype)``; keys are opaque to the
+    layout (the worker protocol uses ``"<request index>/<image name>"``).
+    The returned specs are plain picklable tuples — they, not the
+    arrays, are what crosses the control pipe.
+    """
+    specs: Dict[Any, ArraySpec] = {}
+    offset = 0
+    for key, shape, dtype in items:
+        dt = np.dtype(dtype)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        shape = tuple(int(s) for s in shape)
+        specs[key] = (offset, shape, dt.str)
+        offset += int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+    return max(offset, 1), specs
+
+
+def write_arrays(seg: Segment, specs: Mapping[Any, ArraySpec],
+                 arrays: Mapping[Any, np.ndarray]) -> None:
+    """Copy each array into its planned slot (the producer's single
+    copy; everything downstream is views)."""
+    for key, (offset, shape, dtype) in specs.items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=seg.buf, offset=offset)
+        view[...] = arrays[key]
+
+
+def view_arrays(seg: Segment,
+                specs: Mapping[Any, ArraySpec]) -> Dict[Any, np.ndarray]:
+    """Zero-copy views onto a segment's planned slots.  The views keep
+    the mapping alive through NumPy's base-chaining, so the segment's
+    pages live exactly as long as the last array built on them."""
+    return {
+        key: np.ndarray(shape, dtype=np.dtype(dtype),
+                        buffer=seg.buf, offset=offset)
+        for key, (offset, shape, dtype) in specs.items()
+    }

@@ -1,0 +1,237 @@
+"""Worker processes for the crash-isolated serving tier.
+
+A worker is forked from the service *after* warm-up, so it inherits the
+warm state the paper says to pay for once — planned schedules, compiled
+stage kernels, warm scratch pools — without re-deriving any of it
+(fork-copy of the parent's memory; nothing is pickled).  What fork
+cannot carry across is thread-backed state: locks that might be held at
+the fork instant and thread pools whose threads simply do not exist in
+the child.  :func:`fork_preamble` rebuilds exactly that set and nothing
+else.
+
+Control protocol (one duplex pipe per worker; arrays never cross it):
+
+========================================  ==============================
+message                                   direction / meaning
+========================================  ==============================
+``("run", batch_id, key, in_desc,         supervisor -> worker: execute
+items)``                                  one micro-batch
+``("stop",)``                             supervisor -> worker: clean
+                                          exit
+``("hb", pid)``                           worker -> supervisor: liveness
+``("ok", batch_id, out_desc, entries)``   worker -> supervisor: batch
+                                          done (per-item results or
+                                          serialized errors)
+========================================  ==============================
+
+``in_desc``/``out_desc`` are ``(segment_name, {key: (offset, shape,
+dtype)})`` descriptors into shared memory (:mod:`repro.serve.shm`);
+``None`` when the batch carries no explicit input arrays (seed-addressed
+requests regenerate their inputs in the worker via
+:func:`repro.planner.make_inputs` — deterministic, so bit-identity with
+``repro run --seed`` is preserved without shipping a byte).
+
+The reply segment is created by the worker and *disowned* after the
+reply is sent: the supervisor adopts it (attach + eager unlink), and if
+the worker is SIGKILLed before the hand-off completes, the segment's
+pid-bearing name keeps it reclaimable by :func:`repro.serve.shm.sweep_stale`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import error_code
+from ..obs import METRICS, TRACE
+from ..runtime import reset_shared_executors_after_fork
+from .shm import Segment, ShmRegistry, plan_layout, view_arrays, write_arrays
+
+__all__ = ["fork_preamble", "worker_main", "spawn_worker"]
+
+
+def fork_preamble(hosts: Mapping[str, Any]) -> None:
+    """Make a freshly forked child self-consistent.
+
+    Replaces every lock a parent thread might have held at the fork
+    instant (metrics, tracing, per-host state locks) and forgets every
+    inherited thread pool — their threads exist only in the parent.
+    Process-global observability is disabled: the child's counters
+    would never be scraped, and the supervisor accounts for worker
+    health on its side of the pipe.
+    """
+    METRICS._lock = threading.Lock()
+    METRICS.reset(enabled=False)
+    TRACE._lock = threading.Lock()
+    TRACE.reset(enabled=False)
+    reset_shared_executors_after_fork()
+    for host in hosts.values():
+        host.reinit_after_fork()
+
+
+def worker_main(conn, hosts: Mapping[str, Any], parent_pid: int,
+                heartbeat_s: float, shm_directory: str) -> None:
+    """Child entry point: heartbeat + serve batches until told to stop.
+
+    ``hosts`` is the parent's warm ``{benchmark key: PipelineHost}``
+    map, inherited through fork.  The loop is deliberately serial — one
+    batch at a time per worker; parallelism is the worker count, which
+    is what keeps per-(pipeline, scale) batches coalesced on one warm
+    host instead of interleaved across thread pools.
+    """
+    fork_preamble(hosts)
+    registry = ShmRegistry(shm_directory)
+    send_lock = threading.Lock()
+
+    def _send(msg: Tuple) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        pid = os.getpid()
+        while not stop.wait(max(heartbeat_s, 0.01) / 2.0):
+            if os.getppid() != parent_pid:
+                # supervisor died; nobody will ever reap or stop us
+                os._exit(0)
+            try:
+                _send(("hb", pid))
+            except OSError:
+                os._exit(0)
+
+    threading.Thread(target=_heartbeat, name="repro-worker-hb",
+                     daemon=True).start()
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                break
+            if msg[0] != "run":
+                continue
+            _, batch_id, key, in_desc, items = msg
+            try:
+                reply = _run_batch(registry, hosts, key, in_desc, items,
+                                   shm_directory)
+            except Exception as exc:
+                # batch-level failure (unknown key, protocol bug):
+                # fail the items, never the worker
+                reply = (None, [
+                    {"rid": it["rid"],
+                     "error": (error_code(exc), str(exc))}
+                    for it in items
+                ])
+            try:
+                _send(("ok", batch_id) + reply)
+            except OSError:
+                break
+    finally:
+        stop.set()
+        registry.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _run_batch(registry: ShmRegistry, hosts: Mapping[str, Any], key: str,
+               in_desc, items: List[Dict[str, Any]],
+               shm_directory: str) -> Tuple:
+    """Execute one batch; returns the ``(out_desc, entries)`` tail of the
+    reply.  Failures stay per-item — one bad request never poisons its
+    batchmates."""
+    host = hosts[key]
+    in_seg: Optional[Segment] = None
+    in_views: Dict[Any, np.ndarray] = {}
+    if in_desc is not None:
+        try:
+            in_seg = Segment.attach(in_desc[0], shm_directory)
+            in_views = view_arrays(in_seg, in_desc[1])
+        except OSError as exc:
+            entries = [{"rid": it["rid"],
+                        "error": ("SERVE", f"input segment lost: {exc}")}
+                       for it in items]
+            return None, entries
+
+    entries: List[Dict[str, Any]] = []
+    results: Dict[int, Dict[str, np.ndarray]] = {}
+    for item in items:
+        rid = item["rid"]
+        sleep_s = item.get("test_sleep_s")
+        if sleep_s:
+            # deterministic chaos-test window: hold the request
+            # in-flight so the harness can kill us mid-execution
+            time.sleep(float(sleep_s))
+        if item.get("test_exit") is not None:
+            os._exit(int(item["test_exit"]))
+        try:
+            if item.get("seed") is not None:
+                from ..planner import make_inputs
+                inputs = make_inputs(host.pipeline, int(item["seed"]))
+            else:
+                inputs = {name: in_views[f"{rid}/{name}"]
+                          for name in item["images"]}
+            outputs, report, tier = host.execute(inputs)
+        except Exception as exc:
+            entries.append({
+                "rid": rid,
+                "error": (error_code(exc), str(exc)),
+            })
+            continue
+        results[rid] = outputs
+        entries.append({
+            "rid": rid,
+            "tier": tier,
+            "degraded": report.degraded,
+            "outputs": sorted(outputs),
+        })
+    if in_seg is not None:
+        in_views.clear()
+        in_seg.close()
+
+    out_desc = None
+    if results:
+        total, specs = plan_layout(
+            (f"{rid}/{name}", arr.shape, arr.dtype)
+            for rid, outs in sorted(results.items())
+            for name, arr in sorted(outs.items())
+        )
+        seg = registry.create(total)
+        write_arrays(seg, specs, {
+            f"{rid}/{name}": arr
+            for rid, outs in results.items()
+            for name, arr in outs.items()
+        })
+        out_desc = (seg.name, specs)
+        # Disown: the supervisor adopts this segment on receipt.  The
+        # name still carries our pid, so if we die before the adopt
+        # completes the sweep reclaims it.
+        registry.release(seg, unlink=False)
+    return out_desc, entries
+
+
+def spawn_worker(index: int, hosts: Mapping[str, Any],
+                 heartbeat_s: float, shm_directory: str):
+    """Fork one worker from the current (warm) process; returns
+    ``(process, supervisor-side connection)``."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    proc = ctx.Process(
+        target=worker_main,
+        args=(child_conn, hosts, os.getpid(), heartbeat_s, shm_directory),
+        name=f"repro-serve-worker{index}",
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn

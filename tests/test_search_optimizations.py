@@ -16,6 +16,7 @@ Three families of guarantees back the fast autoscheduler:
 
 import json
 import os
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -249,3 +250,21 @@ class TestScheduleCache:
         )
         assert cache.evictions == 1
         assert cm.evaluations > 0  # genuinely re-scheduled
+
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        """Temp files orphaned by a killed writer are removed when the
+        cache directory is next opened; fresh ones are left alone."""
+        stale = tmp_path / "UM-abc.json.tmp.12345.0"
+        stale.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "UM-def.json.tmp.12345.1"
+        fresh.write_text("{")
+        entry = tmp_path / "UM-abc.json"  # real entries are never swept
+        entry.write_text("{}")
+        os.utime(entry, (old, old))
+        cache = ScheduleCache(str(tmp_path))
+        assert cache.swept_tmp == 1
+        assert not stale.exists()
+        assert fresh.exists()
+        assert entry.exists()
