@@ -1,4 +1,4 @@
-"""Per-tile executor overhead: interpreted vs compiled stage kernels.
+"""Per-tile executor overhead: interpreted vs per-stage vs fused kernels.
 
 The paper's cost model reasons about locality and parallelism, but a
 Python interpreter that re-walks each stage's expression tree per tile
@@ -6,17 +6,20 @@ adds per-tile overhead the model knows nothing about — the motivation for
 the compiled-kernel layer in :mod:`repro.runtime.kernelcache`.  This
 benchmark measures that overhead directly: every registered benchmark
 pipeline is executed on its H-manual grouping with tile sizes clamped
-small (so the tile count is high and per-tile dispatch dominates), once
-with ``compile_kernels=False`` and once with compilation enabled, on one
+small (so the tile count is high and per-tile dispatch dominates), with
+``compile_kernels=False`` (interpreter), with per-stage kernels
+(``fuse_kernels=False``), and with the fused per-group kernels, on one
 thread.  Reported per pipeline: total wall time, tile count, per-tile
-microseconds for both modes, and the speedup.  The compiled path is then
+microseconds for all three modes, the compiled-vs-interpreted speedup,
+and the fused-vs-per-stage speedup.  The per-stage compiled path is then
 re-run at each ``--threads`` count (default 1/2/4) to record the chunked
 tile scheduler's parallel scaling and efficiency.
 
-Results land in ``BENCH_executor.json`` (see ``--output``) — the first
-entry of the repo's executor-performance trajectory.  ``--check`` exits
-nonzero when compiled execution is slower than interpreted on any
-pipeline, which is how CI smoke-tests the fast path.
+Results land in ``BENCH_executor.json`` (see ``--output``) — the repo's
+executor-performance trajectory, stamped with the machine's
+``cpu_count``.  ``--check`` exits nonzero when compiled execution is
+slower than interpreted, fused is slower than per-stage, or any output
+mismatches — which is how CI smoke-tests the fast path.
 
 Usage::
 
@@ -40,7 +43,11 @@ import numpy as np
 from repro.fusion.grouping import Grouping
 from repro.pipelines import BENCHMARKS
 from repro.poly.alignscale import compute_group_geometry
-from repro.runtime import clear_kernel_cache, execute_grouping
+from repro.runtime import (
+    clear_kernel_cache,
+    execute_grouping,
+    warm_group_kernels,
+)
 from repro.runtime.executor import _CHUNKS_PER_WORKER  # noqa: F401 - doc link
 
 #: Tile sizes are clamped to this per dimension so every pipeline runs
@@ -92,21 +99,22 @@ def _inputs(pipe, seed: int = 0) -> Dict[str, np.ndarray]:
 
 
 def _time_mode(pipe, grouping, inputs, compile_kernels: bool,
-               repeats: int,
-               nthreads: int = 1) -> Tuple[float, Dict[str, np.ndarray]]:
+               repeats: int, nthreads: int = 1,
+               fuse_kernels: bool = False,
+               ) -> Tuple[float, Dict[str, np.ndarray]]:
     """Best-of-``repeats`` wall time; one untimed warmup run first (the
     warmup also populates the kernel cache, so compilation cost is
     excluded — it is paid once per pipeline, not per run)."""
     out = execute_grouping(
         pipe, grouping, inputs, nthreads=nthreads,
-        compile_kernels=compile_kernels,
+        compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
     )
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         out = execute_grouping(
             pipe, grouping, inputs, nthreads=nthreads,
-            compile_kernels=compile_kernels,
+            compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
         )
         best = min(best, time.perf_counter() - start)
     return best, out
@@ -123,12 +131,19 @@ def run(abbrevs: List[str], repeats: int,
         n_tiles = _count_tiles(pipe, grouping)
         inputs = _inputs(pipe)
         clear_kernel_cache()
+        # Groups the fused tier actually covers; a pipeline whose
+        # grouping is all singletons (or nothing fuses) runs the same
+        # code in both compiled modes and its ratio is pure noise.
+        n_fused = len(warm_group_kernels(pipe, grouping.groups))
 
         t_interp, out_i = _time_mode(pipe, grouping, inputs, False, repeats)
         t_compiled, out_c = _time_mode(pipe, grouping, inputs, True, repeats)
+        t_fused, out_f = _time_mode(pipe, grouping, inputs, True, repeats,
+                                    fuse_kernels=True)
 
-        # Thread sweep on the compiled path: parallel efficiency of the
-        # chunked tile scheduler, normalized to its own 1-thread time.
+        # Thread sweep on the per-stage compiled path: parallel
+        # efficiency of the chunked tile scheduler, normalized to its
+        # own 1-thread time.
         sweep: Dict[str, Dict[str, float]] = {}
         for n in threads:
             t_n = (
@@ -147,17 +162,24 @@ def run(abbrevs: List[str], repeats: int,
                 atol=1e-5, rtol=1e-5,
             )
             for k in out_i
+        ) and all(
+            # the fused tier must be bit-identical to the per-stage tier
+            np.array_equal(out_c[k], out_f[k]) for k in out_c
         )
         rec = {
             "pipeline": ab,
             "name": bench.name,
             "stages": len(pipe.stages),
             "tiles": n_tiles,
+            "fused_groups": n_fused,
             "interpreted_s": round(t_interp, 6),
             "compiled_s": round(t_compiled, 6),
+            "fused_s": round(t_fused, 6),
             "interpreted_us_per_tile": round(t_interp / n_tiles * 1e6, 2),
             "compiled_us_per_tile": round(t_compiled / n_tiles * 1e6, 2),
+            "fused_us_per_tile": round(t_fused / n_tiles * 1e6, 2),
             "speedup": round(t_interp / t_compiled, 3),
+            "fused_speedup": round(t_compiled / t_fused, 3),
             "outputs_match": bool(matches),
             "threads": sweep,
         }
@@ -169,7 +191,9 @@ def run(abbrevs: List[str], repeats: int,
             f"{ab:>3}  {n_tiles:>5} tiles  "
             f"interp {rec['interpreted_us_per_tile']:>8.1f} us/tile  "
             f"compiled {rec['compiled_us_per_tile']:>8.1f} us/tile  "
+            f"fused {rec['fused_us_per_tile']:>8.1f} us/tile  "
             f"speedup {rec['speedup']:>6.2f}x  "
+            f"fused {rec['fused_speedup']:>5.2f}x  "
             f"{'OK' if matches else 'MISMATCH'}  [{scaling}]"
         )
     return records
@@ -195,31 +219,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     records = run(args.pipelines, args.repeats, args.threads)
+    fusable = [r for r in records if r["fused_groups"]]
+    fused_geomean = float(np.exp(np.mean(
+        [np.log(max(r["fused_speedup"], 1e-9)) for r in fusable]
+    ))) if fusable else 1.0
     payload = {
         "benchmark": "executor_overhead",
-        "description": "interpreted vs compiled per-tile cost (1 thread) "
-                       "plus a compiled-path thread-scaling sweep, "
-                       "H-manual grouping with tiles "
+        "description": "interpreted vs per-stage vs fused per-tile cost "
+                       "(1 thread) plus a compiled-path thread-scaling "
+                       "sweep, H-manual grouping with tiles "
                        f"clamped to {MAX_TILE}",
         "max_tile": MAX_TILE,
         "repeats": args.repeats,
         "threads": args.threads,
+        "cpu_count": os.cpu_count(),
+        "fused_speedup_geomean": round(fused_geomean, 3),
         "results": records,
     }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    print(f"fused-vs-per-stage geomean {fused_geomean:.2f}x "
+          f"({len(fusable)}/{len(records)} pipelines with fused groups)")
 
     if args.check:
         bad = [
             r["pipeline"] for r in records
-            if r["speedup"] < 1.0 or not r["outputs_match"]
+            if r["speedup"] < 1.0
+            or (r["fused_groups"] and r["fused_speedup"] < 1.0)
+            or not r["outputs_match"]
         ]
         if bad:
-            print(f"FAIL: compiled slower or mismatched on {bad}")
+            print(f"FAIL: compiled slower than interpreted, fused slower "
+                  f"than per-stage, or outputs mismatched on {bad}")
             return 1
-        print("PASS: compiled >= interpreted on all measured pipelines")
+        print("PASS: compiled >= interpreted and fused >= per-stage on "
+              "all measured pipelines")
     return 0
 
 

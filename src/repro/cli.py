@@ -165,11 +165,12 @@ def cmd_run(args) -> int:
     inputs = make_inputs(pipe, args.seed)
 
     compile_kernels = False if args.no_compile else None
+    fuse_kernels = False if args.no_fuse else None
     start = time.perf_counter()
     if args.strict:
         out = execute_grouping(
             pipe, grouping, inputs, nthreads=args.threads,
-            compile_kernels=compile_kernels,
+            compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
         )
     else:
         exec_report = execute_guarded(
@@ -177,6 +178,7 @@ def cmd_run(args) -> int:
             policy=GuardPolicy(
                 tile_retries=1, degrade=True,
                 compile_kernels=compile_kernels,
+                fuse_kernels=fuse_kernels,
             ),
         )
         out = exec_report.outputs
@@ -434,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execute with the pure interpreter instead of "
                         "compiled stage kernels (A/B timing; the "
                         "REPRO_NO_COMPILE env var does the same)")
+    p.add_argument("--no-fuse", action="store_true",
+                   help="disable fused per-group kernels, keeping "
+                        "per-stage compiled kernels (A/B timing; the "
+                        "REPRO_NO_FUSE env var does the same)")
     p.add_argument("--digest", action="store_true",
                    help="print a 'digest <name> <sha256>' line per output "
                         "(bit-identity checks against the serve layer)")

@@ -26,6 +26,10 @@ code                      raised when
 ``KERNEL_COMPILE_FAIL``   a stage could not be lowered to a compiled NumPy
                           kernel; surfaced as a *warning* by the runtime
                           (the stage falls back to the interpreter)
+``KERNEL_FUSE_FAIL``      a fusion group could not be compiled into one
+                          fused kernel; surfaced as a *warning* by the
+                          runtime (the group falls back to per-stage
+                          kernels)
 ``FAULT_INJECTED``        a deliberate failure from the fault-injection
                           harness (:mod:`repro.resilience.faults`)
 ``SERVE_OVERLOADED``      admission control shed a request because the serve
@@ -67,6 +71,7 @@ __all__ = [
     "ScheduleFormatError",
     "ScheduleStaleError",
     "KernelCompileError",
+    "KernelFuseError",
     "InjectedFault",
     "ServeError",
     "ServeOverloadedError",
@@ -244,6 +249,21 @@ class KernelCompileError(ReproError, RuntimeError):
     code = "KERNEL_COMPILE_FAIL"
 
 
+class KernelFuseError(KernelCompileError):
+    """A fusion group could not be compiled into one fused kernel.  Never
+    escapes the runtime: :mod:`repro.runtime.kernelcache` converts it into
+    a ``KernelFuseWarning`` and the group runs on per-stage kernels
+    instead.  ``reason`` is a short stable slug for metrics
+    (``repro_kernel_fuse_fail_total{reason=...}``)."""
+
+    code = "KERNEL_FUSE_FAIL"
+
+    def __init__(self, message: str = "", reason: str = "unsupported",
+                 **context):
+        super().__init__(message, reason=reason, **context)
+        self.reason = reason
+
+
 # -- fault injection --------------------------------------------------------
 
 
@@ -360,6 +380,7 @@ NON_RETRYABLE_CODES = frozenset({
     "SCHEDULE_FORMAT",
     "SCHEDULE_STALE",
     "KERNEL_COMPILE_FAIL",
+    "KERNEL_FUSE_FAIL",
     "SERVE_SHUTDOWN",
     "SERVE_UNKNOWN",
     "SERVE_BODY_TOO_LARGE",

@@ -71,6 +71,12 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
     "repro_kernel_compile_total": (
         "counter", "Stage-kernel lowering outcomes "
                    "(result=compiled|cached|fallback|disabled)"),
+    "repro_kernel_fused_groups_total": (
+        "counter", "Group executions that ran on a fused group kernel "
+                   "(one generated kernel per multi-stage group)"),
+    "repro_kernel_fuse_fail_total": (
+        "counter", "Groups whose fused-kernel compilation failed and "
+                   "fell back to per-stage kernels, labelled by reason"),
     "repro_pool_acquires_total": (
         "counter", "Scratch-array acquisitions from a BufferPool "
                    "(result=reused|allocated)"),

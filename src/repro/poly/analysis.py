@@ -232,3 +232,41 @@ class PipelineAnalysis:
                 ))
             livein_plans[s] = tuple(plans)
         self.livein_plans = livein_plans
+
+    def access_index_bounds(
+        self, consumer: Function, summary: AccessSummary
+    ) -> Optional[Tuple[Tuple[int, int], ...]]:
+        """Inclusive per-producer-dimension index bounds of one access over
+        the consumer's *full* domain, or ``None`` when any dimension is
+        non-affine or driven by a variable that is not a loop dimension of
+        the consumer (reduction variables).
+
+        ``floor((num*v + off)/den)`` with ``num > 0`` is monotone in ``v``,
+        so the bounds are the floors at the consumer's domain endpoints.
+        The fused-kernel compiler uses this to prove an ``inline_assign``
+        rewrite safe: a producer may only be inlined when every in-group
+        read of it lands inside the producer's domain, because a
+        materialised read clamps out-of-domain coordinates to the domain
+        edge and an inlined expression would not.
+        """
+        vd = self.var_dim.get(consumer)
+        dom = self.domain.get(consumer)
+        if vd is None or dom is None:
+            return None
+        bounds: List[Tuple[int, int]] = []
+        for dim in summary.dims:
+            if not dim.affine:
+                return None
+            if dim.var is None:
+                idx = dim.off // dim.den
+                bounds.append((idx, idx))
+                continue
+            k = vd.get(dim.var)
+            if k is None:
+                return None
+            vlo, vhi = dom[k]
+            bounds.append((
+                (dim.num * vlo + dim.off) // dim.den,
+                (dim.num * vhi + dim.off) // dim.den,
+            ))
+        return tuple(bounds)

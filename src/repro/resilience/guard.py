@@ -92,6 +92,10 @@ class GuardPolicy:
     #: ``REPRO_NO_COMPILE`` env knob disables them; ``False``: pure
     #: interpreter, the CLI's ``--no-compile``)
     compile_kernels: Optional[bool] = None
+    #: use fused per-group kernels on top of stage kernels (``None``: on
+    #: unless the ``REPRO_NO_FUSE`` env knob disables them; ``False``:
+    #: per-stage kernels only, the CLI's ``--no-fuse``)
+    fuse_kernels: Optional[bool] = None
 
 
 @dataclass
@@ -328,6 +332,7 @@ def execute_guarded(
                         pipeline, members, run_tiles, buffers, nthreads,
                         group_index=gi, tile_retries=policy.tile_retries,
                         kernels=kernels, executor=executor, pools=pools,
+                        fuse_kernels=policy.fuse_kernels,
                     )
                 except Exception as exc:  # noqa: BLE001 - rewrapped below
                     if not policy.degrade:

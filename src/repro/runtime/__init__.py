@@ -12,12 +12,18 @@ from .executor import (
     shutdown_shared_executors,
 )
 from .kernelcache import (
+    GroupKernel,
     KernelCompileWarning,
+    KernelFuseWarning,
     StageKernel,
     clear_kernel_cache,
     compilation_enabled,
+    compile_group_kernel,
     compile_stage_kernel,
+    fusion_enabled,
+    get_group_kernel,
     stage_kernels,
+    warm_group_kernels,
 )
 
 __all__ = [
@@ -33,9 +39,15 @@ __all__ = [
     "shutdown_shared_executors",
     "reset_shared_executors_after_fork",
     "StageKernel",
+    "GroupKernel",
     "KernelCompileWarning",
+    "KernelFuseWarning",
     "compile_stage_kernel",
+    "compile_group_kernel",
+    "get_group_kernel",
     "stage_kernels",
+    "warm_group_kernels",
     "clear_kernel_cache",
     "compilation_enabled",
+    "fusion_enabled",
 ]

@@ -108,6 +108,16 @@ class Buffer:
         )
         return self.data[sl]
 
+    def region_buffer(self, bounds: Sequence[Tuple[int, int]]) -> "Buffer":
+        """A :class:`Buffer` view of the inclusive absolute region
+        ``bounds`` — writes go straight through to this buffer's storage.
+
+        Fused group kernels use this as the ``store_at``-root fast path: a
+        live-out stage whose expanded tile region equals its base tile
+        writes its values directly into the full output buffer instead of
+        into a scratch array that is then copied out."""
+        return Buffer(self.read_region(bounds), tuple(lo for lo, _ in bounds))
+
 
 @dataclass
 class BufferPool:

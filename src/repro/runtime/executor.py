@@ -46,7 +46,13 @@ from ..poly.alignscale import GroupGeometry, compute_group_geometry
 from ..resilience.faults import maybe_fail
 from .buffers import Buffer, BufferPool, PoolGroup
 from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
-from .kernelcache import StageKernel, stage_kernels
+from .kernelcache import (
+    GroupKernel,
+    StageKernel,
+    fusion_enabled,
+    get_group_kernel,
+    stage_kernels,
+)
 
 __all__ = [
     "execute_reference",
@@ -406,11 +412,15 @@ def _execute_group_tiled(
     kernels: Optional[Mapping[str, StageKernel]] = None,
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
+    group_kernel: Optional[GroupKernel] = None,
 ) -> None:
     """Execute one fused group with overlapped tiling, updating
     ``buffers`` with its live-out arrays.
 
-    Stages present in ``kernels`` run their compiled kernel per tile (with
+    When ``group_kernel`` is given, each tile is one call into the fused
+    kernel (all member stages chained, intermediates inlined or held in
+    pooled scratch — :mod:`repro.runtime.kernelcache`).  Otherwise stages
+    present in ``kernels`` run their compiled kernel per tile (with
     tile-local scratch arrays recycled through a worker-local
     :class:`BufferPool`); absent stages are interpreted.  Tiles are batched
     into contiguous chunks — :func:`_chunk_tiles` — with one future per
@@ -444,6 +454,12 @@ def _execute_group_tiled(
         for g, (lo, hi) in enumerate(geom.grid_bounds)
     ]
 
+    if group_kernel is not None:
+        region_plans = [plans[n] for n in group_kernel.region_names]
+        base_plans = [plans[n] for n in group_kernel.liveout_names]
+        if METRICS.enabled:
+            METRICS.inc("repro_kernel_fused_groups_total")
+
     def run_tile(
         tile_index: int,
         tile_lo: Tuple[int, ...],
@@ -453,6 +469,20 @@ def _execute_group_tiled(
         maybe_fail(
             "tile", detail=f"g{group_index}t{tile_index}a{attempt}"
         )
+        if group_kernel is not None:
+            regions = [
+                _region_from_plan(p, tile_lo, tile_sizes, True)
+                for p in region_plans
+            ]
+            bases = [
+                _region_from_plan(p, tile_lo, tile_sizes, False)
+                for p in base_plans
+            ]
+            try:
+                group_kernel.fn(regions, bases, buffers, out_buffers, pool)
+            finally:
+                pool.release_all()
+            return
         scratch: Dict[str, Buffer] = {}
         lookup = _ChainLookup(scratch, buffers)
         try:
@@ -523,6 +553,8 @@ def _execute_group_tiled(
     # Chunk spans run on worker threads where the thread-local span stack
     # is empty — capture the group span here so they parent correctly.
     parent_span = TRACE.current() if TRACE.enabled else None
+    if parent_span is not None:
+        parent_span.set(fused=group_kernel is not None)
 
     def run_chunk(chunk: List[Tuple[int, Tuple[int, ...]]]) -> None:
         # Worker-local scratch pool, so lock-free: the group's shared
@@ -609,6 +641,7 @@ def _execute_one_group(
     kernels: Optional[Mapping[str, StageKernel]] = None,
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
+    fuse_kernels: Optional[bool] = None,
 ) -> str:
     """Execute a single group of a grouping, returning the mode used:
     ``"tiled"`` or ``"untiled"`` (groups without an overlap-tiling
@@ -630,10 +663,17 @@ def _execute_one_group(
             f"group {[s.name for s in members]} needs {geom.ndim} tile "
             f"sizes, got {len(tiles)}"
         )
+    # The fused tier rides on compilation being active (an empty kernel
+    # map means --no-compile / REPRO_NO_COMPILE): fused-group kernel →
+    # per-stage kernels → interpreter, degrading per group.
+    group_kernel = None
+    if kernels and len(geom.stages) > 1 and fusion_enabled(fuse_kernels):
+        group_kernel = get_group_kernel(pipeline, geom)
     _execute_group_tiled(
         pipeline, geom, tiles, buffers, nthreads,
         group_index=group_index, tile_retries=tile_retries,
         kernels=kernels, executor=executor, pools=pools,
+        group_kernel=group_kernel,
     )
     return "tiled"
 
@@ -647,6 +687,7 @@ def execute_grouping(
     compile_kernels: Optional[bool] = None,
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
+    fuse_kernels: Optional[bool] = None,
 ) -> Dict[str, np.ndarray]:
     """Execute a grouping with overlapped tiling.
 
@@ -662,6 +703,13 @@ def execute_grouping(
     ``compile_kernels=False`` (the CLI's ``--no-compile``, or the
     ``REPRO_NO_COMPILE`` env knob) forces the pure-interpreter path for
     A/B timing.
+
+    On top of per-stage kernels, each multi-stage group compiles to a
+    single *fused* kernel so a tile makes one call for the whole group; a
+    group that fails to fuse runs on per-stage kernels after one
+    ``KERNEL_FUSE_FAIL`` warning.  ``fuse_kernels=False`` (the CLI's
+    ``--no-fuse``, or ``REPRO_NO_FUSE``) disables only this fused tier,
+    keeping per-stage kernels — the third arm of the A/B ladder.
 
     Multi-threaded groups run their tile chunks on ``executor`` when the
     caller owns a persistent pool (the serve layer does), else on the
@@ -708,6 +756,7 @@ def execute_grouping(
                     pipeline, members, tiles, buffers, nthreads,
                     group_index=gi, tile_retries=tile_retries,
                     kernels=kernels, executor=executor, pools=pools,
+                    fuse_kernels=fuse_kernels,
                 )
                 gspan.set(mode=mode)
             if observing:

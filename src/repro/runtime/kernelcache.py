@@ -41,6 +41,25 @@ executor falls back to the interpreter for that stage.  The global escape
 hatch is the ``REPRO_NO_COMPILE`` environment variable (or the CLI's
 ``--no-compile``), which restores the pure-interpreter path for A/B
 timing experiments.
+
+On top of the per-stage tier, :func:`compile_group_kernel` builds **one
+fused kernel per fusion group**: the member stages' bodies are chained
+inside a single generated function, so a tile makes one call instead of
+one per stage.  Producer values flow to in-group consumers either by
+*inlining* (cheap producers read few times are substituted into consumer
+bodies as ``Cast``-wrapped expressions — Exo's ``inline_assign``; dead
+intermediates disappear entirely, ``delete_buffer``) or through pooled
+scratch arrays sized to the consumer's stencil footprint over the tile
+(``compute_at`` + ``store_at``).  A live-out stage whose expanded tile
+region equals its base tile writes straight into the full output buffer
+(the ``store_at``-root fast path).  The executor's tiering is therefore
+fused-group kernel → per-stage kernels → interpreter, degrading per
+group/stage; a group that cannot be fused emits a single
+:class:`KernelFuseWarning` (``KERNEL_FUSE_FAIL``) and runs on per-stage
+kernels.  The escape hatch is ``REPRO_NO_FUSE`` (or the CLI's
+``--no-fuse``).  All tiers are bit-identical by construction: the fused
+kernel performs exactly the NumPy operations the per-stage kernels
+would, minus the scratch stores/gathers the rewrites eliminate.
 """
 
 from __future__ import annotations
@@ -63,27 +82,40 @@ from ..dsl.expr import (
     MathCall,
     Select,
     UnaryOp,
+    count_ops,
     walk,
 )
 from ..dsl.function import Function, Reduction
 from ..dsl.pipeline import Pipeline
-from ..errors import KernelCompileError
+from ..errors import KernelCompileError, KernelFuseError
 from ..obs import METRICS
-from .evalexpr import evaluate_expr
+from ..poly.analysis import PipelineAnalysis
+from .buffers import Buffer
+from .evalexpr import evaluate_expr, make_index_grids
 
 __all__ = [
     "KernelCompileWarning",
+    "KernelFuseWarning",
     "StageKernel",
+    "GroupKernel",
     "compile_stage_kernel",
+    "compile_group_kernel",
     "get_kernel",
+    "get_group_kernel",
     "stage_kernels",
+    "warm_group_kernels",
     "clear_kernel_cache",
     "compilation_enabled",
+    "fusion_enabled",
 ]
 
 
 class KernelCompileWarning(UserWarning):
     """A stage fell back to the interpreter (``KERNEL_COMPILE_FAIL``)."""
+
+
+class KernelFuseWarning(UserWarning):
+    """A group fell back to per-stage kernels (``KERNEL_FUSE_FAIL``)."""
 
 
 def compilation_enabled(override: Optional[bool] = None) -> bool:
@@ -96,6 +128,21 @@ def compilation_enabled(override: Optional[bool] = None) -> bool:
     if override is not None:
         return bool(override)
     knob = os.environ.get("REPRO_NO_COMPILE", "").strip().lower()
+    return knob not in ("1", "true", "yes", "on")
+
+
+def fusion_enabled(override: Optional[bool] = None) -> bool:
+    """Whether fused group-kernel compilation is enabled.
+
+    ``override`` (from an API argument or the CLI's ``--no-fuse``) wins;
+    otherwise the ``REPRO_NO_FUSE`` environment variable turns fusion off
+    when set to ``1``/``true``/``yes``/``on``.  Fusion also requires
+    per-stage compilation to be on — the executor only consults this
+    when it already holds compiled kernels.
+    """
+    if override is not None:
+        return bool(override)
+    knob = os.environ.get("REPRO_NO_FUSE", "").strip().lower()
     return knob not in ("1", "true", "yes", "on")
 
 
@@ -195,30 +242,101 @@ def _is_static(e: Expr) -> bool:
 
 
 class _Lowerer:
-    """Emits the body of one stage kernel as Python source lines."""
+    """Emits the body of one stage kernel as Python source lines.
 
-    def __init__(self, pipeline: Pipeline, stage: Function):
+    ``prefix`` namespaces every generated identifier (grids, shape,
+    temporaries, constants), so several lowerers can share one function
+    body — the fused group compiler runs one per member stage.
+    ``buffer_refs`` maps producer names to local variable expressions;
+    accesses to unlisted producers read ``buffers[name]`` as before.
+    ``defn`` overrides the stage body (the group compiler passes the
+    post-``inline_assign`` rewritten body).
+
+    ``region_ref`` names a local holding the stage's inclusive region
+    bounds (the fused compiler passes ``_r{i}``).  With it set, two
+    fused-tier fast paths light up: window starts, extents, and shape
+    come straight off the region tuple — index grids are only
+    materialised when an expression actually needs coordinate *arrays*
+    (a direct variable reference or a clipped-gather fallback) — and
+    affine window reads inline the bounds check and slice instead of
+    calling :meth:`Buffer.read_window` per access.  Values are
+    unchanged; only per-tile Python dispatch is removed.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        stage: Function,
+        prefix: str = "",
+        indent: str = "    ",
+        buffer_refs: Optional[Mapping[str, str]] = None,
+        defn: Optional[Sequence[object]] = None,
+        region_ref: Optional[str] = None,
+    ):
         self.pipeline = pipeline
         self.stage = stage
+        self.pfx = prefix
+        self.indent = indent
+        self.buffer_refs: Mapping[str, str] = (
+            {} if buffer_refs is None else buffer_refs
+        )
+        self.defn = list(stage.defn) if defn is None else list(defn)
+        self.region_ref = region_ref
         self.lines: List[str] = []
         self.memo: Dict[tuple, str] = {}
         self.consts: Dict[str, object] = {}
         self.count = 0
         self.var_names = {
-            v.name: f"_g{d}" for d, v in enumerate(stage.variables)
+            v.name: f"{prefix}_g{d}" for d, v in enumerate(stage.variables)
         }
+        self.var_dims = {
+            v.name: d for d, v in enumerate(stage.variables)
+        }
+        self.shape_name = f"{prefix}_shape"
 
     def fresh(self, prefix: str = "_t") -> str:
         self.count += 1
-        return f"{prefix}{self.count}"
+        return f"{self.pfx}{prefix}{self.count}"
 
     def emit(self, line: str) -> None:
-        self.lines.append(f"    {line}")
+        self.lines.append(f"{self.indent}{line}")
 
     def const(self, value: object) -> str:
-        name = f"_c{len(self.consts)}"
+        name = f"{self.pfx}_c{len(self.consts)}"
         self.consts[name] = value
         return name
+
+    def _buffer_ref(self, name: str) -> str:
+        ref = self.buffer_refs.get(name)
+        return ref if ref is not None else f"buffers[{name!r}]"
+
+    # -- lazy index grids (region_ref mode) ------------------------------
+    def _grid_line(self, d: int) -> str:
+        """The binding that materialises grid ``d`` from the region."""
+        gv = f"{self.pfx}_g{d}"
+        r = self.region_ref
+        arange = (
+            f"np.arange({r}[{d}][0], {r}[{d}][1] + 1, dtype=np.int64)"
+        )
+        ndim = self.stage.ndim
+        if ndim == 1:
+            return f"{gv} = {arange}"
+        shape = ", ".join(
+            "-1" if i == d else "1" for i in range(ndim)
+        )
+        return f"{gv} = {arange}.reshape({shape})"
+
+    def _grid(self, d: int) -> str:
+        """The grid-``d`` local, materialised on first use when the
+        lowerer runs off a region tuple instead of prebuilt grids."""
+        gv = f"{self.pfx}_g{d}"
+        if self.region_ref is None:
+            return gv
+        key = ("grid", d)
+        if key not in self.memo:
+            self.emit(self._grid_line(d))
+            self.memo[key] = gv
+        return gv
 
     # -- expressions ----------------------------------------------------
     def lower(self, e: Expr) -> str:
@@ -247,13 +365,12 @@ class _Lowerer:
                 return f"({lit})" if value < 0 else lit
             return self.const(value)
         if isinstance(e, Variable):
-            try:
-                return self.var_names[e.name]
-            except KeyError:
+            if e.name not in self.var_names:
                 raise KernelCompileError(
                     f"unbound variable {e.name!r} in stage "
                     f"{self.stage.name!r}"
-                ) from None
+                )
+            return self._grid(self.var_dims[e.name])
         if isinstance(e, BinOp):
             a, b = self.lower(e.lhs), self.lower(e.rhs)
             t = self.fresh()
@@ -294,7 +411,7 @@ class _Lowerer:
             buf = self.memo.get(bkey)
             if buf is None:
                 buf = self.fresh("_buf")
-                self.emit(f"{buf} = buffers[{e.producer.name!r}]")
+                self.emit(f"{buf} = {self._buffer_ref(e.producer.name)}")
                 self.memo[bkey] = buf
             win = self._lower_window_access(e, buf)
             if win is not None:
@@ -426,30 +543,118 @@ class _Lowerer:
                 gidx.append(str(ent[1]))
                 continue
             _, d, a, c, k = ent
+            sv = f"{self.pfx}_s{d}"
+            gv = f"{self.pfx}_g{d}"
+            ext = f"{self.shape_name}[{d}]"
             skey = ("start", d)
             if skey not in self.memo:
-                self.emit(f"_s{d} = _g{d}.item(0)")
-                self.memo[skey] = f"_s{d}"
+                if self.region_ref is not None:
+                    self.emit(f"{sv} = {self.region_ref}[{d}][0]")
+                else:
+                    self.emit(f"{sv} = {gv}.item(0)")
+                self.memo[skey] = sv
             if k == 1:
-                starts.append(term(f"_s{d}", a, c))
-                extents.append(f"_shape[{d}]")
+                starts.append(term(sv, a, c))
+                extents.append(ext)
                 steps.append(str(a))
-                gidx.append(term(f"_g{d}", a, c))
+                gidx.append(term(gv, a, c))
             else:
                 bkey = ("fdbase", d, c, k)
                 b = self.memo.get(bkey)
                 if b is None:
                     b = self.fresh("_fb")
-                    self.emit(f"{b} = ({term(f'_s{d}', 1, c)}) // {k}")
+                    self.emit(f"{b} = ({term(sv, 1, c)}) // {k}")
                     self.memo[bkey] = b
                 starts.append(b)
                 extents.append(
-                    f"({term(f'_s{d}', 1, c)} + _shape[{d}] - 1) // {k} "
+                    f"({term(sv, 1, c)} + {ext} - 1) // {k} "
                     f"- {b} + 1"
                 )
                 steps.append("1")
-                gidx.append(f"({term(f'_g{d}', 1, c)}) // {k}")
+                gidx.append(f"({term(gv, 1, c)}) // {k}")
                 repeats.append((j, k, d, c, b))
+
+        ndim = self.stage.ndim
+        positions = [ent[1] for ent in plan if ent[0] == "var"]
+        pure_suffix = (
+            len(positions) == len(plan)
+            and positions == list(range(ndim - len(plan), ndim))
+        )
+
+        def window_transforms(t: str, pad: str) -> None:
+            """repeat/reshape fixups applied on the in-bounds view."""
+            for j, k, d, c, b in reversed(repeats):
+                off = self.fresh("_o")
+                sv = f"{self.pfx}_s{d}"
+                self.emit(f"{pad}{off} = {term(sv, 1, c)} - {b} * {k}")
+                pre = ":, " * j
+                self.emit(
+                    f"{pad}{t} = np.repeat({t}, {k}, axis={j})"
+                    f"[{pre}{off}:{off} + {self.shape_name}[{d}]]"
+                )
+            if not pure_suffix:
+                # Re-align window axes (one per producer dim) with the
+                # stage's broadcast layout: length-1 axes at unused stage
+                # dims.  Only 1-axes move, so this never copies.
+                pos_set = set(positions)
+                target = ", ".join(
+                    f"{self.shape_name}[{d}]" if d in pos_set else "1"
+                    for d in range(ndim)
+                )
+                self.emit(f"{pad}{t} = {t}.reshape(({target},))")
+
+        if self.region_ref is not None:
+            # Fused fast path: inline the bounds check and slice —
+            # identical to Buffer.read_window without the per-access
+            # Python call, tuple packing, and per-dim loop.
+            dkey = ("bufdata", buf)
+            bd = self.memo.get(dkey)
+            if bd is None:
+                bd = self.fresh("_bd")
+                self.emit(f"{bd} = {buf}.data")
+                self.emit(f"{bd}_o = {buf}.origin")
+                self.memo[dkey] = bd
+            slices, checks = [], []
+            for j, (start, ext, step) in enumerate(
+                zip(starts, extents, steps)
+            ):
+                rel = self.fresh("_a")
+                self.emit(f"{rel} = ({start}) - {bd}_o[{j}]")
+                if ext == "1":
+                    last = rel
+                else:
+                    last = self.fresh("_z")
+                    if step == "1":
+                        self.emit(f"{last} = {rel} + {ext} - 1")
+                    else:
+                        self.emit(
+                            f"{last} = {rel} + (({ext}) - 1) * {step}"
+                        )
+                sl = f"{rel}:{last} + 1"
+                if step != "1":
+                    sl += f":{step}"
+                slices.append(sl)
+                checks.append(f"{rel} >= 0")
+                checks.append(f"{last} < {bd}.shape[{j}]")
+            t = self.fresh("_w")
+            self.emit(f"if {' and '.join(checks)}:")
+            self.emit(f"    {t} = {bd}[{', '.join(slices)}]")
+            saved = self.indent
+            self.indent += "    "
+            window_transforms(t, "")
+            self.indent = saved
+            self.emit("else:")
+            # Boundary tiles fall back to the clipped gather; the grid
+            # arrays it indexes with are rebuilt locally (unmemoised —
+            # this branch is conditional) unless already bound above.
+            for ent in plan:
+                if ent[0] != "var":
+                    continue
+                d = ent[1]
+                if ("grid", d) not in self.memo:
+                    self.emit(f"    {self._grid_line(d)}")
+            self.emit(f"    {t} = {buf}.gather(({', '.join(gidx)},))")
+            return t
 
         t = self.fresh("_w")
         self.emit(
@@ -458,33 +663,9 @@ class _Lowerer:
         )
         self.emit(f"if {t} is None:")
         self.emit(f"    {t} = {buf}.gather(({', '.join(gidx)},))")
-
-        ndim = self.stage.ndim
-        positions = [ent[1] for ent in plan if ent[0] == "var"]
-        pure_suffix = (
-            len(positions) == len(plan)
-            and positions == list(range(ndim - len(plan), ndim))
-        )
         if repeats or not pure_suffix:
             self.emit("else:")
-            for j, k, d, c, b in reversed(repeats):
-                off = self.fresh("_o")
-                self.emit(f"    {off} = {term(f'_s{d}', 1, c)} - {b} * {k}")
-                pre = ":, " * j
-                self.emit(
-                    f"    {t} = np.repeat({t}, {k}, axis={j})"
-                    f"[{pre}{off}:{off} + _shape[{d}]]"
-                )
-            if not pure_suffix:
-                # Re-align window axes (one per producer dim) with the
-                # stage's broadcast layout: length-1 axes at unused stage
-                # dims.  Only 1-axes move, so this never copies.
-                pos_set = set(positions)
-                target = ", ".join(
-                    f"_shape[{d}]" if d in pos_set else "1"
-                    for d in range(ndim)
-                )
-                self.emit(f"    {t} = {t}.reshape(({target},))")
+            window_transforms(t, "    ")
         return t
 
     # -- conditions -----------------------------------------------------
@@ -524,73 +705,100 @@ class _Lowerer:
             return _NP_MATH[root.fn], [self.lower(a) for a in root.args]
         return None
 
-    def build(self) -> Tuple[str, bool]:
-        """Generate the kernel source; returns ``(source, uses_out)``."""
-        stage = self.stage
-        ndim = stage.ndim
-        for d in range(ndim):
-            self.emit(f"_g{d} = grids[{d}]")
-        shape = ", ".join(f"_g{d}.shape[{d}]" for d in range(ndim))
+    def emit_prologue(self, grids_src: Optional[str] = None) -> str:
+        """Bind shape (and, without ``region_ref``, the index grids) and
+        register the stage's output dtype constant.  ``grids_src`` is an
+        expression yielding the per-dimension grid tuple; with
+        ``region_ref`` set it is ignored — shape comes off the region
+        and grids materialise lazily on first use.  Returns the dtype
+        constant name."""
+        ndim = self.stage.ndim
+        if self.region_ref is not None:
+            r = self.region_ref
+            shape = ", ".join(
+                f"{r}[{d}][1] - {r}[{d}][0] + 1" for d in range(ndim)
+            )
+        else:
+            for d in range(ndim):
+                self.emit(f"{self.pfx}_g{d} = {grids_src}[{d}]")
+            shape = ", ".join(
+                f"{self.pfx}_g{d}.shape[{d}]" for d in range(ndim)
+            )
         if ndim == 1:
             shape += ","
-        self.emit(f"_shape = ({shape})")
-        out_dt = self.const(stage.scalar_type.np_dtype)
-        self.memo[("dtype", stage.scalar_type.name)] = out_dt
+        self.emit(f"{self.shape_name} = ({shape})")
+        out_dt = self.const(self.stage.scalar_type.np_dtype)
+        self.memo[("dtype", self.stage.scalar_type.name)] = out_dt
+        return out_dt
 
+    def lower_body(self):
+        """Lower the stage body (minus epilogue): returns
+        ``(conds, vals, default, fused_entry)`` where ``fused_entry`` is
+        ``(ufunc_name, operand_names, root_expr)`` when the final
+        unconditional entry can fuse its root operation with the store
+        (``None`` otherwise — ``default`` then already names the result).
+        """
         conds: List[str] = []
         vals: List[str] = []
         default = "0"
-        default_expr: Optional[Expr] = None
-        entries = list(stage.defn)
-        uses_out = False
+        fused_entry = None
+        entries = self.defn
+        has_case = any(isinstance(x, Case) for x in entries)
         for pos, entry in enumerate(entries):
             if isinstance(entry, Case):
                 conds.append(self.lower_cond(entry.condition))
                 vals.append(self.lower(entry.expression))
                 continue
-            default_expr = entry
             # The last unconditional entry of a Case-free body may fuse
-            # its root operation with the store into ``out``; lower only
-            # its operands here and finish in the epilogue.
-            is_fusable_root = (
-                not any(isinstance(x, Case) for x in entries)
-                and pos == len(entries) - 1
-            )
-            if is_fusable_root:
+            # its root operation with the store; lower only its operands
+            # here and let the caller finish in its epilogue.
+            if not has_case and pos == len(entries) - 1:
                 fused = self._fused_store(entry)
                 if fused is not None:
                     fn, args = fused
-                    operands = ", ".join(f"({a})" for a in args)
-                    # The ufunc refuses an ``out`` larger than the operand
-                    # broadcast (a body like ``x + 1`` in a 2-d stage), so
-                    # fall through to the broadcast path in that case.
-                    self.emit(
-                        f"if out is not None and "
-                        f"np.broadcast({operands}).shape == out.shape:"
-                    )
-                    self.emit(
-                        f"    {fn}({operands}, out=out, casting='unsafe')"
-                    )
-                    self.emit("    return out")
-                    default = self.lower(entry)
-                    uses_out = True
+                    fused_entry = (fn, args, entry)
                     continue
             default = self.lower(entry)
+        return conds, vals, default, fused_entry
 
+    def build(self) -> Tuple[str, bool]:
+        """Generate the kernel source; returns ``(source, uses_out)``."""
+        out_dt = self.emit_prologue("grids")
+        conds, vals, default, fused_entry = self.lower_body()
+        uses_out = False
+        if fused_entry is not None:
+            fn, args, entry = fused_entry
+            operands = ", ".join(f"({a})" for a in args)
+            # The ufunc refuses an ``out`` larger than the operand
+            # broadcast (a body like ``x + 1`` in a 2-d stage), so
+            # fall through to the broadcast path in that case.
+            self.emit(
+                f"if out is not None and "
+                f"np.broadcast({operands}).shape == out.shape:"
+            )
+            self.emit(
+                f"    {fn}({operands}, out=out, casting='unsafe')"
+            )
+            self.emit("    return out")
+            default = self.lower(entry)
+            uses_out = True
+
+        res = f"{self.pfx}_res"
         if conds:
             clist = ", ".join(
-                f"np.broadcast_to({c}, _shape)" for c in conds
+                f"np.broadcast_to({c}, {self.shape_name})" for c in conds
             )
             vlist = ", ".join(
-                f"np.broadcast_to(np.asarray({v}), _shape)" for v in vals
+                f"np.broadcast_to(np.asarray({v}), {self.shape_name})"
+                for v in vals
             )
-            self.emit(f"_res = np.select([{clist}], [{vlist}], "
+            self.emit(f"{res} = np.select([{clist}], [{vlist}], "
                       f"default={default})")
-            self.emit(f"return _res.astype({out_dt}, copy=False)")
+            self.emit(f"return {res}.astype({out_dt}, copy=False)")
         else:
-            self.emit(f"_res = np.broadcast_to(np.asarray({default}), "
-                      f"_shape)")
-            self.emit(f"return np.ascontiguousarray(_res)"
+            self.emit(f"{res} = np.broadcast_to(np.asarray({default}), "
+                      f"{self.shape_name})")
+            self.emit(f"return np.ascontiguousarray({res})"
                       f".astype({out_dt}, copy=False)")
 
         header = "def _stage_kernel(grids, env, buffers, out=None):"
@@ -633,6 +841,454 @@ def compile_stage_kernel(pipeline: Pipeline, stage: Function) -> StageKernel:
         source=source,
         fn=namespace["_stage_kernel"],
         uses_out=uses_out,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fused group kernels
+# ---------------------------------------------------------------------------
+
+#: ``inline_assign`` limits.  A producer read more than once is only
+#: inlined when its (rewritten) body is near-free — beyond that,
+#: re-evaluating it per consumer tap costs more than the scratch
+#: round-trip it saves.  A producer read exactly once always saves the
+#: round-trip, so its body may be substantially larger.
+_INLINE_MAX_USES = 3
+_INLINE_MULTI_USE_OPS = 2
+_INLINE_SINGLE_USE_OPS = 24
+
+
+def _rewrite_expr(e: Expr, var_map, inline_expr, inline_stage) -> Expr:
+    """Structurally rewrite ``e``: substitute variables via ``var_map``
+    (name → replacement expression) and replace accesses to inlined
+    producers with their ``Cast``-wrapped bodies, recursively.  Returns
+    ``e`` itself when nothing changed (keeps CSE keys shared)."""
+    if isinstance(e, Variable):
+        got = var_map.get(e.name)
+        return e if got is None else got
+    if isinstance(e, (Const, Parameter)):
+        return e
+    if isinstance(e, BinOp):
+        lhs = _rewrite_expr(e.lhs, var_map, inline_expr, inline_stage)
+        rhs = _rewrite_expr(e.rhs, var_map, inline_expr, inline_stage)
+        if lhs is e.lhs and rhs is e.rhs:
+            return e
+        return BinOp(e.op, lhs, rhs)
+    if isinstance(e, UnaryOp):
+        op = _rewrite_expr(e.operand, var_map, inline_expr, inline_stage)
+        return e if op is e.operand else UnaryOp(e.op, op)
+    if isinstance(e, MathCall):
+        args = [
+            _rewrite_expr(a, var_map, inline_expr, inline_stage)
+            for a in e.args
+        ]
+        if all(a is b for a, b in zip(args, e.args)):
+            return e
+        return MathCall(e.fn, args)
+    if isinstance(e, Select):
+        cond = _rewrite_cond(e.condition, var_map, inline_expr, inline_stage)
+        tv = _rewrite_expr(e.true_expr, var_map, inline_expr, inline_stage)
+        fv = _rewrite_expr(e.false_expr, var_map, inline_expr, inline_stage)
+        if cond is e.condition and tv is e.true_expr and fv is e.false_expr:
+            return e
+        return Select(cond, tv, fv)
+    if isinstance(e, Cast):
+        op = _rewrite_expr(e.operand, var_map, inline_expr, inline_stage)
+        return e if op is e.operand else Cast(e.scalar_type, op)
+    if isinstance(e, Access):
+        idxs = [
+            _rewrite_expr(i, var_map, inline_expr, inline_stage)
+            for i in e.indices
+        ]
+        body = inline_expr.get(e.producer.name)
+        if body is None:
+            if all(a is b for a, b in zip(idxs, e.indices)):
+                return e
+            return Access(e.producer, idxs)
+        # inline_assign: substitute the producer's body with its loop
+        # variables bound to this access's index expressions.  The Cast
+        # reproduces the store-then-load dtype rounding a materialised
+        # producer would apply.
+        producer = inline_stage[e.producer.name]
+        sub = {
+            v.name: idx for v, idx in zip(producer.variables, idxs)
+        }
+        return Cast(producer.scalar_type, _rewrite_expr(body, sub, {}, {}))
+    raise KernelCompileError(
+        f"cannot rewrite expression node {type(e).__name__}"
+    )
+
+
+def _rewrite_cond(c: Condition, var_map, inline_expr, inline_stage):
+    if c.kind == "cmp":
+        lhs = _rewrite_expr(c.lhs, var_map, inline_expr, inline_stage)
+        rhs = _rewrite_expr(c.rhs, var_map, inline_expr, inline_stage)
+        if lhs is c.lhs and rhs is c.rhs:
+            return c
+        return Condition(lhs, c.op, rhs)
+    sub = [
+        _rewrite_cond(s, var_map, inline_expr, inline_stage) for s in c.sub
+    ]
+    if all(a is b for a, b in zip(sub, c.sub)):
+        return c
+    return Condition(None, _kind=c.kind, _sub=tuple(sub))
+
+
+@dataclass
+class GroupKernel:
+    """One compiled kernel for a whole fusion group.
+
+    ``fn(regions, bases, buffers, out_buffers, pool)`` executes every
+    member stage over one tile.  ``regions`` holds the expanded
+    (overlapped) per-stage bounds for ``region_names`` in order (``None``
+    for an empty region), ``bases`` the base-tile bounds for
+    ``liveout_names``; live-out values land in ``out_buffers`` (name →
+    full-domain :class:`Buffer`), out-of-group producers are read from
+    ``buffers``, and scratch arrays cycle through ``pool`` (the caller
+    releases them after the tile).
+    """
+
+    group_names: Tuple[str, ...]
+    region_names: Tuple[str, ...]
+    liveout_names: Tuple[str, ...]
+    inlined: Tuple[str, ...]
+    direct_stores: Tuple[str, ...]
+    source: str
+    fn: Callable
+
+
+class _GroupLowerer:
+    """Assembles one fused kernel from a group's member stages.
+
+    The classic schedule rewrites appear here as compile-time decisions:
+    ``compute_at``/``store_at`` (each materialised member computes its
+    expanded tile region into pooled scratch, consumed in place),
+    ``inline_assign`` (cheap producers substituted into consumer bodies),
+    ``delete_buffer`` (members nobody reads are dropped), and a
+    ``store_at``-root fast path (a live-out whose expanded region equals
+    its base tile writes straight into the full output buffer).
+    """
+
+    def __init__(self, pipeline: Pipeline, geom):
+        self.pipeline = pipeline
+        self.geom = geom
+        self.analysis = PipelineAnalysis.of(pipeline)
+
+    def _plan_inlining(self):
+        """Decide which members inline and rewrite every member body.
+
+        Returns ``(effective, inline_expr)``: the post-substitution body
+        per stage name, and the bodies of inlined producers (presence in
+        ``inline_expr`` marks a member as non-materialised).  Inlining a
+        producer is *safe* only when every in-group read of it provably
+        lands inside its domain over the consumer's full domain — a
+        materialised read clamps out-of-domain coordinates to the stored
+        region's edge, which an inlined expression would not reproduce.
+        Constant bodies (no variables or accesses) stay materialised:
+        they would fold to a NumPy *scalar* where the per-stage path
+        yields an *array*, and scalar/array type-promotion parity is not
+        guaranteed on every NumPy version.
+        """
+        geom = self.geom
+        analysis = self.analysis
+        members = geom.stages
+        member_names = {s.name for s in members}
+        liveout_names = {s.name for s in geom.liveouts}
+        uses: Dict[str, int] = {n: 0 for n in member_names}
+        unsafe = set()
+        for consumer in members:
+            for producer, summary in analysis.summaries[consumer]:
+                pname = producer.name
+                if pname not in member_names:
+                    continue
+                uses[pname] += 1
+                bounds = analysis.access_index_bounds(consumer, summary)
+                pdom = analysis.domain.get(producer)
+                if (
+                    bounds is None
+                    or pdom is None
+                    or len(bounds) != len(pdom)
+                    or any(
+                        lo < dlo or hi > dhi
+                        for (lo, hi), (dlo, dhi) in zip(bounds, pdom)
+                    )
+                ):
+                    unsafe.add(pname)
+
+        inline_expr: Dict[str, Expr] = {}
+        inline_stage: Dict[str, Function] = {}
+        effective: Dict[str, List[object]] = {}
+        for stage in members:
+            eff: List[object] = []
+            for entry in stage.defn:
+                if isinstance(entry, Case):
+                    eff.append(Case(
+                        _rewrite_cond(
+                            entry.condition, {}, inline_expr, inline_stage
+                        ),
+                        _rewrite_expr(
+                            entry.expression, {}, inline_expr, inline_stage
+                        ),
+                    ))
+                else:
+                    eff.append(_rewrite_expr(
+                        entry, {}, inline_expr, inline_stage
+                    ))
+            effective[stage.name] = eff
+            if (
+                stage.name in liveout_names
+                or stage.name in unsafe
+                or len(eff) != 1
+                or isinstance(eff[0], Case)
+            ):
+                continue
+            body = eff[0]
+            n = uses[stage.name]
+            if n == 0:
+                # delete_buffer: no in-group reader and not a live-out.
+                inline_expr[stage.name] = body
+                inline_stage[stage.name] = stage
+                continue
+            if not any(isinstance(x, (Variable, Access)) for x in walk(body)):
+                continue
+            ops = count_ops(body)
+            if n <= _INLINE_MAX_USES and (
+                ops <= _INLINE_MULTI_USE_OPS
+                or (n == 1 and ops <= _INLINE_SINGLE_USE_OPS)
+            ):
+                inline_expr[stage.name] = body
+                inline_stage[stage.name] = stage
+        return effective, inline_expr
+
+    def build(self):
+        """Generate the fused kernel source.  Returns
+        ``(source, consts, region_names, direct_stores, inlined)``."""
+        geom = self.geom
+        pipeline = self.pipeline
+        radii = geom.expansion_radii()
+        liveout_pos = {s.name: j for j, s in enumerate(geom.liveouts)}
+        effective, inline_expr = self._plan_inlining()
+        mats = [s for s in geom.stages if s.name not in inline_expr]
+        if not mats:
+            raise KernelFuseError(
+                "every member stage inlined away", reason="degenerate"
+            )
+        lines: List[str] = []
+        consts: Dict[str, object] = {}
+        buffer_refs: Dict[str, str] = {}
+        mat_names = {s.name for s in mats}
+        region_names: List[str] = []
+        direct_stores: List[str] = []
+        # Pre-declare every member's buffer slot: a consumer whose
+        # producer had an empty (domain-clamped) region raises the same
+        # non-retryable KeyError the per-stage scratch lookup would.
+        for i, stage in enumerate(mats):
+            lines.append(f"    _b{i} = None")
+        for i, stage in enumerate(mats):
+            region_names.append(stage.name)
+            rv, bv, pfx = f"_r{i}", f"_b{i}", f"_f{i}"
+            name = stage.name
+            rad = radii[stage]
+            direct = name in liveout_pos and all(
+                rad[g] == (0, 0) and geom.scale[stage][j] == 1
+                for j, g in enumerate(geom.align[stage])
+            )
+            lw = _Lowerer(
+                pipeline, stage, prefix=pfx, indent=" " * 8,
+                buffer_refs=buffer_refs, defn=effective[name],
+                region_ref=rv,
+            )
+            lines.append(f"    {rv} = regions[{i}]")
+            lines.append(f"    if {rv} is not None:")
+            deps = set()
+            for entry in effective[name]:
+                roots = (
+                    [entry.expression] + list(entry.condition.exprs())
+                    if isinstance(entry, Case) else [entry]
+                )
+                for root in roots:
+                    for node in walk(root):
+                        if (
+                            isinstance(node, Access)
+                            and node.producer.name in mat_names
+                            and node.producer.name != name
+                        ):
+                            deps.add(node.producer.name)
+            deps = sorted(deps)
+            for dep in deps:
+                lw.emit(f"if {buffer_refs[dep]} is None:")
+                lw.emit(f"    raise KeyError({dep!r})")
+            dt = lw.emit_prologue()
+            conds, vals, default, fused_entry = lw.lower_body()
+            res = f"{pfx}_res"
+            if direct:
+                # store_at root: expanded region == base tile for every
+                # tile, so write straight into the full output buffer
+                # (regions of concurrent tiles are disjoint).
+                lw.emit(
+                    f"{bv} = out_buffers[{name!r}].region_buffer({rv})"
+                )
+                dst = f"{pfx}_dst"
+                lw.emit(f"{dst} = {bv}.data")
+                if conds:
+                    clist = ", ".join(
+                        f"np.broadcast_to({c}, {lw.shape_name})"
+                        for c in conds
+                    )
+                    vlist = ", ".join(
+                        f"np.broadcast_to(np.asarray({v}), {lw.shape_name})"
+                        for v in vals
+                    )
+                    lw.emit(
+                        f"{dst}[...] = np.select([{clist}], [{vlist}], "
+                        f"default={default})"
+                    )
+                elif fused_entry is not None:
+                    fn, args, entry = fused_entry
+                    operands = ", ".join(f"({a})" for a in args)
+                    lw.emit(
+                        f"if np.broadcast({operands}).shape == {dst}.shape:"
+                    )
+                    lw.emit(
+                        f"    {fn}({operands}, out={dst}, casting='unsafe')"
+                    )
+                    lw.emit("else:")
+                    lw.indent += "    "
+                    tail = lw.lower(entry)
+                    lw.emit(f"{dst}[...] = np.broadcast_to("
+                            f"np.asarray({tail}), {lw.shape_name})")
+                    lw.indent = lw.indent[:-4]
+                else:
+                    lw.emit(f"{dst}[...] = np.broadcast_to("
+                            f"np.asarray({default}), {lw.shape_name})")
+                direct_stores.append(name)
+            else:
+                if conds:
+                    clist = ", ".join(
+                        f"np.broadcast_to({c}, {lw.shape_name})"
+                        for c in conds
+                    )
+                    vlist = ", ".join(
+                        f"np.broadcast_to(np.asarray({v}), {lw.shape_name})"
+                        for v in vals
+                    )
+                    lw.emit(
+                        f"{res} = np.select([{clist}], [{vlist}], "
+                        f"default={default}).astype({dt}, copy=False)"
+                    )
+                elif fused_entry is not None:
+                    fn, args, entry = fused_entry
+                    operands = ", ".join(f"({a})" for a in args)
+                    sc = f"{pfx}_sc"
+                    lw.emit(f"{sc} = pool.acquire({lw.shape_name}, {dt})")
+                    lw.emit(
+                        f"if np.broadcast({operands}).shape == {sc}.shape:"
+                    )
+                    lw.emit(
+                        f"    {fn}({operands}, out={sc}, casting='unsafe')"
+                    )
+                    lw.emit(f"    {res} = {sc}")
+                    lw.emit("else:")
+                    lw.indent += "    "
+                    lw.emit(f"pool.reclaim({sc})")
+                    tail = lw.lower(entry)
+                    lw.emit(
+                        f"{res} = np.ascontiguousarray(np.broadcast_to("
+                        f"np.asarray({tail}), {lw.shape_name}))"
+                        f".astype({dt}, copy=False)"
+                    )
+                    lw.indent = lw.indent[:-4]
+                else:
+                    lw.emit(
+                        f"{res} = np.ascontiguousarray(np.broadcast_to("
+                        f"np.asarray({default}), {lw.shape_name}))"
+                        f".astype({dt}, copy=False)"
+                    )
+                lw.emit(f"{bv} = Buffer({res}, tuple(b[0] for b in {rv}))")
+                if name in liveout_pos:
+                    j = liveout_pos[name]
+                    base = f"{pfx}_base"
+                    lw.emit(f"{base} = bases[{j}]")
+                    lw.emit(f"if {base} is not None:")
+                    lw.emit(
+                        f"    out_buffers[{name!r}].store_region("
+                        f"{base}, {bv}.read_region({base}))"
+                    )
+            lines.extend(lw.lines)
+            consts.update(lw.consts)
+            buffer_refs[name] = bv
+        header = (
+            "def _group_kernel(regions, bases, buffers, out_buffers, pool):"
+        )
+        source = "\n".join([header] + lines) + "\n"
+        return (
+            source, consts, tuple(region_names), tuple(direct_stores),
+            tuple(sorted(inline_expr)),
+        )
+
+
+def compile_group_kernel(pipeline: Pipeline, geom) -> GroupKernel:
+    """Lower a whole fusion group to one generated kernel and compile it.
+
+    Raises :class:`repro.errors.KernelFuseError` (``KERNEL_FUSE_FAIL``)
+    for groups the fused compiler does not handle; callers degrade to
+    per-stage kernels.
+    """
+    stages = geom.stages
+    names = tuple(s.name for s in stages)
+    if len(stages) < 2:
+        raise KernelFuseError(
+            "single-stage group gains nothing from fusion",
+            reason="singleton",
+        )
+    for s in stages:
+        if isinstance(s, Reduction) or s.is_reduction:
+            raise KernelFuseError(
+                f"reduction stage {s.name!r} cannot be fused",
+                reason="reduction",
+            )
+    lowerer = _GroupLowerer(pipeline, geom)
+    try:
+        source, consts, region_names, direct_stores, inlined = (
+            lowerer.build()
+        )
+    except KernelFuseError:
+        raise
+    except KernelCompileError as exc:
+        raise KernelFuseError(
+            f"lowering group {list(names)} failed: {exc}",
+            reason="lowering",
+        ) from exc
+    except Exception as exc:
+        raise KernelFuseError(
+            f"lowering group {list(names)} failed: {exc}", reason="error"
+        ) from exc
+    namespace: Dict[str, object] = {
+        "np": np,
+        "isinstance": isinstance,
+        "tuple": tuple,
+        "KeyError": KeyError,
+        "Buffer": Buffer,
+        "make_index_grids": make_index_grids,
+    }
+    namespace.update(consts)
+    try:
+        code = compile(source, f"<fused:{'+'.join(names)}>", "exec")
+        exec(code, namespace)  # noqa: S102 - generated from a closed AST
+    except Exception as exc:
+        raise KernelFuseError(
+            f"generated source for group {list(names)} failed to "
+            f"compile: {exc}",
+            reason="exec",
+        ) from exc
+    return GroupKernel(
+        group_names=names,
+        region_names=region_names,
+        liveout_names=tuple(s.name for s in geom.liveouts),
+        inlined=inlined,
+        direct_stores=direct_stores,
+        source=source,
+        fn=namespace["_group_kernel"],
     )
 
 
@@ -704,6 +1360,74 @@ def stage_kernels(
     return out
 
 
+_GROUP_CACHE: "weakref.WeakKeyDictionary[Pipeline, Dict[frozenset, Optional[GroupKernel]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_group_kernel(pipeline: Pipeline, geom) -> Optional[GroupKernel]:
+    """The memoized fused kernel for a group (keyed by its member set).
+
+    Returns ``None`` (after one :class:`KernelFuseWarning` and a
+    ``repro_kernel_fuse_fail_total{reason}`` increment) for groups that
+    fail to fuse; the executor runs those on per-stage kernels.
+    """
+    per = _GROUP_CACHE.get(pipeline)
+    if per is None:
+        per = _GROUP_CACHE.setdefault(pipeline, {})
+    key = frozenset(s.name for s in geom.stages)
+    entry = per.get(key, _MISS)
+    if entry is not _MISS:
+        return entry  # type: ignore[return-value]
+    try:
+        kernel: Optional[GroupKernel] = compile_group_kernel(pipeline, geom)
+    except Exception as exc:  # noqa: BLE001 - downgraded to a warning
+        reason = getattr(exc, "reason", None) or (
+            "lowering" if isinstance(exc, KernelCompileError) else "error"
+        )
+        warnings.warn(
+            f"[KERNEL_FUSE_FAIL] group {sorted(key)} of pipeline "
+            f"{pipeline.name!r} falls back to per-stage kernels: {exc}",
+            KernelFuseWarning,
+            stacklevel=2,
+        )
+        if METRICS.enabled:
+            METRICS.inc("repro_kernel_fuse_fail_total", reason=reason)
+        kernel = None
+    per[key] = kernel
+    return kernel
+
+
+def warm_group_kernels(
+    pipeline: Pipeline,
+    groups: Sequence[Sequence[Function]],
+    enabled: Optional[bool] = None,
+    fuse: Optional[bool] = None,
+) -> Mapping[frozenset, GroupKernel]:
+    """Precompile the fused kernel of every multi-stage group.
+
+    Serve warm-up calls this before forking workers so fused kernels are
+    inherited compiled.  Returns the kernels that compiled, keyed by
+    member-name frozenset; empty when compilation or fusion is disabled.
+    """
+    if not (compilation_enabled(enabled) and fusion_enabled(fuse)):
+        return {}
+    from ..poly.alignscale import compute_group_geometry
+
+    out: Dict[frozenset, GroupKernel] = {}
+    for members in groups:
+        if len(members) < 2:
+            continue
+        geom = compute_group_geometry(pipeline, members)
+        if geom is None or len(geom.stages) < 2:
+            continue
+        kernel = get_group_kernel(pipeline, geom)
+        if kernel is not None:
+            out[frozenset(kernel.group_names)] = kernel
+    return out
+
+
 def clear_kernel_cache() -> None:
     """Drop every memoized kernel (tests and benchmarks)."""
     _CACHE.clear()
+    _GROUP_CACHE.clear()

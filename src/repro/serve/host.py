@@ -58,7 +58,7 @@ from ..obs.metrics import BATCH_SIZE_BUCKETS
 from ..pipelines import BENCHMARKS
 from ..planner import build_benchmark, make_inputs, plan_schedule
 from ..resilience import GuardPolicy, execute_guarded
-from ..runtime import shared_executor, stage_kernels
+from ..runtime import shared_executor, stage_kernels, warm_group_kernels
 from ..runtime.buffers import PoolGroup
 from .admission import AdmissionController
 from .batching import MicroBatchQueue, ServeRequest
@@ -93,6 +93,8 @@ class HostConfig:
     schedule_cache: Optional[str] = None
     #: compiled kernels at tier 0 (None: on unless REPRO_NO_COMPILE)
     compile_kernels: Optional[bool] = None
+    #: fused per-group kernels at tier 0 (None: on unless REPRO_NO_FUSE)
+    fuse_kernels: Optional[bool] = None
     #: consecutive degraded/failed requests before stepping down a tier
     degrade_after: int = 3
     #: consecutive clean requests before stepping back up a tier
@@ -210,6 +212,13 @@ class PipelineHost:
                 # Pre-compile every stage kernel now (memoized per
                 # (pipeline, stage)), so the first request pays nothing.
                 stage_kernels(pipe, enabled=self.config.compile_kernels)
+                # Fused group kernels too, so forked workers inherit
+                # them compiled rather than each paying the exec().
+                warm_group_kernels(
+                    pipe, grouping.groups,
+                    enabled=self.config.compile_kernels,
+                    fuse=self.config.fuse_kernels,
+                )
                 self.no_fusion_grouping = singleton_grouping(pipe)
                 self.pools = PoolGroup(self.config.pool_cap_bytes)
                 self.executor = shared_executor(self.config.threads)
@@ -267,6 +276,9 @@ class PipelineHost:
             tile_retries=self.config.tile_retries,
             degrade=True,
             compile_kernels=compile_kernels,
+            fuse_kernels=(
+                self.config.fuse_kernels if tier == 0 else False
+            ),
         )
         try:
             report = execute_guarded(

@@ -1,0 +1,268 @@
+"""Fused-group kernel tests: the fused tier (one generated kernel per
+group) must be bit-identical to the per-stage kernels and the reference
+interpreter for every benchmark pipeline, at awkward extents, and under
+100% fault injection; fusion failure must degrade to per-stage kernels
+with exactly one ``KERNEL_FUSE_FAIL`` warning."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.fusion import manual_grouping
+from repro.pipelines import BENCHMARKS
+from repro.poly.alignscale import compute_group_geometry
+from repro.resilience import GuardPolicy, execute_guarded, inject_faults
+from repro.runtime import (
+    KernelFuseWarning,
+    clear_kernel_cache,
+    execute_grouping,
+    execute_reference,
+    fusion_enabled,
+    get_group_kernel,
+    warm_group_kernels,
+)
+from repro.runtime import kernelcache as kc_mod
+
+from conftest import build_blur, build_updown, random_inputs
+
+
+def assert_bit_identical(ref, out):
+    assert set(ref) == set(out)
+    for k in sorted(ref):
+        assert ref[k].dtype == out[k].dtype, k
+        np.testing.assert_array_equal(ref[k], out[k], err_msg=k)
+
+
+def three_way(pipeline, grouping, inputs, nthreads=1):
+    """(fused, per-stage, interpreter) outputs of one grouping."""
+    fused = execute_grouping(pipeline, grouping, inputs, nthreads=nthreads)
+    staged = execute_grouping(pipeline, grouping, inputs,
+                              nthreads=nthreads, fuse_kernels=False)
+    interp = execute_grouping(pipeline, grouping, inputs,
+                              nthreads=nthreads, compile_kernels=False)
+    return fused, staged, interp
+
+
+def group_kernel_for(pipeline, members):
+    geom = compute_group_geometry(pipeline, members)
+    assert geom is not None
+    return get_group_kernel(pipeline, geom)
+
+
+# ---------------------------------------------------------------------------
+# bit-identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_benchmarks_bit_identical(abbrev):
+    """Fused == per-stage == interpreter, exactly, on every registered
+    benchmark at its paper (manual) grouping."""
+    bench = BENCHMARKS[abbrev]
+    pipe = bench.build(**bench.small_kwargs)
+    rng = np.random.default_rng(11)
+    inputs = random_inputs(pipe, rng)
+    grouping = bench.h_manual(pipe)
+    fused, staged, interp = three_way(pipe, grouping, inputs, nthreads=2)
+    assert_bit_identical(interp, staged)
+    assert_bit_identical(interp, fused)
+
+
+@pytest.mark.parametrize("tiles", [[3, 32, 32], [2, 13, 29], [1, 1, 1],
+                                   [64, 4096, 4096]])
+def test_blur_awkward_tiles(tiles):
+    """Tile sizes that do not divide the extent, tiles narrower than the
+    stencil overlap, and tiles wider than the whole domain."""
+    pipe = build_blur(rows=46, cols=62)
+    inputs = random_inputs(pipe, np.random.default_rng(3))
+    g = manual_grouping(pipe, [["blurx", "blury"]], [tiles])
+    fused, staged, interp = three_way(pipe, g, inputs)
+    assert_bit_identical(interp, staged)
+    assert_bit_identical(interp, fused)
+
+
+@pytest.mark.parametrize("tiles", [[17], [1], [64], [200]])
+def test_updown_awkward_tiles(tiles):
+    """Sampled (scale != 1) chains with inlining at awkward tiles."""
+    pipe = build_updown(n=120)
+    inputs = random_inputs(pipe, np.random.default_rng(4))
+    g = manual_grouping(pipe, [["fine", "down", "up"]], [tiles])
+    fused, staged, interp = three_way(pipe, g, inputs)
+    assert_bit_identical(interp, staged)
+    assert_bit_identical(interp, fused)
+
+
+def test_parallel_execution_bit_identical():
+    pipe = build_blur(rows=46, cols=62)
+    inputs = random_inputs(pipe, np.random.default_rng(5))
+    g = manual_grouping(pipe, [["blurx", "blury"]], [[2, 13, 29]])
+    serial = execute_grouping(pipe, g, inputs)
+    parallel = execute_grouping(pipe, g, inputs, nthreads=4)
+    assert_bit_identical(serial, parallel)
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("abbrev", sorted(BENCHMARKS))
+def test_full_tile_faults_still_bit_identical(abbrev):
+    """100% tile failure forces the reference fallback in both the fused
+    and the per-stage configuration; output stays identical to the
+    interpreter either way."""
+    bench = BENCHMARKS[abbrev]
+    pipe = bench.build(**bench.small_kwargs)
+    inputs = random_inputs(pipe, np.random.default_rng(12))
+    grouping = bench.h_manual(pipe)
+    ref = execute_reference(pipe, inputs)
+    for fuse in (None, False):
+        with inject_faults(seed=9, tile=1.0):
+            report = execute_guarded(
+                pipe, grouping, inputs, nthreads=2,
+                policy=GuardPolicy(tile_retries=1, degrade=True,
+                                   fuse_kernels=fuse),
+            )
+        assert not any(o.mode == "tiled" for o in report.outcomes)
+        assert_bit_identical(ref, report.outputs)
+
+
+def test_retry_after_partial_faults_bit_identical():
+    """A fused tile that fails retries exactly like a per-stage tile and
+    converges to the same bits."""
+    pipe = build_blur(rows=46, cols=62)
+    inputs = random_inputs(pipe, np.random.default_rng(13))
+    g = manual_grouping(pipe, [["blurx", "blury"]], [[3, 16, 16]])
+    ref = execute_grouping(pipe, g, inputs, compile_kernels=False)
+    with inject_faults(seed=21, tile=0.5):
+        out = execute_grouping(pipe, g, inputs, tile_retries=4)
+    assert_bit_identical(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# degradation ladder
+# ---------------------------------------------------------------------------
+
+
+def test_fuse_failure_degrades_to_per_stage_kernels(monkeypatch):
+    """A group whose fusion fails runs on per-stage compiled kernels (not
+    the interpreter), warns KERNEL_FUSE_FAIL exactly once, and stays
+    silent on subsequent executions (memoized failure)."""
+    clear_kernel_cache()
+    pipe = build_blur(rows=46, cols=62)
+    inputs = random_inputs(pipe, np.random.default_rng(6))
+    g = manual_grouping(pipe, [["blurx", "blury"]], [[3, 16, 16]])
+    ref = execute_grouping(pipe, g, inputs, compile_kernels=False)
+
+    def boom(pipeline, geom):
+        raise kc_mod.KernelFuseError("synthetic failure", reason="error")
+
+    monkeypatch.setattr(kc_mod, "compile_group_kernel", boom)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = execute_grouping(pipe, g, inputs)
+    fuse_warnings = [w for w in caught
+                     if issubclass(w.category, KernelFuseWarning)]
+    assert len(fuse_warnings) == 1
+    assert "KERNEL_FUSE_FAIL" in str(fuse_warnings[0].message)
+    assert_bit_identical(ref, out)
+
+    # memoized: the second run does not warn again
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out2 = execute_grouping(pipe, g, inputs)
+    assert not [w for w in caught
+                if issubclass(w.category, KernelFuseWarning)]
+    assert_bit_identical(ref, out2)
+    clear_kernel_cache()
+
+
+def test_no_fuse_knobs(monkeypatch):
+    """The three-way A/B: GuardPolicy/argument override beats the
+    REPRO_NO_FUSE env knob, which beats the on-by-default."""
+    monkeypatch.delenv("REPRO_NO_FUSE", raising=False)
+    assert fusion_enabled() is True
+    assert fusion_enabled(False) is False
+    monkeypatch.setenv("REPRO_NO_FUSE", "1")
+    assert fusion_enabled() is False
+    assert fusion_enabled(True) is True
+
+    pipe = build_blur(rows=46, cols=62)
+    inputs = random_inputs(pipe, np.random.default_rng(7))
+    g = manual_grouping(pipe, [["blurx", "blury"]], [[3, 16, 16]])
+    ref = execute_grouping(pipe, g, inputs, compile_kernels=False)
+    out = execute_grouping(pipe, g, inputs)  # env-disabled fusion
+    assert_bit_identical(ref, out)
+
+
+# ---------------------------------------------------------------------------
+# compilation decisions
+# ---------------------------------------------------------------------------
+
+
+def test_blur_materializes_blurx_and_stores_direct():
+    """blurx feeds 3 taps of blury: above the multi-use inline budget, so
+    it goes through scratch; blury (radius 0, scale 1 liveout) is written
+    straight into the output buffer."""
+    pipe = build_blur(rows=46, cols=62)
+    gk = group_kernel_for(pipe, [s for s in pipe.stages])
+    assert gk is not None
+    assert "blurx" not in gk.inlined
+    assert "blurx" in gk.region_names
+    assert gk.liveout_names == ("blury",)
+    assert "blury" in gk.direct_stores
+
+
+def test_updown_inlines_fine():
+    """fine is a 2-op pointwise producer read twice by down: inlined, so
+    the fused kernel never materializes it."""
+    pipe = build_updown(n=120)
+    gk = group_kernel_for(pipe, [s for s in pipe.stages])
+    assert gk is not None
+    assert "fine" in gk.inlined
+    assert "fine" not in gk.region_names
+
+
+def test_generated_source_is_inspectable():
+    pipe = build_blur(rows=46, cols=62)
+    gk = group_kernel_for(pipe, [s for s in pipe.stages])
+    assert "def _group_kernel" in gk.source
+    assert "blurx" in gk.source
+
+
+# ---------------------------------------------------------------------------
+# serving
+# ---------------------------------------------------------------------------
+
+
+def test_warm_group_kernels_compiles_multistage_groups():
+    pipe = build_blur(rows=46, cols=62)
+    g = manual_grouping(pipe, [["blurx", "blury"]], [[3, 16, 16]])
+    warmed = warm_group_kernels(pipe, g.groups)
+    assert frozenset({"blurx", "blury"}) in {
+        frozenset(k) for k in warmed
+    }
+    assert warm_group_kernels(pipe, g.groups, fuse=False) == {}
+    assert warm_group_kernels(pipe, g.groups, enabled=False) == {}
+
+
+def test_host_fused_vs_unfused_bit_identical():
+    """A warm host with fusion on serves the same bits as one with
+    fusion off (per-stage kernels only)."""
+    from repro.planner import make_inputs
+    from repro.serve import HostConfig
+    from repro.serve.host import PipelineHost
+
+    inputs = None
+    outs = {}
+    for fuse in (None, False):
+        host = PipelineHost("UM", HostConfig(
+            scale=0.05, threads=2, fuse_kernels=fuse,
+        )).warm()
+        if inputs is None:
+            inputs = make_inputs(host.pipeline, 123)
+        outputs, report, tier = host.execute(inputs)
+        assert tier == "compiled"
+        outs[fuse] = outputs
+    assert_bit_identical(outs[False], outs[None])

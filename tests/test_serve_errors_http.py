@@ -36,6 +36,7 @@ _DELIBERATE_500 = {
     "SCHEDULE_FORMAT",
     "SCHEDULE_STALE",
     "KERNEL_COMPILE_FAIL",
+    "KERNEL_FUSE_FAIL",
     "FAULT_INJECTED",
     "SERVE",  # bare base class: never raised with a specific meaning
 }
