@@ -1,4 +1,4 @@
-"""Per-tile executor overhead: interpreted vs per-stage vs fused kernels.
+"""Per-tile executor overhead: interpreted vs per-stage vs fused vs reuse.
 
 The paper's cost model reasons about locality and parallelism, but a
 Python interpreter that re-walks each stage's expression tree per tile
@@ -8,17 +8,21 @@ benchmark measures that overhead directly: every registered benchmark
 pipeline is executed on its H-manual grouping with tile sizes clamped
 small (so the tile count is high and per-tile dispatch dominates), with
 ``compile_kernels=False`` (interpreter), with per-stage kernels
-(``fuse_kernels=False``), and with the fused per-group kernels, on one
-thread.  Reported per pipeline: total wall time, tile count, per-tile
-microseconds for all three modes, the compiled-vs-interpreted speedup,
-and the fused-vs-per-stage speedup.  The per-stage compiled path is then
-re-run at each ``--threads`` count (default 1/2/4) to record the chunked
-tile scheduler's parallel scaling and efficiency.
+(``fuse_kernels=False``), with the fused per-group kernels, and with
+fused kernels plus inter-tile halo reuse, on one thread.  Reported per
+pipeline: total wall time, tile count, per-tile microseconds for all four
+modes, the compiled-vs-interpreted, fused-vs-per-stage and
+reuse-vs-fused speedups, and the model-predicted
+``overlap_recompute_fraction`` (the redundant-work share reuse can
+claim).  The per-stage compiled path is then re-run at each ``--threads``
+count (default 1/2/4) to record the chunked tile scheduler's parallel
+scaling and efficiency.
 
 Results land in ``BENCH_executor.json`` (see ``--output``) — the repo's
 executor-performance trajectory, stamped with the machine's
 ``cpu_count``.  ``--check`` exits nonzero when compiled execution is
-slower than interpreted, fused is slower than per-stage, or any output
+slower than interpreted, fused is slower than per-stage, halo reuse is
+slower than fused (per pipeline or by geomean), or any output
 mismatches — which is how CI smoke-tests the fast path.
 
 Usage::
@@ -108,6 +112,7 @@ def _time_mode(pipe, grouping, inputs, compile_kernels: bool,
     out = execute_grouping(
         pipe, grouping, inputs, nthreads=nthreads,
         compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
+        halo_reuse=False,
     )
     best = float("inf")
     for _ in range(repeats):
@@ -115,9 +120,60 @@ def _time_mode(pipe, grouping, inputs, compile_kernels: bool,
         out = execute_grouping(
             pipe, grouping, inputs, nthreads=nthreads,
             compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
+            halo_reuse=False,
         )
         best = min(best, time.perf_counter() - start)
     return best, out
+
+
+def _time_reuse_pair(pipe, grouping, inputs, repeats: int,
+                     ) -> Tuple[float, float, Dict[str, np.ndarray]]:
+    """Interleaved fused-vs-reuse timing: the two modes alternate
+    round-robin within each repeat so machine-load drift hits both
+    equally (sequential best-of-N on a shared CI box routinely shows
+    10-20%% phantom deltas between identical code paths).  Returns
+    ``(fused_best, reuse_best, reuse_outputs)``."""
+    best = [float("inf"), float("inf")]
+    out_r: Dict[str, np.ndarray] = {}
+    for reuse in (False, True):  # warmup both modes
+        execute_grouping(
+            pipe, grouping, inputs, nthreads=1,
+            compile_kernels=True, fuse_kernels=True, halo_reuse=reuse,
+        )
+    for _ in range(max(repeats, 3)):
+        for k, reuse in enumerate((False, True)):
+            start = time.perf_counter()
+            out = execute_grouping(
+                pipe, grouping, inputs, nthreads=1,
+                compile_kernels=True, fuse_kernels=True, halo_reuse=reuse,
+            )
+            elapsed = time.perf_counter() - start
+            if elapsed < best[k]:
+                best[k] = elapsed
+            if reuse:
+                out_r = out
+    return best[0], best[1], out_r
+
+
+def _overlap_recompute_fraction(pipe, grouping: Grouping) -> float:
+    """Model-predicted redundant-work share of the grouping: overlap
+    points over total computed points, summed over every tiled group at
+    its (clamped) tile shape — the share of execution halo reuse can
+    claim back, recorded next to what it actually delivered."""
+    from repro.poly.overlap import overlap_size, tile_volume
+
+    ovl_total = 0.0
+    vol_total = 0.0
+    for members, tiles in zip(grouping.groups, grouping.tile_sizes):
+        geom = compute_group_geometry(pipe, members)
+        if geom is None or not tiles or len(tiles) != geom.ndim:
+            continue
+        n = 1
+        for (lo, hi), t in zip(geom.grid_bounds, tiles):
+            n *= -(-(hi - lo + 1) // t)
+        ovl_total += overlap_size(geom, tiles) * n
+        vol_total += tile_volume(geom, tiles) * n
+    return ovl_total / vol_total if vol_total else 0.0
 
 
 def run(abbrevs: List[str], repeats: int,
@@ -140,6 +196,11 @@ def run(abbrevs: List[str], repeats: int,
         t_compiled, out_c = _time_mode(pipe, grouping, inputs, True, repeats)
         t_fused, out_f = _time_mode(pipe, grouping, inputs, True, repeats,
                                     fuse_kernels=True)
+        # Fourth mode: fused kernels + inter-tile halo reuse, timed
+        # interleaved against a fused re-run so the ratio is drift-free.
+        t_fused_ab, t_reuse, out_r = _time_reuse_pair(
+            pipe, grouping, inputs, repeats
+        )
 
         # Thread sweep on the per-stage compiled path: parallel
         # efficiency of the chunked tile scheduler, normalized to its
@@ -165,7 +226,11 @@ def run(abbrevs: List[str], repeats: int,
         ) and all(
             # the fused tier must be bit-identical to the per-stage tier
             np.array_equal(out_c[k], out_f[k]) for k in out_c
+        ) and all(
+            # halo reuse must be bit-identical to the full-halo path
+            np.array_equal(out_f[k], out_r[k]) for k in out_f
         )
+        reuse_speedup = t_fused_ab / t_reuse
         rec = {
             "pipeline": ab,
             "name": bench.name,
@@ -175,11 +240,17 @@ def run(abbrevs: List[str], repeats: int,
             "interpreted_s": round(t_interp, 6),
             "compiled_s": round(t_compiled, 6),
             "fused_s": round(t_fused, 6),
+            "reuse_s": round(t_reuse, 6),
             "interpreted_us_per_tile": round(t_interp / n_tiles * 1e6, 2),
             "compiled_us_per_tile": round(t_compiled / n_tiles * 1e6, 2),
             "fused_us_per_tile": round(t_fused / n_tiles * 1e6, 2),
+            "reuse_us_per_tile": round(t_reuse / n_tiles * 1e6, 2),
             "speedup": round(t_interp / t_compiled, 3),
             "fused_speedup": round(t_compiled / t_fused, 3),
+            "reuse_speedup": round(reuse_speedup, 3),
+            "overlap_recompute_fraction": round(
+                _overlap_recompute_fraction(pipe, grouping), 4
+            ),
             "outputs_match": bool(matches),
             "threads": sweep,
         }
@@ -192,8 +263,11 @@ def run(abbrevs: List[str], repeats: int,
             f"interp {rec['interpreted_us_per_tile']:>8.1f} us/tile  "
             f"compiled {rec['compiled_us_per_tile']:>8.1f} us/tile  "
             f"fused {rec['fused_us_per_tile']:>8.1f} us/tile  "
+            f"reuse {rec['reuse_us_per_tile']:>8.1f} us/tile  "
             f"speedup {rec['speedup']:>6.2f}x  "
             f"fused {rec['fused_speedup']:>5.2f}x  "
+            f"reuse {rec['reuse_speedup']:>5.2f}x  "
+            f"ovl {rec['overlap_recompute_fraction']:.3f}  "
             f"{'OK' if matches else 'MISMATCH'}  [{scaling}]"
         )
     return records
@@ -223,17 +297,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     fused_geomean = float(np.exp(np.mean(
         [np.log(max(r["fused_speedup"], 1e-9)) for r in fusable]
     ))) if fusable else 1.0
+    reuse_geomean = float(np.exp(np.mean(
+        [np.log(max(r["reuse_speedup"], 1e-9)) for r in records]
+    ))) if records else 1.0
     payload = {
         "benchmark": "executor_overhead",
-        "description": "interpreted vs per-stage vs fused per-tile cost "
-                       "(1 thread) plus a compiled-path thread-scaling "
-                       "sweep, H-manual grouping with tiles "
-                       f"clamped to {MAX_TILE}",
+        "description": "interpreted vs per-stage vs fused vs fused+halo-"
+                       "reuse per-tile cost (1 thread) plus a "
+                       "compiled-path thread-scaling sweep, H-manual "
+                       f"grouping with tiles clamped to {MAX_TILE}",
         "max_tile": MAX_TILE,
         "repeats": args.repeats,
         "threads": args.threads,
         "cpu_count": os.cpu_count(),
         "fused_speedup_geomean": round(fused_geomean, 3),
+        "reuse_speedup_geomean": round(reuse_geomean, 3),
         "results": records,
     }
     with open(args.output, "w") as fh:
@@ -242,20 +320,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.output}")
     print(f"fused-vs-per-stage geomean {fused_geomean:.2f}x "
           f"({len(fusable)}/{len(records)} pipelines with fused groups)")
+    print(f"reuse-vs-fused geomean {reuse_geomean:.2f}x "
+          f"({len(records)} pipelines)")
 
     if args.check:
         bad = [
             r["pipeline"] for r in records
             if r["speedup"] < 1.0
             or (r["fused_groups"] and r["fused_speedup"] < 1.0)
+            or r["reuse_speedup"] < 1.0
             or not r["outputs_match"]
         ]
-        if bad:
+        if bad or reuse_geomean <= 1.0:
             print(f"FAIL: compiled slower than interpreted, fused slower "
-                  f"than per-stage, or outputs mismatched on {bad}")
+                  f"than per-stage, reuse slower than fused "
+                  f"(geomean {reuse_geomean:.3f}x), or outputs "
+                  f"mismatched on {bad}")
             return 1
-        print("PASS: compiled >= interpreted and fused >= per-stage on "
-              "all measured pipelines")
+        print("PASS: compiled >= interpreted, fused >= per-stage and "
+              "reuse >= fused on all measured pipelines "
+              f"(reuse geomean {reuse_geomean:.2f}x)")
     return 0
 
 

@@ -166,11 +166,13 @@ def cmd_run(args) -> int:
 
     compile_kernels = False if args.no_compile else None
     fuse_kernels = False if args.no_fuse else None
+    halo_reuse = False if args.no_reuse else None
     start = time.perf_counter()
     if args.strict:
         out = execute_grouping(
             pipe, grouping, inputs, nthreads=args.threads,
             compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
+            halo_reuse=halo_reuse,
         )
     else:
         exec_report = execute_guarded(
@@ -179,6 +181,7 @@ def cmd_run(args) -> int:
                 tile_retries=1, degrade=True,
                 compile_kernels=compile_kernels,
                 fuse_kernels=fuse_kernels,
+                halo_reuse=halo_reuse,
             ),
         )
         out = exec_report.outputs
@@ -440,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable fused per-group kernels, keeping "
                         "per-stage compiled kernels (A/B timing; the "
                         "REPRO_NO_FUSE env var does the same)")
+    p.add_argument("--no-reuse", action="store_true",
+                   help="disable inter-tile halo reuse, recomputing the "
+                        "full expanded region per tile (A/B timing; the "
+                        "REPRO_NO_REUSE env var does the same)")
     p.add_argument("--digest", action="store_true",
                    help="print a 'digest <name> <sha256>' line per output "
                         "(bit-identity checks against the serve layer)")

@@ -39,7 +39,7 @@ from ..poly.footprint import (
     liveout_tile_size,
     liveouts_size,
 )
-from ..poly.overlap import overlap_size, tile_volume
+from ..poly.overlap import overlap_size, overlap_size_chunked, tile_volume
 from ..poly.reuse import dimensional_reuse
 from ..profiling import PROFILE
 from .machine import Machine
@@ -105,8 +105,18 @@ def _cost_for_cache_size(
     cache_size: int,
     ncores: int,
     weights: CostWeights,
+    halo_reuse: bool = False,
 ) -> Tuple[float, Tuple[int, ...], float, Dict[str, float]]:
-    """``COSTFORCACHESIZE``: cost and tile sizes for one cache level."""
+    """``COSTFORCACHESIZE``: cost and tile sizes for one cache level.
+
+    With ``halo_reuse`` the redundant-computation criterion prices the
+    executor's halo-reuse mode — only the first tile of a run of adjacent
+    tiles pays the carry-dimension overlap
+    (:func:`~repro.poly.overlap.overlap_size_chunked`) — so tile-shape
+    decisions driven by the overlap term (notably the L1→L2 fallback)
+    re-optimise for the reuse regime.  Off by default: the shipped
+    schedules stay bit-identical to the pre-reuse model.
+    """
     liveout_total = liveouts_size(pipeline, geom)
     total_footprint = intermediate_buffers_size(pipeline, geom) + liveout_total
     tile_footprint = min(total_footprint / ncores, float(cache_size))
@@ -124,7 +134,11 @@ def _cost_for_cache_size(
     liveout_t = liveout_tile_size(pipeline, geom, tile_sizes)
     comp_vol = tile_volume(geom, tile_sizes)
     n_tiles = _num_tiles(geom, tile_sizes)
-    ovl = overlap_size(geom, tile_sizes)
+    ovl = (
+        overlap_size_chunked(geom, tile_sizes)
+        if halo_reuse
+        else overlap_size(geom, tile_sizes)
+    )
 
     # Actual resident working set of the chosen tiles: the largest single
     # stage tile (the producer-pass-to-consumer-pass reuse distance).
@@ -183,12 +197,15 @@ def group_cost(
     machine: Machine,
     ncores: Optional[int] = None,
     weights: Optional[CostWeights] = None,
+    halo_reuse: bool = False,
 ) -> GroupCost:
     """``COST(H)`` — Algorithm 2's top-level entry.
 
     Evaluates the L1 footprint first and falls back to L2 when the L1 tile
     would spend more than half its computation on overlap (the paper's
-    "overlap size exceeds the tile volume" condition).
+    "overlap size exceeds the tile volume" condition).  ``halo_reuse``
+    prices the executor's halo-reuse mode (chunk-amortised overlap) — off
+    by default so schedules are unchanged.
     """
     ncores = ncores or machine.num_cores
     weights = weights or machine.weights
@@ -197,7 +214,8 @@ def group_cost(
         return GroupCost(cost=INFINITE_COST, tile_sizes=(), geom=None)
 
     cost, tiles, ovl, details = _cost_for_cache_size(
-        pipeline, geom, machine, machine.l1_cache, ncores, weights
+        pipeline, geom, machine, machine.l1_cache, ncores, weights,
+        halo_reuse=halo_reuse,
     )
     level = "L1"
     comp_vol = details["comp_vol"]
@@ -206,7 +224,8 @@ def group_cost(
     # fit in L1 (the innermost pin overrode the budget).
     if ovl > comp_vol - ovl or details["resident"] > machine.l1_cache:
         cost, tiles, ovl, details = _cost_for_cache_size(
-            pipeline, geom, machine, machine.l2_cache, ncores, weights
+            pipeline, geom, machine, machine.l2_cache, ncores, weights,
+            halo_reuse=halo_reuse,
         )
         level = "L2"
     return GroupCost(
@@ -231,11 +250,13 @@ class CostModel:
         machine: Machine,
         ncores: Optional[int] = None,
         weights: Optional[CostWeights] = None,
+        halo_reuse: bool = False,
     ):
         self.pipeline = pipeline
         self.machine = machine
         self.ncores = ncores or machine.num_cores
         self.weights = weights or machine.weights
+        self.halo_reuse = halo_reuse
         self._bit: Dict[Function, int] = {
             s: 1 << i for i, s in enumerate(pipeline.stages)
         }
@@ -258,7 +279,8 @@ class CostModel:
         self.evaluations += 1
         t0 = time.perf_counter() if PROFILE.enabled else 0.0
         result = group_cost(
-            self.pipeline, key, self.machine, self.ncores, self.weights
+            self.pipeline, key, self.machine, self.ncores, self.weights,
+            halo_reuse=self.halo_reuse,
         )
         if PROFILE.enabled:
             PROFILE.add_time("cost_eval", time.perf_counter() - t0)

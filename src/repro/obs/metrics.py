@@ -77,6 +77,15 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
     "repro_kernel_fuse_fail_total": (
         "counter", "Groups whose fused-kernel compilation failed and "
                    "fell back to per-stage kernels, labelled by reason"),
+    "repro_halo_reuse_tiles_total": (
+        "counter", "Tiles that reused a carried row window instead of "
+                   "recomputing their expanded region"),
+    "repro_halo_reuse_saved_points_total": (
+        "counter", "Iteration points halo reuse skipped recomputing "
+                   "(carried-window points served to adjacent tiles)"),
+    "repro_halo_reuse_invalidations_total": (
+        "counter", "Carried windows dropped after a failed tile attempt "
+                   "(the retry recomputes fresh windows)"),
     "repro_pool_acquires_total": (
         "counter", "Scratch-array acquisitions from a BufferPool "
                    "(result=reused|allocated)"),

@@ -21,7 +21,13 @@ from .footprint import (
     liveout_tile_size,
     liveouts_size,
 )
-from .overlap import overlap_size, stage_tile_extents, tile_volume
+from .overlap import (
+    overlap_size,
+    overlap_size_chunked,
+    reuse_carry_dim,
+    stage_tile_extents,
+    tile_volume,
+)
 from .reuse import dimensional_reuse
 
 __all__ = [
@@ -36,6 +42,8 @@ __all__ = [
     "dependence_vector_bounds",
     "max_dependence_radius",
     "overlap_size",
+    "overlap_size_chunked",
+    "reuse_carry_dim",
     "tile_volume",
     "stage_tile_extents",
     "dimensional_reuse",

@@ -236,6 +236,10 @@ class GroupGeometry:
         self._density_float_cache: Dict[Function, float] = {}
         self._density_mult_cache: Optional[Tuple[int, Dict[Function, int]]] = None
         self._tile_ext_cache: Dict[tuple, Tuple[int, ...]] = {}
+        # per-(stage, radii) region plans, filled by the executor's
+        # _stage_plan so hot fallback paths (guard reference re-run,
+        # cache simulator) stop rebuilding plans per call
+        self._stage_plan_cache: Dict[tuple, list] = {}
 
     def _set_scaled_bounds(
         self, cache: Dict[Function, Tuple[Tuple[int, int], ...]]

@@ -20,7 +20,13 @@ from typing import Dict, Sequence, Tuple
 from ..dsl.function import Function
 from .alignscale import GroupGeometry
 
-__all__ = ["overlap_size", "tile_volume", "stage_tile_extents"]
+__all__ = [
+    "overlap_size",
+    "overlap_size_chunked",
+    "tile_volume",
+    "stage_tile_extents",
+    "reuse_carry_dim",
+]
 
 
 def _clamped_extent(tile: int, left: int, right: int, dim_extent: int) -> int:
@@ -95,3 +101,76 @@ def overlap_size(geom: GroupGeometry, tile_sizes: Sequence[int]) -> float:
             base *= min(tile_sizes[g], extents[g])
         total += mult[stage] * (expanded - base)
     return total / common
+
+
+def reuse_carry_dim(geom: GroupGeometry, tile_sizes: Sequence[int]) -> int:
+    """The grid dimension the halo-reuse executor carries windows along
+    for this group and tile shape, or ``-1`` when reuse cannot engage
+    (single-tile grid): the first dimension with more than one tile and a
+    stage halo, falling back to the first dimension with more than one
+    tile — mirroring the executor's choice so model-side discounts price
+    the execution that will actually happen."""
+    radii = geom.expansion_radii()
+    extents = geom.grid_extents
+    fallback = -1
+    for g in range(geom.ndim):
+        if tile_sizes[g] >= extents[g]:
+            continue
+        if fallback < 0:
+            fallback = g
+        if any(radii[s][g][0] + radii[s][g][1] > 0 for s in geom.stages):
+            return g
+    return fallback
+
+
+def overlap_size_chunked(
+    geom: GroupGeometry,
+    tile_sizes: Sequence[int],
+    run_len: int = 0,
+) -> float:
+    """Amortised redundant computation per tile under halo reuse.
+
+    With inter-tile halo reuse, a run of ``run_len`` adjacent tiles along
+    the carry dimension computes each stage once over the *union* of its
+    expanded regions: along the carry dimension the union spans
+    ``run_len * tile + left + right`` points instead of
+    ``run_len * (tile + left + right)``, so the carry-dimension halo is
+    paid once per run rather than once per tile.  Overlap along the other
+    dimensions is still paid per run (rows do not chain).  ``run_len`` of
+    ``0`` (the default) means a full row — the single-thread chunking the
+    executor produces; ``1`` degenerates to :func:`overlap_size` exactly.
+    Groups where reuse cannot engage also fall back to
+    :func:`overlap_size`.
+    """
+    if len(tile_sizes) != geom.ndim:
+        raise ValueError(
+            f"expected {geom.ndim} tile sizes, got {len(tile_sizes)}"
+        )
+    cdim = reuse_carry_dim(geom, tile_sizes)
+    if cdim < 0:
+        return overlap_size(geom, tile_sizes)
+    extents = geom.grid_extents
+    n_row = -(-extents[cdim] // tile_sizes[cdim])
+    run = n_row if run_len <= 0 else min(run_len, n_row)
+    if run <= 1:
+        return overlap_size(geom, tile_sizes)
+    radii = geom.expansion_radii()
+    common, mult = geom.density_multipliers()
+    total = 0
+    for stage in geom.stages:
+        ext = stage_tile_extents(geom, tile_sizes, stage)
+        left, right = radii[stage][cdim]
+        run_ext = _clamped_extent(
+            run * tile_sizes[cdim], left, right, extents[cdim]
+        )
+        expanded = run_ext  # per-run extent along the carry dim
+        base = min(run * tile_sizes[cdim], extents[cdim])
+        for g in range(geom.ndim):
+            if g == cdim:
+                continue
+            expanded *= ext[g]
+            base *= min(tile_sizes[g], extents[g])
+        total += mult[stage] * (expanded - base)
+    # ``total`` is the redundant volume of one whole run; amortise it
+    # back to the per-tile quantity Algorithm 2 expects.
+    return total / (common * run)

@@ -96,6 +96,10 @@ class GuardPolicy:
     #: unless the ``REPRO_NO_FUSE`` env knob disables them; ``False``:
     #: per-stage kernels only, the CLI's ``--no-fuse``)
     fuse_kernels: Optional[bool] = None
+    #: carry computed stage windows between adjacent tiles of a chunk
+    #: (``None``: on unless the ``REPRO_NO_REUSE`` env knob disables it;
+    #: ``False``: full per-tile recompute, the CLI's ``--no-reuse``)
+    halo_reuse: Optional[bool] = None
 
 
 @dataclass
@@ -333,6 +337,7 @@ def execute_guarded(
                         group_index=gi, tile_retries=policy.tile_retries,
                         kernels=kernels, executor=executor, pools=pools,
                         fuse_kernels=policy.fuse_kernels,
+                        halo_reuse=policy.halo_reuse,
                     )
                 except Exception as exc:  # noqa: BLE001 - rewrapped below
                     if not policy.degrade:

@@ -7,6 +7,7 @@ from .evalexpr import evaluate_cases, evaluate_expr, make_index_grids
 from .executor import (
     execute_grouping,
     execute_reference,
+    halo_reuse_enabled,
     reset_shared_executors_after_fork,
     shared_executor,
     shutdown_shared_executors,
@@ -35,6 +36,7 @@ __all__ = [
     "make_index_grids",
     "execute_reference",
     "execute_grouping",
+    "halo_reuse_enabled",
     "shared_executor",
     "shutdown_shared_executors",
     "reset_shared_executors_after_fork",

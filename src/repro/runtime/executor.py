@@ -23,6 +23,7 @@ and scheduling strategy.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -57,10 +58,29 @@ from .kernelcache import (
 __all__ = [
     "execute_reference",
     "execute_grouping",
+    "halo_reuse_enabled",
     "shared_executor",
     "shutdown_shared_executors",
     "reset_shared_executors_after_fork",
 ]
+
+
+def halo_reuse_enabled(override: Optional[bool] = None) -> bool:
+    """Whether inter-tile halo reuse is enabled.
+
+    ``override`` (from an API argument or the CLI's ``--no-reuse``) wins;
+    otherwise the ``REPRO_NO_REUSE`` environment variable turns reuse off
+    when set to ``1``/``true``/``yes``/``on``.  With reuse on, each worker
+    chunk carries the computed window of every materialised stage from one
+    tile to the next adjacent tile and recomputes only the strip the
+    previous tile's expanded region did not cover — the redundant-overlap
+    work the cost model charges per tile (``OVERLAPSIZE``) is then paid
+    only once per run of adjacent tiles.
+    """
+    if override is not None:
+        return bool(override)
+    knob = os.environ.get("REPRO_NO_REUSE", "").strip().lower()
+    return knob not in ("1", "true", "yes", "on")
 
 #: Rows of the outermost reduction dimension processed per chunk, bounding
 #: the temporary index arrays a reduction materialises.
@@ -307,20 +327,38 @@ def execute_reference(
 # ---------------------------------------------------------------------------
 
 
-def _chunk_tiles(tiles: List, nthreads: int) -> List[List]:
+def _chunk_tiles(
+    tiles: List, nthreads: int, row_len: Optional[int] = None
+) -> List[List]:
     """Partition ``tiles`` into contiguous chunks for the thread pool.
 
     Chunk count is ``min(len(tiles), _CHUNKS_PER_WORKER * nthreads)`` and
     chunk sizes differ by at most one tile, so the cleanup-wave imbalance
     stays within the single-wave bound :mod:`repro.model.cost` assumes.
     Serial execution gets one chunk (no scheduling at all).
+
+    ``row_len`` (the number of tiles along the innermost grid dimension)
+    snaps chunk boundaries to row starts when there are at least as many
+    rows as chunks: a boundary mid-row splits a run of adjacent tiles,
+    which costs the halo-reuse path one full-window recompute per split.
+    Row-aligned chunk sizes differ by at most one row, which keeps the
+    imbalance within the same single-wave bound.
     """
     if nthreads <= 1 or len(tiles) <= 1:
         return [tiles]
     target = min(len(tiles), _CHUNKS_PER_WORKER * nthreads)
-    base, extra = divmod(len(tiles), target)
     chunks: List[List] = []
     start = 0
+    if row_len and row_len > 1 and len(tiles) % row_len == 0:
+        rows = len(tiles) // row_len
+        if rows >= target:
+            base, extra = divmod(rows, target)
+            for i in range(target):
+                size = (base + (1 if i < extra else 0)) * row_len
+                chunks.append(tiles[start:start + size])
+                start += size
+            return chunks
+    base, extra = divmod(len(tiles), target)
     for i in range(target):
         size = base + (1 if i < extra else 0)
         chunks.append(tiles[start:start + size])
@@ -333,9 +371,19 @@ def _stage_plan(
 ) -> List[Tuple[int, int, int, int, int, int, int]]:
     """Per-dimension region coefficients for ``stage``, flattened out of
     the geometry's ``Function``-keyed maps so the tile loop touches only
-    plain integers: ``(g, num, den, left, right, dom_lo, dom_hi)``."""
-    dom = pipeline.domain(stage)
+    plain integers: ``(g, num, den, left, right, dom_lo, dom_hi)``.
+
+    Memoised per ``(stage, radii)`` on the geometry (geometries are
+    themselves memoised per member set), so hot repeat callers — the
+    guard's reference re-execution, the cache simulator, the serve layer
+    re-running a warm plan — stop rebuilding the plan per call.
+    """
     rad = radii[stage]
+    key = (stage, tuple(rad))
+    hit = geom._stage_plan_cache.get(key)
+    if hit is not None:
+        return hit
+    dom = pipeline.domain(stage)
     plan = []
     for j, g in enumerate(geom.align[stage]):
         left, right = rad[g]
@@ -344,6 +392,7 @@ def _stage_plan(
             (g, s.numerator, s.denominator, left, right,
              dom[j][0], dom[j][1])
         )
+    geom._stage_plan_cache[key] = plan
     return plan
 
 
@@ -401,6 +450,37 @@ def _stage_region(
     return _region_from_plan(plan, tile_lo, tile_sizes, expand)
 
 
+class _CarryState:
+    """Per-chunk rolling halo-reuse state.
+
+    ``entries`` maps a carried materialised stage name to a tuple
+    ``(buffer, bounds)``: the stage's *row window* (a :class:`Buffer`
+    computed by the row's seed tile, spanning to the row's last expanded
+    high bound along the carry dimension) and the region it covers.
+    Later adjacent tiles whose expanded region is contained in
+    ``bounds`` reuse the window untouched — a *pure carry*.  ``prev_lo``
+    is the previous tile's grid origin — ``None`` at chunk start and
+    after an invalidation, which forces the next tile to re-seed.
+    ``tiles``/``saved`` accumulate the chunk's reuse metrics, flushed
+    once per chunk.
+    """
+
+    __slots__ = ("prev_lo", "entries", "tiles", "saved")
+
+    def __init__(self):
+        self.prev_lo: Optional[Tuple[int, ...]] = None
+        self.entries: Dict[str, Tuple[Buffer, list]] = {}
+        self.tiles = 0
+        self.saved = 0
+
+    def invalidate(self) -> None:
+        """Drop every carried window — called on any tile failure, so a
+        retry (and every later tile until the chain re-seeds) recomputes
+        full windows instead of consuming possibly-poisoned scratch."""
+        self.prev_lo = None
+        self.entries.clear()
+
+
 def _execute_group_tiled(
     pipeline: Pipeline,
     geom: GroupGeometry,
@@ -413,6 +493,7 @@ def _execute_group_tiled(
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
     group_kernel: Optional[GroupKernel] = None,
+    halo_reuse: Optional[bool] = None,
 ) -> None:
     """Execute one fused group with overlapped tiling, updating
     ``buffers`` with its live-out arrays.
@@ -429,6 +510,29 @@ def _execute_group_tiled(
     :func:`shared_executor`; scratch pools come from ``pools`` when given
     (worker-local pools that stay warm across calls), else one fresh pool
     per chunk.
+
+    With halo reuse enabled (``halo_reuse``, default on — see
+    :func:`halo_reuse_enabled`), each chunk walks tiles in rows along a
+    *carry dimension* and computes every materialised stage at *row*
+    granularity: the row's seed tile extends each stage's expanded
+    region along the carry dimension to the row's last expanded high
+    bound and computes that whole window in one stage-body call, so each
+    overlap point is computed once per row (instead of once per tile)
+    and the fixed per-call cost of the stage body is amortised across
+    the row.  Every later *adjacent* tile (same grid origin except the
+    carry dimension, advanced by exactly one tile) whose region is
+    contained in the carried window is a **pure carry** — the window is
+    handed to consumers untouched, no recompute, no copy.  Chunk starts,
+    non-adjacent steps, and regions that escape the carried window
+    re-seed from the current tile to the row's end; a failed tile
+    attempt invalidates the whole carry so its retry — and every tile
+    until the chain re-seeds — computes fresh windows.  Carried values
+    are bit-identical to per-tile recomputation: stage bodies are
+    elementwise over their windows, and the out-of-domain clamped reads
+    that *could* differ between window extents are masked by their
+    ``Case`` conditions (the same invariant all tiers rely on).
+    Reductions and single-tile grids disable reuse; direct-store
+    live-outs stay per-tile so concurrent chunks never overlap writes.
 
     A tile that raises is retried up to ``tile_retries`` times, then the
     failure surfaces as a :class:`TileExecutionError` (code ``TILE_FAIL``)
@@ -460,14 +564,100 @@ def _execute_group_tiled(
         if METRICS.enabled:
             METRICS.inc("repro_kernel_fused_groups_total")
 
+    # Halo reuse chains windows along the *carry dimension*: the grid dim
+    # consecutive tiles of a chunk advance along.  Under reuse the tile
+    # walk runs grid dim 0 fastest (see the tile enumeration below) so
+    # carried row windows grow along each stage's leading axis — delta
+    # strips are then contiguous row slabs, with the same trailing-dim
+    # widths (hence the same NumPy stride behaviour) as the pre-reuse
+    # exact windows, instead of short strided columns.  Only pure
+    # function stages chain — reductions accumulate across the domain
+    # and have no per-tile window to carry.
+    reuse = (
+        halo_reuse_enabled(halo_reuse)
+        and geom.ndim >= 1
+        and not any(isinstance(s, Reduction) for s in geom.stages)
+    )
+    if reuse:
+        # Pick the carry dimension: the first grid dim with more than one
+        # tile and a real halo on some stage — the dim along which
+        # overlapped tiles redundantly recompute each other's points.
+        # Groups with no halo anywhere still profit from row-granular
+        # seeding (every stage body's fixed per-call cost is paid once
+        # per row instead of once per tile), so fall back to the first
+        # dim with more than one tile; a single-tile grid disables reuse
+        # outright.
+        cdim = fallback = -1
+        for d in range(geom.ndim):
+            if len(dim_ranges[d]) <= 1:
+                continue
+            if fallback < 0:
+                fallback = d
+            if any(
+                ent[0] == d and ent[3] + ent[4] > 0
+                for s in geom.stages
+                for ent in plans[s.name]
+            ):
+                cdim = d
+                break
+        if cdim < 0:
+            cdim = fallback
+        reuse = cdim >= 0
+    if reuse:
+        cstep = tile_sizes[cdim]
+        last_cdim_lo = dim_ranges[cdim][-1]
+        # Each carried stage's rolling row window spans from the current
+        # tile's expanded low bound to ``row_hi``: the expanded
+        # stage-coordinate high bound at the row's *last* tile.  A row's
+        # seed tile computes the whole window in one call — every
+        # overlap point is computed once and the stage body's fixed cost
+        # is amortised across the row — and every later adjacent tile is
+        # then a pure carry.  ``axis`` is the plan index of the carry
+        # dim, ``None`` when the stage is constant along it (adjacent
+        # windows are equal — seed once, carry for the whole row).
+        carry_info: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        for s in geom.stages:
+            for j, ent in enumerate(plans[s.name]):
+                if ent[0] == cdim:
+                    _, num, den, _, right, _, dhi = ent
+                    rhi = last_cdim_lo + tile_sizes[cdim] - 1 + right
+                    row_hi = -((-(rhi + 1) * den) // num) - 1
+                    if row_hi > dhi:
+                        row_hi = dhi
+                    carry_info[s.name] = (j, row_hi)
+                    break
+            else:
+                carry_info[s.name] = (None, None)
+        if group_kernel is not None:
+            direct = set(group_kernel.direct_stores)
+            # (region index, name, axis, row_hi) per carried materialised
+            # member.  Direct-store stages write their base tile straight
+            # into out_buffers and stay per-tile (row-extending them
+            # would overlap concurrent chunks' writes); inlined stages
+            # follow their consumers' regions automatically.
+            fused_carry = [
+                (i, n) + carry_info[n]
+                for i, n in enumerate(group_kernel.region_names)
+                if n not in direct
+            ]
+            reuse = bool(fused_carry)
+
     def run_tile(
         tile_index: int,
         tile_lo: Tuple[int, ...],
         attempt: int,
         pool: BufferPool,
+        carry: Optional[_CarryState],
     ) -> None:
         maybe_fail(
             "tile", detail=f"g{group_index}t{tile_index}a{attempt}"
+        )
+        adjacent = (
+            carry is not None
+            and carry.prev_lo is not None
+            and tile_lo[cdim] == carry.prev_lo[cdim] + cstep
+            and tile_lo[:cdim] == carry.prev_lo[:cdim]
+            and tile_lo[cdim + 1:] == carry.prev_lo[cdim + 1:]
         )
         if group_kernel is not None:
             regions = [
@@ -478,39 +668,163 @@ def _execute_group_tiled(
                 _region_from_plan(p, tile_lo, tile_sizes, False)
                 for p in base_plans
             ]
-            try:
-                group_kernel.fn(regions, bases, buffers, out_buffers, pool)
-            finally:
-                pool.release_all()
+            if carry is None:
+                try:
+                    group_kernel.fn(
+                        regions, bases, buffers, out_buffers, pool
+                    )
+                finally:
+                    pool.release_all()
+                return
+            entries = carry.entries
+            call_regions = list(regions)
+            carries: List[Optional[tuple]] = [None] * len(regions)
+            reused = 0
+            seeds = None
+            for i, name, axis, row_hi in fused_carry:
+                bounds = regions[i]
+                ent = entries.get(name)
+                if bounds is None:
+                    if ent is not None:
+                        pool.reclaim(ent[0].data)
+                        del entries[name]
+                    continue
+                if ent is not None and adjacent:
+                    eb = ent[1]
+                    if axis is None:
+                        ok = eb == bounds
+                    else:
+                        ok = True
+                        for d in range(len(bounds)):
+                            if d == axis:
+                                if (bounds[d][0] < eb[d][0]
+                                        or bounds[d][1] > eb[d][1]):
+                                    ok = False
+                                    break
+                            elif eb[d] != bounds[d]:
+                                ok = False
+                                break
+                    if ok:
+                        # Pure carry: the row window already holds this
+                        # tile's region — hand it to the kernel untouched
+                        # and skip the stage body.
+                        buf = ent[0]
+                        call_regions[i] = None
+                        carries[i] = (buf.data, buf.origin)
+                        reused = 1
+                        pts = 1
+                        for lo, hi in bounds:
+                            pts *= hi - lo + 1
+                        carry.saved += pts
+                        continue
+                # (Re)seed: extend the region to the rest of the row and
+                # let the kernel compute the whole window in this call.
+                if axis is not None and row_hi > bounds[axis][1]:
+                    bounds = list(bounds)
+                    bounds[axis] = (bounds[axis][0], row_hi)
+                    call_regions[i] = bounds
+                if seeds is None:
+                    seeds = []
+                seeds.append((i, name, ent))
+            results = group_kernel.fn(
+                call_regions, bases, buffers, out_buffers, pool, carries
+            )
+            if seeds is not None:
+                for i, name, ent in seeds:
+                    buf = results[i]
+                    if ent is not None and ent[0].data is not buf.data:
+                        pool.reclaim(ent[0].data)
+                    entries[name] = (buf, call_regions[i])
+            carry.prev_lo = tile_lo
+            carry.tiles += reused
             return
         scratch: Dict[str, Buffer] = {}
         lookup = _ChainLookup(scratch, buffers)
+        entries = carry.entries if carry is not None else None
+        reused = 0
         try:
             for stage in geom.stages:
-                plan = plans[stage.name]
+                name = stage.name
+                plan = plans[name]
                 bounds = _region_from_plan(plan, tile_lo, tile_sizes, True)
                 if bounds is None:
+                    if entries is not None:
+                        ent = entries.pop(name, None)
+                        if ent is not None:
+                            pool.reclaim(ent[0].data)
                     continue
-                result = _compute_function_region(
-                    pipeline, stage, bounds, lookup,
-                    kernel=kernels.get(stage.name), pool=pool,
-                )
-                scratch[stage.name] = result
+                result = None
+                if entries is not None:
+                    axis, row_hi = carry_info[name]
+                    ent = entries.get(name)
+                    if ent is not None and adjacent:
+                        eb = ent[1]
+                        if axis is None:
+                            ok = eb == bounds
+                        else:
+                            ok = True
+                            for d in range(len(bounds)):
+                                if d == axis:
+                                    if (bounds[d][0] < eb[d][0]
+                                            or bounds[d][1] > eb[d][1]):
+                                        ok = False
+                                        break
+                                elif eb[d] != bounds[d]:
+                                    ok = False
+                                    break
+                        if ok:
+                            # Pure carry: the row window already holds
+                            # this tile's region.
+                            result = ent[0]
+                            reused = 1
+                            pts = 1
+                            for lo, hi in bounds:
+                                pts *= hi - lo + 1
+                            carry.saved += pts
+                    if result is None:
+                        # (Re)seed: compute the rest of the row's window
+                        # in one call.
+                        if axis is not None and row_hi > bounds[axis][1]:
+                            bounds = list(bounds)
+                            bounds[axis] = (bounds[axis][0], row_hi)
+                        result = _compute_function_region(
+                            pipeline, stage, bounds, lookup,
+                            kernel=kernels.get(name), pool=pool,
+                        )
+                        if (ent is not None
+                                and ent[0].data is not result.data):
+                            pool.reclaim(ent[0].data)
+                        entries[name] = (result, bounds)
+                else:
+                    result = _compute_function_region(
+                        pipeline, stage, bounds, lookup,
+                        kernel=kernels.get(name), pool=pool,
+                    )
+                scratch[name] = result
                 if stage in liveouts:
                     base = _region_from_plan(
                         plan, tile_lo, tile_sizes, False
                     )
                     if base is not None:
-                        out_buffers[stage.name].store_region(
+                        out_buffers[name].store_region(
                             base, result.read_region(base)
                         )
+            if carry is not None:
+                carry.prev_lo = tile_lo
+                carry.tiles += reused
         finally:
-            # Live-out regions were copied into out_buffers above, so the
-            # tile's scratch arrays can all go back for the next tile.
-            pool.release_all()
+            if carry is None:
+                # Live-out regions were copied into out_buffers above, so
+                # the tile's scratch arrays can all go back for the next
+                # tile.  Under reuse the carried windows must survive —
+                # superseded ones were reclaimed individually above, and
+                # the rest are released at chunk end.
+                pool.release_all()
 
     def run_tile_captured(
-        item: Tuple[int, Tuple[int, ...]], pool: BufferPool
+        item: Tuple[int, Tuple[int, ...]],
+        pool: BufferPool,
+        carry: Optional[_CarryState],
     ) -> None:
         tile_index, tile_lo = item
         max_attempts = tile_retries + 1
@@ -519,10 +833,19 @@ def _execute_group_tiled(
         for attempt in range(max_attempts):
             attempts = attempt + 1
             try:
-                run_tile(tile_index, tile_lo, attempt, pool)
+                run_tile(tile_index, tile_lo, attempt, pool, carry)
                 return
             except Exception as exc:  # noqa: BLE001 - rewrapped below
                 last = exc
+                if carry is not None:
+                    # The failed attempt may have poisoned carried
+                    # windows (partial strip copies, reclaimed scratch):
+                    # drop the whole carry so the retry — and every tile
+                    # until the chain re-seeds — recomputes full windows.
+                    carry.invalidate()
+                    pool.release_all()
+                    if METRICS.enabled:
+                        METRICS.inc("repro_halo_reuse_invalidations_total")
                 if not is_retryable(exc):
                     # Deterministic failure (missing buffer, INPUT_*,
                     # memory budget): identical retries cannot succeed,
@@ -554,13 +877,14 @@ def _execute_group_tiled(
     # is empty — capture the group span here so they parent correctly.
     parent_span = TRACE.current() if TRACE.enabled else None
     if parent_span is not None:
-        parent_span.set(fused=group_kernel is not None)
+        parent_span.set(fused=group_kernel is not None, halo_reuse=reuse)
 
     def run_chunk(chunk: List[Tuple[int, Tuple[int, ...]]]) -> None:
         # Worker-local scratch pool, so lock-free: the group's shared
         # PoolGroup when one was passed (warm across calls), else one
         # fresh pool per chunk.
         pool = pools.get() if pools is not None else BufferPool()
+        carry = _CarryState() if reuse else None
         observing = METRICS.enabled
         if observing:
             # Shared pools carry cumulative counters across chunks and
@@ -571,10 +895,26 @@ def _execute_group_tiled(
             "chunk", parent=parent_span, tiles=len(chunk),
             first_tile=chunk[0][0] if chunk else -1,
         ):
-            for item in chunk:
-                run_tile_captured(item, pool)
+            try:
+                for item in chunk:
+                    run_tile_captured(item, pool, carry)
+            finally:
+                if carry is not None:
+                    # Carried windows held the pool's arrays across
+                    # tiles — hand them all back now the chunk is done.
+                    carry.invalidate()
+                    pool.release_all()
         if observing:
             METRICS.inc("repro_tiles_total", len(chunk))
+            if carry is not None:
+                if carry.tiles:
+                    METRICS.inc(
+                        "repro_halo_reuse_tiles_total", carry.tiles
+                    )
+                if carry.saved:
+                    METRICS.inc(
+                        "repro_halo_reuse_saved_points_total", carry.saved
+                    )
             METRICS.inc("repro_pool_acquires_total",
                         pool.stat_reused - base[0], result="reused")
             METRICS.inc("repro_pool_acquires_total",
@@ -584,8 +924,20 @@ def _execute_group_tiled(
             METRICS.inc("repro_pool_evictions_total",
                         pool.stat_evicted - base[3])
 
-    tiles = list(enumerate(itertools.product(*dim_ranges)))
-    chunks = _chunk_tiles(tiles, nthreads)
+    if reuse and geom.ndim > 1:
+        # Walk tiles with the carry dimension fastest so chunks run rows
+        # of tiles adjacent along it (tile values are order-free for
+        # function groups: every tile writes a disjoint base region).
+        others = [r for d, r in enumerate(dim_ranges) if d != cdim]
+        tiles = list(enumerate(
+            c[:cdim] + (c[-1],) + c[cdim:-1]
+            for c in itertools.product(*others, dim_ranges[cdim])
+        ))
+        row_len = len(dim_ranges[cdim])
+    else:
+        tiles = list(enumerate(itertools.product(*dim_ranges)))
+        row_len = len(dim_ranges[-1]) if dim_ranges else None
+    chunks = _chunk_tiles(tiles, nthreads, row_len=row_len)
     if nthreads > 1 and len(chunks) > 1:
         tpool = executor if executor is not None else shared_executor(
             nthreads
@@ -642,6 +994,7 @@ def _execute_one_group(
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
     fuse_kernels: Optional[bool] = None,
+    halo_reuse: Optional[bool] = None,
 ) -> str:
     """Execute a single group of a grouping, returning the mode used:
     ``"tiled"`` or ``"untiled"`` (groups without an overlap-tiling
@@ -673,7 +1026,7 @@ def _execute_one_group(
         pipeline, geom, tiles, buffers, nthreads,
         group_index=group_index, tile_retries=tile_retries,
         kernels=kernels, executor=executor, pools=pools,
-        group_kernel=group_kernel,
+        group_kernel=group_kernel, halo_reuse=halo_reuse,
     )
     return "tiled"
 
@@ -688,6 +1041,7 @@ def execute_grouping(
     executor: Optional[ThreadPoolExecutor] = None,
     pools: Optional[PoolGroup] = None,
     fuse_kernels: Optional[bool] = None,
+    halo_reuse: Optional[bool] = None,
 ) -> Dict[str, np.ndarray]:
     """Execute a grouping with overlapped tiling.
 
@@ -710,6 +1064,12 @@ def execute_grouping(
     ``KERNEL_FUSE_FAIL`` warning.  ``fuse_kernels=False`` (the CLI's
     ``--no-fuse``, or ``REPRO_NO_FUSE``) disables only this fused tier,
     keeping per-stage kernels — the third arm of the A/B ladder.
+
+    Within each worker chunk, adjacent tiles reuse the previous tile's
+    computed halo instead of recomputing it (:func:`halo_reuse_enabled`;
+    bit-identical by construction, all tiers).  ``halo_reuse=False`` (the
+    CLI's ``--no-reuse``, or ``REPRO_NO_REUSE``) restores the full-halo
+    per-tile path for A/B timing.
 
     Multi-threaded groups run their tile chunks on ``executor`` when the
     caller owns a persistent pool (the serve layer does), else on the
@@ -756,7 +1116,7 @@ def execute_grouping(
                     pipeline, members, tiles, buffers, nthreads,
                     group_index=gi, tile_retries=tile_retries,
                     kernels=kernels, executor=executor, pools=pools,
-                    fuse_kernels=fuse_kernels,
+                    fuse_kernels=fuse_kernels, halo_reuse=halo_reuse,
                 )
                 gspan.set(mode=mode)
             if observing:

@@ -938,14 +938,26 @@ def _rewrite_cond(c: Condition, var_map, inline_expr, inline_stage):
 class GroupKernel:
     """One compiled kernel for a whole fusion group.
 
-    ``fn(regions, bases, buffers, out_buffers, pool)`` executes every
-    member stage over one tile.  ``regions`` holds the expanded
-    (overlapped) per-stage bounds for ``region_names`` in order (``None``
-    for an empty region), ``bases`` the base-tile bounds for
+    ``fn(regions, bases, buffers, out_buffers, pool, carries=None)``
+    executes every member stage over one tile.  ``regions`` holds the
+    expanded (overlapped) per-stage bounds for ``region_names`` in order
+    (``None`` for an empty region), ``bases`` the base-tile bounds for
     ``liveout_names``; live-out values land in ``out_buffers`` (name →
     full-domain :class:`Buffer`), out-of-group producers are read from
     ``buffers``, and scratch arrays cycle through ``pool`` (the caller
-    releases them after the tile).
+    releases them after the tile).  Returns the per-stage window
+    :class:`Buffer`\\ s in ``region_names`` order.
+
+    ``carries`` is the halo-reuse carry mode: per materialised stage
+    either ``None`` (compute the region as usual) or a pure-carry tuple
+    ``(window, origin)`` assembled by the executor, paired with
+    ``regions[i] is None`` — a row window computed by a previous
+    adjacent tile already covers this tile's region, so it is re-exposed
+    untouched and the stage body is skipped (live-outs still store their
+    base tile, which always advances; the executor seeds row windows by
+    passing row-extended regions and harvesting the returned buffers).
+    ``carries=None`` (or all-``None``) is exactly the pre-reuse
+    behaviour.
     """
 
     group_names: Tuple[str, ...]
@@ -1084,9 +1096,11 @@ class _GroupLowerer:
         # non-retryable KeyError the per-stage scratch lookup would.
         for i, stage in enumerate(mats):
             lines.append(f"    _b{i} = None")
+        lines.append("    if carries is None:")
+        lines.append(f"        carries = (None,) * {len(mats)}")
         for i, stage in enumerate(mats):
             region_names.append(stage.name)
-            rv, bv, pfx = f"_r{i}", f"_b{i}", f"_f{i}"
+            rv, bv, cv, pfx = f"_r{i}", f"_b{i}", f"_c{i}", f"_f{i}"
             name = stage.name
             rad = radii[stage]
             direct = name in liveout_pos and all(
@@ -1099,6 +1113,16 @@ class _GroupLowerer:
                 region_ref=rv,
             )
             lines.append(f"    {rv} = regions[{i}]")
+            if not direct:
+                # Halo-reuse carry slot: ``(window, origin)``.  A pure
+                # carry arrives as region=None + carry — the row window a
+                # previous adjacent tile computed already covers this
+                # tile's region, so rebind it untouched and skip the
+                # stage body (live-outs still store their base tile,
+                # which always advances).
+                lines.append(f"    {cv} = carries[{i}]")
+                lines.append(f"    if {rv} is None and {cv} is not None:")
+                lines.append(f"        {bv} = Buffer({cv}[0], {cv}[1])")
             lines.append(f"    if {rv} is not None:")
             deps = set()
             for entry in effective[name]:
@@ -1205,20 +1229,31 @@ class _GroupLowerer:
                         f".astype({dt}, copy=False)"
                     )
                 lw.emit(f"{bv} = Buffer({res}, tuple(b[0] for b in {rv}))")
-                if name in liveout_pos:
-                    j = liveout_pos[name]
-                    base = f"{pfx}_base"
-                    lw.emit(f"{base} = bases[{j}]")
-                    lw.emit(f"if {base} is not None:")
-                    lw.emit(
-                        f"    out_buffers[{name!r}].store_region("
-                        f"{base}, {bv}.read_region({base}))"
-                    )
             lines.extend(lw.lines)
+            if not direct and name in liveout_pos:
+                # The base-region store runs at function level, keyed on
+                # the buffer rather than the region: a pure-carried tile
+                # (region None, window carried) must still publish its
+                # base tile — base regions partition the domain even
+                # when the expanded window did not advance.
+                j = liveout_pos[name]
+                base = f"{pfx}_base"
+                lines.append(f"    if {bv} is not None:")
+                lines.append(f"        {base} = bases[{j}]")
+                lines.append(f"        if {base} is not None:")
+                lines.append(
+                    f"            out_buffers[{name!r}].store_region("
+                    f"{base}, {bv}.read_region({base}))"
+                )
             consts.update(lw.consts)
             buffer_refs[name] = bv
+        lines.append(
+            "    return [" + ", ".join(f"_b{i}" for i in range(len(mats)))
+            + "]"
+        )
         header = (
-            "def _group_kernel(regions, bases, buffers, out_buffers, pool):"
+            "def _group_kernel(regions, bases, buffers, out_buffers, "
+            "pool, carries=None):"
         )
         source = "\n".join([header] + lines) + "\n"
         return (

@@ -95,6 +95,8 @@ class HostConfig:
     compile_kernels: Optional[bool] = None
     #: fused per-group kernels at tier 0 (None: on unless REPRO_NO_FUSE)
     fuse_kernels: Optional[bool] = None
+    #: inter-tile halo reuse at tier 0 (None: on unless REPRO_NO_REUSE)
+    halo_reuse: Optional[bool] = None
     #: consecutive degraded/failed requests before stepping down a tier
     degrade_after: int = 3
     #: consecutive clean requests before stepping back up a tier
@@ -278,6 +280,9 @@ class PipelineHost:
             compile_kernels=compile_kernels,
             fuse_kernels=(
                 self.config.fuse_kernels if tier == 0 else False
+            ),
+            halo_reuse=(
+                self.config.halo_reuse if tier == 0 else False
             ),
         )
         try:

@@ -8,6 +8,8 @@ from repro.poly import (
     dependence_vector_bounds,
     max_dependence_radius,
     overlap_size,
+    overlap_size_chunked,
+    reuse_carry_dim,
     stage_tile_extents,
     tile_volume,
 )
@@ -113,3 +115,59 @@ class TestTileVolumes:
             tile_volume(blur_geom, (32, 32))
         with pytest.raises(ValueError):
             overlap_size(blur_geom, (32,))
+
+
+class TestChunkedOverlap:
+    def test_run_of_one_degenerates_to_full_overlap(self, blur_geom):
+        tiles = (3, 32, 32)
+        assert overlap_size_chunked(blur_geom, tiles, run_len=1) == (
+            overlap_size(blur_geom, tiles)
+        )
+
+    def test_full_row_amortises_carry_dim_halo(self, blur_geom):
+        # blur carries along the y stencil dim; a full row pays the
+        # 2-column blurx halo once instead of once per tile, so the
+        # amortised per-tile overlap shrinks strictly.
+        tiles = (3, 32, 32)
+        full = overlap_size(blur_geom, tiles)
+        chunked = overlap_size_chunked(blur_geom, tiles)
+        assert 0.0 <= chunked < full
+
+    def test_single_tile_grid_falls_back(self, blur_geom):
+        tiles = (3, 4096, 4096)
+        assert overlap_size_chunked(blur_geom, tiles) == (
+            overlap_size(blur_geom, tiles)
+        )
+
+    def test_carry_dim_prefers_halo_dim(self, blur_geom):
+        # dim 2 (y) is the only one with a stage halo in the blur group;
+        # dims 0/1 tile too but carry nothing.
+        assert reuse_carry_dim(blur_geom, (1, 16, 16)) == 2
+
+    def test_carry_dim_falls_back_without_halo(self):
+        from repro.dsl import Float, Function, Image, Int, Interval, Pipeline, Variable
+
+        x = Variable(Int, "x")
+        img = Image(Float, "img", [64])
+        a = Function(([x], [Interval(Int, 0, 63)]), Float, "a")
+        a.defn = [img(x) * 2.0]
+        b = Function(([x], [Interval(Int, 0, 63)]), Float, "b")
+        b.defn = [a(x) + 1.0]
+        p = Pipeline([b], {})
+        geom = compute_group_geometry(p, p.stages)
+        assert reuse_carry_dim(geom, (16,)) == 0
+        assert reuse_carry_dim(geom, (64,)) == -1
+
+    def test_cost_model_discount_changes_only_overlap_term(self, blur_pipeline):
+        from repro.model import XEON_HASWELL
+        from repro.model.cost import group_cost
+
+        base = group_cost(blur_pipeline, blur_pipeline.stages, XEON_HASWELL)
+        reuse = group_cost(blur_pipeline, blur_pipeline.stages,
+                           XEON_HASWELL, halo_reuse=True)
+        assert base.valid and reuse.valid
+        # default model unchanged; discounted overlap never larger
+        assert reuse.details["overlap"] <= base.details["overlap"]
+        assert reuse.details["bytes_per_point"] == (
+            base.details["bytes_per_point"]
+        )

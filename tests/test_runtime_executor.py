@@ -150,3 +150,40 @@ def test_property_scaled_chain_any_tile(t):
     g = manual_grouping(pipeline, [["fine", "down", "up"]], [[t]])
     out = execute_grouping(pipeline, g, inputs)
     assert np.allclose(ref["up"], out["up"], atol=1e-5)
+
+
+@given(
+    num=st.integers(min_value=1, max_value=7),
+    den=st.integers(min_value=1, max_value=7),
+    tile=st.integers(min_value=1, max_value=23),
+    extent=st.integers(min_value=1, max_value=300),
+    glo=st.integers(min_value=-5, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_base_regions_partition_domain(num, den, tile, extent, glo):
+    """Consecutive tiles' *base* regions partition the stage domain
+    exactly for any rational scale — the integer-arithmetic claim in the
+    ``_region_from_plan`` comment that halo reuse depends on (a gap would
+    drop points from carried windows; an overlap would double-store
+    live-outs)."""
+    from repro.runtime.executor import _region_from_plan
+
+    ghi = glo + extent - 1
+    # Stage domain for scale num/den under the same ceil convention the
+    # plan builder uses for the full grid range.
+    dlo = -((-glo * den) // num)
+    dhi = -((-(ghi + 1) * den) // num) - 1
+    if dlo > dhi:
+        return  # degenerate: the scaled grid holds no stage point
+    plan = [(0, num, den, 0, 0, dlo, dhi)]
+    covered = [
+        r[0]
+        for t in range(glo, ghi + 1, tile)
+        for r in [_region_from_plan(plan, (t,), (tile,), False)]
+        if r is not None
+    ]
+    assert covered, "no tile covered the non-empty stage domain"
+    assert covered[0][0] == dlo
+    assert covered[-1][1] == dhi
+    for (_, ahi), (blo, _) in zip(covered, covered[1:]):
+        assert blo == ahi + 1  # no gap, no overlap
