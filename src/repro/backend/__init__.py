@@ -1,0 +1,59 @@
+"""Backend subsystem: machine models, tile search, executor selection.
+
+See :mod:`repro.backend.base` for the abstraction, ``docs/backends.md``
+for the full story.  Importing this package registers the built-in
+backends (``cpu``, ``gpu``) in :data:`BACKENDS`.
+"""
+
+from .base import (
+    BACKENDS,
+    Backend,
+    backend_for_machine,
+    backend_name_for,
+    backends_json,
+    get_backend,
+    get_machine,
+    machine_digest,
+    machine_names,
+    machines_json,
+    register_backend,
+)
+from .cpu import CPU_BACKEND, CpuBackend
+from .cupyexec import (
+    BackendUnavailableWarning,
+    cupy_available,
+    cupy_unavailable_reason,
+    execute_grouping_cupy,
+    execute_with_backend,
+    reset_cupy_for_testing,
+    set_cupy_for_testing,
+    warn_backend_unavailable_once,
+)
+from .gpu import GPU_BACKEND, GpuBackend, gpu_group_cost
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "CpuBackend",
+    "GpuBackend",
+    "CPU_BACKEND",
+    "GPU_BACKEND",
+    "BackendUnavailableWarning",
+    "backend_for_machine",
+    "backend_name_for",
+    "backends_json",
+    "cupy_available",
+    "cupy_unavailable_reason",
+    "execute_grouping_cupy",
+    "execute_with_backend",
+    "get_backend",
+    "get_machine",
+    "gpu_group_cost",
+    "machine_digest",
+    "machine_names",
+    "machines_json",
+    "register_backend",
+    "reset_cupy_for_testing",
+    "set_cupy_for_testing",
+    "warn_backend_unavailable_once",
+]

@@ -30,29 +30,59 @@ from typing import Optional
 
 import numpy as np
 
+from .backend import (
+    BACKENDS,
+    backend_for_machine,
+    backends_json,
+    execute_with_backend,
+    get_backend,
+    get_machine,
+    machine_names,
+    machines_json,
+)
 from .fusion.serialize import load_grouping, save_grouping
 from .obs import METRICS, TRACE
 from .planner import build_benchmark, make_inputs, output_digests, \
     plan_schedule
 from .profiling import PROFILE
-from .model import AMD_OPTERON, XEON_HASWELL, Machine
+from .model import Machine
 from .perfmodel import estimate_runtime
 from .pipelines import BENCHMARKS, registry_json
 from .reporting import format_table
 from .resilience import GuardPolicy, execute_guarded
-from .runtime import execute_grouping, execute_reference
+from .runtime import execute_reference
 
 __all__ = ["main"]
 
-_MACHINES = {"xeon": XEON_HASWELL, "opteron": AMD_OPTERON}
 
+def _machine(args):
+    """Resolve ``--backend`` / ``--machine`` to a machine description.
 
-def _machine(name: str) -> Machine:
+    Either flag alone implies the other (a machine names its owning
+    backend structurally; a backend has a default machine); both
+    together are validated for membership so ``--backend gpu --machine
+    xeon`` fails loudly instead of pricing a CPU with warp tiles.
+    """
+    bname = getattr(args, "backend", None)
+    mname = getattr(args, "machine", None)
+    if bname is None:
+        try:
+            return get_machine(mname or "xeon")
+        except KeyError as exc:
+            raise SystemExit(str(exc))
     try:
-        return _MACHINES[name]
-    except KeyError:
-        raise SystemExit(f"unknown machine {name!r}; choose from "
-                         f"{sorted(_MACHINES)}")
+        backend = get_backend(bname)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    presets = backend.machines()
+    if mname is None:
+        return presets[backend.default_machine_name()]
+    if mname not in presets:
+        raise SystemExit(
+            f"machine {mname!r} does not belong to backend {bname!r}; "
+            f"its presets: {sorted(presets)}"
+        )
+    return presets[mname]
 
 
 # The build/schedule logic lives in repro.planner now, shared verbatim
@@ -92,6 +122,12 @@ def _obs_finish(args) -> None:
 
 
 def cmd_list(args) -> int:
+    if getattr(args, "machines", False):
+        print(json.dumps(machines_json(), indent=2))
+        return 0
+    if getattr(args, "backends", False):
+        print(json.dumps(backends_json(), indent=2))
+        return 0
     if getattr(args, "json", False):
         print(json.dumps(registry_json(), indent=2))
         return 0
@@ -110,7 +146,7 @@ def cmd_list(args) -> int:
 
 def cmd_schedule(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
-    machine = _machine(args.machine)
+    machine = _machine(args)
     _obs_begin(args)
     if args.profile_schedule:
         PROFILE.reset(enabled=True)
@@ -131,8 +167,15 @@ def cmd_schedule(args) -> int:
         print(PROFILE.format())
         if not args.trace_json:
             PROFILE.reset(enabled=False)
-    t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
-    print(f"estimated run time at {machine.num_cores} cores: {t * 1e3:.2f} ms")
+    if isinstance(machine, Machine):
+        t = estimate_runtime(pipe, grouping, machine, machine.num_cores)
+        print(f"estimated run time at {machine.num_cores} cores: "
+              f"{t * 1e3:.2f} ms")
+    else:
+        # The timing model prices CPU cache behaviour; GPU machines get
+        # tile sizes and grouping only.
+        print(f"(no runtime estimate: {type(machine).__name__} is outside "
+              f"the CPU timing model)")
     if args.output:
         save_grouping(grouping, args.output, timing=timing)
         print(f"schedule written to {args.output}")
@@ -142,7 +185,7 @@ def cmd_schedule(args) -> int:
 
 def cmd_run(args) -> int:
     bench, pipe = _build(args.benchmark, args.scale)
-    machine = _machine(args.machine)
+    machine = _machine(args)
     _obs_begin(args)
     if args.schedule:
         grouping = load_grouping(pipe, args.schedule)
@@ -169,8 +212,13 @@ def cmd_run(args) -> int:
     halo_reuse = False if args.no_reuse else None
     start = time.perf_counter()
     if args.strict:
-        out = execute_grouping(
-            pipe, grouping, inputs, nthreads=args.threads,
+        # Dispatch through the backend seam: a GPU machine tries its
+        # CuPy tier first (warning once and degrading to the compiled
+        # CPU kernels when the runtime is absent); a CPU machine runs
+        # the compiled executor exactly as before.
+        out = execute_with_backend(
+            backend_for_machine(machine), pipe, grouping, inputs,
+            nthreads=args.threads,
             compile_kernels=compile_kernels, fuse_kernels=fuse_kernels,
             halo_reuse=halo_reuse,
         )
@@ -210,7 +258,13 @@ def cmd_run(args) -> int:
 
 def cmd_estimate(args) -> int:
     bench, pipe = _build(args.benchmark, 1.0)
-    machine = _machine(args.machine)
+    machine = _machine(args)
+    if not isinstance(machine, Machine):
+        raise SystemExit(
+            "`repro estimate` prices the paper's CPU configurations; "
+            "the timing model has no GPU analogue — use `repro schedule "
+            "--backend gpu` for block/warp tile sizes"
+        )
     from .fusion import halide_auto_schedule, polymage_autotune
 
     rows = []
@@ -242,7 +296,7 @@ def cmd_graph(args) -> int:
     from .reporting import pipeline_to_dot
 
     bench, pipe = _build(args.benchmark, args.scale)
-    machine = _machine(args.machine)
+    machine = _machine(args)
     grouping = None
     if args.strategy != "none":
         grouping, _ = _schedule(pipe, bench, machine, args.strategy,
@@ -261,7 +315,7 @@ def cmd_codegen(args) -> int:
     from .codegen import generate_cpp, generate_main
 
     bench, pipe = _build(args.benchmark, args.scale)
-    machine = _machine(args.machine)
+    machine = _machine(args)
     grouping, _ = _schedule(pipe, bench, machine, args.strategy,
                             args.max_states, prune=args.prune,
                             schedule_cache=args.schedule_cache)
@@ -294,6 +348,7 @@ def cmd_serve(args) -> int:
     METRICS.reset(enabled=True)
     config = ServeConfig(
         host=HostConfig(
+            backend=args.backend,
             machine=args.machine,
             scale=args.scale,
             threads=args.threads,
@@ -369,12 +424,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable registry: key, params, input "
                         "extents and dtypes, outputs")
+    p.add_argument("--machines", action="store_true",
+                   help="machine-readable machine registry: every "
+                        "preset with its backend, capacities, digest")
+    p.add_argument("--backends", action="store_true",
+                   help="machine-readable backend registry: machines, "
+                        "executor tier, availability")
 
     def common(p, with_strategy=True):
         p.add_argument("benchmark", choices=sorted(BENCHMARKS),
                        help="benchmark key (see `list`)")
-        p.add_argument("--machine", default="xeon",
-                       choices=sorted(_MACHINES))
+        p.add_argument("--machine", default=None,
+                       choices=machine_names(),
+                       help="machine preset (default: the backend's "
+                            "default, xeon without --backend)")
+        p.add_argument("--backend", default=None,
+                       choices=sorted(BACKENDS),
+                       help="backend whose machine model schedules and "
+                            "whose executor runs (default: inferred "
+                            "from --machine)")
         p.add_argument("--max-states", type=int, default=1_200_000)
         p.add_argument("--schedule-budget-s", type=float, default=None,
                        help="wall-clock budget for the DP scheduling "
@@ -469,7 +537,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8177,
                    help="listen port (0 picks a free port)")
-    p.add_argument("--machine", default="xeon", choices=sorted(_MACHINES))
+    p.add_argument("--machine", default=None, choices=machine_names(),
+                   help="machine preset (default: the backend's default)")
+    p.add_argument("--backend", default="cpu", choices=sorted(BACKENDS),
+                   help="backend hosts schedule and execute with; gpu "
+                        "adds a cupy rung atop the degradation ladder "
+                        "when the runtime is importable")
     p.add_argument("--scale", type=float, default=0.1,
                    help="image-size fraction hosts are built at")
     p.add_argument("--threads", type=int, default=4,
@@ -510,7 +583,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("graph", help="emit a Graphviz DAG of a benchmark")
     p.add_argument("benchmark", choices=sorted(BENCHMARKS))
-    p.add_argument("--machine", default="xeon", choices=sorted(_MACHINES))
+    p.add_argument("--machine", default=None, choices=machine_names())
+    p.add_argument("--backend", default=None, choices=sorted(BACKENDS))
     p.add_argument("--max-states", type=int, default=1_200_000)
     p.add_argument(
         "--strategy", default="dp",

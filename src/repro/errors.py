@@ -30,6 +30,10 @@ code                      raised when
                           fused kernel; surfaced as a *warning* by the
                           runtime (the group falls back to per-stage
                           kernels)
+``BACKEND_UNAVAILABLE``   a requested execution backend's runtime (e.g.
+                          CuPy) is absent or unusable; surfaced as a
+                          *warning* once per backend while execution falls
+                          back to the compiled CPU tier
 ``FAULT_INJECTED``        a deliberate failure from the fault-injection
                           harness (:mod:`repro.resilience.faults`)
 ``SERVE_OVERLOADED``      admission control shed a request because the serve
@@ -72,6 +76,7 @@ __all__ = [
     "ScheduleStaleError",
     "KernelCompileError",
     "KernelFuseError",
+    "BackendUnavailableError",
     "InjectedFault",
     "ServeError",
     "ServeOverloadedError",
@@ -264,6 +269,19 @@ class KernelFuseError(KernelCompileError):
         self.reason = reason
 
 
+# -- backends ---------------------------------------------------------------
+
+
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A requested execution backend's runtime (e.g. CuPy for the GPU
+    backend) is not importable or has no usable device.  Deterministic
+    for the life of the process, hence non-retryable: the degradation
+    ladder falls back to the compiled CPU tier instead, after warning
+    exactly once per backend (:mod:`repro.backend`)."""
+
+    code = "BACKEND_UNAVAILABLE"
+
+
 # -- fault injection --------------------------------------------------------
 
 
@@ -381,6 +399,7 @@ NON_RETRYABLE_CODES = frozenset({
     "SCHEDULE_STALE",
     "KERNEL_COMPILE_FAIL",
     "KERNEL_FUSE_FAIL",
+    "BACKEND_UNAVAILABLE",
     "SERVE_SHUTDOWN",
     "SERVE_UNKNOWN",
     "SERVE_BODY_TOO_LARGE",

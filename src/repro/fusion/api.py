@@ -87,10 +87,13 @@ def schedule_pipeline(
     grouping without any cost-model evaluation, a stale entry is evicted
     and re-scheduled.
     """
+    from ..backend import backend_name_for
+
     observing = METRICS.enabled
     t0 = time.perf_counter() if observing else 0.0
     with TRACE.span(
         "schedule_pipeline", pipeline=pipeline.name, strategy=strategy,
+        backend=backend_name_for(machine),
     ) as span:
         grouping = _schedule_pipeline(
             pipeline, machine, strategy,
@@ -127,6 +130,8 @@ def _schedule_pipeline(
     schedule_cache: Optional[Union[str, ScheduleCache]],
     span,
 ) -> Grouping:
+    from ..backend import backend_name_for
+
     cache: Optional[ScheduleCache] = None
     key = ""
     if schedule_cache is not None and strategy in _CACHEABLE:
@@ -147,7 +152,7 @@ def _schedule_pipeline(
         key = schedule_cache_key(
             pipeline, machine, strategy=strategy, params=params,
         )
-        hit = cache.load(pipeline, key)
+        hit = cache.load(pipeline, key, backend=backend_name_for(machine))
         if hit is not None:
             span.set(cache="hit")
             return hit
@@ -189,5 +194,5 @@ def _schedule_pipeline(
             f"unknown strategy {strategy!r}; expected one of {_STRATEGIES}"
         )
     if cache is not None:
-        cache.store(grouping, key)
+        cache.store(grouping, key, backend=backend_name_for(machine))
     return grouping

@@ -429,6 +429,45 @@ class DPGrouper:
                         break
                 if is_cycle:
                     continue
+                # The DAG-only check above misses paths that shortcut
+                # through another *current* group's internal connectivity:
+                # H -> t with t inside group G, and a different member of
+                # G reaching sj (the contracted condensation H' -> G -> H'
+                # is cyclic even though no DAG path connects t to sj).
+                # Close the successor set under contraction of the other
+                # current groups — a fixpoint over at most |groups| masks.
+                # Successors of a current group are never finalized nodes
+                # (every edge into a placed node originates from a node
+                # placed earlier), so the check depends only on ``groups``
+                # and the DAG, both part of the memo key.
+                others = frontier & ~h
+                if others:
+                    t_all = raw_succ & ~sj_bit
+                    closed = t_all
+                    m2 = t_all
+                    while m2:
+                        t_bit = m2 & -m2
+                        m2 ^= t_bit
+                        closed |= reach_of[t_bit.bit_length() - 1]
+                    if closed & others:
+                        reach_cache = self._reach_cache
+                        absorbed = 0
+                        progress = True
+                        while progress:
+                            progress = False
+                            for g2 in glist:
+                                if g2 == h or g2 & absorbed:
+                                    continue
+                                if closed & g2:
+                                    cl = reach_cache.get(g2)
+                                    if cl is None:
+                                        cl = g.reachable_from_set(g2)
+                                        reach_cache[g2] = cl
+                                    closed |= g2 | cl
+                                    absorbed |= g2
+                                    progress = True
+                        if closed & sj_bit:
+                            continue
                 merged = h | sj_bit
                 if viable_fn is not None and merged & (merged - 1):
                     v = viable_cache.get(merged)

@@ -9,9 +9,12 @@ on:
 * the pipeline structure (name, stage count, stage names in topological
   order — the same facts :func:`repro.fusion.serialize.pipeline_digest`
   certifies),
-* the machine identity (name, core count, cache sizes, the
-  ``INNERMOSTTILESIZE`` of Algorithm 2) and the four cost weights of
-  Table 1,
+* the owning **backend** and the full machine identity — backend name,
+  machine name, core count, :func:`repro.backend.machine_digest` over
+  every field of the description (cache sizes / shared-memory and
+  register budgets, ``INNERMOSTTILESIZE``), and the four cost weights
+  of Table 1 — so a CPU schedule is never served to a GPU request or
+  vice versa,
 * the strategy and its parameters (group limit, incremental ramp, greedy
   knobs),
 * the concrete **parameter bindings and domain extents**
@@ -53,7 +56,6 @@ from typing import Iterable, Optional
 
 from ..dsl.pipeline import Pipeline
 from ..errors import ScheduleFormatError, ScheduleStaleError
-from ..model.machine import Machine
 from ..model.weights import CostWeights
 from ..obs import METRICS
 from .grouping import Grouping
@@ -88,7 +90,7 @@ def extents_digest(pipeline: Pipeline) -> str:
 
 def schedule_cache_key(
     pipeline: Pipeline,
-    machine: Machine,
+    machine,
     strategy: str = "dp",
     ncores: Optional[int] = None,
     weights: Optional[CostWeights] = None,
@@ -96,11 +98,21 @@ def schedule_cache_key(
 ) -> str:
     """Digest of everything a scheduling decision depends on.
 
+    ``machine`` may be any registered machine description (CPU
+    :class:`~repro.model.machine.Machine` or
+    :class:`~repro.model.machine.GpuMachine`): the key folds in the
+    owning backend's name and :func:`repro.backend.machine_digest` —
+    *every* field of the description — so a schedule computed under one
+    backend's tile hierarchy (or one capacity/weight configuration) can
+    never be served for another.
+
     ``params`` carries strategy-specific knobs as ``"name=value"``
     strings; budgets (``max_states``, wall clocks) are deliberately *not*
     part of the key — a cached entry only exists if some run completed
     within its budgets, and the chosen grouping does not depend on them.
     """
+    from ..backend import backend_name_for, machine_digest
+
     w = weights or machine.weights
     h = hashlib.sha256()
     h.update(f"pipeline:{pipeline.name}\0".encode())
@@ -109,11 +121,10 @@ def schedule_cache_key(
         h.update(stage.name.encode())
         h.update(b"\0")
     h.update(f"extents:{extents_digest(pipeline)}\0".encode())
+    h.update(f"backend:{backend_name_for(machine)}\0".encode())
     h.update(f"machine:{machine.name}\0".encode())
+    h.update(f"mdigest:{machine_digest(machine)}\0".encode())
     h.update(f"cores:{ncores or machine.num_cores}\0".encode())
-    h.update(f"l1:{machine.l1_cache}\0l2:{machine.l2_cache}\0".encode())
-    h.update(f"line:{machine.cache_line}\0".encode())
-    h.update(f"itile:{machine.innermost_tile_size}\0".encode())
     h.update(f"weights:{w.w1!r}:{w.w2!r}:{w.w3!r}:{w.w4!r}\0".encode())
     h.update(f"strategy:{strategy}\0".encode())
     for p in params:
@@ -170,11 +181,17 @@ class ScheduleCache:
     def _path(self, pipeline: Pipeline, key: str) -> str:
         return os.path.join(self.directory, f"{pipeline.name}-{key}.json")
 
-    def load(self, pipeline: Pipeline, key: str) -> Optional[Grouping]:
+    def load(
+        self,
+        pipeline: Pipeline,
+        key: str,
+        backend: Optional[str] = None,
+    ) -> Optional[Grouping]:
         """The cached grouping, or ``None`` on a miss.  Stale or corrupt
         entries — including entries whose recorded extent digest no
         longer matches the pipeline's concrete parameter bindings and
-        domain extents — are evicted and reported as misses."""
+        domain extents, or (when ``backend`` is given) whose recorded
+        backend differs — are evicted and reported as misses."""
         path = self._path(pipeline, key)
         try:
             with open(path) as fh:
@@ -192,6 +209,13 @@ class ScheduleCache:
             # trustworthy for this pipeline instance.
             self._evict(path)
             return None
+        if backend is not None and data.get("backend") != backend:
+            # Entry was written for a different backend's tile hierarchy
+            # — or by a pre-backend build that recorded none (the same
+            # migration shape as the extents-digest fix above): its tile
+            # sizes answer a different machine model's question.
+            self._evict(path)
+            return None
         try:
             grouping = grouping_from_dict(pipeline, data)
         except (ScheduleStaleError, ScheduleFormatError, KeyError, ValueError):
@@ -201,8 +225,14 @@ class ScheduleCache:
         self._event("hit")
         return grouping
 
-    def store(self, grouping: Grouping, key: str) -> str:
+    def store(
+        self, grouping: Grouping, key: str, backend: Optional[str] = None,
+    ) -> str:
         """Atomically write ``grouping``; returns the entry path.
+
+        ``backend`` records which backend's tile hierarchy produced the
+        schedule; a backend-aware :meth:`load` evicts entries that
+        recorded a different one (or none).
 
         The temp-file name includes a process-wide unique suffix on top
         of the pid: two threads of one process storing the same key get
@@ -213,6 +243,8 @@ class ScheduleCache:
         tmp = f"{path}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
         data = grouping_to_dict(grouping)
         data["extents"] = extents_digest(grouping.pipeline)
+        if backend is not None:
+            data["backend"] = backend
         with open(tmp, "w") as fh:
             json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")

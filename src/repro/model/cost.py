@@ -46,7 +46,7 @@ from .machine import Machine
 from .tilesize import compute_tile_sizes
 from .weights import CostWeights
 
-__all__ = ["GroupCost", "CostModel", "group_cost"]
+__all__ = ["GroupCost", "CostModel", "group_cost", "cpu_group_cost"]
 
 INFINITE_COST = float("inf")
 
@@ -65,6 +65,9 @@ class GroupCost:
     geom: Optional[GroupGeometry]
     cache_level: str = ""
     details: Dict[str, float] = field(default_factory=dict)
+    #: inner-level (warp) tile sizes on hierarchical backends; empty on
+    #: the single-level CPU path
+    inner_tile_sizes: Tuple[int, ...] = ()
 
     @property
     def valid(self) -> bool:
@@ -194,12 +197,36 @@ def _cost_for_cache_size(
 def group_cost(
     pipeline: Pipeline,
     members: Iterable[Function],
+    machine,
+    ncores: Optional[int] = None,
+    weights: Optional[CostWeights] = None,
+    halo_reuse: bool = False,
+) -> GroupCost:
+    """``COST(H)`` — the backend-dispatching top-level entry.
+
+    ``machine`` selects the backend: a :class:`Machine` routes to the
+    CPU model (:func:`cpu_group_cost`, the paper's Algorithm 2), a
+    :class:`~repro.model.machine.GpuMachine` to the two-level GPU model
+    (:mod:`repro.backend.gpu`).  The import is deferred so the model
+    layer stays importable without the backend package and vice versa.
+    """
+    from ..backend import backend_for_machine
+
+    return backend_for_machine(machine).group_cost(
+        pipeline, members, machine, ncores=ncores, weights=weights,
+        halo_reuse=halo_reuse,
+    )
+
+
+def cpu_group_cost(
+    pipeline: Pipeline,
+    members: Iterable[Function],
     machine: Machine,
     ncores: Optional[int] = None,
     weights: Optional[CostWeights] = None,
     halo_reuse: bool = False,
 ) -> GroupCost:
-    """``COST(H)`` — Algorithm 2's top-level entry.
+    """``COST(H)`` — Algorithm 2's top-level entry (the CPU backend).
 
     Evaluates the L1 footprint first and falls back to L2 when the L1 tile
     would spend more than half its computation on overlap (the paper's
@@ -247,13 +274,16 @@ class CostModel:
     def __init__(
         self,
         pipeline: Pipeline,
-        machine: Machine,
+        machine,
         ncores: Optional[int] = None,
         weights: Optional[CostWeights] = None,
         halo_reuse: bool = False,
     ):
+        from ..backend import backend_for_machine
+
         self.pipeline = pipeline
         self.machine = machine
+        self.backend = backend_for_machine(machine)
         self.ncores = ncores or machine.num_cores
         self.weights = weights or machine.weights
         self.halo_reuse = halo_reuse
@@ -278,9 +308,9 @@ class CostModel:
         )
         self.evaluations += 1
         t0 = time.perf_counter() if PROFILE.enabled else 0.0
-        result = group_cost(
-            self.pipeline, key, self.machine, self.ncores, self.weights,
-            halo_reuse=self.halo_reuse,
+        result = self.backend.group_cost(
+            self.pipeline, key, self.machine, ncores=self.ncores,
+            weights=self.weights, halo_reuse=self.halo_reuse,
         )
         if PROFILE.enabled:
             PROFILE.add_time("cost_eval", time.perf_counter() - t0)

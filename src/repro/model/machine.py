@@ -24,7 +24,15 @@ from dataclasses import dataclass, field
 
 from .weights import CostWeights
 
-__all__ = ["Machine", "HalideParams", "XEON_HASWELL", "AMD_OPTERON"]
+__all__ = [
+    "Machine",
+    "GpuMachine",
+    "HalideParams",
+    "XEON_HASWELL",
+    "AMD_OPTERON",
+    "GPU_V100",
+    "GPU_A100",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,73 @@ class Machine:
         return self.frequency_ghz * 1e9 * self.scalar_ops_per_cycle * vec_speedup
 
 
+@dataclass(frozen=True)
+class GpuMachine:
+    """A CUDA-style GPU machine model for the two-level tiling search.
+
+    The follow-up paper ("Model-Based Warp Overlapped Tiling") maps the
+    PPoPP cost model onto the GPU memory hierarchy: *block* tiles staged
+    in shared memory and *warp* tiles held in registers, with overlapped
+    (halo) tiling at both levels.  This description carries exactly the
+    capacities that search needs — it deliberately does not pretend to be
+    a :class:`Machine`: the CPU timing model (`perfmodel`) consumes cache
+    bandwidths a GPU does not have, so code paths that price CPU
+    execution must check ``isinstance(machine, Machine)`` first.
+
+    ``shared_mem_per_sm`` and ``register_file_per_sm`` are per-SM
+    capacities; the per-block and per-warp budgets the search uses are
+    derived by dividing through the occupancy targets
+    (``resident_blocks_per_sm``, ``max_warps_per_sm``), mirroring how
+    occupancy divides the physical resources on real hardware.
+    """
+
+    name: str
+    #: streaming multiprocessors (the block-level parallelism unit)
+    num_sms: int
+    #: threads per warp (innermost warp-tile sizes align to this)
+    warp_width: int
+    #: resident warps per SM the search budgets registers for
+    max_warps_per_sm: int
+    #: resident blocks per SM the search budgets shared memory for
+    resident_blocks_per_sm: int
+    #: shared-memory capacity per SM, bytes
+    shared_mem_per_sm: int
+    #: register-file capacity per SM, bytes
+    register_file_per_sm: int
+    #: global-memory transaction (sector) size, bytes
+    cache_line: int
+    #: aggregate global-memory bandwidth, bytes/s
+    dram_bandwidth: float
+    frequency_ghz: float
+    #: block-level INNERMOSTTILESIZE (a multiple of ``warp_width`` so a
+    #: block row decomposes into whole warp rows)
+    innermost_tile_size: int
+    weights: CostWeights
+
+    def __post_init__(self):
+        if self.innermost_tile_size % self.warp_width:
+            raise ValueError(
+                f"innermost_tile_size {self.innermost_tile_size} must be a "
+                f"multiple of warp_width {self.warp_width}"
+            )
+
+    @property
+    def num_cores(self) -> int:
+        """Concurrency the idle-fraction criterion distributes block
+        tiles over: SMs times resident blocks per SM."""
+        return self.num_sms * self.resident_blocks_per_sm
+
+    @property
+    def shared_mem_per_block(self) -> int:
+        """Shared-memory budget of one resident block tile."""
+        return self.shared_mem_per_sm // self.resident_blocks_per_sm
+
+    @property
+    def registers_per_warp(self) -> int:
+        """Register-file budget of one resident warp tile, bytes."""
+        return self.register_file_per_sm // self.max_warps_per_sm
+
+
 KB = 1024
 MB = 1024 * KB
 GB_S = 1e9
@@ -174,4 +249,40 @@ AMD_OPTERON = Machine(
     ),
     autovec_integer=False,
     autovec_float=True,
+)
+
+# GPU presets for the two-level (block/warp) tile search.  Capacities are
+# the published per-SM figures; the cost weights carry over the Xeon's
+# Table 1 calibration — the four criteria (locality, parallelism,
+# redundant computation, dimension mismatch) are architecture-neutral
+# ratios, only the capacities they are evaluated against change.
+
+GPU_V100 = GpuMachine(
+    name="NVIDIA Tesla V100 (Volta)",
+    num_sms=80,
+    warp_width=32,
+    max_warps_per_sm=64,
+    resident_blocks_per_sm=2,
+    shared_mem_per_sm=96 * KB,
+    register_file_per_sm=256 * KB,
+    cache_line=32,
+    dram_bandwidth=900 * GB_S,
+    frequency_ghz=1.38,
+    innermost_tile_size=128,
+    weights=CostWeights(w1=1.0, w2=0.4, w3=3.0, w4=1.5),
+)
+
+GPU_A100 = GpuMachine(
+    name="NVIDIA A100 (Ampere)",
+    num_sms=108,
+    warp_width=32,
+    max_warps_per_sm=64,
+    resident_blocks_per_sm=2,
+    shared_mem_per_sm=164 * KB,
+    register_file_per_sm=256 * KB,
+    cache_line=32,
+    dram_bandwidth=1555 * GB_S,
+    frequency_ghz=1.41,
+    innermost_tile_size=128,
+    weights=CostWeights(w1=1.0, w2=0.4, w3=3.0, w4=1.5),
 )

@@ -23,13 +23,20 @@ from typing import Sequence, Tuple
 
 from ..poly.alignscale import GroupGeometry
 from ..poly.footprint import buffer_count
+from ..poly.overlap import stage_tile_extents
 
 try:  # NumPy is optional: the scalar path below is the reference.
     import numpy as _np
 except ImportError:  # pragma: no cover - the CI image ships numpy
     _np = None
 
-__all__ = ["compute_tile_sizes", "UNTILED_EXTENT", "MIN_OUTER_TILE"]
+__all__ = [
+    "compute_tile_sizes",
+    "compute_two_level_tile_sizes",
+    "tile_residency_bytes",
+    "UNTILED_EXTENT",
+    "MIN_OUTER_TILE",
+]
 
 #: Dimensions at most this long are left untiled (tile = full extent).
 UNTILED_EXTENT = 8
@@ -139,3 +146,133 @@ def compute_tile_sizes(
         size = int(round(tau * dim_reuse[i] / max_reuse))
         tile_sizes[i] = max(MIN_OUTER_TILE, min(dim_sizes[i], size))
     return tuple(tile_sizes)
+
+
+# -- two-level (GPU block/warp) search ---------------------------------------
+
+
+def tile_residency_bytes(
+    geom: GroupGeometry, tile_sizes: Sequence[int]
+) -> float:
+    """Bytes one tile at these sizes keeps resident: the largest single
+    expanded (halo-included) stage tile, times the number of buffers live
+    at once (:data:`RESIDENT_BUFFERS`, capped by the group's buffer
+    count).
+
+    This is the quantity the capacity constraints of the two-level GPU
+    search are stated against — shared memory for block tiles, the
+    per-warp register slice for warp tiles — and the same working-set
+    measure the CPU model's spill check uses.
+    """
+    buffers = min(RESIDENT_BUFFERS, buffer_count(geom))
+    resident = 0.0
+    for s in geom.stages:
+        vol = 1.0
+        for e in stage_tile_extents(geom, tile_sizes, s):
+            vol *= e
+        resident = max(
+            resident, vol * geom.stage_density_float(s) * s.scalar_type.size
+        )
+    return buffers * resident
+
+
+def _largest_divisor_leq(n: int, cap: int) -> int:
+    """Largest divisor of ``n`` that is <= ``cap`` (>= 1)."""
+    for d in range(min(n, max(1, cap)), 1, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+def _shrink_to_budget(
+    geom: GroupGeometry,
+    sizes: list,
+    budget: float,
+    warp_width: int,
+) -> list:
+    """Deterministically shrink ``sizes`` until the residency fits
+    ``budget`` (or the tile is all-ones, the terminal state).  Outer
+    dimensions halve first (largest-first, lowest index on ties); the
+    innermost shrinks last and stays a multiple of ``warp_width`` while
+    it can, so block rows keep decomposing into whole warp rows."""
+    ndims = len(sizes)
+    while tile_residency_bytes(geom, sizes) > budget:
+        outer = [i for i in range(ndims - 1) if sizes[i] > 1]
+        if outer:
+            i = max(outer, key=lambda d: (sizes[d], -d))
+            sizes[i] = max(1, sizes[i] // 2)
+        elif sizes[-1] > warp_width:
+            sizes[-1] = max(
+                warp_width, sizes[-1] // 2 // warp_width * warp_width
+            )
+        elif sizes[-1] > 1:
+            sizes[-1] = max(1, sizes[-1] // 2)
+        else:
+            break  # all-ones: nothing left to shrink
+    return sizes
+
+
+def compute_two_level_tile_sizes(
+    geom: GroupGeometry,
+    machine,
+    dim_reuse: Sequence[float],
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """``COMPUTETILESIZES`` for a two-level GPU hierarchy.
+
+    Returns ``(block_tiles, warp_tiles)`` for a
+    :class:`~repro.model.machine.GpuMachine`:
+
+    * **Block tiles** come from the paper's closed form
+      (:func:`compute_tile_sizes`) evaluated against the shared-memory
+      slice of one resident block, with the innermost size then aligned
+      down to a multiple of the warp width and the whole tile shrunk (if
+      needed) until its residency fits shared memory.
+    * **Warp tiles** partition the block tile: every warp size divides
+      the corresponding block size (no partial warp tiles inside a
+      block).  The innermost is the largest divisor of the block's
+      innermost no wider than a warp; outer sizes are distributed by the
+      same reuse-proportional closed form against the per-warp register
+      slice, snapped to divisors, and shrunk until the residency fits
+      the register budget.
+
+    Both constraints are enforced by construction wherever a fitting
+    tile exists (the all-ones tile is the terminal shrink state), which
+    is what the property tests in ``tests/test_gpu_tilesize.py`` pin.
+    """
+    ndims = geom.ndim
+    if len(dim_reuse) != ndims:
+        raise ValueError(f"expected {ndims} reuse scores, got {len(dim_reuse)}")
+    shared_budget = float(machine.shared_mem_per_block)
+    reg_budget = float(machine.registers_per_warp)
+    warp_width = machine.warp_width
+
+    # -- level 1: block tiles in shared memory --------------------------
+    block = list(compute_tile_sizes(
+        geom, shared_budget, machine.innermost_tile_size, dim_reuse
+    ))
+    if block[-1] >= warp_width:
+        block[-1] = block[-1] // warp_width * warp_width
+    block = _shrink_to_budget(geom, block, shared_budget, warp_width)
+
+    # -- level 2: warp tiles in registers, dividing the block tile ------
+    warp = [1] * ndims
+    warp[-1] = _largest_divisor_leq(block[-1], warp_width)
+    if ndims > 1:
+        buffers = min(RESIDENT_BUFFERS, buffer_count(geom))
+        reg_vol = max(1.0, reg_budget / (buffers * _scaled_unit_bytes(geom)))
+        tau = reg_vol / warp[-1]
+        outer_reuse = dim_reuse[: ndims - 1]
+        max_reuse = max(outer_reuse)
+        for r in outer_reuse:
+            tau /= r / max_reuse
+        tau = tau ** (1.0 / (ndims - 1))
+        for i in range(ndims - 1):
+            target = int(round(tau * dim_reuse[i] / max_reuse))
+            warp[i] = _largest_divisor_leq(block[i], max(1, target))
+    while tile_residency_bytes(geom, warp) > reg_budget:
+        shrinkable = [i for i in range(ndims) if warp[i] > 1]
+        if not shrinkable:
+            break  # all-ones: nothing left to shrink
+        i = max(shrinkable, key=lambda d: (warp[d], -d))
+        warp[i] = _largest_divisor_leq(block[i], warp[i] - 1)
+    return tuple(block), tuple(warp)

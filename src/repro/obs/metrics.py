@@ -105,6 +105,12 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
                    "(event=hit|miss|eviction|store)"),
     "repro_schedule_seconds": (
         "histogram", "Wall time of scheduling runs, labelled by strategy"),
+    "repro_backend_selected_total": (
+        "counter", "Executions dispatched through the backend seam "
+                   "(backend=..., tier=cupy|compiled)"),
+    "repro_backend_unavailable_total": (
+        "counter", "Backend executor tiers found unavailable at dispatch "
+                   "(warned once per backend, then silent fallback)"),
     # -- serve layer (repro.serve) --------------------------------------
     "repro_serve_requests_total": (
         "counter", "Requests completed by the serve layer "
@@ -125,8 +131,10 @@ METRIC_HELP: Dict[str, Tuple[str, str]] = {
         "counter", "Requests whose deadline expired before execution "
                    "(SERVE_TIMEOUT)"),
     "repro_serve_tier": (
-        "gauge", "Current degradation-ladder tier of a pipeline host "
-                 "(0=compiled, 1=interpreter, 2=no-fusion)"),
+        "gauge", "Current degradation-ladder tier of a pipeline host: "
+                 "an index into the host's ladder, healthiest rung "
+                 "first (a GPU-backend host prepends a cupy rung to "
+                 "compiled/interpreter/no-fusion)"),
     "repro_serve_tier_changes_total": (
         "counter", "Degradation-ladder transitions (direction=down|up)"),
     "repro_serve_warm_seconds": (

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .backend import backend_name_for
 from .dsl.pipeline import Pipeline
 from .fusion import ScheduleCache, schedule_cache_key, schedule_pipeline
 from .model.machine import Machine
@@ -92,7 +93,7 @@ def plan_schedule(pipe, bench, machine: Machine, strategy: str,
                 params = ["group_limit=None"]
             key = schedule_cache_key(pipe, machine, strategy=strategy,
                                      params=params)
-            hit = cache.load(pipe, key)
+            hit = cache.load(pipe, key, backend=backend_name_for(machine))
             if hit is not None:
                 return hit, None
         # dp-incremental requests skip the unbounded tier by zeroing its
@@ -107,7 +108,8 @@ def plan_schedule(pipe, bench, machine: Machine, strategy: str,
         )
         report = resilient_schedule(pipe, machine, budget)
         if cache is not None and report.tier == strategy:
-            cache.store(report.grouping, key)
+            cache.store(report.grouping, key,
+                        backend=backend_name_for(machine))
         return report.grouping, report
     return schedule_pipeline(
         pipe, machine, strategy=strategy, max_states=max_states,

@@ -16,7 +16,7 @@ step below the per-request protections ``execute_guarded`` already
 provides.  A request whose execution degraded (any group fell back to
 reference execution) counts as a soft failure; ``degrade_after``
 consecutive failures drop the host one tier, ``recover_after``
-consecutive clean requests raise it back:
+consecutive clean requests raise it back.  The base ladder:
 
 ====  ====================  ============================================
 tier  name                  what executes
@@ -27,6 +27,13 @@ tier  name                  what executes
                             tier of ``resilience.fallback.TIERS``),
                             pure interpreter
 ====  ====================  ============================================
+
+A non-CPU backend (``HostConfig.backend``) prepends its executor tier —
+``cupy`` for the GPU backend — when its runtime is importable at
+warm-up, giving that host a four-rung ladder whose failures degrade into
+the standard CPU tiers.  When the runtime is absent the host warns once
+(``BACKEND_UNAVAILABLE``) and serves on the base ladder; see
+``docs/backends.md``.
 
 :class:`PipelineService` composes hosts with the micro-batching queue
 (:mod:`repro.serve.batching`) and admission control
@@ -72,7 +79,8 @@ __all__ = [
     "LADDER",
 ]
 
-#: degradation-ladder tiers, healthiest first
+#: base degradation-ladder tiers, healthiest first; a host whose backend
+#: contributes an extra executor tier (``cupy``) prepends it at warm-up
 LADDER = ("compiled", "interpreter", "no-fusion")
 
 
@@ -80,7 +88,11 @@ LADDER = ("compiled", "interpreter", "no-fusion")
 class HostConfig:
     """Per-host knobs (shared by every host of one service)."""
 
-    machine: str = "xeon"
+    #: backend whose machine model schedules and whose executor tier
+    #: (if any beyond the CPU tiers) tops the degradation ladder
+    backend: str = "cpu"
+    #: machine preset name; None resolves to the backend's default
+    machine: Optional[str] = None
     #: image-size fraction of the paper configuration hosts are built at
     scale: float = 0.1
     #: executor worker threads per request
@@ -153,6 +165,13 @@ class ServeResult:
     retried: bool = False
 
 
+class _CleanReport:
+    """Stand-in execution report for device-tier runs: the CuPy tier has
+    no guard chain, so a completed request is by definition undegraded."""
+
+    degraded = False
+
+
 class PipelineHost:
     """One benchmark's warm serving state (see module docstring)."""
 
@@ -169,6 +188,9 @@ class PipelineHost:
         self.pipeline = None
         self.grouping = None
         self.no_fusion_grouping = None
+        self.backend = None
+        #: this host's degradation ladder (may gain a backend rung on warm)
+        self.ladder: Tuple[str, ...] = LADDER
         self.schedule_tier: Optional[str] = None
         self.pools: Optional[PoolGroup] = None
         self.executor = None
@@ -188,7 +210,7 @@ class PipelineHost:
 
     @property
     def tier_name(self) -> str:
-        return LADDER[self._tier]
+        return self.ladder[self._tier]
 
     # -- warm-up --------------------------------------------------------
     def warm(self) -> "PipelineHost":
@@ -197,12 +219,35 @@ class PipelineHost:
             if self.is_warm:
                 return self
             t0 = time.perf_counter()
-            with TRACE.span("serve_warm", pipeline=self.key):
-                from ..model.machine import AMD_OPTERON, XEON_HASWELL
+            with TRACE.span(
+                "serve_warm", pipeline=self.key,
+                backend=self.config.backend,
+            ):
+                from ..backend import (
+                    get_backend,
+                    warn_backend_unavailable_once,
+                )
 
-                machine = {
-                    "xeon": XEON_HASWELL, "opteron": AMD_OPTERON,
-                }[self.config.machine]
+                backend = get_backend(self.config.backend)
+                presets = backend.machines()
+                mname = self.config.machine or backend.default_machine_name()
+                if mname not in presets:
+                    raise ValueError(
+                        f"machine {mname!r} does not belong to backend "
+                        f"{backend.name!r}; its presets: {sorted(presets)}"
+                    )
+                machine = presets[mname]
+                self.backend = backend
+                extra = backend.executor_tier()
+                if extra not in LADDER:
+                    if backend.available():
+                        # e.g. ("cupy",) + the standard CPU tiers
+                        self.ladder = (extra,) + LADDER
+                    else:
+                        warn_backend_unavailable_once(
+                            backend.name, backend.unavailable_reason(),
+                        )
+                        self.ladder = LADDER
                 bench, pipe = build_benchmark(self.key, self.config.scale)
                 grouping, report = plan_schedule(
                     pipe, bench, machine, self.config.strategy,
@@ -254,6 +299,11 @@ class PipelineHost:
         if self.is_warm:
             self.pools = PoolGroup(self.config.pool_cap_bytes)
             self.executor = shared_executor(self.config.threads)
+            if self.ladder and self.ladder[0] == "cupy":
+                # CUDA contexts do not survive fork: workers serve on
+                # the CPU tiers (the parent keeps its device rung).
+                self.ladder = self.ladder[1:]
+                self._tier = max(0, self._tier - 1)
 
     # -- execution ------------------------------------------------------
     def execute(self, inputs: Mapping[str, np.ndarray]):
@@ -268,21 +318,25 @@ class PipelineHost:
         if not self.is_warm:
             self.warm()
         tier = self._tier
+        tname = self.ladder[tier]
+        if tname == "cupy":
+            return self._execute_cupy(inputs, tname)
         grouping = (
-            self.no_fusion_grouping if tier >= 2 else self.grouping
+            self.no_fusion_grouping if tname == "no-fusion"
+            else self.grouping
         )
         compile_kernels = (
-            self.config.compile_kernels if tier == 0 else False
+            self.config.compile_kernels if tname == "compiled" else False
         )
         policy = GuardPolicy(
             tile_retries=self.config.tile_retries,
             degrade=True,
             compile_kernels=compile_kernels,
             fuse_kernels=(
-                self.config.fuse_kernels if tier == 0 else False
+                self.config.fuse_kernels if tname == "compiled" else False
             ),
             halo_reuse=(
-                self.config.halo_reuse if tier == 0 else False
+                self.config.halo_reuse if tname == "compiled" else False
             ),
         )
         try:
@@ -297,7 +351,33 @@ class PipelineHost:
             self._note_outcome(ok=False)
             raise
         self._note_outcome(ok=not report.degraded)
-        return report.outputs, report, LADDER[tier]
+        return report.outputs, report, tname
+
+    def _execute_cupy(self, inputs: Mapping[str, np.ndarray], tname: str):
+        """One request on the backend's device executor tier.
+
+        Failures here move the ladder exactly like CPU-tier failures —
+        ``degrade_after`` consecutive device errors drop the host onto
+        the ``compiled`` rung, and ``recover_after`` clean requests
+        bring the device tier back.
+        """
+        from ..backend import execute_grouping_cupy
+
+        try:
+            outputs = execute_grouping_cupy(
+                self.pipeline, self.grouping, inputs,
+            )
+        except Exception as exc:
+            if error_code(exc).startswith("INPUT"):
+                raise
+            self._note_outcome(ok=False)
+            raise
+        if METRICS.enabled:
+            METRICS.inc("repro_backend_selected_total",
+                        backend=self.backend.name, tier=tname)
+        self._note_outcome(ok=True)
+        report = _CleanReport()
+        return outputs, report, tname
 
     def _note_outcome(self, ok: bool) -> None:
         """Advance the degradation ladder on consecutive outcomes."""
@@ -312,7 +392,7 @@ class PipelineHost:
             else:
                 self._consecutive_successes = 0
                 self._consecutive_failures += 1
-                if (self._tier < len(LADDER) - 1
+                if (self._tier < len(self.ladder) - 1
                         and self._consecutive_failures
                         >= self.config.degrade_after):
                     self._move_tier(+1)
@@ -336,11 +416,13 @@ class PipelineHost:
             out = {
                 "warm": self.is_warm,
                 "tier": self.tier_name,
+                "backend": self.config.backend,
                 "requests": self.requests_served,
                 "consecutive_failures": self._consecutive_failures,
             }
         if self.is_warm:
             out.update({
+                "ladder": list(self.ladder),
                 "schedule_tier": self.schedule_tier,
                 "groups": self.grouping.num_groups,
                 "warm_s": round(self.warm_s, 4),

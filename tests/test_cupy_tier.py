@@ -1,0 +1,215 @@
+"""The optional CuPy executor tier, driven entirely on CPU-only CI.
+
+A NumPy-backed fake ``cupy`` module exercises the device path
+bit-for-bit against the reference interpreter; injecting *absence*
+exercises the warn-once degradation to the compiled CPU tiers.
+"""
+
+import types
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendUnavailableWarning,
+    CPU_BACKEND,
+    GPU_BACKEND,
+    cupy_available,
+    cupy_unavailable_reason,
+    execute_grouping_cupy,
+    execute_with_backend,
+    reset_cupy_for_testing,
+    set_cupy_for_testing,
+)
+from repro.errors import BackendUnavailableError
+from repro.fusion import dp_group
+from repro.model import XEON_HASWELL
+
+from conftest import build_blur, build_histogram, build_updown, random_inputs
+
+
+def make_fake_cupy():
+    """A ``cupy``-shaped namespace backed by NumPy — exactly the surface
+    ``cupyexec`` touches, with ``asnumpy`` completing the round trip."""
+    return types.SimpleNamespace(
+        asarray=np.asarray,
+        arange=np.arange,
+        where=np.where,
+        minimum=np.minimum,
+        maximum=np.maximum,
+        sqrt=np.sqrt,
+        exp=np.exp,
+        log=np.log,
+        abs=np.abs,
+        power=np.power,
+        floor=np.floor,
+        broadcast_to=np.broadcast_to,
+        ascontiguousarray=np.ascontiguousarray,
+        asnumpy=np.asarray,
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_probe_state():
+    """Every test starts and ends with the real import probe and a clear
+    warn-once set."""
+    reset_cupy_for_testing()
+    yield
+    reset_cupy_for_testing()
+
+
+BUILDERS = {
+    "blur": build_blur,
+    "updown": build_updown,
+    "histogram": build_histogram,
+}
+
+
+class TestDeviceExecution:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_fake_cupy_matches_reference_bitwise(self, name, rng):
+        from repro.runtime import execute_grouping, execute_reference
+
+        pipe = BUILDERS[name]()
+        inputs = random_inputs(pipe, rng)
+        ref = execute_reference(pipe, inputs)
+        out = execute_grouping_cupy(pipe, None, inputs, xp=make_fake_cupy())
+        assert sorted(out) == sorted(ref)
+        for key in ref:
+            assert out[key].dtype == ref[key].dtype
+            np.testing.assert_array_equal(out[key], ref[key])
+
+    def test_foreign_grouping_is_rejected(self, blur_pipeline, rng):
+        other = build_blur()
+        grouping = dp_group(other, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        with pytest.raises(ValueError, match="does not belong"):
+            execute_grouping_cupy(
+                blur_pipeline, grouping, inputs, xp=make_fake_cupy()
+            )
+
+    def test_absent_cupy_raises_backend_unavailable(self, blur_pipeline, rng):
+        set_cupy_for_testing(None)
+        inputs = random_inputs(blur_pipeline, rng)
+        with pytest.raises(BackendUnavailableError) as exc_info:
+            execute_grouping_cupy(blur_pipeline, None, inputs)
+        assert exc_info.value.code == "BACKEND_UNAVAILABLE"
+
+
+class TestProbe:
+    def test_injected_fake_is_available(self):
+        set_cupy_for_testing(make_fake_cupy())
+        assert cupy_available()
+        assert cupy_unavailable_reason() is None
+        assert GPU_BACKEND.available()
+
+    def test_injected_absence_is_unavailable_with_reason(self):
+        set_cupy_for_testing(None)
+        assert not cupy_available()
+        assert "injected for testing" in cupy_unavailable_reason()
+        assert not GPU_BACKEND.available()
+
+    def test_repro_no_cupy_env_disables_the_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CUPY", "1")
+        reset_cupy_for_testing()  # drop the memo so the env var is seen
+        assert not cupy_available()
+        assert "REPRO_NO_CUPY" in cupy_unavailable_reason()
+
+
+class TestBackendLadder:
+    def test_gpu_backend_runs_on_device_when_available(
+        self, blur_pipeline, rng
+    ):
+        from repro.runtime import execute_grouping
+
+        set_cupy_for_testing(make_fake_cupy())
+        grouping = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        cpu = execute_grouping(blur_pipeline, grouping, inputs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendUnavailableWarning)
+            out = execute_with_backend(
+                GPU_BACKEND, blur_pipeline, grouping, inputs
+            )
+        for key in cpu:
+            np.testing.assert_array_equal(out[key], cpu[key])
+
+    def test_absent_cupy_warns_once_and_falls_back(self, blur_pipeline, rng):
+        from repro.runtime import execute_grouping
+
+        set_cupy_for_testing(None)
+        grouping = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        cpu = execute_grouping(blur_pipeline, grouping, inputs)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = execute_with_backend(
+                GPU_BACKEND, blur_pipeline, grouping, inputs
+            )
+            second = execute_with_backend(
+                GPU_BACKEND, blur_pipeline, grouping, inputs
+            )
+        unavailable = [
+            w for w in caught
+            if issubclass(w.category, BackendUnavailableWarning)
+        ]
+        assert len(unavailable) == 1, "fallback must warn exactly once"
+        assert "[BACKEND_UNAVAILABLE]" in str(unavailable[0].message)
+        assert "'gpu'" in str(unavailable[0].message)
+        for key in cpu:
+            np.testing.assert_array_equal(first[key], cpu[key])
+            np.testing.assert_array_equal(second[key], cpu[key])
+
+    def test_device_failure_degrades_instead_of_crashing(
+        self, blur_pipeline, rng
+    ):
+        from repro.runtime import execute_grouping
+
+        broken = make_fake_cupy()
+        broken.arange = None  # device path explodes mid-stage
+        set_cupy_for_testing(broken)
+        grouping = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        cpu = execute_grouping(blur_pipeline, grouping, inputs)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = execute_with_backend(
+                GPU_BACKEND, blur_pipeline, grouping, inputs
+            )
+        unavailable = [
+            w for w in caught
+            if issubclass(w.category, BackendUnavailableWarning)
+        ]
+        assert len(unavailable) == 1
+        assert "device execution failed" in str(unavailable[0].message)
+        for key in cpu:
+            np.testing.assert_array_equal(out[key], cpu[key])
+
+    def test_input_errors_propagate_on_the_device_tier(
+        self, blur_pipeline, rng
+    ):
+        from repro.errors import ReproError, error_code
+
+        set_cupy_for_testing(make_fake_cupy())
+        grouping = dp_group(blur_pipeline, XEON_HASWELL)
+        with pytest.raises(ReproError) as exc_info:
+            execute_with_backend(GPU_BACKEND, blur_pipeline, grouping, {})
+        assert error_code(exc_info.value).startswith("INPUT")
+
+    def test_cpu_backend_never_touches_the_device_path(
+        self, blur_pipeline, rng
+    ):
+        from repro.runtime import execute_grouping
+
+        set_cupy_for_testing(None)  # would warn if the cpu path probed
+        grouping = dp_group(blur_pipeline, XEON_HASWELL)
+        inputs = random_inputs(blur_pipeline, rng)
+        cpu = execute_grouping(blur_pipeline, grouping, inputs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BackendUnavailableWarning)
+            out = execute_with_backend(
+                CPU_BACKEND, blur_pipeline, grouping, inputs
+            )
+        for key in cpu:
+            np.testing.assert_array_equal(out[key], cpu[key])
